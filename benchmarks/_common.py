@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artifact has one benchmark that (a) regenerates it from
+scratch, (b) asserts it still matches the paper, and (c) reports the
+regeneration time through pytest-benchmark.  Heavyweight experiments run
+one round (their derivations are deterministic, so more rounds add no
+information), lightweight ones use pytest-benchmark's auto-calibration.
+"""
+
+from __future__ import annotations
+
+__all__ = ["bench_experiment", "bench_heavy_experiment"]
+
+
+def bench_experiment(benchmark, run):
+    """Benchmark a table/figure experiment and assert paper fidelity."""
+    outcome = benchmark(run)
+    assert outcome.matches, f"{outcome.exp_id} diverged:\n{outcome.derived}"
+    return outcome
+
+
+def bench_heavy_experiment(benchmark, run):
+    """Single-round benchmark for simulation-heavy experiments."""
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.matches, f"{outcome.exp_id} diverged:\n{outcome.derived}"
+    return outcome

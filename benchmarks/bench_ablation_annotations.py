@@ -1,0 +1,40 @@
+"""Ablation: declared vs. derived Stage-2 characterisation (DESIGN.md §5.1).
+
+The methodology's classifiers *compute* the D1-D5 answers by bounded
+enumeration; the classical alternative is to trust hand annotations.  The
+benchmark measures both paths over the QStack and asserts the tables they
+produce are identical — the enumeration's cost buys freedom from
+annotation drift, not different results.
+"""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.methodology import MethodologyOptions, derive
+from repro.core.profile import characterize_all, characterize_from_annotations
+
+ADT = QStackSpec(operations=["Push", "Pop", "Deq", "Top", "Size"])
+
+
+@pytest.mark.parametrize("mode", ["derived", "declared"])
+def test_stage2_characterisation_cost(benchmark, mode):
+    if mode == "derived":
+        profiles = benchmark(characterize_all, ADT)
+    else:
+        profiles = benchmark(characterize_from_annotations, ADT)
+    assert set(profiles) == set(ADT.operation_names())
+
+
+@pytest.mark.parametrize("use_annotations", [False, True])
+def test_full_derivation_cost(benchmark, use_annotations):
+    options = MethodologyOptions(use_annotations=use_annotations)
+    result = benchmark.pedantic(
+        derive, args=(ADT,), kwargs={"options": options}, rounds=1, iterations=1
+    )
+    assert result.final_table.is_complete()
+
+
+def test_modes_agree():
+    annotated = derive(ADT, options=MethodologyOptions(use_annotations=True))
+    enumerated = derive(ADT)
+    assert annotated.final_table.diff(enumerated.final_table) == []

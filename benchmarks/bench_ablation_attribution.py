@@ -1,0 +1,71 @@
+"""Ablation: ordering-edge attribution (DESIGN.md §5, decision 2).
+
+Def. 15 read literally attributes an ordering-edge change to *both*
+endpoints; the paper's Stage-5 reasoning effectively uses source-only
+attribution.  The ablation quantifies the difference on the runtime
+conflict certification: under BOTH, adjacent front/back operations of a
+QStack appear to touch each other's vertices, so fewer operation pairs
+certify as independent and the simulated workload serialises more.
+"""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.objects import SharedObject
+from repro.core.assertions import locality_dependency
+from repro.core.dependency import Dependency
+from repro.graph.instrument import EdgeAttribution
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+ADT = QStackSpec()
+
+
+def _nd_rate(attribution: EdgeAttribution) -> float:
+    """Fraction of (state, pair) cases whose traces do not intersect."""
+    invocations = ADT.invocations()
+    total = disjoint = 0
+    for state in ADT.state_list():
+        executions = {
+            invocation: execute_invocation(ADT, state, invocation, attribution)
+            for invocation in invocations
+        }
+        for first in invocations:
+            for second in invocations:
+                total += 1
+                dep = locality_dependency(
+                    executions[first].trace, executions[second].trace
+                )
+                if dep is Dependency.ND:
+                    disjoint += 1
+    return disjoint / total
+
+
+@pytest.mark.parametrize("attribution", list(EdgeAttribution))
+def test_attribution_nd_rate(benchmark, attribution):
+    rate = benchmark.pedantic(_nd_rate, args=(attribution,), rounds=1, iterations=1)
+    print(f"\n{attribution.value}: locality-disjoint rate {rate:.1%}")
+    assert 0.0 < rate < 1.0
+
+
+def test_source_attribution_certifies_more_concurrency():
+    both, source = _nd_rate(EdgeAttribution.BOTH), _nd_rate(EdgeAttribution.SOURCE)
+    assert source > both
+
+
+def test_push_deq_disjoint_only_under_source():
+    """The Stage-5 poster child: Push and Deq on a two-element QStack."""
+    results = {}
+    for attribution in EdgeAttribution:
+        push = execute_invocation(
+            ADT, ("a", "b"), Invocation("Push", ("a",)), attribution
+        )
+        deq = execute_invocation(ADT, ("a", "b"), Invocation("Deq"), attribution)
+        results[attribution] = locality_dependency(push.trace, deq.trace)
+    assert results[EdgeAttribution.SOURCE] is Dependency.ND
+    assert results[EdgeAttribution.BOTH] is not Dependency.ND
+
+
+def test_shared_object_defaults_to_source_attribution():
+    shared = SharedObject("qs", ADT)
+    assert shared.attribution is EdgeAttribution.SOURCE

@@ -1,0 +1,54 @@
+"""Ablation: enumeration-bound sensitivity (DESIGN.md §5, decision 5).
+
+The classifiers decide the paper's ``∃s``/``∀s`` quantifiers over a
+bounded state space.  This ablation measures (a) the cost of growing the
+bounds and (b) the stability of the derived artifacts: operation classes
+and the Stage-3 table must not change from capacity 2 upward (XTop's
+globality is the known capacity-3 artefact, tested separately).
+"""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.classification import classify_all_operations
+from repro.core.methodology import derive
+from repro.experiments import golden
+
+CAPACITIES = (2, 3, 4)
+
+
+@pytest.mark.parametrize("capacity", CAPACITIES)
+def test_derivation_cost_by_capacity(benchmark, capacity):
+    adt = QStackSpec(
+        capacity=capacity, operations=golden.QSTACK_WORKED_OPERATIONS
+    )
+    result = benchmark.pedantic(derive, args=(adt,), rounds=1, iterations=1)
+    assert result.final_table.is_complete()
+
+
+def test_classification_stable_across_bounds():
+    reference = None
+    for capacity in CAPACITIES:
+        classes = {
+            name: op_class.name
+            for name, op_class in classify_all_operations(
+                QStackSpec(capacity=capacity)
+            ).items()
+        }
+        if reference is None:
+            reference = classes
+        assert classes == reference, f"capacity {capacity} changed classes"
+
+
+def test_stage3_table_stable_across_bounds():
+    reference = None
+    for capacity in CAPACITIES:
+        adt = QStackSpec(
+            capacity=capacity, operations=golden.QSTACK_WORKED_OPERATIONS
+        )
+        simple = {
+            key: dep.name for key, dep in derive(adt).stage3_table.simple().items()
+        }
+        if reference is None:
+            reference = simple
+        assert simple == reference, f"capacity {capacity} changed the table"

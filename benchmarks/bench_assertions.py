@@ -1,0 +1,11 @@
+"""Benchmark X3/X4: locality assertions against state-machine ground truth."""
+
+from repro.experiments import assertions_experiment
+
+from _common import bench_heavy_experiment
+
+
+def test_x3_assertion_agreement(benchmark):
+    outcome = bench_heavy_experiment(benchmark, assertions_experiment.run)
+    print()
+    print(outcome.derived)

@@ -1,0 +1,11 @@
+"""Benchmark X7: derived tables vs. the commutativity baseline."""
+
+from repro.experiments import beyond_commutativity
+
+from _common import bench_heavy_experiment
+
+
+def test_x7_beyond_commutativity(benchmark):
+    outcome = bench_heavy_experiment(benchmark, beyond_commutativity.run)
+    print()
+    print(outcome.derived)

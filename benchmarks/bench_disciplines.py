@@ -1,0 +1,11 @@
+"""Benchmark X6: recovery-discipline valid-history comparison."""
+
+from repro.experiments import discipline_experiment
+
+from _common import bench_heavy_experiment
+
+
+def test_x6_discipline_equivalence(benchmark):
+    outcome = bench_heavy_experiment(benchmark, discipline_experiment.run)
+    print()
+    print(outcome.derived)

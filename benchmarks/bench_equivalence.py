@@ -1,0 +1,11 @@
+"""Benchmark X2: serial dependency vs. recoverability comparison."""
+
+from repro.experiments import equivalence_experiment
+
+from _common import bench_heavy_experiment
+
+
+def test_x2_equivalence(benchmark):
+    outcome = bench_heavy_experiment(benchmark, equivalence_experiment.run)
+    print()
+    print(outcome.derived)

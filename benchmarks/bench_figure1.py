@@ -1,0 +1,9 @@
+"""Benchmark: rebuild the paper's Figure 1 object graph."""
+
+from repro.experiments import figure1_object_graph as experiment
+
+from _common import bench_experiment
+
+
+def test_figure1_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

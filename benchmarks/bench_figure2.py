@@ -1,0 +1,9 @@
+"""Benchmark: rebuild the paper's Figure 2 object graph."""
+
+from repro.experiments import figure2_qstack_graph as experiment
+
+from _common import bench_experiment
+
+
+def test_figure2_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

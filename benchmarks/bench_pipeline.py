@@ -1,0 +1,18 @@
+"""Benchmark: the full five-stage derivation per built-in ADT.
+
+Measures what a user pays to go from an executable specification to a
+fully refined compatibility table.
+"""
+
+import pytest
+
+from repro.adts.registry import builtin_names, make_adt
+from repro.core.methodology import derive
+
+
+@pytest.mark.parametrize("adt_name", builtin_names())
+def test_full_derivation(benchmark, adt_name):
+    adt = make_adt(adt_name)
+    result = benchmark.pedantic(derive, args=(adt,), rounds=2, iterations=1)
+    assert result.final_table.is_complete()
+    assert result.stage5_table.refines(result.stage3_table)

@@ -1,0 +1,16 @@
+"""Benchmark X1: the refinement-vs-concurrency series.
+
+Regenerates the paper's central qualitative claim — each methodology
+stage yields a table with more potential for concurrency — and prints the
+measured series (restrictiveness, throughput, blocked time) per stage.
+"""
+
+from repro.experiments import refinement_concurrency
+
+from _common import bench_heavy_experiment
+
+
+def test_x1_refinement_series(benchmark):
+    outcome = bench_heavy_experiment(benchmark, refinement_concurrency.run)
+    print()
+    print(outcome.derived)

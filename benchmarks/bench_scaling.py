@@ -1,0 +1,47 @@
+"""Benchmark: concurrency scaling with object disjointness.
+
+The transfer-workload scaling curve: the same transaction population over
+more accounts blocks less and finishes faster (see
+``examples/transfer_workloads.py``).  Asserts the qualitative shape —
+makespan is monotone non-increasing in the number of accounts.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "examples"))
+
+from transfer_workloads import build_objects, transfer_workload  # noqa: E402
+
+from repro.cc import SimulationConfig, simulate
+
+
+def run_scale(accounts: int) -> float:
+    objects = build_objects(accounts)
+    total = 0.0
+    for seed in range(3):
+        metrics = simulate(
+            SimulationConfig(
+                workload=transfer_workload(accounts, seed),
+                objects=objects,
+                policy="blocking",
+                restart_aborted=True,
+            )
+        )
+        total += metrics.makespan
+    return total / 3
+
+
+@pytest.mark.parametrize("accounts", [2, 4, 8])
+def test_transfer_scaling(benchmark, accounts):
+    makespan = benchmark.pedantic(
+        run_scale, args=(accounts,), rounds=1, iterations=1
+    )
+    assert makespan > 0
+
+
+def test_makespan_monotone_in_disjointness():
+    makespans = [run_scale(accounts) for accounts in (2, 4, 8)]
+    assert makespans[0] > makespans[1] > makespans[2]

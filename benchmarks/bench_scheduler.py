@@ -1,0 +1,55 @@
+"""Benchmark X5 and raw scheduler throughput.
+
+The soundness experiment (every run serializable) plus a pure scheduling
+throughput benchmark: operations scheduled per second through the
+table-driven scheduler under the fully refined QStack table.
+"""
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.experiments import golden, scheduler_soundness
+
+from _common import bench_heavy_experiment
+
+ADT = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+TABLE = derive(ADT).final_table
+WORKLOAD = generate(
+    ADT,
+    "shared",
+    WorkloadConfig(transactions=24, operations_per_transaction=4, seed=77),
+)
+
+
+def test_x5_scheduler_soundness(benchmark):
+    outcome = bench_heavy_experiment(benchmark, scheduler_soundness.run)
+    print()
+    print(outcome.derived)
+
+
+def _drive_scheduler() -> int:
+    scheduler = TableDrivenScheduler(policy="optimistic")
+    scheduler.register_object("shared", ADT, TABLE)
+    committed = 0
+    for program in WORKLOAD.programs:
+        txn = scheduler.begin()
+        alive = True
+        for step in program.steps:
+            decision = scheduler.request(txn, "shared", step.invocation)
+            if decision.aborted:
+                alive = False
+                break
+        if alive and scheduler.transaction(txn).is_active:
+            if scheduler.try_commit(txn).committed:
+                committed += 1
+        # leftover active transactions are resolved at the end
+    for txn in sorted(scheduler.active_transactions()):
+        if scheduler.try_commit(txn).committed:
+            committed += 1
+    return committed
+
+
+def test_scheduler_throughput(benchmark):
+    committed = benchmark(_drive_scheduler)
+    assert committed > 0

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 1 (classification)."""
+
+from repro.experiments import table01_classification as experiment
+
+from _common import bench_experiment
+
+
+def test_table01_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

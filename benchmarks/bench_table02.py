@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 2 (locality template)."""
+
+from repro.experiments import table02_locality_template as experiment
+
+from _common import bench_experiment
+
+
+def test_table02_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 3 (no semantics)."""
+
+from repro.experiments import table03_no_semantics as experiment
+
+from _common import bench_experiment
+
+
+def test_table03_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 4 (omo template)."""
+
+from repro.experiments import table04_omo_template as experiment
+
+from _common import bench_experiment
+
+
+def test_table04_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 5 (om template)."""
+
+from repro.experiments import table05_om_template as experiment
+
+from _common import bench_experiment
+
+
+def test_table05_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

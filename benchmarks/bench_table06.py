@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 6 (om sc template)."""
+
+from repro.experiments import table06_om_sc_template as experiment
+
+from _common import bench_experiment
+
+
+def test_table06_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 7 (mm sc template)."""
+
+from repro.experiments import table07_mm_sc_template as experiment
+
+from _common import bench_experiment
+
+
+def test_table07_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

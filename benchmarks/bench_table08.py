@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 8 (mo sc template)."""
+
+from repro.experiments import table08_mo_sc_template as experiment
+
+from _common import bench_experiment
+
+
+def test_table08_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 9 via the methodology pipeline."""
+
+from repro.experiments import table09_characterization as experiment
+
+from _common import bench_experiment
+
+
+def test_table09_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 10 via the methodology pipeline."""
+
+from repro.experiments import table10_stage3 as experiment
+
+from _common import bench_experiment
+
+
+def test_table10_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

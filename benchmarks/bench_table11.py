@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 11 via the methodology pipeline."""
+
+from repro.experiments import table11_deq_push as experiment
+
+from _common import bench_experiment
+
+
+def test_table11_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

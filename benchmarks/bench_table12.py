@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 12 via the methodology pipeline."""
+
+from repro.experiments import table12_push_push as experiment
+
+from _common import bench_experiment
+
+
+def test_table12_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

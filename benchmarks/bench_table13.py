@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 13 via the methodology pipeline."""
+
+from repro.experiments import table13_push_push_input as experiment
+
+from _common import bench_experiment
+
+
+def test_table13_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the paper's Table 14 via the methodology pipeline."""
+
+from repro.experiments import table14_deq_push_locality as experiment
+
+from _common import bench_experiment
+
+
+def test_table14_regeneration(benchmark):
+    bench_experiment(benchmark, experiment.run)

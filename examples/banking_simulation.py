@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Banking workload: what does the derived table buy at run time?
+
+Simulates a population of transactions hammering a shared bank account —
+the recoverability literature's classic object — under three tables:
+
+* the no-semantics baseline (every pair AD, as with exclusive locks),
+* a classical commutativity table (conflict = AD), and
+* the methodology's fully refined table (Deposits commute outright,
+  Withdraw/Balance interactions conditional on outcomes).
+
+The same seeded workloads run under each table and under both scheduling
+disciplines, so every difference is attributable to the table/discipline
+combination.  Two classic phenomena show up:
+
+* **Optimistic** scheduling benefits monotonically from table refinement:
+  fewer recorded conflicts mean fewer dependency cycles, fewer aborted
+  retries, higher throughput.
+* **Blocking** on a *single-record hotspot* is a worst case for
+  fine-grained tables: interleaving transactions then blocking them
+  mid-flight creates convoys and deadlock victims, while the coarse
+  all-AD table degenerates into clean serial execution.  Semantic tables
+  pay off under blocking when objects have internal parallelism (see the
+  QStack refinement experiment X1), not on one contended cell.
+
+Every run is verified serializable.
+
+Usage:
+    python examples/banking_simulation.py
+"""
+
+from repro import AccountSpec, Dependency, derive
+from repro.cc import (
+    SimulationConfig,
+    WorkloadConfig,
+    generate,
+    simulate_with_scheduler,
+)
+from repro.cc.serializability import is_serializable
+from repro.core.entry import Entry
+from repro.core.table import CompatibilityTable
+from repro.semantics.commutativity import commutativity_table
+
+
+def all_ad_table(adt) -> CompatibilityTable:
+    table = CompatibilityTable(adt.operation_names(), name="no-semantics")
+    for invoked in adt.operation_names():
+        for executing in adt.operation_names():
+            table.set_entry(invoked, executing, Entry.unconditional(Dependency.AD))
+    return table
+
+
+def commutativity_only_table(adt) -> CompatibilityTable:
+    commutes = commutativity_table(adt)
+    table = CompatibilityTable(adt.operation_names(), name="commutativity")
+    for key, commuting in commutes.items():
+        table.set_entry(
+            key[0],
+            key[1],
+            Entry.unconditional(Dependency.ND if commuting else Dependency.AD),
+        )
+    return table
+
+
+def main() -> None:
+    adt = AccountSpec(max_balance=50, amounts=(1, 2))
+    tables = [
+        ("no-semantics ", all_ad_table(adt)),
+        ("commutativity", commutativity_only_table(adt)),
+        ("methodology  ", derive(adt).final_table),
+    ]
+    seeds = range(6)
+    print("The derived Account table:")
+    print(derive(adt).final_table.render_ascii())
+    print()
+    for policy in ("optimistic", "blocking"):
+        print(f"--- {policy} scheduling "
+              f"(mean over {len(seeds)} seeded workloads) ---")
+        print(f"{'table':14} {'throughput':>10} {'committed':>9} "
+              f"{'blocked':>8} {'restarts':>8}")
+        for label, table in tables:
+            throughput = committed = blocked = restarts = 0.0
+            for seed in seeds:
+                workload = generate(
+                    adt,
+                    "account",
+                    WorkloadConfig(
+                        transactions=14,
+                        operations_per_transaction=3,
+                        operation_mix={"Deposit": 3, "Withdraw": 2, "Balance": 2},
+                        seed=seed,
+                    ),
+                )
+                metrics, scheduler = simulate_with_scheduler(
+                    SimulationConfig(
+                        adt=adt,
+                        table=table,
+                        workload=workload,
+                        object_name="account",
+                        policy=policy,
+                        restart_aborted=True,
+                        initial_state=20,
+                    )
+                )
+                assert is_serializable(scheduler), "scheduler produced a bad run"
+                throughput += metrics.throughput
+                committed += metrics.committed
+                blocked += metrics.total_blocked_time
+                restarts += metrics.restarts
+            runs = len(seeds)
+            print(
+                f"{label:14} {throughput / runs:10.3f} {committed / runs:9.1f} "
+                f"{blocked / runs:8.1f} {restarts / runs:8.1f}"
+            )
+        print()
+    print("Reading the numbers: under optimistic scheduling, refinement is")
+    print("monotone — the methodology table aborts least and commits most.")
+    print("Under blocking, the single hot record lets the coarse table win")
+    print("by degenerating into serial execution; semantic tables need")
+    print("intra-object parallelism (QStack front vs back) to pay off there.")
+    print()
+    validation_discipline(adt, tables)
+
+
+def validation_discipline(adt, tables) -> None:
+    """The third discipline: commit-time validation over intentions lists.
+
+    Here the table acts as a *validation filter*: commits whose buffered
+    operations are unconditionally ND against everything committed since
+    their snapshot skip re-execution entirely.
+    """
+    import random
+
+    from repro.cc.validation import ValidationScheduler
+
+    print("--- commit-time validation (intentions lists) ---")
+    print(f"{'table':14} {'commits':>8} {'val-aborts':>10} "
+          f"{'skipped-by-table':>16}")
+    for label, table in tables:
+        scheduler = ValidationScheduler()
+        scheduler.register_object("account", adt, table, initial_state=20)
+        rng = random.Random(1991)
+        invocations = adt.invocations()
+        # Deposit-heavy mix: the regime where commuting operations dominate
+        # and a good validation filter pays.
+        weights = [
+            6 if invocation.operation == "Deposit" else 1
+            for invocation in invocations
+        ]
+        active: list[int] = []
+        for _ in range(60):
+            txn = scheduler.begin()
+            for _ in range(rng.randint(1, 3)):
+                scheduler.request(
+                    txn, "account", rng.choices(invocations, weights)[0]
+                )
+            active.append(txn)
+            if len(active) >= 4:
+                scheduler.try_commit(active.pop(rng.randrange(len(active))))
+        for txn in active:
+            scheduler.try_commit(txn)
+        stats = scheduler.stats
+        print(
+            f"{label:14} {stats.commits:8d} {stats.validation_aborts:10d} "
+            f"{stats.validations_skipped_by_table:16d}"
+        )
+    print()
+    print("The richer the table, the more commits it certifies without")
+    print("re-execution — the serial-dependency discipline with the")
+    print("methodology's table as its conflict relation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Applying the methodology to a *new* abstract data type.
+
+The paper's methodology is generic: given an abstract specification, the
+five stages derive a compatibility table mechanically.  This example
+defines a **Mailbox** from scratch — a single-slot communication cell with
+``Put`` (fails when occupied), ``Take`` (removes and returns, fails when
+empty) and ``Peek`` — and derives its table, showing everything a user
+must provide: an abstract state space, a graph model, and the operations
+as instrumented graph programs.
+
+Usage:
+    python examples/derive_custom_adt.py
+"""
+
+from typing import Any, Iterable, Mapping
+
+from repro import ADTSpec, EnumerationBounds, OperationSpec, derive
+from repro.graph import InstrumentedGraph, ObjectGraph
+from repro.spec import ReturnValue, nok, ok, result_only
+
+
+# ---------------------------------------------------------------------------
+# Operations: graph programs over an instrumented view
+# ---------------------------------------------------------------------------
+
+class PutOp(OperationSpec):
+    """``Put(m): ok/nok`` — deposit a message; ``nok`` when occupied."""
+
+    name = "Put"
+    referencing = "implicit"
+    references_used = frozenset({"slot"})
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(message,) for message in bounds.domain]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (message,) = args
+        if view.deref("slot") is not None:
+            return nok()
+        vid = view.insert_vertex(message)
+        view.retarget("slot", vid)
+        return ok()
+
+
+class TakeOp(OperationSpec):
+    """``Take(): m/nok`` — remove and return the message."""
+
+    name = "Take"
+    referencing = "implicit"
+    references_used = frozenset({"slot"})
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        vid = view.deref("slot")
+        if vid is None:
+            return nok()
+        message = view.delete_vertex(vid)
+        view.retarget("slot", None)
+        return result_only(message)
+
+
+class PeekOp(OperationSpec):
+    """``Peek(): m/nok`` — observe the message without removing it."""
+
+    name = "Peek"
+    referencing = "implicit"
+    references_used = frozenset({"slot"})
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        vid = view.deref("slot")
+        if vid is None:
+            return nok()
+        return result_only(view.observe_content(vid))
+
+
+# ---------------------------------------------------------------------------
+# The ADT specification: states <-> object graphs
+# ---------------------------------------------------------------------------
+
+class MailboxSpec(ADTSpec):
+    """A single-slot mailbox; abstract state = the message or ``None``."""
+
+    name = "Mailbox"
+
+    def __init__(self, messages: tuple = ("ping", "pong")) -> None:
+        self._messages = messages
+        self.default_bounds = EnumerationBounds(capacity=1, domain=messages)
+        self._operations = {
+            "Put": PutOp(),
+            "Take": TakeOp(),
+            "Peek": PeekOp(),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable:
+        yield None
+        yield from bounds.domain
+
+    def initial_state(self):
+        return None
+
+    def build_graph(self, state) -> ObjectGraph:
+        graph = ObjectGraph("Mailbox")
+        if state is None:
+            graph.declare_reference("slot", None)
+        else:
+            vid = graph.add_vertex(value=state)
+            graph.declare_reference("slot", vid)
+        return graph
+
+    def abstract_state(self, graph: ObjectGraph):
+        vertices = list(graph.vertices())
+        return vertices[0].value if vertices else None
+
+
+def main() -> None:
+    adt = MailboxSpec()
+    result = derive(adt)
+
+    print("Stage 2 — characterisation:")
+    for name in result.operations:
+        print("  ", " | ".join(result.profiles[name].table9_row()))
+    print()
+    print("Stage 3 — initial table:")
+    print(result.stage3_table.render_ascii())
+    print()
+    print("Stage 4/5 — refined entries:")
+    for invoked, executing, entry in result.final_table.cells():
+        if entry.is_conditional:
+            rendered = entry.render().replace("\n", "; ")
+            print(f"  ({invoked}, {executing}): {rendered}")
+    print()
+    print("Interpretation: a failed Put is only an observer, so the table")
+    print("lets it run concurrently with commit-ordering alone; Take and")
+    print("Peek conflict with a successful Put exactly as the paper's")
+    print("dependency analysis predicts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — a reproduction of *Extracting Concurrency from Objects: A
+Methodology* (Chrysanthis, Raghuram, Ramamritham; SIGMOD 1991).
+
+The library derives semantics-based compatibility tables for abstract
+data types from executable specifications, following the paper's
+five-stage methodology, and puts them to work in a table-driven
+transaction scheduler.  Top-level convenience re-exports cover the most
+common entry points; the subpackages are:
+
+* :mod:`repro.graph` — the object-graph model (Section 4.1),
+* :mod:`repro.spec` — executable abstract specifications (Section 2),
+* :mod:`repro.core` — classification, localities, templates and the
+  five-stage pipeline (Sections 4-5),
+* :mod:`repro.semantics` — commutativity, serial dependency,
+  recoverability (Section 3),
+* :mod:`repro.adts` — QStack and friends,
+* :mod:`repro.cc` — transactions, scheduler, simulator,
+* :mod:`repro.experiments` — reproduction of every table and figure.
+
+Quickstart::
+
+    from repro import QStackSpec, derive
+
+    result = derive(QStackSpec(operations=["Push", "Pop", "Deq", "Top", "Size"]))
+    print(result.final_table.render_ascii())
+"""
+
+from repro.adts import (
+    AccountSpec,
+    DirectorySpec,
+    FifoQueueSpec,
+    QStackSpec,
+    SetSpec,
+    StackSpec,
+    make_adt,
+)
+from repro.core import (
+    CompatibilityTable,
+    Dependency,
+    DerivationResult,
+    Entry,
+    MethodologyOptions,
+    OpClass,
+    OperationProfile,
+    characterize_all,
+    classify_operation,
+    derive,
+)
+from repro.errors import ReproError
+from repro.spec import ADTSpec, EnumerationBounds, Invocation, OperationSpec, ReturnValue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ADTSpec",
+    "OperationSpec",
+    "Invocation",
+    "ReturnValue",
+    "EnumerationBounds",
+    "QStackSpec",
+    "StackSpec",
+    "FifoQueueSpec",
+    "SetSpec",
+    "AccountSpec",
+    "DirectorySpec",
+    "make_adt",
+    "Dependency",
+    "OpClass",
+    "Entry",
+    "CompatibilityTable",
+    "OperationProfile",
+    "MethodologyOptions",
+    "DerivationResult",
+    "derive",
+    "characterize_all",
+    "classify_operation",
+]

@@ -1,0 +1,211 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``adts`` — list the built-in abstract data types.
+* ``classify <ADT>`` — Table-1 style O/M/MO classification.
+* ``characterize <ADT>`` — the Stage-2 (Table-9 style) questionnaire.
+* ``derive <ADT>`` — run the five-stage pipeline and print the tables.
+* ``graph <ADT>`` — render the object graph (Stage 1 / Figure 2).
+* ``simulate <ADT>`` — run a seeded workload under the derived table.
+* ``tables`` — generate per-ADT compatibility-table documentation.
+* ``experiments [ids...]`` — run the paper-reproduction experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.adts.registry import builtin_names, make_adt
+from repro.core.classification import classify_all_operations
+from repro.core.methodology import MethodologyOptions, derive
+from repro.core.profile import characterize_all
+
+
+def _cmd_adts(_args: argparse.Namespace) -> int:
+    for name in builtin_names():
+        adt = make_adt(name)
+        operations = ", ".join(adt.operation_names())
+        print(f"{name:12} operations: {operations}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    adt = make_adt(args.adt)
+    for name, op_class in classify_all_operations(adt).items():
+        print(f"{name:12} {op_class.name}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    adt = make_adt(args.adt)
+    header = ("Op", "obs/mod", "Cont/Str", "return", "Locality", "Refs")
+    print("{:12} {:8} {:9} {:12} {:9} {}".format(*header))
+    for profile in characterize_all(adt).values():
+        print("{:12} {:8} {:9} {:12} {:9} {}".format(*profile.table9_row()))
+    return 0
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    adt = make_adt(args.adt)
+    options = MethodologyOptions(validate_conditions=not args.paper)
+    result = derive(adt, options=options)
+    stage_tables = dict(result.stage_tables())
+    table = stage_tables[f"stage{args.stage}"]
+    print(table.render_ascii())
+    conditional = [
+        (invoked, executing, entry)
+        for invoked, executing, entry in table.cells()
+        if entry.is_conditional
+    ]
+    if conditional:
+        print()
+        print("conditional entries:")
+        for invoked, executing, entry in conditional:
+            rendered = entry.render().replace("\n", "; ")
+            print(f"  ({invoked}, {executing}): {rendered}")
+    if result.notes and args.verbose:
+        print()
+        print("derivation notes:")
+        for note in result.notes:
+            print(f"  - {note}")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.graph.render import render_ascii, render_dot
+
+    adt = make_adt(args.adt)
+    state = adt.initial_state()
+    if args.adt in ("QStack", "Stack", "FifoQueue"):
+        state = ("e1", "e2", "e3")
+    graph = adt.build_graph(state)
+    print(render_dot(graph) if args.dot else render_ascii(graph))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.cc.serializability import is_serializable
+    from repro.cc.simulator import SimulationConfig, simulate_with_scheduler
+    from repro.cc.workload import WorkloadConfig, generate
+
+    adt = make_adt(args.adt)
+    table = derive(adt).final_table
+    workload = generate(
+        adt,
+        "shared",
+        WorkloadConfig(
+            transactions=args.transactions,
+            operations_per_transaction=args.operations,
+            seed=args.seed,
+        ),
+    )
+    metrics, scheduler = simulate_with_scheduler(
+        SimulationConfig(
+            adt=adt,
+            table=table,
+            workload=workload,
+            policy=args.policy,
+            restart_aborted=True,
+        )
+    )
+    print(metrics.summary())
+    print("serializable:", is_serializable(scheduler))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.table_docs import generate_all
+
+    written = generate_all(args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render_text, run_all
+
+    only = set(args.ids) if args.ids else None
+    outcomes = run_all(only)
+    if not outcomes:
+        print(f"no experiments matched: {sorted(only or set())}")
+        return 2
+    print(render_text(outcomes))
+    return 0 if all(outcome.matches for outcome in outcomes) else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Extracting Concurrency from Objects: "
+            "A Methodology' (SIGMOD 1991)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("adts", help="list the built-in ADTs").set_defaults(
+        func=_cmd_adts
+    )
+
+    classify = sub.add_parser("classify", help="O/M/MO classification")
+    classify.add_argument("adt", choices=builtin_names())
+    classify.set_defaults(func=_cmd_classify)
+
+    characterize = sub.add_parser(
+        "characterize", help="Stage-2 (Table-9 style) characterisation"
+    )
+    characterize.add_argument("adt", choices=builtin_names())
+    characterize.set_defaults(func=_cmd_characterize)
+
+    derive_cmd = sub.add_parser("derive", help="derive the compatibility table")
+    derive_cmd.add_argument("adt", choices=builtin_names())
+    derive_cmd.add_argument(
+        "--stage", type=int, default=5, choices=(3, 4, 5),
+        help="pipeline stage whose table to print (default 5)",
+    )
+    derive_cmd.add_argument(
+        "--paper", action="store_true",
+        help="paper-fidelity mode (disable condition validation)",
+    )
+    derive_cmd.add_argument("--verbose", action="store_true")
+    derive_cmd.set_defaults(func=_cmd_derive)
+
+    graph = sub.add_parser("graph", help="render the object graph")
+    graph.add_argument("adt", choices=builtin_names())
+    graph.add_argument("--dot", action="store_true", help="Graphviz output")
+    graph.set_defaults(func=_cmd_graph)
+
+    simulate = sub.add_parser("simulate", help="run a workload simulation")
+    simulate.add_argument("adt", choices=builtin_names())
+    simulate.add_argument("--policy", default="blocking",
+                          choices=("optimistic", "blocking"))
+    simulate.add_argument("--transactions", type=int, default=12)
+    simulate.add_argument("--operations", type=int, default=3)
+    simulate.add_argument("--seed", type=int, default=1991)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    tables = sub.add_parser(
+        "tables", help="generate per-ADT compatibility-table docs"
+    )
+    tables.add_argument("--out", default="docs/tables")
+    tables.set_defaults(func=_cmd_tables)
+
+    experiments = sub.add_parser(
+        "experiments", help="run the paper-reproduction experiments"
+    )
+    experiments.add_argument("ids", nargs="*")
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

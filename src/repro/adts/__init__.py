@@ -1,0 +1,34 @@
+"""Built-in abstract data types.
+
+The QStack is the paper's running example (Section 2); the other types
+demonstrate that the methodology is generic: a LIFO Stack (single
+reference), a FIFO Queue (two disjoint references), an unordered Set and a
+keyed Directory (explicit referencing, no ordering semantics), and a bank
+Account (content-only semantics, the recoverability literature's classic).
+"""
+
+from repro.adts.account import AccountSpec
+from repro.adts.composite import CompositeSpec, DelegatedOp
+from repro.adts.directory import DirectorySpec
+from repro.adts.fifo_queue import FifoQueueSpec
+from repro.adts.priority_queue import PriorityQueueSpec
+from repro.adts.qstack import QSTACK_OPERATIONS, QStackSpec
+from repro.adts.registry import BUILTIN_ADTS, builtin_names, make_adt
+from repro.adts.set_adt import SetSpec
+from repro.adts.stack import StackSpec
+
+__all__ = [
+    "QStackSpec",
+    "CompositeSpec",
+    "DelegatedOp",
+    "QSTACK_OPERATIONS",
+    "StackSpec",
+    "FifoQueueSpec",
+    "SetSpec",
+    "PriorityQueueSpec",
+    "AccountSpec",
+    "DirectorySpec",
+    "BUILTIN_ADTS",
+    "builtin_names",
+    "make_adt",
+]

@@ -1,0 +1,121 @@
+"""A bank Account ADT, specified as graph programs.
+
+The Account is the canonical example of the *recoverability* literature the
+paper characterises in Section 3 (Badrinath & Ramamritham): ``Deposit``
+always succeeds and returns a constant outcome (a pure modifier, class M),
+``Withdraw`` succeeds only when funds suffice (a modifier-observer, class
+MO), and ``Balance`` observes.  Two Deposits never form an
+abort-dependency — only a commit-dependency — which is exactly what the
+derived compatibility table must show.
+
+The object graph is a single primitive component holding the balance; all
+operations are content-only (no structure semantics), so the Account also
+exercises the degenerate corner of the D2 dimension.
+
+Abstract state: the integer balance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["AccountSpec"]
+
+
+class _AccountOperation(OperationSpec):
+    referencing = "implicit"
+    references_used = frozenset({"acct"})
+
+    def __init__(self, max_balance: int) -> None:
+        self._max_balance = max_balance
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(amount,) for amount in bounds.domain]
+
+
+class DepositOp(_AccountOperation):
+    """``Deposit(n): ok`` — add ``n`` to the balance (saturating at the cap).
+
+    Always returns ``ok``; deposits above the cap saturate rather than
+    fail, keeping Deposit a pure modifier (constant return value).
+    """
+
+    name = "Deposit"
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (amount,) = args
+        vid = view.deref("acct")
+        balance = view.observe_content(vid)
+        view.modify_content(vid, min(balance + amount, self._max_balance))
+        return ok()
+
+
+class WithdrawOp(_AccountOperation):
+    """``Withdraw(n): ok/nok`` — subtract ``n``; ``nok`` on insufficient funds."""
+
+    name = "Withdraw"
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (amount,) = args
+        vid = view.deref("acct")
+        balance = view.observe_content(vid)
+        if balance < amount:
+            return nok()
+        view.modify_content(vid, balance - amount)
+        return ok()
+
+
+class BalanceOp(_AccountOperation):
+    """``Balance(): n`` — return the current balance (content observer)."""
+
+    name = "Balance"
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        vid = view.deref("acct")
+        return result_only(view.observe_content(vid))
+
+
+class AccountSpec(ADTSpec):
+    """Executable specification of a capped bank account."""
+
+    name = "Account"
+
+    def __init__(self, max_balance: int = 4, amounts: tuple[int, ...] = (1, 2)) -> None:
+        self._max_balance = max_balance
+        self.default_bounds = EnumerationBounds(
+            capacity=max_balance, domain=tuple(amounts)
+        )
+        self._operations: dict[str, OperationSpec] = {
+            "Deposit": DepositOp(max_balance),
+            "Withdraw": WithdrawOp(max_balance),
+            "Balance": BalanceOp(max_balance),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[int]:
+        return range(min(bounds.capacity, self._max_balance) + 1)
+
+    def initial_state(self) -> int:
+        return 0
+
+    def build_graph(self, state: int) -> ObjectGraph:
+        graph = ObjectGraph("Account")
+        vid = graph.add_vertex(value=state, label="balance")
+        graph.declare_reference("acct", vid)
+        return graph
+
+    def abstract_state(self, graph: ObjectGraph) -> int:
+        (vertex,) = list(graph.vertices())
+        return vertex.value

@@ -1,0 +1,162 @@
+"""A Directory (key-value map) ADT, specified as graph programs.
+
+The Directory models the paper's relation example: operations locate their
+record by key (*explicit referencing*, like ``search(x)`` in Section 4.3).
+Operations on different keys have disjoint localities, so the derived table
+contains input-inequality no-dependency conditions; operations on the same
+key conflict exactly as reads/writes on a record would.
+
+Abstract state: ``frozenset`` of ``(key, value)`` pairs with unique keys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.vertex import VertexId
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["DirectorySpec"]
+
+
+def _locate(view: InstrumentedGraph, key: Any) -> VertexId | None:
+    """Find the record vertex for ``key`` (explicit referencing by key)."""
+    for vid in view.graph.vertex_ids():
+        record = view.graph.vertex(vid).value
+        if record[0] == key:
+            view.observe_presence(vid)
+            return vid
+    return None
+
+
+class _DirectoryOperation(OperationSpec):
+    referencing = "explicit"
+    references_used = frozenset()
+
+    def __init__(self, keys: tuple, values: tuple) -> None:
+        self._keys = keys
+        self._values = values
+
+
+class DirInsertOp(_DirectoryOperation):
+    """``Insert(k, v): ok/nok`` — add a record; ``nok`` if the key exists."""
+
+    name = "Insert"
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(key, value) for key in self._keys for value in self._values]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        key, value = args
+        if _locate(view, key) is not None:
+            return nok()
+        view.insert_vertex((key, value))
+        return ok()
+
+
+class DirDeleteOp(_DirectoryOperation):
+    """``Delete(k): ok/nok`` — remove a record; ``nok`` if the key is absent."""
+
+    name = "Delete"
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(key,) for key in self._keys]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (key,) = args
+        vid = _locate(view, key)
+        if vid is None:
+            return nok()
+        # Delete discards the stored value: no content observation.
+        view.delete_vertex(vid, observe_value=False)
+        return ok()
+
+
+class DirLookupOp(_DirectoryOperation):
+    """``Lookup(k): v/nok`` — return the value stored under ``k``."""
+
+    name = "Lookup"
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(key,) for key in self._keys]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (key,) = args
+        vid = _locate(view, key)
+        if vid is None:
+            return nok()
+        return result_only(view.observe_content(vid)[1])
+
+
+class DirUpdateOp(_DirectoryOperation):
+    """``Update(k, v): ok/nok`` — overwrite the value; ``nok`` if absent."""
+
+    name = "Update"
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(key, value) for key in self._keys for value in self._values]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        key, value = args
+        vid = _locate(view, key)
+        if vid is None:
+            return nok()
+        view.modify_content(vid, (key, value))
+        return ok()
+
+
+class DirectorySpec(ADTSpec):
+    """Executable specification of a key-value directory."""
+
+    name = "Directory"
+
+    def __init__(
+        self,
+        keys: tuple = ("k1", "k2"),
+        values: tuple = ("u", "v"),
+    ) -> None:
+        self._keys = tuple(keys)
+        self._values = tuple(values)
+        self.default_bounds = EnumerationBounds(
+            capacity=len(self._keys), domain=self._keys + self._values
+        )
+        self._operations: dict[str, OperationSpec] = {
+            "Insert": DirInsertOp(self._keys, self._values),
+            "Delete": DirDeleteOp(self._keys, self._values),
+            "Lookup": DirLookupOp(self._keys, self._values),
+            "Update": DirUpdateOp(self._keys, self._values),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[frozenset]:
+        """Every partial mapping from the key universe to the value universe."""
+
+        def extend(remaining: tuple, acc: frozenset) -> Iterable[frozenset]:
+            if not remaining:
+                yield acc
+                return
+            key, rest = remaining[0], remaining[1:]
+            yield from extend(rest, acc)  # key absent
+            for value in self._values:
+                yield from extend(rest, acc | {(key, value)})
+
+        return extend(self._keys, frozenset())
+
+    def initial_state(self) -> frozenset:
+        return frozenset()
+
+    def build_graph(self, state: frozenset) -> ObjectGraph:
+        graph = ObjectGraph("Directory")
+        for record in sorted(state, key=repr):
+            graph.add_vertex(value=record)
+        return graph
+
+    def abstract_state(self, graph: ObjectGraph) -> frozenset:
+        return frozenset(vertex.value for vertex in graph.vertices())

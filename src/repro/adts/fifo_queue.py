@@ -1,0 +1,157 @@
+"""A bounded FIFO queue, specified as graph programs.
+
+The queue is the second half of the QStack: elements enter at the back
+(``Enq``, reference ``b``) and leave at the front (``Deq``, reference
+``f``).  Because its two mutators work on *disjoint* references whenever
+the queue holds two or more elements, the queue is the cleanest showcase
+of the paper's Stage-5 refinement (the ``f != b`` locality predicate).
+
+Abstract state: tuple of elements from front to back.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.analysis import ordering_walk
+from repro.graph.builder import build_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["FifoQueueSpec"]
+
+
+class _QueueOperation(OperationSpec):
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    @staticmethod
+    def _single(vids: set[int]) -> int | None:
+        return next(iter(vids)) if vids else None
+
+
+class EnqueueOp(_QueueOperation):
+    """``Enq(e): ok/nok`` — append ``e`` at the back of the queue."""
+
+    name = "Enq"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(element,) for element in bounds.domain]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        if len(view.graph) >= self._capacity:
+            return nok()
+        back = view.deref("b")
+        new_back = view.insert_vertex(element)
+        if back is not None:
+            view.add_ordering_edge(new_back, back)
+        view.retarget("b", new_back)
+        if back is None:
+            view.retarget("f", new_back)
+        return ok()
+
+
+class DequeueOp(_QueueOperation):
+    """``Deq(): e/nok`` — remove and return the element at the front."""
+
+    name = "Deq"
+    referencing = "implicit"
+    references_used = frozenset({"f"})
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        front = view.deref("f")
+        if front is None:
+            return nok()
+        behind = view.observe_predecessors(front)
+        value = view.delete_vertex(front)
+        new_front = self._single(behind)
+        view.retarget("f", new_front)
+        if new_front is None:
+            view.retarget("b", None)
+        return result_only(value)
+
+
+class HeadOp(_QueueOperation):
+    """``Head(): e/nok`` — return (without removing) the front element."""
+
+    name = "Head"
+    referencing = "implicit"
+    references_used = frozenset({"f"})
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        front = view.deref("f")
+        if front is None:
+            return nok()
+        return result_only(view.observe_content(front))
+
+
+class LengthOp(_QueueOperation):
+    """``Length(): n`` — count the elements (global structure observer)."""
+
+    name = "Length"
+    referencing = "none"
+    references_used = frozenset()
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        return result_only(len(view.observe_all_presence()))
+
+
+class FifoQueueSpec(ADTSpec):
+    """Executable specification of a bounded FIFO queue."""
+
+    name = "FifoQueue"
+
+    def __init__(self, capacity: int = 3, domain: tuple[Any, ...] = ("a", "b")) -> None:
+        self._capacity = capacity
+        self.default_bounds = EnumerationBounds(capacity=capacity, domain=tuple(domain))
+        self._operations: dict[str, OperationSpec] = {
+            "Enq": EnqueueOp(capacity),
+            "Deq": DequeueOp(capacity),
+            "Head": HeadOp(capacity),
+            "Length": LengthOp(capacity),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        capacity = min(bounds.capacity, self._capacity)
+
+        def extend(prefix: tuple) -> Iterable[tuple]:
+            yield prefix
+            if len(prefix) < capacity:
+                for element in bounds.domain:
+                    yield from extend(prefix + (element,))
+
+        return extend(())
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def build_graph(self, state: tuple) -> ObjectGraph:
+        values = list(state)
+        references = [
+            ("f", 0 if values else None),
+            ("b", len(values) - 1 if values else None),
+        ]
+        return build_chain("FifoQueue", values, references=references)
+
+    def abstract_state(self, graph: ObjectGraph) -> tuple:
+        vids = graph.vertex_ids()
+        if not vids:
+            return ()
+        heads = [vid for vid in vids if not graph.predecessors(vid)]
+        if len(heads) != 1:
+            raise ValueError("FifoQueue graph is not a linear chain")
+        back_to_front = list(ordering_walk(graph, heads[0]))
+        return tuple(graph.vertex(vid).value for vid in reversed(back_to_front))

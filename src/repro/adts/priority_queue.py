@@ -1,0 +1,193 @@
+"""A bounded priority queue, specified as graph programs.
+
+The PriorityQueue keeps its components *sorted*: the ordering chain runs
+from the maximum element down to the minimum, and ``Insert`` splices the
+new component into the middle of the chain — the one built-in operation
+that rewires ordering edges deep inside the structure rather than at an
+end.  That makes it the stress case for the ordering-edge machinery and
+for the locality analysis: an interior insert touches its two neighbours'
+ordering edges, so unlike a QStack ``Push`` its structural footprint is
+not confined to a reference position.
+
+Operations:
+
+* ``Insert(e): ok/nok`` — splice ``e`` into sorted position (``nok`` when
+  full),
+* ``ExtractMin(): e/nok`` — remove and return the minimum,
+* ``Min(): e/nok`` — observe the minimum,
+* ``Size(): n`` — count the elements.
+
+Abstract state: a tuple of elements sorted ascending (duplicates allowed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.analysis import ordering_walk
+from repro.graph.builder import build_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["PriorityQueueSpec"]
+
+
+class _PqOperation(OperationSpec):
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    @staticmethod
+    def _single(vids: set[int]) -> int | None:
+        return next(iter(vids)) if vids else None
+
+
+class PqInsertOp(_PqOperation):
+    """``Insert(e): ok/nok`` — splice ``e`` into its sorted position.
+
+    Walks the chain from the minimum upwards (observing content along the
+    way — a sorted insert must compare) until it finds the splice point,
+    then rewires the ordering edges around the new component.
+    """
+
+    name = "Insert"
+    referencing = "implicit"
+    references_used = frozenset({"min"})
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(element,) for element in bounds.domain]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        if len(view.graph) >= self._capacity:
+            return nok()
+        # Walk upward from the minimum until the first element > e.
+        below: int | None = None  # largest element <= e seen so far
+        current = view.deref("min")
+        while current is not None:
+            if view.observe_content(current) > element:
+                break
+            below = current
+            current = self._single(view.observe_predecessors(current))
+        above = current  # smallest element > e (None when e is the max)
+        new = view.insert_vertex(element)
+        if below is not None and above is not None:
+            view.remove_ordering_edge(above, below)
+        if below is not None:
+            view.add_ordering_edge(new, below)
+        else:
+            view.retarget("min", new)
+        if above is not None:
+            view.add_ordering_edge(above, new)
+        return ok()
+
+
+class PqExtractMinOp(_PqOperation):
+    """``ExtractMin(): e/nok`` — remove and return the minimum element."""
+
+    name = "ExtractMin"
+    referencing = "implicit"
+    references_used = frozenset({"min"})
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        minimum = view.deref("min")
+        if minimum is None:
+            return nok()
+        above = view.observe_predecessors(minimum)
+        value = view.delete_vertex(minimum)
+        view.retarget("min", self._single(above))
+        return result_only(value)
+
+
+class PqMinOp(_PqOperation):
+    """``Min(): e/nok`` — observe the minimum element."""
+
+    name = "Min"
+    referencing = "implicit"
+    references_used = frozenset({"min"})
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        minimum = view.deref("min")
+        if minimum is None:
+            return nok()
+        return result_only(view.observe_content(minimum))
+
+
+class PqSizeOp(_PqOperation):
+    """``Size(): n`` — count the elements (global structure observer)."""
+
+    name = "Size"
+    referencing = "none"
+    references_used = frozenset()
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        return result_only(len(view.observe_all_presence()))
+
+
+class PriorityQueueSpec(ADTSpec):
+    """Executable specification of a bounded min-priority queue."""
+
+    name = "PriorityQueue"
+
+    def __init__(
+        self, capacity: int = 3, domain: tuple[Any, ...] = (1, 2, 3)
+    ) -> None:
+        self._capacity = capacity
+        self.default_bounds = EnumerationBounds(
+            capacity=capacity, domain=tuple(domain)
+        )
+        self._operations: dict[str, OperationSpec] = {
+            "Insert": PqInsertOp(capacity),
+            "ExtractMin": PqExtractMinOp(capacity),
+            "Min": PqMinOp(capacity),
+            "Size": PqSizeOp(capacity),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        """All sorted tuples (with repetition) up to the bounded capacity."""
+        capacity = min(bounds.capacity, self._capacity)
+        domain = sorted(bounds.domain)
+
+        def extend(prefix: tuple, start: int) -> Iterable[tuple]:
+            yield prefix
+            if len(prefix) < capacity:
+                for index in range(start, len(domain)):
+                    yield from extend(prefix + (domain[index],), index)
+
+        return extend((), 0)
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def build_graph(self, state: tuple) -> ObjectGraph:
+        """A max-to-min chain with the ``min`` reference at the minimum."""
+        # build_chain lays out values front-first with back-to-front
+        # ordering edges; giving it the sorted tuple makes the "front" the
+        # minimum and points edges from larger to smaller elements.
+        return build_chain(
+            "PriorityQueue",
+            list(state),
+            references=[("min", 0 if state else None)],
+        )
+
+    def abstract_state(self, graph: ObjectGraph) -> tuple:
+        vids = graph.vertex_ids()
+        if not vids:
+            return ()
+        heads = [vid for vid in vids if not graph.predecessors(vid)]
+        if len(heads) != 1:
+            raise ValueError("PriorityQueue graph is not a linear chain")
+        max_to_min = list(ordering_walk(graph, heads[0]))
+        values = tuple(graph.vertex(vid).value for vid in reversed(max_to_min))
+        if any(a > b for a, b in zip(values, values[1:])):
+            raise ValueError("PriorityQueue chain lost its sorted order")
+        return values

@@ -1,0 +1,400 @@
+"""The QStack of the paper (Section 2), specified as graph programs.
+
+A QStack combines the properties of a stack and a queue.  Elements enter at
+the *back* (``Push``/``Enq``) and can leave from the back (``Pop``) or from
+the *front* (``Deq``).  The object graph (Figure 2) is a chain of component
+vertices whose ordering edges point towards the front, with two implicit
+references: ``b`` (the back/stack pointer) used by ``Push``, ``Pop``,
+``Top`` and ``XTop``, and ``f`` (the front pointer) used by ``Deq``.
+
+Note on reference names: the *text* of the paper (Section 4.3 and Figure 2)
+says the back pointer ``b`` is used by Enq/Push/Pop/Top and the front
+pointer ``f`` by Deq, while the paper's Table 9 prints the opposite
+assignment.  This module follows the text (and Figure 2); the discrepancy
+is recorded in EXPERIMENTS.md and handled by the Table-9 experiment.
+
+The abstract state of a QStack is the tuple of its elements from front to
+back: ``("x", "y")`` is a QStack whose front element is ``"x"`` and whose
+back element is ``"y"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.builder import build_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.analysis import ordering_walk
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["QStackSpec", "QSTACK_OPERATIONS"]
+
+#: Names of the full QStack operation set, in the paper's order of
+#: introduction (Section 2).  ``Enq`` is an alias of ``Push`` and is only
+#: included when the spec is built with ``include_enq=True``.
+QSTACK_OPERATIONS = ("Push", "Pop", "Deq", "Top", "Size", "Replace", "XTop")
+
+
+class _QStackOperation(OperationSpec):
+    """Base class carrying the capacity shared by all QStack operations."""
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    # -- shared graph-program helpers ----------------------------------
+
+    def _is_full(self, view: InstrumentedGraph) -> bool:
+        """Occupancy check against the capacity.
+
+        Occupancy is maintained as metadata of the object (like the
+        references), so checking it does not by itself observe any
+        component vertex; the return-value dependence it induces is
+        captured by the modifier-observer classification instead.
+        """
+        return len(view.graph) >= self._capacity
+
+    @staticmethod
+    def _single(vids: set[int]) -> int | None:
+        """The only element of a 0/1-element set (chains guarantee this)."""
+        return next(iter(vids)) if vids else None
+
+
+class PushOp(_QStackOperation):
+    """``Push(e): ok/nok`` — add ``e`` at the back of the QStack.
+
+    Returns ``ok`` if the QStack is not full, ``nok`` (overflow) otherwise.
+    A successful Push inserts a vertex, chains it before the old back
+    vertex and retargets ``b`` (and ``f`` too when the QStack was empty).
+    """
+
+    name = "Push"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+    declared_profile = {
+        "class": "MO",
+        "observer_kind": "S",
+        "modifier_kind": "CS",
+        "is_global": False,
+        "outcomes": {"ok", "nok"},
+        "has_result": False,
+    }
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(element,) for element in bounds.domain]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        if self._is_full(view):
+            return nok()
+        back = view.deref("b")
+        new_back = view.insert_vertex(element)
+        if back is not None:
+            view.add_ordering_edge(new_back, back)
+        view.retarget("b", new_back)
+        if back is None:
+            view.retarget("f", new_back)
+        return ok()
+
+
+class EnqOp(PushOp):
+    """``Enq(e): ok/nok`` — the paper's alternative name for ``Push``."""
+
+    name = "Enq"
+
+
+class PopOp(_QStackOperation):
+    """``Pop(): e/nok`` — delete and return the element at the back.
+
+    Returns the element if the QStack is not empty, ``nok`` otherwise.
+    The composed-of edge that is the current stack pointer is deleted; the
+    ordering edges define which composed-of edge becomes the new stack
+    pointer (Section 4.3).
+    """
+
+    name = "Pop"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+    declared_profile = {
+        "class": "MO",
+        "observer_kind": "CS",
+        "modifier_kind": "CS",
+        "is_global": False,
+        "outcomes": {"result", "nok"},
+        "has_result": True,
+    }
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        back = view.deref("b")
+        if back is None:
+            return nok()
+        towards_front = view.observe_order(back)
+        value = view.delete_vertex(back)
+        new_back = self._single(towards_front)
+        view.retarget("b", new_back)
+        if new_back is None:
+            view.retarget("f", None)
+        return result_only(value)
+
+
+class DeqOp(_QStackOperation):
+    """``Deq(): e/nok`` — delete and return the element at the front.
+
+    Returns the element if the QStack is not empty, ``nok`` otherwise.
+    Uses the front pointer ``f``; the new front is the component whose
+    ordering edge pointed at the old front.
+    """
+
+    name = "Deq"
+    referencing = "implicit"
+    references_used = frozenset({"f"})
+    declared_profile = {
+        "class": "MO",
+        "observer_kind": "CS",
+        "modifier_kind": "CS",
+        "is_global": False,
+        "outcomes": {"result", "nok"},
+        "has_result": True,
+    }
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        front = view.deref("f")
+        if front is None:
+            return nok()
+        behind_front = view.observe_predecessors(front)
+        value = view.delete_vertex(front)
+        new_front = self._single(behind_front)
+        view.retarget("f", new_front)
+        if new_front is None:
+            view.retarget("b", None)
+        return result_only(value)
+
+
+class TopOp(_QStackOperation):
+    """``Top(): e/nok`` — return (without removing) the element at the back.
+
+    Observes both the structure (the existence of the back component,
+    through the ``b`` reference) and its content, making Top a CSO
+    operation in the paper's Section 4.4 discussion.
+    """
+
+    name = "Top"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+    declared_profile = {
+        "class": "O",
+        "observer_kind": "CS",
+        "modifier_kind": None,
+        "is_global": False,
+        "outcomes": {"result", "nok"},
+        "has_result": True,
+    }
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        back = view.deref("b")
+        if back is None:
+            return nok()
+        return result_only(view.observe_content(back))
+
+
+class SizeOp(_QStackOperation):
+    """``Size(): n`` — return the number of elements.
+
+    "Size observes the structure and counts the vertices present"
+    (Section 4.2): every component's presence is observed, which makes Size
+    a *global structure observer* (Def. 19).  Size uses no reference —
+    counting composed-of edges requires no specific order (Section 5).
+    """
+
+    name = "Size"
+    referencing = "none"
+    references_used = frozenset()
+    declared_profile = {
+        "class": "O",
+        "observer_kind": "S",
+        "modifier_kind": None,
+        "is_global": True,
+        "global_kinds": {"so"},
+        "outcomes": {"result"},
+        "has_result": True,
+    }
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        return result_only(len(view.observe_all_presence()))
+
+
+class ReplaceOp(_QStackOperation):
+    """``Replace(e1, e2): ok`` — replace every ``e1`` element with ``e2``.
+
+    Always returns ``ok``.  Replace reads the content of *every* component
+    (making it a global content observer, the paper's Def. 19 example) and
+    rewrites the matching ones; it never touches the structure.  The
+    components are visited through their composed-of edges in no
+    particular order, so no structure observation is recorded — the same
+    rationale the paper gives for Size not using a reference.
+    """
+
+    name = "Replace"
+    referencing = "explicit"
+    references_used = frozenset()
+    declared_profile = {
+        "class": "M",
+        "observer_kind": "C",
+        "modifier_kind": "C",
+        "is_global": True,
+        "global_kinds": {"co"},
+        "outcomes": {"ok"},
+        "has_result": False,
+    }
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [
+            (old, new)
+            for old in bounds.domain
+            for new in bounds.domain
+            if old != new
+        ]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        old, new = args
+        for vid in sorted(view.graph.vertex_ids()):
+            if view.observe_content(vid) == old:
+                view.modify_content(vid, new)
+        return ok()
+
+
+class XTopOp(_QStackOperation):
+    """``XTop(): ok/nok`` — exchange the first two elements at the back.
+
+    Returns ``ok`` if two elements exist, ``nok`` otherwise.  As specified
+    by the paper, XTop re-wires ordering edges without touching any
+    vertex's content: its content-modification locality is empty while its
+    structure-modification locality is not (Section 4.2).
+    """
+
+    name = "XTop"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+    #: XTop's abstract locality is the back three components — local for
+    #: any unbounded QStack (enumeration at capacity 3 over-approximates
+    #: it as global; see the bound-sensitivity tests).
+    declared_profile = {
+        "class": "MO",
+        "observer_kind": "S",
+        "modifier_kind": "S",
+        "is_global": False,
+        "outcomes": {"ok", "nok"},
+        "has_result": False,
+    }
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        back = view.deref("b")
+        if back is None:
+            return nok()
+        second = self._single(view.observe_order(back))
+        if second is None:
+            return nok()
+        third = self._single(view.observe_order(second))
+        view.remove_ordering_edge(back, second)
+        if third is not None:
+            view.remove_ordering_edge(second, third)
+            view.add_ordering_edge(back, third)
+        view.add_ordering_edge(second, back)
+        view.retarget("b", second)
+        if third is None:
+            # With exactly two elements the exchange also changes which
+            # component is at the front.
+            view.retarget("f", back)
+        return ok()
+
+
+class QStackSpec(ADTSpec):
+    """Executable specification of the paper's QStack.
+
+    Args:
+        capacity: Maximum number of elements (``Push`` overflows beyond it).
+        domain: Element universe used for state/argument enumeration.
+        operations: Optional subset of operation names to expose (the
+            Section-5 worked example uses only Push/Pop/Deq/Top/Size).
+        include_enq: Also expose ``Enq``, the paper's alias for ``Push``.
+    """
+
+    name = "QStack"
+
+    def __init__(
+        self,
+        capacity: int = 3,
+        domain: tuple[Any, ...] = ("a", "b"),
+        operations: Iterable[str] | None = None,
+        include_enq: bool = False,
+    ) -> None:
+        self._capacity = capacity
+        self._domain = tuple(domain)
+        self.default_bounds = EnumerationBounds(capacity=capacity, domain=self._domain)
+        available: dict[str, OperationSpec] = {
+            "Push": PushOp(capacity),
+            "Pop": PopOp(capacity),
+            "Deq": DeqOp(capacity),
+            "Top": TopOp(capacity),
+            "Size": SizeOp(capacity),
+            "Replace": ReplaceOp(capacity),
+            "XTop": XTopOp(capacity),
+        }
+        if include_enq:
+            available["Enq"] = EnqOp(capacity)
+        if operations is None:
+            selected = dict(available)
+        else:
+            selected = {name: available[name] for name in operations}
+        self._operations = selected
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of elements the QStack holds."""
+        return self._capacity
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        """All element tuples (front to back) up to the bounded capacity."""
+        capacity = min(bounds.capacity, self._capacity)
+
+        def extend(prefix: tuple) -> Iterable[tuple]:
+            yield prefix
+            if len(prefix) < capacity:
+                for element in bounds.domain:
+                    yield from extend(prefix + (element,))
+
+        return extend(())
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def build_graph(self, state: tuple) -> ObjectGraph:
+        """Materialise Figure 2: a front-to-back chain with ``f``/``b``."""
+        values = list(state)
+        references = [
+            ("f", 0 if values else None),
+            ("b", len(values) - 1 if values else None),
+        ]
+        return build_chain("QStack", values, references=references)
+
+    def abstract_state(self, graph: ObjectGraph) -> tuple:
+        """Read the front-to-back element tuple off the ordering chain."""
+        vids = graph.vertex_ids()
+        if not vids:
+            return ()
+        heads = [vid for vid in vids if not graph.predecessors(vid)]
+        if len(heads) != 1:
+            raise ValueError("QStack graph is not a linear chain")
+        back_to_front = list(ordering_walk(graph, heads[0]))
+        if len(back_to_front) != len(vids):
+            raise ValueError("QStack ordering chain does not cover all components")
+        return tuple(graph.vertex(vid).value for vid in reversed(back_to_front))

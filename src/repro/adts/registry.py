@@ -1,0 +1,60 @@
+"""Registry of the built-in ADT specifications.
+
+Lets examples, experiments and the CLI construct any built-in ADT by name
+with its default parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.adts.account import AccountSpec
+from repro.adts.composite import CompositeSpec
+from repro.adts.directory import DirectorySpec
+from repro.adts.fifo_queue import FifoQueueSpec
+from repro.adts.priority_queue import PriorityQueueSpec
+from repro.adts.qstack import QStackSpec
+from repro.adts.set_adt import SetSpec
+from repro.adts.stack import StackSpec
+from repro.errors import SpecError
+from repro.spec.adt import ADTSpec
+
+__all__ = ["BUILTIN_ADTS", "make_adt", "builtin_names"]
+
+def _bank() -> CompositeSpec:
+    """A two-account composite (the multilevel/complex-object showcase)."""
+    return CompositeSpec(
+        "Bank",
+        {
+            "a": AccountSpec(max_balance=2, amounts=(1,)),
+            "b": AccountSpec(max_balance=2, amounts=(1,)),
+        },
+    )
+
+
+#: Factories for the built-in ADTs, by canonical name.
+BUILTIN_ADTS: dict[str, Callable[[], ADTSpec]] = {
+    "QStack": QStackSpec,
+    "Bank": _bank,
+    "Stack": StackSpec,
+    "FifoQueue": FifoQueueSpec,
+    "Set": SetSpec,
+    "PriorityQueue": PriorityQueueSpec,
+    "Account": AccountSpec,
+    "Directory": DirectorySpec,
+}
+
+
+def builtin_names() -> list[str]:
+    """Names of all built-in ADTs."""
+    return sorted(BUILTIN_ADTS)
+
+
+def make_adt(name: str) -> ADTSpec:
+    """Construct a built-in ADT by name with default parameters."""
+    try:
+        factory = BUILTIN_ADTS[name]
+    except KeyError:
+        known = ", ".join(builtin_names())
+        raise SpecError(f"unknown ADT {name!r}; known ADTs: {known}") from None
+    return factory()

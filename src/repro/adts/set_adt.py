@@ -1,0 +1,145 @@
+"""An unordered Set ADT, specified as graph programs.
+
+The Set demonstrates the methodology on an object *without* ordering
+semantics: its object graph has component vertices but no ordering edges,
+and its operations use *explicit referencing* (Def. 20 discussion) — the
+input element determines which composed-of edge an operation works on,
+like the paper's ``search(x)`` example on a relation.
+
+Two operations on *different* elements therefore have disjoint localities,
+which Stage 5 turns into input-inequality no-dependency conditions.
+
+Abstract state: ``frozenset`` of the member elements.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.vertex import VertexId
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["SetSpec"]
+
+
+def _locate(view: InstrumentedGraph, element: Any) -> VertexId | None:
+    """Find the component holding ``element`` via explicit referencing.
+
+    The element value determines the composed-of edge directly (as a key
+    determines a hash slot), so locating it is not an enumeration of the
+    structure; only the located vertex's presence is observed.
+    """
+    for vid in view.graph.vertex_ids():
+        if view.graph.vertex(vid).value == element:
+            view.observe_presence(vid)
+            return vid
+    return None
+
+
+class _SetOperation(OperationSpec):
+    referencing = "explicit"
+    references_used = frozenset()
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(element,) for element in bounds.domain]
+
+
+class InsertOp(_SetOperation):
+    """``Insert(e): ok/nok`` — add ``e``; ``nok`` when already a member."""
+
+    name = "Insert"
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        if _locate(view, element) is not None:
+            return nok()
+        view.insert_vertex(element)
+        return ok()
+
+
+class RemoveOp(_SetOperation):
+    """``Remove(e): ok/nok`` — delete ``e``; ``nok`` when not a member."""
+
+    name = "Remove"
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        vid = _locate(view, element)
+        if vid is None:
+            return nok()
+        # The deleted content equals the argument, so no information is
+        # observed through the deletion.
+        view.delete_vertex(vid, observe_value=False)
+        return ok()
+
+
+class MemberOp(_SetOperation):
+    """``Member(e): ok/nok`` — membership test (pure structure observer)."""
+
+    name = "Member"
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        return ok() if _locate(view, element) is not None else nok()
+
+
+class CardinalityOp(OperationSpec):
+    """``Cardinality(): n`` — count the members (global structure observer)."""
+
+    name = "Cardinality"
+    referencing = "none"
+    references_used = frozenset()
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        return result_only(len(view.observe_all_presence()))
+
+
+class SetSpec(ADTSpec):
+    """Executable specification of an unordered, duplicate-free Set."""
+
+    name = "Set"
+
+    def __init__(self, domain: tuple[Any, ...] = ("a", "b", "c")) -> None:
+        self._domain = tuple(domain)
+        self.default_bounds = EnumerationBounds(
+            capacity=len(self._domain), domain=self._domain
+        )
+        self._operations: dict[str, OperationSpec] = {
+            "Insert": InsertOp(),
+            "Remove": RemoveOp(),
+            "Member": MemberOp(),
+            "Cardinality": CardinalityOp(),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[frozenset]:
+        """Every subset of the bounded domain."""
+        domain = list(bounds.domain)
+        count = len(domain)
+        for mask in range(2**count):
+            yield frozenset(
+                domain[index] for index in range(count) if mask & (1 << index)
+            )
+
+    def initial_state(self) -> frozenset:
+        return frozenset()
+
+    def build_graph(self, state: frozenset) -> ObjectGraph:
+        """One component per member; no ordering edges (unordered object)."""
+        graph = ObjectGraph("Set")
+        for element in sorted(state, key=repr):
+            graph.add_vertex(value=element)
+        return graph
+
+    def abstract_state(self, graph: ObjectGraph) -> frozenset:
+        return frozenset(vertex.value for vertex in graph.vertices())

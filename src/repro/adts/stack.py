@@ -1,0 +1,146 @@
+"""A bounded LIFO stack, specified as graph programs.
+
+The Stack is the QStack without the queue-side operations: all access goes
+through the single implicit stack-pointer reference ``b``.  It is the
+classic example used by the commutativity literature the paper builds on
+(two Pushes do not commute; Push and Pop conflict), and it exercises the
+methodology on an object with exactly one reference.
+
+Abstract state: tuple of elements from bottom to top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.graph.analysis import ordering_walk
+from repro.graph.builder import build_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import OperationSpec
+from repro.spec.returnvalue import ReturnValue, nok, ok, result_only
+
+__all__ = ["StackSpec"]
+
+
+class _StackOperation(OperationSpec):
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [()]
+
+
+class StackPushOp(_StackOperation):
+    """``Push(e): ok/nok`` — add ``e`` at the top; overflow returns ``nok``."""
+
+    name = "Push"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+
+    def argument_tuples(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        return [(element,) for element in bounds.domain]
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        (element,) = args
+        if len(view.graph) >= self._capacity:
+            return nok()
+        top = view.deref("b")
+        new_top = view.insert_vertex(element)
+        if top is not None:
+            view.add_ordering_edge(new_top, top)
+        view.retarget("b", new_top)
+        return ok()
+
+
+class StackPopOp(_StackOperation):
+    """``Pop(): e/nok`` — remove and return the top element."""
+
+    name = "Pop"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        top = view.deref("b")
+        if top is None:
+            return nok()
+        below = view.observe_order(top)
+        value = view.delete_vertex(top)
+        view.retarget("b", next(iter(below)) if below else None)
+        return result_only(value)
+
+
+class StackTopOp(_StackOperation):
+    """``Top(): e/nok`` — return (without removing) the top element."""
+
+    name = "Top"
+    referencing = "implicit"
+    references_used = frozenset({"b"})
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        top = view.deref("b")
+        if top is None:
+            return nok()
+        return result_only(view.observe_content(top))
+
+
+class StackSizeOp(_StackOperation):
+    """``Size(): n`` — count the elements (global structure observer)."""
+
+    name = "Size"
+    referencing = "none"
+    references_used = frozenset()
+
+    def execute(self, view: InstrumentedGraph, *args: Any) -> ReturnValue:
+        return result_only(len(view.observe_all_presence()))
+
+
+class StackSpec(ADTSpec):
+    """Executable specification of a bounded LIFO stack."""
+
+    name = "Stack"
+
+    def __init__(self, capacity: int = 3, domain: tuple[Any, ...] = ("a", "b")) -> None:
+        self._capacity = capacity
+        self.default_bounds = EnumerationBounds(capacity=capacity, domain=tuple(domain))
+        self._operations: dict[str, OperationSpec] = {
+            "Push": StackPushOp(capacity),
+            "Pop": StackPopOp(capacity),
+            "Top": StackTopOp(capacity),
+            "Size": StackSizeOp(capacity),
+        }
+
+    @property
+    def operations(self) -> Mapping[str, OperationSpec]:
+        return self._operations
+
+    def states(self, bounds: EnumerationBounds) -> Iterable[tuple]:
+        capacity = min(bounds.capacity, self._capacity)
+
+        def extend(prefix: tuple) -> Iterable[tuple]:
+            yield prefix
+            if len(prefix) < capacity:
+                for element in bounds.domain:
+                    yield from extend(prefix + (element,))
+
+        return extend(())
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def build_graph(self, state: tuple) -> ObjectGraph:
+        """A bottom-to-top chain with the stack pointer ``b`` at the top."""
+        values = list(state)
+        references = [("b", len(values) - 1 if values else None)]
+        return build_chain("Stack", values, references=references)
+
+    def abstract_state(self, graph: ObjectGraph) -> tuple:
+        vids = graph.vertex_ids()
+        if not vids:
+            return ()
+        heads = [vid for vid in vids if not graph.predecessors(vid)]
+        if len(heads) != 1:
+            raise ValueError("Stack graph is not a linear chain")
+        top_to_bottom = list(ordering_walk(graph, heads[0]))
+        return tuple(graph.vertex(vid).value for vid in reversed(top_to_bottom))

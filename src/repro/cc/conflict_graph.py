@@ -1,0 +1,123 @@
+"""Conflict-graph serializability analysis of completed runs.
+
+The classical theory-side checker, independent of the replay-based witness
+search in :mod:`repro.cc.serializability`: build the serialization graph
+whose nodes are committed transactions and whose edges follow the
+execution order of *conflicting* operation instances (pairs that do not
+commute in their executed context); acyclicity implies conflict
+serializability, and any topological order is a witness.
+
+Conflicts are decided semantically but *context-free* — two invocations
+conflict unless they forward-commute in every state — which makes this the
+ADT-aware generalisation of the read/write conflict graph and keeps the
+certificate sound: an acyclic graph always implies a valid serial witness.
+(The converse is not true for condition-refined scheduling: a run with a
+cyclic conflict graph can still be serializable because the specific
+states involved made the operations commute; the replay-based checker in
+:mod:`repro.cc.serializability` decides those.)  The cross-validation
+tests check the implication direction on every sweep run.
+"""
+
+from __future__ import annotations
+
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.transaction import TxnId
+from repro.semantics.commutativity import forward_commute_invocations
+
+__all__ = ["conflict_edges", "serialization_graph_order", "is_conflict_serializable"]
+
+
+def conflict_edges(
+    scheduler: TableDrivenScheduler,
+) -> set[tuple[TxnId, TxnId]]:
+    """Edges of the serialization graph over the committed transactions.
+
+    For each shared object, the committed operations are walked in global
+    execution order; each pair of operations by different transactions
+    that does not forward-commute (in every state) adds an edge from the
+    earlier executor to the later one.
+    """
+    committed: list[TxnId] = []
+    index = 0
+    while True:
+        try:
+            txn = scheduler.transaction(index)
+        except Exception:
+            break
+        if txn.is_committed:
+            committed.append(index)
+        index += 1
+    records = sorted(
+        (
+            (record.sequence, txn, record)
+            for txn in committed
+            for record in scheduler.transaction(txn).records
+        ),
+        key=lambda item: item[0],
+    )
+    by_object: dict[str, list[tuple[TxnId, object]]] = {}
+    for _, txn, record in records:
+        by_object.setdefault(record.object_name, []).append((txn, record))
+
+    edges: set[tuple[TxnId, TxnId]] = set()
+    commute_cache: dict[tuple[str, object, object], bool] = {}
+    for object_name, entries in by_object.items():
+        shared = scheduler.object(object_name)
+        for i, (first_txn, first_record) in enumerate(entries):
+            for j in range(i + 1, len(entries)):
+                second_txn, second_record = entries[j]
+                if first_txn == second_txn:
+                    continue
+                key = (
+                    object_name,
+                    first_record.invocation,
+                    second_record.invocation,
+                )
+                if key not in commute_cache:
+                    commute_cache[key] = forward_commute_invocations(
+                        shared.adt,
+                        first_record.invocation,
+                        second_record.invocation,
+                    )
+                if not commute_cache[key]:
+                    edges.add((first_txn, second_txn))
+    return edges
+
+
+def serialization_graph_order(
+    scheduler: TableDrivenScheduler,
+) -> list[TxnId] | None:
+    """A topological order of the serialization graph, or ``None`` on a cycle."""
+    edges = conflict_edges(scheduler)
+    nodes = {txn for edge in edges for txn in edge}
+    index = 0
+    while True:
+        try:
+            txn = scheduler.transaction(index)
+        except Exception:
+            break
+        if txn.is_committed:
+            nodes.add(index)
+        index += 1
+    order: list[TxnId] = []
+    remaining = set(nodes)
+    while remaining:
+        ready = sorted(
+            node
+            for node in remaining
+            if not any(
+                earlier in remaining
+                for (earlier, later) in edges
+                if later == node
+            )
+        )
+        if not ready:
+            return None
+        order.append(ready[0])
+        remaining.discard(ready[0])
+    return order
+
+
+def is_conflict_serializable(scheduler: TableDrivenScheduler) -> bool:
+    """Whether the committed run's serialization graph is acyclic."""
+    return serialization_graph_order(scheduler) is not None

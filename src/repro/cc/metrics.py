@@ -1,0 +1,72 @@
+"""Concurrency metrics of a simulated run.
+
+The refinement experiment (X1) compares runs of the *same workload* under
+tables of increasing refinement; the metrics here are the observables that
+must improve (or at least not degrade) with every methodology stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.scheduler import SchedulerStats
+
+__all__ = ["RunMetrics"]
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated observables of one simulated run."""
+
+    #: Time of the last event (commit/abort) of the run.
+    makespan: float = 0.0
+    #: Transactions by final status.
+    committed: int = 0
+    aborted: int = 0
+    #: Involuntary-abort restarts performed (restart_aborted mode).
+    restarts: int = 0
+    #: Sum over transactions of time spent blocked waiting for conflicts.
+    total_blocked_time: float = 0.0
+    #: Sum over committed transactions of (commit time - arrival time).
+    total_response_time: float = 0.0
+    #: Sum of service times of every executed operation (committed or not).
+    total_service_time: float = 0.0
+    #: Raw scheduler counters.
+    scheduler: SchedulerStats = field(default_factory=SchedulerStats)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per unit time."""
+        return self.committed / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def mean_response_time(self) -> float:
+        """Average latency of committed transactions."""
+        return self.total_response_time / self.committed if self.committed else 0.0
+
+    @property
+    def effective_concurrency(self) -> float:
+        """Mean number of operations in service: busy time over makespan.
+
+        The higher the table's potential for concurrency, the more
+        operations overlap and the higher this index.
+        """
+        return self.total_service_time / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def blocking_ratio(self) -> float:
+        """Blocked time as a fraction of total transaction time."""
+        busy = self.total_service_time + self.total_blocked_time
+        return self.total_blocked_time / busy if busy > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line report used by benches and examples."""
+        return (
+            f"makespan={self.makespan:.2f} committed={self.committed} "
+            f"aborted={self.aborted} restarts={self.restarts} "
+            f"throughput={self.throughput:.3f} "
+            f"concurrency={self.effective_concurrency:.2f} "
+            f"blocked={self.total_blocked_time:.2f} "
+            f"(AD={self.scheduler.ad_edges} CD={self.scheduler.cd_edges} "
+            f"ND={self.scheduler.nd_pairs})"
+        )

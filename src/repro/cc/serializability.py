@@ -1,0 +1,151 @@
+"""Serializability verification of completed runs.
+
+The ground truth the scheduler must preserve: the committed transactions'
+observed return values and the final object states must be producible by
+*some* serial execution of those transactions.  The checker first tries
+the serial order suggested by the dependency edges (commit-order
+consistency), then falls back to brute-force permutation search for small
+transaction populations.
+
+Used by the property-based soundness tests and experiment X5: under a
+table derived by the methodology, every run must verify.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.transaction import Transaction, TxnId
+from repro.spec.adt import execute_invocation
+
+__all__ = ["replay_serial", "find_serialization", "is_serializable"]
+
+
+def replay_serial(
+    scheduler: TableDrivenScheduler,
+    order: list[TxnId],
+) -> bool:
+    """Whether executing committed transactions serially in ``order``
+    reproduces every recorded return value and every final object state.
+
+    Only single-object-per-record replay is needed: each transaction's
+    records carry the object they ran against, and records are replayed in
+    the transaction's own program order.
+    """
+    object_names = {
+        record.object_name
+        for txn_id in order
+        for record in scheduler.transaction(txn_id).records
+    }
+    states = {
+        name: scheduler.object(name).initial_state for name in object_names
+    }
+    adts = {name: scheduler.object(name).adt for name in object_names}
+    for txn_id in order:
+        transaction = scheduler.transaction(txn_id)
+        for record in transaction.records:
+            execution = execute_invocation(
+                adts[record.object_name],
+                states[record.object_name],
+                record.invocation,
+            )
+            if execution.returned != record.returned:
+                return False
+            states[record.object_name] = execution.post_state
+    return all(
+        states[name] == scheduler.object(name).state() for name in object_names
+    )
+
+
+def find_serialization(
+    scheduler: TableDrivenScheduler,
+    brute_force_limit: int = 6,
+) -> list[TxnId] | None:
+    """A serial order of the committed transactions that explains the run.
+
+    Tries the dependency-respecting order first (committed transactions
+    topologically sorted by their recorded edges, ties broken by first
+    execution stamp), then brute force when the population is small.
+    Returns the witness order, or ``None`` when no order works.
+    """
+    committed = [txn for txn in _all_transactions(scheduler) if txn.is_committed]
+    committed_ids = [txn.txn_id for txn in committed]
+    if not committed_ids:
+        return []
+
+    # Candidate 1: commit order.  Blocking disciplines order conflicting
+    # transactions by commitment (the blocked side only proceeds after the
+    # holder commits), so this is the natural witness.
+    commit_order = sorted(
+        committed_ids,
+        key=lambda txn: scheduler.transaction(txn).commit_sequence or 0,
+    )
+    if replay_serial(scheduler, commit_order):
+        return commit_order
+
+    # Candidate 2: topological order over recorded dependency edges.
+    edges = scheduler.dependency_graph().edges()
+    order = _topological(committed_ids, edges, scheduler)
+    if order is not None and replay_serial(scheduler, order):
+        return order
+
+    # Candidate 3: brute force for small populations.
+    if len(committed_ids) <= brute_force_limit:
+        for permutation in permutations(committed_ids):
+            candidate = list(permutation)
+            if replay_serial(scheduler, candidate):
+                return candidate
+    return None
+
+
+def is_serializable(
+    scheduler: TableDrivenScheduler, brute_force_limit: int = 6
+) -> bool:
+    """Whether the committed portion of the run is serializable."""
+    return find_serialization(scheduler, brute_force_limit) is not None
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+def _all_transactions(scheduler: TableDrivenScheduler) -> list[Transaction]:
+    found = []
+    index = 0
+    while True:
+        try:
+            found.append(scheduler.transaction(index))
+        except Exception:
+            return found
+        index += 1
+
+
+def _first_stamp(txn: Transaction) -> int:
+    return txn.records[0].sequence if txn.records else 0
+
+
+def _topological(
+    committed_ids: list[TxnId],
+    edges: dict[tuple[TxnId, TxnId], object],
+    scheduler: TableDrivenScheduler,
+) -> list[TxnId] | None:
+    """Topological sort: earlier transactions before their dependents."""
+    members = set(committed_ids)
+    preds: dict[TxnId, set[TxnId]] = {txn: set() for txn in members}
+    for (later, earlier) in edges:
+        if later in members and earlier in members:
+            preds[later].add(earlier)
+    order: list[TxnId] = []
+    remaining = set(members)
+    while remaining:
+        ready = [
+            txn for txn in remaining if not (preds[txn] & remaining)
+        ]
+        if not ready:
+            return None  # cycle (cannot happen with a correct scheduler)
+        ready.sort(key=lambda txn: _first_stamp(scheduler.transaction(txn)))
+        chosen = ready[0]
+        order.append(chosen)
+        remaining.discard(chosen)
+    return order

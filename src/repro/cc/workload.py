@@ -1,0 +1,138 @@
+"""Synthetic transaction workloads.
+
+The paper has no workload section (it is a methodology paper); these
+generators provide the parameterised synthetic workloads used by the
+concurrency experiments: mixes of operations over shared objects, Poisson
+arrivals, per-operation service times, and optional voluntary aborts to
+exercise cascades.  All randomness is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.spec.adt import ADTSpec
+from repro.spec.operation import Invocation
+
+__all__ = ["Step", "TransactionProgram", "Workload", "WorkloadConfig", "generate"]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One operation of a transaction program."""
+
+    object_name: str
+    invocation: Invocation
+    service_time: float
+
+
+@dataclass(frozen=True)
+class TransactionProgram:
+    """A scripted transaction: arrival time, steps, commit/abort intent."""
+
+    arrival: float
+    steps: tuple[Step, ...]
+    voluntary_abort: bool = False
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully materialised workload ready for simulation."""
+
+    programs: tuple[TransactionProgram, ...]
+    description: str = ""
+
+    def total_operations(self) -> int:
+        return sum(len(program.steps) for program in self.programs)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of the synthetic workload generator.
+
+    Attributes:
+        transactions: Number of transactions.
+        operations_per_transaction: Steps per transaction.
+        operation_mix: Relative weights per operation name; defaults to a
+            uniform mix over the ADT's operations.
+        mean_service_time: Mean of the exponential per-operation service
+            time.
+        mean_interarrival: Mean of the exponential interarrival time
+            (0 starts every transaction at time 0).
+        abort_probability: Chance a transaction voluntarily aborts instead
+            of committing (exercises cascades).
+        seed: RNG seed.
+    """
+
+    transactions: int = 16
+    operations_per_transaction: int = 4
+    operation_mix: dict[str, float] = field(default_factory=dict)
+    mean_service_time: float = 1.0
+    mean_interarrival: float = 0.5
+    abort_probability: float = 0.0
+    seed: int = 1991  # the paper's year
+
+    def __post_init__(self) -> None:
+        if self.transactions < 1:
+            raise WorkloadError("need at least one transaction")
+        if self.operations_per_transaction < 1:
+            raise WorkloadError("need at least one operation per transaction")
+        if not 0.0 <= self.abort_probability <= 1.0:
+            raise WorkloadError("abort_probability must be within [0, 1]")
+        if self.mean_service_time <= 0:
+            raise WorkloadError("mean_service_time must be positive")
+
+
+def _random_invocation(
+    adt: ADTSpec, operation: str, rng: random.Random
+) -> Invocation:
+    """A random invocation of ``operation`` within the ADT's bounds."""
+    choices = adt.invocations_of(operation)
+    return rng.choice(choices)
+
+
+def generate(
+    adt: ADTSpec,
+    object_name: str,
+    config: WorkloadConfig,
+) -> Workload:
+    """Materialise a workload of transactions over a single shared object."""
+    rng = random.Random(config.seed)
+    mix = config.operation_mix or {name: 1.0 for name in adt.operation_names()}
+    unknown = set(mix) - set(adt.operation_names())
+    if unknown:
+        raise WorkloadError(f"operation mix names unknown operations: {unknown}")
+    names = list(mix)
+    weights = [mix[name] for name in names]
+
+    programs = []
+    clock = 0.0
+    for _ in range(config.transactions):
+        if config.mean_interarrival > 0:
+            clock += rng.expovariate(1.0 / config.mean_interarrival)
+        steps = tuple(
+            Step(
+                object_name=object_name,
+                invocation=_random_invocation(
+                    adt, rng.choices(names, weights)[0], rng
+                ),
+                service_time=rng.expovariate(1.0 / config.mean_service_time),
+            )
+            for _ in range(config.operations_per_transaction)
+        )
+        programs.append(
+            TransactionProgram(
+                arrival=clock,
+                steps=steps,
+                voluntary_abort=rng.random() < config.abort_probability,
+            )
+        )
+    return Workload(
+        programs=tuple(programs),
+        description=(
+            f"{config.transactions} txns x {config.operations_per_transaction} ops "
+            f"on {object_name} (seed {config.seed})"
+        ),
+    )

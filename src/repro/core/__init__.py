@@ -1,0 +1,119 @@
+"""The paper's primary contribution: the compatibility-table methodology.
+
+Layered exactly as Section 4-5 present it:
+
+* dependency lattice (:mod:`repro.core.dependency`),
+* O/M/MO classification by enumeration (:mod:`repro.core.classification`),
+* locality analysis (:mod:`repro.core.locality`),
+* template tables 2-8 (:mod:`repro.core.templates`),
+* conditions, entries and tables (:mod:`repro.core.conditions`,
+  :mod:`repro.core.entry`, :mod:`repro.core.table`),
+* Assertions 1-3 (:mod:`repro.core.assertions`),
+* the Stage-2 questionnaire (:mod:`repro.core.profile`) and
+* the five-stage pipeline (:mod:`repro.core.methodology`).
+"""
+
+from repro.core.assertions import (
+    assertion1_no_dependency,
+    assertion2_commute,
+    assertion3_recoverable,
+    locality_dependency,
+)
+from repro.core.classification import (
+    OpClass,
+    classify_all_operations,
+    classify_invocation,
+    classify_operation,
+    classify_with_outcome,
+    outcome_label,
+)
+from repro.core.conditions import (
+    Always,
+    And,
+    ArgsDistinct,
+    Condition,
+    ConditionContext,
+    InputsEqual,
+    Not,
+    OutcomeIs,
+    OutcomesEqual,
+    ReferencesDistinct,
+    ReferencesEqual,
+)
+from repro.core.dependency import Dependency, stronger, strongest, weaker, weakest
+from repro.core.entry import ConditionalDependency, Entry
+from repro.core.locality import LocalityProfile, profile_invocation, profile_operation
+from repro.core.methodology import (
+    DerivationResult,
+    MethodologyOptions,
+    derive,
+    stage3_dependency,
+)
+from repro.core.profile import (
+    OperationProfile,
+    characterize_all,
+    characterize_from_annotations,
+    characterize_operation,
+)
+from repro.core.table import CompatibilityTable
+from repro.core.templates import (
+    LOCALITY_KINDS,
+    TABLE2,
+    d1_base_entry,
+    d1_entry,
+    d2_base_entry,
+    d2_entry,
+    no_information_entry,
+    table2_entry,
+)
+
+__all__ = [
+    "Dependency",
+    "stronger",
+    "weaker",
+    "strongest",
+    "weakest",
+    "OpClass",
+    "classify_operation",
+    "classify_invocation",
+    "classify_all_operations",
+    "classify_with_outcome",
+    "outcome_label",
+    "LocalityProfile",
+    "profile_invocation",
+    "profile_operation",
+    "TABLE2",
+    "LOCALITY_KINDS",
+    "table2_entry",
+    "no_information_entry",
+    "d1_base_entry",
+    "d1_entry",
+    "d2_base_entry",
+    "d2_entry",
+    "Condition",
+    "ConditionContext",
+    "Always",
+    "OutcomeIs",
+    "OutcomesEqual",
+    "InputsEqual",
+    "ArgsDistinct",
+    "ReferencesDistinct",
+    "ReferencesEqual",
+    "And",
+    "Not",
+    "ConditionalDependency",
+    "Entry",
+    "CompatibilityTable",
+    "OperationProfile",
+    "characterize_operation",
+    "characterize_all",
+    "characterize_from_annotations",
+    "assertion1_no_dependency",
+    "assertion2_commute",
+    "assertion3_recoverable",
+    "locality_dependency",
+    "MethodologyOptions",
+    "DerivationResult",
+    "derive",
+    "stage3_dependency",
+]

@@ -1,0 +1,188 @@
+"""Observer / modifier / modifier-observer classification (Defs. 1-6).
+
+Section 2.1 of the paper classifies an operation per state:
+
+* *observer* in ``s``:  ``state(s, o) = s`` (Def. 1);
+* *modifier* in ``s``:  ``state(s, o) != s`` and the return value is the
+  same in every state (Def. 2);
+* *modifier-observer* in ``s``: ``state(s, o) != s`` and some other state
+  yields a different return value (Def. 3) — the return value leaks state
+  information, which is what makes abort-dependencies possible.
+
+and state-independently (Defs. 4-6): MO if modifier-observer somewhere, M
+if modifier somewhere but modifier-observer nowhere, O otherwise.
+
+All quantifiers are decided by exhaustive execution over the bounded state
+space (see :mod:`repro.spec.enumeration`).  Classification happens per
+*invocation* (operation + concrete arguments) — return values that vary
+only with the arguments, never with the state, carry no state information
+and must not promote a modifier to a modifier-observer — and is then
+aggregated to the operation level with the strength order MO > M > O.
+
+For Stage 4 of the methodology the same machinery runs on the *subset* of
+executions with a given outcome: "when the outcome is nok, Push acts as an
+observer and not as a modifier-observer" (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence
+
+from repro.graph.instrument import EdgeAttribution
+from repro.spec.adt import ADTSpec, AbstractState, EnumerationBounds, Execution
+from repro.spec.enumeration import executions_of
+from repro.spec.operation import Invocation
+
+__all__ = [
+    "OpClass",
+    "OUTCOME_RESULT",
+    "outcome_label",
+    "classify_executions",
+    "classify_invocation",
+    "classify_in_state",
+    "classify_operation",
+    "classify_all_operations",
+    "outcome_labels_of",
+    "classify_with_outcome",
+]
+
+#: Label used for executions whose return value is a pure result (no
+#: outcome component), e.g. a successful ``Pop``.  The paper's Stage-4
+#: tables use the same word ("result/nok" in Table 9).
+OUTCOME_RESULT = "result"
+
+
+class OpClass(enum.IntEnum):
+    """State-independent operation class, ordered by strength (Defs. 4-6)."""
+
+    O = 0  #: observer
+    M = 1  #: modifier
+    MO = 2  #: modifier-observer
+
+    def components(self) -> tuple["OpClass", ...]:
+        """Decomposition used by the ``stronger`` expansion of Section 4.4.
+
+        "Modifier-observer operations are considered to be a composition of
+        modifier and observer operations."
+        """
+        if self is OpClass.MO:
+            return (OpClass.M, OpClass.O)
+        return (self,)
+
+    def render(self) -> str:
+        return self.name
+
+
+def outcome_label(execution: Execution) -> str:
+    """The Stage-4 outcome label of one execution.
+
+    The outcome component when present (``"ok"``, ``"nok"``), otherwise the
+    literal label ``"result"`` — matching the paper's Table 9 and the
+    condition cells of Tables 11-13.
+    """
+    if execution.returned.has_outcome:
+        return execution.returned.outcome  # type: ignore[return-value]
+    return OUTCOME_RESULT
+
+
+def classify_executions(executions: Sequence[Execution]) -> OpClass:
+    """Classify an invocation from the full set of its executions.
+
+    Implements Defs. 4-6 over the given evidence: the invocation is a
+    modifier-observer if some execution changes the state while the return
+    value varies across executions; a modifier if some execution changes
+    the state but the return value is constant; an observer otherwise.
+    """
+    if not executions:
+        raise ValueError("cannot classify from an empty execution set")
+    returns = {execution.returned for execution in executions}
+    return_varies = len(returns) > 1
+    modifies_somewhere = any(not execution.is_identity for execution in executions)
+    if modifies_somewhere and return_varies:
+        return OpClass.MO
+    if modifies_somewhere:
+        return OpClass.M
+    return OpClass.O
+
+
+def classify_in_state(
+    executions: Sequence[Execution], state: AbstractState
+) -> OpClass:
+    """Per-state classification (Defs. 1-3) of an invocation in ``state``.
+
+    Note that the modifier / modifier-observer split depends on the return
+    values across *all* states (the ``∀s'`` of Def. 2), so the full
+    execution set is required even for a single-state judgement.
+    """
+    matching = [e for e in executions if e.pre_state == state]
+    if not matching:
+        raise ValueError(f"no execution recorded for state {state!r}")
+    (execution,) = matching
+    if execution.is_identity:
+        return OpClass.O
+    returns = {e.returned for e in executions}
+    return OpClass.MO if len(returns) > 1 else OpClass.M
+
+
+def classify_invocation(
+    adt: ADTSpec,
+    invocation: Invocation,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> OpClass:
+    """Classify one invocation by enumerating all states within ``bounds``."""
+    executions = list(executions_of(adt, invocation, bounds, attribution))
+    return classify_executions(executions)
+
+
+def classify_operation(
+    adt: ADTSpec,
+    operation: str,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> OpClass:
+    """Classify an operation: the strongest class over its invocations.
+
+    Aggregating with MO > M > O is the safe direction — an operation that
+    is a modifier-observer for *some* arguments can leak state information,
+    so it must be treated as MO overall (the paper's Table 1 classifies
+    whole operations this way).
+    """
+    invocations = adt.invocations_of(operation, bounds)
+    return max(
+        classify_invocation(adt, invocation, bounds, attribution)
+        for invocation in invocations
+    )
+
+
+def classify_all_operations(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+    operations: Iterable[str] | None = None,
+) -> dict[str, OpClass]:
+    """Table-1 style classification of every operation of an ADT."""
+    names = list(operations) if operations is not None else adt.operation_names()
+    return {name: classify_operation(adt, name, bounds) for name in names}
+
+
+def outcome_labels_of(executions: Sequence[Execution]) -> set[str]:
+    """The distinct outcome labels an invocation exhibits over all states."""
+    return {outcome_label(execution) for execution in executions}
+
+
+def classify_with_outcome(
+    executions: Sequence[Execution], label: str
+) -> OpClass | None:
+    """Classify an invocation restricted to executions with outcome ``label``.
+
+    This is the Stage-4 refinement primitive: conditioned on the observed
+    outcome, an operation may act as a weaker class (an unsuccessful Push
+    is an observer; a successful Push is a pure modifier because its return
+    value, ``ok``, is fully determined by the condition).  Returns ``None``
+    when the invocation never produces ``label``.
+    """
+    restricted = [e for e in executions if outcome_label(e) == label]
+    if not restricted:
+        return None
+    return classify_executions(restricted)

@@ -1,0 +1,169 @@
+"""Compatibility-table entries: sets of (dependency, condition) pairs.
+
+"The single dependency in an entry is replaced with a set of
+mutually-consistent (dependency/condition) pairs ... the dependency chosen
+from the set ... is the least restrictive (weakest) dependency among the
+dependencies whose associated conditions hold." — Section 4.4.
+
+An :class:`Entry` holds such a set.  Resolution picks the weakest
+dependency whose condition evaluates to true in a given
+:class:`~repro.core.conditions.ConditionContext`; when no condition is
+(yet) decidably true the entry falls back to its strongest dependency,
+which is always safe.
+
+Mutual consistency is enforced syntactically for the refinement shapes the
+pipeline produces: a pair whose condition is a conjunction extending
+another pair's condition (i.e. exploits strictly more semantics) must not
+carry a *stronger* dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.conditions import Always, And, Condition, ConditionContext
+from repro.core.dependency import Dependency
+from repro.errors import InconsistentEntryError
+
+__all__ = ["ConditionalDependency", "Entry"]
+
+
+@dataclass(frozen=True)
+class ConditionalDependency:
+    """One (dependency, condition) pair of an entry."""
+
+    dependency: Dependency
+    condition: Condition
+
+    def render(self) -> str:
+        """Paper-style ``(CD, Push_out = nok)`` rendering."""
+        if isinstance(self.condition, Always):
+            return self.dependency.render(blank_nd=False)
+        return f"({self.dependency.render(blank_nd=False)}, {self.condition.render()})"
+
+
+def _syntactically_refines(narrow: Condition, broad: Condition) -> bool:
+    """Whether ``narrow`` is a conjunction extending ``broad``.
+
+    The conservative syntactic implication used by the consistency check:
+    ``A ∧ B`` refines ``A``; everything refines ``Always``.
+    """
+    if isinstance(broad, Always):
+        return not isinstance(narrow, Always)
+    if isinstance(narrow, And):
+        narrow_parts = set(narrow.parts)
+        broad_parts = set(broad.parts) if isinstance(broad, And) else {broad}
+        return broad_parts < narrow_parts
+    return False
+
+
+class Entry:
+    """A compatibility-table entry: one or more (dependency, condition) pairs."""
+
+    def __init__(self, pairs: Iterable[ConditionalDependency]) -> None:
+        self.pairs: tuple[ConditionalDependency, ...] = tuple(pairs)
+        if not self.pairs:
+            raise InconsistentEntryError("an entry needs at least one pair")
+        self._check_consistency()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def unconditional(cls, dependency: Dependency) -> "Entry":
+        """A classic single-dependency entry (Stages 1-3)."""
+        return cls([ConditionalDependency(dependency, Always())])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_conditional(self) -> bool:
+        """Whether any pair carries a non-vacuous condition."""
+        return any(not isinstance(pair.condition, Always) for pair in self.pairs)
+
+    def strongest(self) -> Dependency:
+        """Most restrictive dependency over all pairs."""
+        return max(pair.dependency for pair in self.pairs)
+
+    def weakest(self) -> Dependency:
+        """Least restrictive dependency over all pairs."""
+        return min(pair.dependency for pair in self.pairs)
+
+    def dependencies(self) -> set[Dependency]:
+        """The set of dependencies appearing in the entry."""
+        return {pair.dependency for pair in self.pairs}
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, context: ConditionContext) -> Dependency:
+        """The paper's resolution rule.
+
+        Weakest dependency among the pairs whose conditions hold in
+        ``context``; the strongest dependency of the entry when nothing is
+        decidably true (conservative fallback — an undecidable condition
+        must not weaken the verdict).
+        """
+        holding = [
+            pair.dependency
+            for pair in self.pairs
+            if pair.condition.evaluate(context) is True
+        ]
+        if holding:
+            return min(holding)
+        return self.strongest()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def render(self, blank_nd: bool = True) -> str:
+        """Single-cell rendering.
+
+        An unconditional entry renders as its dependency (ND blank by
+        default, as in the paper); a conditional entry renders its pairs
+        separated by newlines, Tables 11-14 style.
+        """
+        if not self.is_conditional and len(self.pairs) == 1:
+            return self.pairs[0].dependency.render(blank_nd=blank_nd)
+        return "\n".join(pair.render() for pair in self.pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entry):
+            return NotImplemented
+        return set(self.pairs) == set(other.pairs)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.pairs))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Entry[{'; '.join(pair.render() for pair in self.pairs)}]"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_consistency(self) -> None:
+        """Reject pairs where a more specific condition strengthens the dep.
+
+        Section 4.4: "if the conditions associated with two pairs involve
+        the same type of localities where the condition of the first pair
+        exploits more semantics than the one of the second pair, the
+        dependency specified in the first pair must be weaker than the one
+        specified in the second pair."
+        """
+        for narrow in self.pairs:
+            for broad in self.pairs:
+                if narrow is broad:
+                    continue
+                refines = _syntactically_refines(narrow.condition, broad.condition)
+                if refines and narrow.dependency > broad.dependency:
+                    raise InconsistentEntryError(
+                        f"pair {narrow.render()} exploits more semantics than "
+                        f"{broad.render()} but carries a stronger dependency"
+                    )

@@ -1,0 +1,178 @@
+"""Stage-2 operation characterisation — the D1-D5 questionnaire (Section 5).
+
+For each operation the methodology asks:
+
+* **D1** — observer, modifier or modifier-observer?
+* **D2** — does it observe/modify content, structure, or both?
+* **D3** — does it have an outcome, a result, or both?  Input parameters?
+* **D4** — is its locality global or not?
+* **D5** — explicit or implicit referencing; which references?
+
+The answers for the QStack are the paper's Table 9.  D1 and D2 are
+state-independent semantics, D3 input/output semantics, D4 and D5 state
+dependent semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classification import (
+    OpClass,
+    classify_executions,
+    outcome_labels_of,
+)
+from repro.core.locality import LocalityProfile, profile_executions
+from repro.graph.instrument import EdgeAttribution
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.enumeration import executions_of
+
+__all__ = ["OperationProfile", "characterize_operation", "characterize_all"]
+
+
+@dataclass(frozen=True)
+class OperationProfile:
+    """The full Stage-2 record for one operation (a row of Table 9)."""
+
+    name: str
+    #: D1 — state-independent class.
+    op_class: OpClass
+    #: D2 and D4 — locality characterisation.
+    locality: LocalityProfile
+    #: D3 — the outcome labels observed over all executions.
+    outcome_labels: frozenset[str]
+    #: D3 — whether any execution returns a data result.
+    has_result: bool
+    #: D3 — whether the operation takes input parameters.
+    has_inputs: bool
+    #: D5 — referencing style declared by the specification.
+    referencing: str
+    #: D5 — the named references the specification declares.
+    declared_references: frozenset[str]
+
+    # -- Table 9 column renderings --------------------------------------
+
+    @property
+    def return_value_summary(self) -> str:
+        """``result/nok`` style summary of the return value (Table 9)."""
+        labels = []
+        if self.has_result:
+            labels.append("result")
+        # "ok" before "nok", then anything else, matching the paper's order.
+        order = {"ok": 0, "nok": 1}
+        labels.extend(
+            sorted(
+                (label for label in self.outcome_labels if label != "result"),
+                key=lambda label: (order.get(label, 2), label),
+            )
+        )
+        return "/".join(labels) if labels else "-"
+
+    @property
+    def reference_summary(self) -> str:
+        """Comma-separated declared references, or blank for none."""
+        return ",".join(sorted(self.declared_references))
+
+    def table9_row(self) -> tuple[str, str, str, str, str, str]:
+        """``(Op, obs/mod, Cont/Str, return-value, Locality, Reference)``."""
+        return (
+            self.name,
+            self.op_class.render(),
+            self.locality.combined_kind or "-",
+            self.return_value_summary,
+            self.locality.locality_symbol,
+            self.reference_summary,
+        )
+
+
+def characterize_operation(
+    adt: ADTSpec,
+    operation: str,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> OperationProfile:
+    """Run Stage 2 for a single operation by bounded enumeration."""
+    bounds = bounds or adt.default_bounds
+    spec = adt.operation(operation)
+    invocations = adt.invocations_of(operation, bounds)
+    all_executions = []
+    classes = []
+    locality_profiles = []
+    for invocation in invocations:
+        executions = list(executions_of(adt, invocation, bounds, attribution))
+        all_executions.extend(executions)
+        classes.append(classify_executions(executions))
+        locality_profiles.append(profile_executions(executions))
+    merged_locality = locality_profiles[0]
+    for profile in locality_profiles[1:]:
+        merged_locality = merged_locality.merge(profile)
+    return OperationProfile(
+        name=operation,
+        op_class=max(classes),
+        locality=merged_locality,
+        outcome_labels=frozenset(outcome_labels_of(all_executions)),
+        has_result=any(e.returned.has_result for e in all_executions),
+        has_inputs=any(invocation.args for invocation in invocations),
+        referencing=spec.referencing,
+        declared_references=frozenset(spec.references_used),
+    )
+
+
+def characterize_all(
+    adt: ADTSpec,
+    operations: list[str] | None = None,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> dict[str, OperationProfile]:
+    """Stage 2 for every (selected) operation of an ADT."""
+    names = operations if operations is not None else adt.operation_names()
+    return {
+        name: characterize_operation(adt, name, bounds, attribution)
+        for name in names
+    }
+
+
+def characterize_from_annotations(
+    adt: ADTSpec, operations: list[str] | None = None
+) -> dict[str, OperationProfile]:
+    """Stage 2 from self-declared answers instead of enumeration.
+
+    The ablation counterpart of :func:`characterize_all`: the operation's
+    ``declared_profile`` (the paper's questionnaire filled in by its
+    author) is trusted verbatim.  Raises when an operation lacks a
+    declaration — half-annotated types would silently mix provenances.
+    The annotation-vs-derivation agreement is itself checked by tests and
+    the annotation ablation benchmark.
+    """
+    from repro.core.classification import OpClass
+    from repro.errors import SpecError
+
+    names = operations if operations is not None else adt.operation_names()
+    profiles = {}
+    for name in names:
+        spec = adt.operation(name)
+        declared = spec.declared_profile
+        if declared is None:
+            raise SpecError(
+                f"operation {name!r} of {adt.name!r} has no declared_profile"
+            )
+        locality = LocalityProfile(
+            observer_kind=declared.get("observer_kind"),
+            modifier_kind=declared.get("modifier_kind"),
+            is_global=bool(declared.get("is_global", False)),
+            global_kinds=frozenset(declared.get("global_kinds", ())),
+            references_read=frozenset(spec.references_used),
+            references_written=frozenset(),
+        )
+        invocations = adt.invocations_of(name)
+        profiles[name] = OperationProfile(
+            name=name,
+            op_class=OpClass[declared["class"]],
+            locality=locality,
+            outcome_labels=frozenset(declared.get("outcomes", ())),
+            has_result=bool(declared.get("has_result", False)),
+            has_inputs=any(invocation.args for invocation in invocations),
+            referencing=spec.referencing,
+            declared_references=frozenset(spec.references_used),
+        )
+    return profiles

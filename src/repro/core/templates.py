@@ -1,0 +1,158 @@
+"""The paper's template tables (Tables 2-8, Section 4.4).
+
+Template tables map characterisations of an *executing* operation ``x``
+and a *following* operation ``y`` to a dependency.  Throughout the module
+(and the library) the first index is always ``y`` (the invoked/following
+operation) and the second ``x`` (the operation in execution), matching the
+paper's reading of its tables ("x is the operation in execution and y is
+the invoked operation"; the ``(Deq, Push)`` entry corresponds to a Deq
+*following* a Push).
+
+* :data:`TABLE2` — locality-kind intersections to dependencies (Table 2).
+* :func:`d1_entry` — the O/M template (Table 5) with the ``stronger``
+  expansion for modifier-observers (Table 4) and the no-information table
+  (Table 3) as degenerate cases.
+* :func:`d2_entry` — the structure/content templates (Tables 6, 7, 8),
+  derived from Table 2 by decomposing ``CS`` kinds and composing with
+  ``stronger`` — including the cross-dimension no-dependency rule of
+  Assertion 1 ("operations restricted to the structure of an object do not
+  form dependencies with operations restricted to the content").
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import OpClass
+from repro.core.dependency import Dependency, strongest
+from repro.errors import TemplateError
+
+__all__ = [
+    "TABLE2",
+    "table2_entry",
+    "d1_base_entry",
+    "d1_entry",
+    "d2_base_entry",
+    "d2_entry",
+    "no_information_entry",
+    "LOCALITY_KINDS",
+]
+
+#: The four locality kinds of Defs. 14-17, in the paper's Table-2 order.
+LOCALITY_KINDS = ("so", "co", "sm", "cm")
+
+#: Table 2 — dependency formed when ``L_y^row ∩ L_x^col != ∅``.
+#: Keys are ``(y_kind, x_kind)``; every combination not listed is ND.
+TABLE2: dict[tuple[str, str], Dependency] = {
+    ("so", "so"): Dependency.ND,
+    ("so", "co"): Dependency.ND,
+    ("so", "sm"): Dependency.AD,
+    ("so", "cm"): Dependency.ND,
+    ("co", "so"): Dependency.ND,
+    ("co", "co"): Dependency.ND,
+    ("co", "sm"): Dependency.ND,
+    ("co", "cm"): Dependency.AD,
+    ("sm", "so"): Dependency.CD,
+    ("sm", "co"): Dependency.ND,
+    ("sm", "sm"): Dependency.CD,
+    ("sm", "cm"): Dependency.ND,
+    ("cm", "so"): Dependency.ND,
+    ("cm", "co"): Dependency.CD,
+    ("cm", "sm"): Dependency.ND,
+    ("cm", "cm"): Dependency.CD,
+}
+
+
+def table2_entry(y_kind: str, x_kind: str) -> Dependency:
+    """Dependency for a non-empty ``L_y^{y_kind} ∩ L_x^{x_kind}`` (Table 2)."""
+    try:
+        return TABLE2[(y_kind, x_kind)]
+    except KeyError:
+        raise TemplateError(
+            f"unknown locality kinds ({y_kind!r}, {x_kind!r}); "
+            f"expected kinds from {LOCALITY_KINDS}"
+        ) from None
+
+
+def no_information_entry() -> Dependency:
+    """Table 3 — with no semantic information every entry is AD."""
+    return Dependency.AD
+
+
+#: Table 5 — the O/M template.  Keys are ``(y_class, x_class)``.
+_TABLE5: dict[tuple[OpClass, OpClass], Dependency] = {
+    (OpClass.O, OpClass.O): Dependency.ND,
+    (OpClass.O, OpClass.M): Dependency.AD,
+    (OpClass.M, OpClass.O): Dependency.CD,
+    (OpClass.M, OpClass.M): Dependency.CD,
+}
+
+
+def d1_base_entry(y_class: OpClass, x_class: OpClass) -> Dependency:
+    """Table-5 lookup for pure observer/modifier classes."""
+    try:
+        return _TABLE5[(y_class, x_class)]
+    except KeyError:
+        raise TemplateError(
+            f"Table 5 covers only O and M classes, got ({y_class}, {x_class}); "
+            "use d1_entry for modifier-observers"
+        ) from None
+
+
+def d1_entry(y_class: OpClass, x_class: OpClass) -> Dependency:
+    """The D1 template with MO expansion — equivalently, Table 4.
+
+    "The entries associated with a modifier-observer can be considered as a
+    function that returns the stronger dependency between the corresponding
+    modifier and observer entries."
+    """
+    return strongest(
+        d1_base_entry(y_component, x_component)
+        for y_component in y_class.components()
+        for x_component in x_class.components()
+    )
+
+
+def d2_base_entry(y_role: str, y_kind: str, x_role: str, x_kind: str) -> Dependency:
+    """Structure/content template entry for elementary role/kind pairs.
+
+    ``role`` is ``'o'`` (observer component) or ``'m'`` (modifier
+    component); ``kind`` is ``'S'``, ``'C'`` or ``'CS'``.  The entry is
+    computed from Table 2 by decomposing a ``CS`` kind into its ``S`` and
+    ``C`` parts and taking the strongest resulting dependency — this
+    reproduces Tables 6 (roles o, m), 7 (m, m) and 8 (m, o) exactly, and
+    yields ND for every observer/observer pair (the case the paper omits
+    because it is uniformly blank).
+    """
+    if y_role not in ("o", "m") or x_role not in ("o", "m"):
+        raise TemplateError(f"roles must be 'o' or 'm', got {y_role!r}, {x_role!r}")
+    y_parts = [letter.lower() for letter in y_kind]
+    x_parts = [letter.lower() for letter in x_kind]
+    if not set(y_parts) <= {"s", "c"} or not set(x_parts) <= {"s", "c"}:
+        raise TemplateError(f"kinds must be S/C/CS, got {y_kind!r}, {x_kind!r}")
+    return strongest(
+        table2_entry(y_part + y_role, x_part + x_role)
+        for y_part in y_parts
+        for x_part in x_parts
+    )
+
+
+def d2_entry(
+    y_components: tuple[tuple[str, str], ...],
+    x_components: tuple[tuple[str, str], ...],
+) -> Dependency | None:
+    """D2 dependency for two operations given their role/kind components.
+
+    ``components`` come from
+    :meth:`repro.core.locality.LocalityProfile.components`: the observer
+    and/or modifier components an operation actually has.  The operations'
+    dependency is the strongest over the cross product of their components
+    (the MO-expansion rule applied in the D2 dimension).  Returns ``None``
+    when either operation has no locality components at all, meaning the
+    D2 dimension cannot characterise the pair.
+    """
+    if not y_components or not x_components:
+        return None
+    return strongest(
+        d2_base_entry(y_role, y_kind, x_role, x_kind)
+        for (y_role, y_kind) in y_components
+        for (x_role, x_kind) in x_components
+    )

@@ -1,0 +1,10 @@
+"""Paper-reproduction experiments: one module per table/figure plus the
+prose-claim experiments (X1 refinement, X2 equivalence, X3/X4 assertions,
+X5 scheduler soundness, X6 recovery disciplines, X7 beyond
+commutativity).  See DESIGN.md §4 for the per-experiment index
+and ``python -m repro.experiments`` to run them all.
+"""
+
+from repro.experiments.base import ExperimentOutcome
+
+__all__ = ["ExperimentOutcome"]

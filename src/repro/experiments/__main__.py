@@ -1,0 +1,25 @@
+"""CLI entry point: ``python -m repro.experiments [exp_id ...]``.
+
+Runs the paper-reproduction experiments (all of them by default, or the
+named subset) and prints a summary; exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.report import render_text, run_all
+
+
+def main(argv: list[str]) -> int:
+    only = set(argv) if argv else None
+    outcomes = run_all(only)
+    if not outcomes:
+        print(f"no experiments matched: {sorted(only or set())}")
+        return 2
+    print(render_text(outcomes))
+    return 0 if all(outcome.matches for outcome in outcomes) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,92 @@
+"""Shared infrastructure of the paper-reproduction experiments.
+
+Every experiment module exposes ``run() -> ExperimentOutcome``; the
+outcome records what the paper prints, what the library derived, and
+whether they match.  ``repro.experiments.report`` aggregates the outcomes
+into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.entry import Entry
+
+__all__ = [
+    "ExperimentOutcome",
+    "entry_signature",
+    "render_signature",
+    "paper_condition",
+    "dependency_grid",
+]
+
+
+@dataclass
+class ExperimentOutcome:
+    """Result of reproducing one paper artifact."""
+
+    exp_id: str  #: e.g. ``"table10"`` or ``"figure2"``
+    title: str
+    matches: bool
+    expected: str  #: rendering of the paper's artifact
+    derived: str  #: rendering of what the library produced
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        status = "MATCH" if self.matches else "MISMATCH"
+        return f"[{status}] {self.exp_id}: {self.title}"
+
+
+def entry_signature(entry: Entry) -> frozenset[tuple[str, str]]:
+    """Canonical, order-free signature of an entry's pairs.
+
+    Each pair becomes ``(dependency_name, condition_rendering)``; golden
+    data stores the same form, so comparison is structural rather than
+    string-formatting-sensitive.
+    """
+    return frozenset(
+        (pair.dependency.name, pair.condition.render()) for pair in entry.pairs
+    )
+
+
+def render_signature(signature: frozenset[tuple[str, str]]) -> str:
+    """Human-readable multi-line rendering of a signature."""
+    lines = sorted(f"({dep}, {cond})" for dep, cond in signature)
+    return "\n".join(lines)
+
+
+def paper_condition(condition: str, first_name: str, second_name: str) -> str:
+    """Translate the library's x/y condition notation to the paper's.
+
+    ``x_out = nok`` becomes ``Push_out = nok`` (or ``Push_out^x = nok``
+    when both operations share a name, as in the paper's Table 12).
+    """
+    same = first_name == second_name
+    first_marker = f"{first_name}_out^x" if same else f"{first_name}_out"
+    second_marker = f"{second_name}_out^y" if same else f"{second_name}_out"
+    translated = condition.replace("x_out", first_marker)
+    translated = translated.replace("y_out", second_marker)
+    translated = translated.replace("x_in", f"{first_name}_in^x")
+    translated = translated.replace("y_in", f"{second_name}_in^y")
+    return translated
+
+
+def dependency_grid(
+    rows: list[str],
+    columns: list[str],
+    lookup,
+) -> str:
+    """Render a dependency grid (rows = invoked y, columns = executing x)."""
+    widths = [max(len(r) for r in rows + ["(y,x)"])]
+    widths += [max(3, len(c)) for c in columns]
+    header = " | ".join(
+        ["(y,x)".ljust(widths[0])]
+        + [c.ljust(widths[i + 1]) for i, c in enumerate(columns)]
+    )
+    lines = [header, "-+-".join("-" * w for w in widths)]
+    for row in rows:
+        cells = [row.ljust(widths[0])]
+        for i, column in enumerate(columns):
+            cells.append(str(lookup(row, column)).ljust(widths[i + 1]))
+        lines.append(" | ".join(cells).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Figure 2 — the QStack object graph.
+
+A chain of component vertices with ordering edges pointing towards the
+front and the two implicit references: ``f`` on the front element's
+composed-of edge and ``b`` on the back element's.  The experiment builds
+the graph through the QStack specification (Stage 1 of the methodology)
+and checks the figure's structural claims, including how the references
+move under Push/Pop/Deq.
+"""
+
+from __future__ import annotations
+
+from repro.adts.qstack import QStackSpec
+from repro.graph.analysis import is_linear_chain, ordering_walk
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.render import render_chain
+from repro.experiments.base import ExperimentOutcome
+
+__all__ = ["build", "run"]
+
+
+def build(elements: tuple = ("e1", "e2", "e3", "e4")) -> ObjectGraph:
+    """The Figure-2 QStack graph holding ``elements`` (front first)."""
+    adt = QStackSpec(capacity=max(4, len(elements)))
+    return adt.build_graph(elements)
+
+
+def run() -> ExperimentOutcome:
+    elements = ("e1", "e2", "e3", "e4")
+    adt = QStackSpec(capacity=6)
+    graph = adt.build_graph(elements)
+    front = graph.reference("f")
+    back = graph.reference("b")
+    assert front is not None and back is not None
+    walk = list(ordering_walk(graph, back))
+    checks = {
+        "object graph is a linear chain": is_linear_chain(graph),
+        "f designates the front element": graph.vertex(front).value == "e1",
+        "b designates the back element": graph.vertex(back).value == "e4",
+        "ordering edges point towards the front": [
+            graph.vertex(vid).value for vid in walk
+        ]
+        == ["e4", "e3", "e2", "e1"],
+        "one composed-of edge per element": len(graph.composed_of_edges()) == 4,
+    }
+    # Reference motion under the operations (Section 4.3's discussion).
+    view = InstrumentedGraph(graph)
+    adt.operation("Push").execute(view, "e5")
+    checks["Push selects the new composed-of edge as b"] = (
+        graph.vertex(graph.reference("b")).value == "e5"
+    )
+    adt.operation("Pop").execute(view)
+    checks["Pop moves b along the ordering edge"] = (
+        graph.vertex(graph.reference("b")).value == "e4"
+    )
+    adt.operation("Deq").execute(view)
+    checks["Deq moves f to the element behind the front"] = (
+        graph.vertex(graph.reference("f")).value == "e2"
+    )
+    matches = all(checks.values())
+    expected = "\n".join(
+        f"[{'ok' if value else 'FAIL'}] {claim}" for claim, value in checks.items()
+    )
+    return ExperimentOutcome(
+        exp_id="figure2",
+        title="QStack object graph with f/b references",
+        matches=matches,
+        expected=expected,
+        derived=render_chain(build(elements)),
+    )

@@ -1,0 +1,172 @@
+"""The paper's published tables, as printed (the golden data).
+
+Everything the experiments compare derived artifacts against.  Where the
+paper is internally inconsistent the discrepancy is recorded here with
+both readings (see ``TABLE9_AS_PRINTED`` vs ``TABLE9_CORRECTED`` and the
+notes attached to the Stage-4/5 tables).
+
+Orientation: compatibility tables are keyed ``(invoked y, executing x)``
+— the paper's ``(o1, o2)`` with "o1 follows o2".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_CLASSES",
+    "TABLE2_LOCALITY",
+    "TABLE4_OMO",
+    "TABLE5_OM",
+    "TABLE6_OM_SC",
+    "TABLE7_MM_SC",
+    "TABLE8_MO_SC",
+    "TABLE9_AS_PRINTED",
+    "TABLE9_CORRECTED",
+    "TABLE10_STAGE3",
+    "TABLE11_DEQ_PUSH",
+    "TABLE12_PUSH_PUSH",
+    "TABLE13_PUSH_PUSH_INPUT",
+    "TABLE14_DEQ_PUSH_LOCALITY",
+    "QSTACK_WORKED_OPERATIONS",
+]
+
+#: Operations the Section-5 worked example derives tables for.
+QSTACK_WORKED_OPERATIONS = ["Push", "Pop", "Deq", "Top", "Size"]
+
+#: Table 1 — state-independent classification of the QStack operations.
+TABLE1_CLASSES = {
+    "Pop": "MO",
+    "Push": "MO",
+    "Top": "O",
+    "XTop": "MO",
+    "Deq": "MO",
+    "Size": "O",
+    "Replace": "M",
+}
+
+#: Table 2 — locality-kind intersection template, (y_kind, x_kind) -> dep.
+#: Blank cells of the paper are ND.
+TABLE2_LOCALITY = {
+    ("so", "so"): "ND", ("so", "co"): "ND", ("so", "sm"): "AD", ("so", "cm"): "ND",
+    ("co", "so"): "ND", ("co", "co"): "ND", ("co", "sm"): "ND", ("co", "cm"): "AD",
+    ("sm", "so"): "CD", ("sm", "co"): "ND", ("sm", "sm"): "CD", ("sm", "cm"): "ND",
+    ("cm", "so"): "ND", ("cm", "co"): "CD", ("cm", "sm"): "ND", ("cm", "cm"): "CD",
+}
+
+#: Table 4 — (y_class, x_class) over O/M/MO.
+TABLE4_OMO = {
+    ("O", "O"): "ND", ("O", "M"): "AD", ("O", "MO"): "AD",
+    ("M", "O"): "CD", ("M", "M"): "CD", ("M", "MO"): "CD",
+    ("MO", "O"): "CD", ("MO", "M"): "AD", ("MO", "MO"): "AD",
+}
+
+#: Table 5 — the O/M core.
+TABLE5_OM = {
+    ("O", "O"): "ND", ("O", "M"): "AD",
+    ("M", "O"): "CD", ("M", "M"): "CD",
+}
+
+#: Table 6 — (O, M): y observer rows, x modifier columns.
+TABLE6_OM_SC = {
+    ("SO", "SM"): "AD", ("SO", "CM"): "ND", ("SO", "CSM"): "AD",
+    ("CO", "SM"): "ND", ("CO", "CM"): "AD", ("CO", "CSM"): "AD",
+    ("CSO", "SM"): "AD", ("CSO", "CM"): "AD", ("CSO", "CSM"): "AD",
+}
+
+#: Table 7 — (M, M): y modifier rows, x modifier columns.
+TABLE7_MM_SC = {
+    ("SM", "SM"): "CD", ("SM", "CM"): "ND", ("SM", "CSM"): "CD",
+    ("CM", "SM"): "ND", ("CM", "CM"): "CD", ("CM", "CSM"): "CD",
+    ("CSM", "SM"): "CD", ("CSM", "CM"): "CD", ("CSM", "CSM"): "CD",
+}
+
+#: Table 8 — (M, O): y modifier rows, x observer columns.
+TABLE8_MO_SC = {
+    ("SM", "SO"): "CD", ("SM", "CO"): "ND", ("SM", "CSO"): "CD",
+    ("CM", "SO"): "ND", ("CM", "CO"): "CD", ("CM", "CSO"): "CD",
+    ("CSM", "SO"): "CD", ("CSM", "CO"): "CD", ("CSM", "CSO"): "CD",
+}
+
+#: Table 9 — D1-D5 characterisation, columns
+#: (obs/mod, Cont/Str, return-value, Locality, Reference), **as printed**.
+#: The reference column contradicts the paper's own text and Figure 2
+#: (which say b is the stack pointer used by Push/Pop/Top and f the front
+#: pointer used by Deq); the printed table swaps the two letters.
+TABLE9_AS_PRINTED = {
+    "Pop": ("MO", "CS", "result/nok", "L", "f"),
+    "Push": ("MO", "CS", "ok/nok", "L", "f"),
+    "Deq": ("MO", "CS", "result/nok", "L", "b"),
+    "Size": ("O", "S", "result", "G", ""),
+    "Top": ("O", "CS", "result/nok", "L", "f"),
+}
+
+#: Table 9 with the reference column following the paper's text/Figure 2.
+TABLE9_CORRECTED = {
+    "Pop": ("MO", "CS", "result/nok", "L", "b"),
+    "Push": ("MO", "CS", "ok/nok", "L", "b"),
+    "Deq": ("MO", "CS", "result/nok", "L", "f"),
+    "Size": ("O", "S", "result", "G", ""),
+    "Top": ("O", "CS", "result/nok", "L", "b"),
+}
+
+#: Table 10 — the Stage-3 compatibility table, (y, x) -> dep.
+#: (The paper prints two redundant "ND" strings in otherwise-blank cells;
+#: semantically every blank/ND cell is ND.)
+TABLE10_STAGE3 = {
+    ("Push", "Push"): "AD", ("Push", "Pop"): "AD", ("Push", "Deq"): "AD",
+    ("Push", "Top"): "CD", ("Push", "Size"): "CD",
+    ("Pop", "Push"): "AD", ("Pop", "Pop"): "AD", ("Pop", "Deq"): "AD",
+    ("Pop", "Top"): "CD", ("Pop", "Size"): "CD",
+    ("Deq", "Push"): "AD", ("Deq", "Pop"): "AD", ("Deq", "Deq"): "AD",
+    ("Deq", "Top"): "CD", ("Deq", "Size"): "CD",
+    ("Top", "Push"): "AD", ("Top", "Pop"): "AD", ("Top", "Deq"): "AD",
+    ("Top", "Top"): "ND", ("Top", "Size"): "ND",
+    ("Size", "Push"): "AD", ("Size", "Pop"): "AD", ("Size", "Deq"): "AD",
+    ("Size", "Top"): "ND", ("Size", "Size"): "ND",
+}
+
+#: Table 11 — (Deq, Push) after Stage-4 outcome refinement.
+#: Conditions in the library's x/y notation (x = Push, executing first).
+TABLE11_DEQ_PUSH = frozenset(
+    {
+        ("CD", "x_out = nok"),
+        ("AD", "x_out = ok"),
+    }
+)
+
+#: Table 12 — (Push, Push) after Stage-4 outcome refinement, as printed.
+#: Includes the (CD, nok-then-ok) cell even though that combination cannot
+#: arise when the two Pushes run back to back with nothing in between.
+TABLE12_PUSH_PUSH = frozenset(
+    {
+        ("ND", "x_out = nok ∧ y_out = nok"),
+        ("CD", "x_out = nok ∧ y_out = ok"),
+        ("CD", "x_out = ok ∧ y_out = ok"),
+        ("AD", "x_out = ok ∧ y_out = nok"),
+    }
+)
+
+#: Table 12 restricted to serially feasible outcome combinations.
+TABLE12_SERIALLY_FEASIBLE = frozenset(
+    {
+        ("ND", "x_out = nok ∧ y_out = nok"),
+        ("CD", "x_out = ok ∧ y_out = ok"),
+        ("AD", "x_out = ok ∧ y_out = nok"),
+    }
+)
+
+#: Table 13 — Table 12 plus the same-input commutativity pair, as printed.
+#: The bare input-equality condition is unsound at the capacity boundary
+#: (one Push succeeds, the identical one overflows); the validated
+#: pipeline adds an outcome-equality guard.
+TABLE13_PUSH_PUSH_INPUT = TABLE12_PUSH_PUSH | {("ND", "x_in = y_in")}
+
+#: Table 14 — (Deq, Push) after Stage-5 locality refinement, as printed.
+TABLE14_DEQ_PUSH_LOCALITY = frozenset(
+    {
+        ("CD", "x_out = nok"),
+        ("AD", "f = b"),
+        ("ND", "f ≠ b"),
+    }
+)
+
+__all__ += ["TABLE12_SERIALLY_FEASIBLE"]

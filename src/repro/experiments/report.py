@@ -1,0 +1,123 @@
+"""Run every paper-reproduction experiment and render the report.
+
+``python -m repro.experiments`` prints the full report;
+:func:`render_markdown` produces the body of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    assertions_experiment,
+    beyond_commutativity,
+    discipline_experiment,
+    equivalence_experiment,
+    figure1_object_graph,
+    figure2_qstack_graph,
+    refinement_concurrency,
+    scheduler_soundness,
+    table01_classification,
+    table02_locality_template,
+    table03_no_semantics,
+    table04_omo_template,
+    table05_om_template,
+    table06_om_sc_template,
+    table07_mm_sc_template,
+    table08_mo_sc_template,
+    table09_characterization,
+    table10_stage3,
+    table11_deq_push,
+    table12_push_push,
+    table13_push_push_input,
+    table14_deq_push_locality,
+)
+from repro.experiments.base import ExperimentOutcome
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "render_markdown"]
+
+#: Every experiment, in paper order: one per table/figure, then the
+#: prose-claim experiments (X1-X7; X4 is folded into the X3 module).
+ALL_EXPERIMENTS: list[tuple[str, Callable[[], ExperimentOutcome]]] = [
+    ("table01", table01_classification.run),
+    ("table02", table02_locality_template.run),
+    ("table03", table03_no_semantics.run),
+    ("table04", table04_omo_template.run),
+    ("table05", table05_om_template.run),
+    ("table06", table06_om_sc_template.run),
+    ("table07", table07_mm_sc_template.run),
+    ("table08", table08_mo_sc_template.run),
+    ("table09", table09_characterization.run),
+    ("table10", table10_stage3.run),
+    ("table11", table11_deq_push.run),
+    ("table12", table12_push_push.run),
+    ("table13", table13_push_push_input.run),
+    ("table14", table14_deq_push_locality.run),
+    ("figure1", figure1_object_graph.run),
+    ("figure2", figure2_qstack_graph.run),
+    ("x1", refinement_concurrency.run),
+    ("x2", equivalence_experiment.run),
+    ("x3", assertions_experiment.run),
+    ("x5", scheduler_soundness.run),
+    ("x6", discipline_experiment.run),
+    ("x7", beyond_commutativity.run),
+]
+
+
+def run_all(
+    only: set[str] | None = None,
+) -> list[ExperimentOutcome]:
+    """Run all (or a named subset of) experiments."""
+    outcomes = []
+    for exp_id, runner in ALL_EXPERIMENTS:
+        if only is not None and exp_id not in only:
+            continue
+        outcomes.append(runner())
+    return outcomes
+
+
+def render_markdown(outcomes: list[ExperimentOutcome]) -> str:
+    """The EXPERIMENTS.md body for a list of outcomes."""
+    lines = [
+        "| Id | Artifact | Status |",
+        "|---|---|---|",
+    ]
+    for outcome in outcomes:
+        status = "match" if outcome.matches else "MISMATCH"
+        lines.append(f"| {outcome.exp_id} | {outcome.title} | {status} |")
+    lines.append("")
+    for outcome in outcomes:
+        lines.append(f"## {outcome.exp_id} — {outcome.title}")
+        lines.append("")
+        lines.append(f"**Status:** {'match' if outcome.matches else 'MISMATCH'}")
+        lines.append("")
+        lines.append("Paper:")
+        lines.append("```")
+        lines.append(outcome.expected)
+        lines.append("```")
+        lines.append("Derived:")
+        lines.append("```")
+        lines.append(outcome.derived)
+        lines.append("```")
+        for note in outcome.notes:
+            lines.append(f"- {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_text(outcomes: list[ExperimentOutcome]) -> str:
+    """Console rendering used by ``python -m repro.experiments``."""
+    lines = []
+    for outcome in outcomes:
+        lines.append(outcome.summary())
+        if not outcome.matches:
+            lines.append("  expected:")
+            lines.extend("    " + line for line in outcome.expected.splitlines())
+            lines.append("  derived:")
+            lines.extend("    " + line for line in outcome.derived.splitlines())
+    passed = sum(1 for outcome in outcomes if outcome.matches)
+    lines.append(f"{passed}/{len(outcomes)} experiments match the paper")
+    return "\n".join(lines)
+
+
+__all__ += ["render_text"]

@@ -1,0 +1,41 @@
+"""Table 1 — state-independent O/M/MO classification of the QStack.
+
+Derived mechanically from the executable QStack specification by the
+bounded-enumeration classifier (Defs. 4-6), for all seven operations the
+paper lists.
+"""
+
+from __future__ import annotations
+
+from repro.adts.qstack import QStackSpec
+from repro.core.classification import classify_all_operations
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome
+
+__all__ = ["derive", "run"]
+
+
+def derive() -> dict[str, str]:
+    """Classify every QStack operation; returns name -> class string."""
+    adt = QStackSpec()
+    return {
+        name: op_class.render()
+        for name, op_class in classify_all_operations(adt).items()
+    }
+
+
+def run() -> ExperimentOutcome:
+    derived = derive()
+    expected = golden.TABLE1_CLASSES
+    matches = all(derived[name] == expected[name] for name in expected)
+
+    def render(table: dict[str, str]) -> str:
+        return "\n".join(f"{name}: {table[name]}" for name in sorted(expected))
+
+    return ExperimentOutcome(
+        exp_id="table01",
+        title="State-independent classification of QStack operations",
+        matches=matches,
+        expected=render(expected),
+        derived=render(derived),
+    )

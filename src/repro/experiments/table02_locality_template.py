@@ -1,0 +1,64 @@
+"""Table 2 — the locality-intersection dependency template.
+
+Derived from first principles rather than copied: the Section-2.1
+interaction rules (an observer following a modifier forms an AD, a
+modifier following anything forms a CD, observers form nothing) applied
+within each locality dimension, plus the structure/content separation of
+Assertion 1 (cross-dimension intersections form no dependency).
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import Dependency
+from repro.core.templates import LOCALITY_KINDS, TABLE2
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome, dependency_grid
+
+__all__ = ["derive", "run"]
+
+#: Section-2.1 role rules: dependency formed by y's role following x's role.
+_ROLE_RULE = {
+    ("o", "o"): Dependency.ND,
+    ("o", "m"): Dependency.AD,
+    ("m", "o"): Dependency.CD,
+    ("m", "m"): Dependency.CD,
+}
+
+
+def derive() -> dict[tuple[str, str], Dependency]:
+    """Rebuild Table 2 from the interaction rules and Assertion 1."""
+    table: dict[tuple[str, str], Dependency] = {}
+    for y_kind in LOCALITY_KINDS:
+        for x_kind in LOCALITY_KINDS:
+            y_dim, y_role = y_kind[0], y_kind[1]
+            x_dim, x_role = x_kind[0], x_kind[1]
+            if y_dim != x_dim:
+                # Structure-restricted and content-restricted accesses do
+                # not form dependencies with each other (Assertion 1).
+                table[(y_kind, x_kind)] = Dependency.ND
+            else:
+                table[(y_kind, x_kind)] = _ROLE_RULE[(y_role, x_role)]
+    return table
+
+
+def run() -> ExperimentOutcome:
+    derived = derive()
+    expected = {
+        key: Dependency[name] for key, name in golden.TABLE2_LOCALITY.items()
+    }
+    matches = derived == expected and derived == TABLE2
+
+    def render(table: dict[tuple[str, str], Dependency]) -> str:
+        kinds = list(LOCALITY_KINDS)
+        return dependency_grid(
+            kinds, kinds, lambda y, x: table[(y, x)].render(blank_nd=False)
+        )
+
+    return ExperimentOutcome(
+        exp_id="table02",
+        title="Locality-intersection dependency template",
+        matches=matches,
+        expected=render(expected),
+        derived=render(derived),
+        notes=["also checked identical to the template used by the pipeline"],
+    )

@@ -1,0 +1,34 @@
+"""Table 3 — the single-entry table when no semantics are used.
+
+"We begin with the case where no semantic information is used about the
+object and its operations, i.e., corresponds to all operations being
+modifier-observers.  This produces a single entry compatibility table
+containing AD."  Derived by evaluating the D1 template at (MO, MO).
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import OpClass
+from repro.core.dependency import Dependency
+from repro.core.templates import d1_entry, no_information_entry
+from repro.experiments.base import ExperimentOutcome
+
+__all__ = ["derive", "run"]
+
+
+def derive() -> Dependency:
+    """The dependency when both operations are treated as MO."""
+    return d1_entry(OpClass.MO, OpClass.MO)
+
+
+def run() -> ExperimentOutcome:
+    derived = derive()
+    expected = Dependency.AD
+    matches = derived is expected and no_information_entry() is expected
+    return ExperimentOutcome(
+        exp_id="table03",
+        title="No-information compatibility table (single AD entry)",
+        matches=matches,
+        expected="(Y, X) = AD",
+        derived=f"(Y, X) = {derived.render(blank_nd=False)}",
+    )

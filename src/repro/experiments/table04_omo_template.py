@@ -1,0 +1,49 @@
+"""Table 4 — the O/M/MO template.
+
+Derived by expanding Table 5 with the paper's ``stronger`` rule: "the
+entries associated with a modifier-observer can be considered as a
+function that returns the stronger dependency between the corresponding
+modifier and observer entries."  This is also "exactly the semantics that
+is captured by recoverability [and serial dependency]".
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import OpClass
+from repro.core.dependency import Dependency
+from repro.core.templates import d1_entry
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome, dependency_grid
+
+__all__ = ["derive", "run"]
+
+_CLASSES = [OpClass.O, OpClass.M, OpClass.MO]
+
+
+def derive() -> dict[tuple[str, str], Dependency]:
+    """Expand Table 5 over all three classes."""
+    return {
+        (y.render(), x.render()): d1_entry(y, x)
+        for y in _CLASSES
+        for x in _CLASSES
+    }
+
+
+def run() -> ExperimentOutcome:
+    derived = derive()
+    expected = {key: Dependency[name] for key, name in golden.TABLE4_OMO.items()}
+    matches = derived == expected
+
+    def render(table: dict[tuple[str, str], Dependency]) -> str:
+        labels = [cls.render() for cls in _CLASSES]
+        return dependency_grid(
+            labels, labels, lambda y, x: table[(y, x)].render(blank_nd=False)
+        )
+
+    return ExperimentOutcome(
+        exp_id="table04",
+        title="O/M/MO template (stronger-expansion of Table 5)",
+        matches=matches,
+        expected=render(expected),
+        derived=render(derived),
+    )

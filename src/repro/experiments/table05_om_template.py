@@ -1,0 +1,46 @@
+"""Table 5 — the O/M template.
+
+The core template: derived from the Section-2.1 interaction analysis
+(which of the eight interaction cases create abort- vs
+commit-dependencies), exposed by :func:`repro.core.templates.d1_base_entry`.
+"""
+
+from __future__ import annotations
+
+from repro.core.classification import OpClass
+from repro.core.dependency import Dependency
+from repro.core.templates import d1_base_entry
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome, dependency_grid
+
+__all__ = ["derive", "run"]
+
+_CLASSES = [OpClass.O, OpClass.M]
+
+
+def derive() -> dict[tuple[str, str], Dependency]:
+    return {
+        (y.render(), x.render()): d1_base_entry(y, x)
+        for y in _CLASSES
+        for x in _CLASSES
+    }
+
+
+def run() -> ExperimentOutcome:
+    derived = derive()
+    expected = {key: Dependency[name] for key, name in golden.TABLE5_OM.items()}
+    matches = derived == expected
+
+    def render(table: dict[tuple[str, str], Dependency]) -> str:
+        labels = [cls.render() for cls in _CLASSES]
+        return dependency_grid(
+            labels, labels, lambda y, x: table[(y, x)].render(blank_nd=False)
+        )
+
+    return ExperimentOutcome(
+        exp_id="table05",
+        title="O/M template",
+        matches=matches,
+        expected=render(expected),
+        derived=render(derived),
+    )

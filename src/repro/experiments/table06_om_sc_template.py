@@ -1,0 +1,78 @@
+"""Table 6 — the (O, M) structure/content template.
+
+Rows are observer kinds (SO/CO/CSO) of the invoked operation ``y``,
+columns modifier kinds (SM/CM/CSM) of the executing operation ``x``.
+Derived from Table 2 by decomposing CS kinds and composing with
+``stronger`` (:func:`repro.core.templates.d2_base_entry`).
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import Dependency
+from repro.core.templates import d2_base_entry
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome, dependency_grid
+
+__all__ = ["derive", "run", "derive_sc_grid", "run_sc_experiment"]
+
+
+def derive_sc_grid(
+    y_role: str, x_role: str
+) -> dict[tuple[str, str], Dependency]:
+    """The full 3x3 structure/content grid for a role pair.
+
+    Shared by the Table-6/7/8 experiments: role 'o' uses SO/CO/CSO labels,
+    role 'm' uses SM/CM/CSM labels.
+    """
+    suffix = {"o": "O", "m": "M"}
+    rows = [f"S{suffix[y_role]}", f"C{suffix[y_role]}", f"CS{suffix[y_role]}"]
+    columns = [f"S{suffix[x_role]}", f"C{suffix[x_role]}", f"CS{suffix[x_role]}"]
+    grid = {}
+    for row in rows:
+        for column in columns:
+            y_kind = row[: -1]  # strip the role letter -> S / C / CS
+            x_kind = column[: -1]
+            grid[(row, column)] = d2_base_entry(y_role, y_kind, x_role, x_kind)
+    return grid
+
+
+def run_sc_experiment(
+    exp_id: str,
+    title: str,
+    y_role: str,
+    x_role: str,
+    expected_names: dict[tuple[str, str], str],
+) -> ExperimentOutcome:
+    """Compare one structure/content template grid against golden data."""
+    derived = derive_sc_grid(y_role, x_role)
+    expected = {key: Dependency[name] for key, name in expected_names.items()}
+    matches = derived == expected
+    rows = sorted({key[0] for key in expected}, key=len)
+    columns = sorted({key[1] for key in expected}, key=len)
+
+    def render(table: dict[tuple[str, str], Dependency]) -> str:
+        return dependency_grid(
+            rows, columns, lambda y, x: table[(y, x)].render(blank_nd=False)
+        )
+
+    return ExperimentOutcome(
+        exp_id=exp_id,
+        title=title,
+        matches=matches,
+        expected=render(expected),
+        derived=render(derived),
+    )
+
+
+def derive() -> dict[tuple[str, str], Dependency]:
+    return derive_sc_grid("o", "m")
+
+
+def run() -> ExperimentOutcome:
+    return run_sc_experiment(
+        "table06",
+        "(O, M) structure/content template",
+        "o",
+        "m",
+        golden.TABLE6_OM_SC,
+    )

@@ -1,0 +1,27 @@
+"""Table 7 — the (M, M) structure/content template.
+
+Derived from Table 2 like Table 6; modifier kinds on both axes.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import Dependency
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome
+from repro.experiments.table06_om_sc_template import derive_sc_grid, run_sc_experiment
+
+__all__ = ["derive", "run"]
+
+
+def derive() -> dict[tuple[str, str], Dependency]:
+    return derive_sc_grid("m", "m")
+
+
+def run() -> ExperimentOutcome:
+    return run_sc_experiment(
+        "table07",
+        "(M, M) structure/content template",
+        "m",
+        "m",
+        golden.TABLE7_MM_SC,
+    )

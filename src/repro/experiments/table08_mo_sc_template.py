@@ -1,0 +1,28 @@
+"""Table 8 — the (M, O) structure/content template.
+
+Derived from Table 2 like Table 6; modifier kinds of the invoked
+operation against observer kinds of the executing one.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import Dependency
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome
+from repro.experiments.table06_om_sc_template import derive_sc_grid, run_sc_experiment
+
+__all__ = ["derive", "run"]
+
+
+def derive() -> dict[tuple[str, str], Dependency]:
+    return derive_sc_grid("m", "o")
+
+
+def run() -> ExperimentOutcome:
+    return run_sc_experiment(
+        "table08",
+        "(M, O) structure/content template",
+        "m",
+        "o",
+        golden.TABLE8_MO_SC,
+    )

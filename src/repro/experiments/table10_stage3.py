@@ -1,0 +1,49 @@
+"""Table 10 — the Stage-3 initial compatibility table for the QStack.
+
+Derived by the full Stage 1-3 pipeline: object-graph construction,
+D1-D5 characterisation, template-table lookup with the
+least-restrictive-across-dimensions rule.
+"""
+
+from __future__ import annotations
+
+from repro.adts.qstack import QStackSpec
+from repro.core.methodology import derive as derive_tables
+from repro.core.table import CompatibilityTable
+from repro.experiments import golden
+from repro.experiments.base import ExperimentOutcome, dependency_grid
+
+__all__ = ["derive", "run"]
+
+
+def derive() -> CompatibilityTable:
+    """The Stage-3 table for the worked-example operations."""
+    adt = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    return derive_tables(adt).stage3_table
+
+
+def run() -> ExperimentOutcome:
+    table = derive()
+    operations = golden.QSTACK_WORKED_OPERATIONS
+    derived = {
+        (invoked, executing): table.dependency(invoked, executing).name
+        for invoked in operations
+        for executing in operations
+    }
+    expected = golden.TABLE10_STAGE3
+    matches = derived == expected
+
+    def render(cells: dict[tuple[str, str], str]) -> str:
+        return dependency_grid(
+            operations,
+            operations,
+            lambda y, x: "" if cells[(y, x)] == "ND" else cells[(y, x)],
+        )
+
+    return ExperimentOutcome(
+        exp_id="table10",
+        title="Stage-3 initial compatibility table for the QStack",
+        matches=matches,
+        expected=render(expected),
+        derived=render(derived),
+    )

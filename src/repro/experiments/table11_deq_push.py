@@ -1,0 +1,54 @@
+"""Table 11 — the (Deq, Push) entry after Stage-4 outcome refinement.
+
+"Only the outcome of the Push operation helps in refining the existing
+dependency": conditioned on ``Push_out = nok`` the Push acts as an
+observer (CD), conditioned on ``Push_out = ok`` as a modifier-observer
+(AD).  The default (auto) partition derives exactly this shape: the joint
+outcome cells collapse to Push-only conditions because Deq's outcome is
+determined by Push's when the two run back to back.
+"""
+
+from __future__ import annotations
+
+from repro.adts.qstack import QStackSpec
+from repro.core.entry import Entry
+from repro.core.methodology import derive as derive_tables
+from repro.experiments import golden
+from repro.experiments.base import (
+    ExperimentOutcome,
+    entry_signature,
+    paper_condition,
+    render_signature,
+)
+
+__all__ = ["derive", "run"]
+
+
+def derive() -> Entry:
+    """The Stage-4 (Deq, Push) entry under default (validated) options."""
+    adt = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    return derive_tables(adt).stage4_table.entry("Deq", "Push")
+
+
+def run() -> ExperimentOutcome:
+    entry = derive()
+    derived = entry_signature(entry)
+    expected = golden.TABLE11_DEQ_PUSH
+    matches = derived == expected
+
+    def pretty(signature) -> str:
+        return "\n".join(
+            sorted(
+                f"({dep}, {paper_condition(cond, 'Push', 'Deq')})"
+                for dep, cond in signature
+            )
+        )
+
+    return ExperimentOutcome(
+        exp_id="table11",
+        title="(Deq, Push) outcome refinement",
+        matches=matches,
+        expected=pretty(expected),
+        derived=pretty(derived),
+        notes=[f"raw signature: {render_signature(derived)}"],
+    )

@@ -1,0 +1,77 @@
+"""Table 13 — Table 12 plus the same-input commutativity condition.
+
+"If two Push operations attempt to push the same item onto a stack they
+commute."  The paper adds the bare pair ``(ND, Push_in^x = Push_in^y =
+e)``; reproducing it literally requires ``validate_conditions=False``,
+because the bare condition is unsound at the capacity boundary (from a
+QStack with one free slot, two identical Pushes do not commute: whichever
+runs second overflows).  The experiment also derives the validated
+variant and reports the guard it acquires.
+"""
+
+from __future__ import annotations
+
+from repro.adts.qstack import QStackSpec
+from repro.core.entry import Entry
+from repro.core.methodology import MethodologyOptions, derive as derive_tables
+from repro.experiments import golden
+from repro.experiments.base import (
+    ExperimentOutcome,
+    entry_signature,
+    paper_condition,
+)
+
+__all__ = ["derive", "derive_validated", "run"]
+
+
+def _entry(validate: bool) -> Entry:
+    adt = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    options = MethodologyOptions(
+        outcome_partition="joint",
+        outcome_feasibility="any",
+        refine_inputs=True,
+        refine_localities=False,
+        validate_conditions=validate,
+    )
+    return derive_tables(adt, options=options).stage4_table.entry("Push", "Push")
+
+
+def derive() -> Entry:
+    """The printed Table 13 (unvalidated same-input condition)."""
+    return _entry(validate=False)
+
+
+def derive_validated() -> Entry:
+    """The validated variant: the same-input pair gains an outcome guard."""
+    return _entry(validate=True)
+
+
+def run() -> ExperimentOutcome:
+    derived = entry_signature(derive())
+    expected = golden.TABLE13_PUSH_PUSH_INPUT
+    matches = derived == expected
+
+    validated = entry_signature(derive_validated())
+    guard_present = ("ND", "x_in = y_in ∧ x_out = y_out") in validated
+
+    def pretty(signature) -> str:
+        return "\n".join(
+            sorted(
+                f"({dep}, {paper_condition(cond, 'Push', 'Push')})"
+                for dep, cond in signature
+            )
+        )
+
+    return ExperimentOutcome(
+        exp_id="table13",
+        title="(Push, Push) input-parameter refinement",
+        matches=matches,
+        expected=pretty(expected),
+        derived=pretty(derived),
+        notes=[
+            "the paper's bare same-input condition is unsound at the "
+            "capacity boundary; the validated pipeline derives "
+            "(ND, Push_in^x = Push_in^y ∧ Push_out^x = Push_out^y) instead: "
+            + ("CONFIRMED" if guard_present else "NOT OBSERVED"),
+        ],
+    )

@@ -1,0 +1,77 @@
+"""Table 14 — the (Deq, Push) entry after Stage-5 locality refinement.
+
+"The intersection between the localities of Push and Deq can be
+determined by a predicate constructed from the references f and b":
+``(CD, Push_out = nok)``, ``(AD, f = b)``, ``(ND, f ≠ b)``.
+
+The printed entry resolves ND for an unsuccessful Push on a full QStack
+with ``f ≠ b`` ("both conditions become true, and hence, ND should be
+chosen") — which the validated pipeline rejects, because Push-then-Deq on
+a full QStack does not commute (reversing the order makes the Push
+succeed).  Reproducing the printed table therefore uses
+``validate_conditions=False``; the validated variant, which guards the ND
+condition with ``Push_out = ok``, is derived alongside and reported.
+"""
+
+from __future__ import annotations
+
+from repro.adts.qstack import QStackSpec
+from repro.core.entry import Entry
+from repro.core.methodology import MethodologyOptions, derive as derive_tables
+from repro.experiments import golden
+from repro.experiments.base import (
+    ExperimentOutcome,
+    entry_signature,
+    paper_condition,
+)
+
+__all__ = ["derive", "derive_validated", "run"]
+
+
+def derive() -> Entry:
+    """The printed Table 14 (paper-fidelity mode)."""
+    adt = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    options = MethodologyOptions(
+        outcome_partition="first",
+        refine_inputs=False,
+        validate_conditions=False,
+    )
+    return derive_tables(adt, options=options).stage5_table.entry("Deq", "Push")
+
+
+def derive_validated() -> Entry:
+    """The validated Stage-5 entry (outcome-guarded ND condition)."""
+    adt = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    return derive_tables(adt).stage5_table.entry("Deq", "Push")
+
+
+def run() -> ExperimentOutcome:
+    derived = entry_signature(derive())
+    expected = golden.TABLE14_DEQ_PUSH_LOCALITY
+    matches = derived == expected
+
+    validated = entry_signature(derive_validated())
+    guarded = ("ND", "x_out = ok ∧ f ≠ b") in validated
+
+    def pretty(signature) -> str:
+        return "\n".join(
+            sorted(
+                f"({dep}, {paper_condition(cond, 'Push', 'Deq')})"
+                for dep, cond in signature
+            )
+        )
+
+    return ExperimentOutcome(
+        exp_id="table14",
+        title="(Deq, Push) locality-predicate refinement",
+        matches=matches,
+        expected=pretty(expected),
+        derived=pretty(derived),
+        notes=[
+            "validated pipeline instead derives "
+            "{(CD, Push_out = nok), (AD, Push_out = ok ∧ f = b), "
+            "(ND, Push_out = ok ∧ f ≠ b)} — the ND condition gains the "
+            "Push_out = ok guard needed at the capacity boundary: "
+            + ("CONFIRMED" if guarded else "NOT OBSERVED"),
+        ],
+    )

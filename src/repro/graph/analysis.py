@@ -1,0 +1,117 @@
+"""Structural analysis of object graphs.
+
+Utilities used by tests, experiments and the methodology engine to reason
+about the shape of object graphs: ordering-graph cycles (permitted by
+Section 4.1), traversal orders induced by ordering edges, hierarchy depth of
+complex objects, and validation of the single-level restriction on ordering
+edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.vertex import VertexId
+
+__all__ = [
+    "has_ordering_cycle",
+    "ordering_walk",
+    "hierarchy_depth",
+    "component_count",
+    "is_linear_chain",
+]
+
+
+def has_ordering_cycle(graph: ObjectGraph) -> bool:
+    """Whether the ordering graph of ``graph`` contains a cycle.
+
+    Section 4.1: "At any level of the hierarchy, the ordering graph of the
+    object at that level may contain cycles."  This predicate lets callers
+    detect when an ordering walk would not terminate naturally.
+    """
+    colour: dict[VertexId, int] = {}  # 0 = in progress, 1 = done
+
+    def visit(vid: VertexId) -> bool:
+        colour[vid] = 0
+        for successor in graph.successors(vid):
+            state = colour.get(successor)
+            if state == 0:
+                return True
+            if state is None and visit(successor):
+                return True
+        colour[vid] = 1
+        return False
+
+    return any(visit(vid) for vid in graph.vertex_ids() if vid not in colour)
+
+
+def ordering_walk(
+    graph: ObjectGraph, start: VertexId, limit: int | None = None
+) -> Iterator[VertexId]:
+    """Walk ordering edges from ``start``, yielding each visited vertex once.
+
+    "The ordering edge emanating from a component indicates the next
+    component that can be accessed following access to this component."
+    When a vertex has several outgoing ordering edges the walk follows the
+    smallest-id successor (a deterministic choice; linear objects have at
+    most one).  The walk stops at a vertex without successors, on revisiting
+    a vertex (cycle), or after ``limit`` vertices.
+    """
+    seen: set[VertexId] = set()
+    current: VertexId | None = start
+    steps = 0
+    while current is not None and current not in seen:
+        if limit is not None and steps >= limit:
+            return
+        yield current
+        seen.add(current)
+        steps += 1
+        successors = graph.successors(current)
+        current = min(successors) if successors else None
+
+
+def hierarchy_depth(graph: ObjectGraph) -> int:
+    """Depth of the composition hierarchy.
+
+    A graph whose components are all primitive has depth 1; each level of
+    nested component objects adds one (Figure 1's object ``A`` has depth 2).
+    An empty graph has depth 1 by convention (the object itself exists).
+    """
+    depths = [1]
+    for vertex in graph.vertices():
+        if vertex.is_complex():
+            depths.append(1 + hierarchy_depth(vertex.value))
+    return max(depths)
+
+
+def component_count(graph: ObjectGraph, recursive: bool = False) -> int:
+    """Number of components; with ``recursive`` counts nested components too."""
+    total = len(graph)
+    if recursive:
+        for vertex in graph.vertices():
+            if vertex.is_complex():
+                total += component_count(vertex.value, recursive=True)
+    return total
+
+
+def is_linear_chain(graph: ObjectGraph) -> bool:
+    """Whether the ordering graph is a single simple path covering all vertices.
+
+    The QStack's ordering graph is always a linear chain from the back
+    element to the front element; this predicate is the invariant checked by
+    the QStack property tests after every operation.
+    """
+    vids = graph.vertex_ids()
+    if len(vids) <= 1:
+        return not graph.ordering_edges()
+    out_degrees = {vid: len(graph.successors(vid)) for vid in vids}
+    in_degrees = {vid: len(graph.predecessors(vid)) for vid in vids}
+    heads = [vid for vid in vids if in_degrees[vid] == 0]
+    tails = [vid for vid in vids if out_degrees[vid] == 0]
+    if len(heads) != 1 or len(tails) != 1:
+        return False
+    if any(out_degrees[vid] > 1 or in_degrees[vid] > 1 for vid in vids):
+        return False
+    walked = list(ordering_walk(graph, heads[0]))
+    return len(walked) == len(vids)

@@ -1,0 +1,58 @@
+"""Edge kinds of the object graph (Def. 8 of the paper).
+
+The object graph has two kinds of edges:
+
+* *composed-of* edges (``E_com``) from the root vertex to every component
+  vertex — they represent the composition of the object, and
+* *ordering* edges (``E_ord``) between component vertices — they represent
+  the relative ordering among the components.  "The ordering edge emanating
+  from a component indicates the next component that can be accessed
+  following access to this component."
+
+Ordering edges are restricted to a single level of the composition
+hierarchy (Section 4.1): they never connect vertices of different objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.vertex import VertexId
+
+__all__ = ["ComposedOfEdge", "OrderingEdge"]
+
+
+@dataclass(frozen=True)
+class ComposedOfEdge:
+    """A composed-of edge from the root of an object to a component.
+
+    The root is implicit (each graph has exactly one), so the edge is
+    identified by the component vertex it points to.  References (Def. 20)
+    are distinguished composed-of edges, i.e. values of this type held under
+    a name.
+    """
+
+    target: VertexId
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComposedOf(->{self.target})"
+
+
+@dataclass(frozen=True)
+class OrderingEdge:
+    """An ordering edge between two component vertices.
+
+    ``source -> target`` means *target is the next component that can be
+    accessed after source*.  For the QStack of Figure 2 the ordering edges
+    point from the back of the stack towards the front.
+    """
+
+    source: VertexId
+    target: VertexId
+
+    def endpoints(self) -> tuple[VertexId, VertexId]:
+        """Both endpoints, in (source, target) order."""
+        return (self.source, self.target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Ordering({self.source}->{self.target})"

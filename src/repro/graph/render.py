@@ -1,0 +1,131 @@
+"""Rendering of object graphs as text and Graphviz DOT.
+
+Used to regenerate the paper's Figure 1 (example object graph) and
+Figure 2 (QStack object graph).  Composed-of edges are drawn solid, ordering
+edges dotted, matching the paper's drawing conventions.
+"""
+
+from __future__ import annotations
+
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.vertex import VertexId
+
+__all__ = ["render_ascii", "render_dot", "render_chain"]
+
+
+def _name(graph: ObjectGraph, vid: VertexId) -> str:
+    return graph.vertex(vid).display_name()
+
+
+def render_ascii(graph: ObjectGraph, indent: str = "") -> str:
+    """Render a graph as an indented text diagram.
+
+    Composed-of edges appear as indentation under the root; ordering edges
+    and references are listed explicitly.  Nested component objects are
+    rendered recursively one indentation level deeper.
+    """
+    lines = [f"{indent}{graph.name}"]
+    for vid in sorted(graph.vertex_ids()):
+        vertex = graph.vertex(vid)
+        if vertex.is_complex():
+            nested = render_ascii(vertex.value, indent + "    ")
+            lines.append(f"{indent}  +-- {vertex.display_name()} (complex):")
+            lines.append(nested)
+        else:
+            lines.append(
+                f"{indent}  +-- {vertex.display_name()} = {vertex.value!r}"
+            )
+    ordering = sorted(
+        graph.ordering_edges(), key=lambda e: (e.source, e.target)
+    )
+    if ordering:
+        rendered = ", ".join(
+            f"{_name(graph, e.source)}..>{_name(graph, e.target)}" for e in ordering
+        )
+        lines.append(f"{indent}  order: {rendered}")
+    for ref in sorted(graph.reference_names()):
+        target = graph.reference(ref)
+        shown = "-" if target is None else _name(graph, target)
+        lines.append(f"{indent}  ref {ref} -> {shown}")
+    return "\n".join(lines)
+
+
+def render_dot(graph: ObjectGraph) -> str:
+    """Render a graph in Graphviz DOT syntax.
+
+    Solid arrows are composed-of edges (root to each component), dotted
+    arrows are ordering edges, dashed grey arrows are references.  Nested
+    component objects are rendered as subgraph clusters.
+    """
+    lines = ["digraph object_graph {", "  rankdir=TB;"]
+    lines.extend(_dot_body(graph, prefix="n"))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_body(graph: ObjectGraph, prefix: str) -> list[str]:
+    root = f"{prefix}_root"
+    lines = [f'  {root} [label="{graph.name}", shape=box];']
+    for vid in sorted(graph.vertex_ids()):
+        vertex = graph.vertex(vid)
+        node = f"{prefix}_{vid}"
+        if vertex.is_complex():
+            lines.append(f"  subgraph cluster_{node} {{")
+            lines.extend(
+                "  " + line for line in _dot_body(vertex.value, prefix=node)
+            )
+            lines.append("  }")
+            lines.append(f"  {root} -> {node}_root;")
+        else:
+            label = vertex.display_name()
+            if vertex.value is not None:
+                label = f"{label}\\n{vertex.value!r}"
+            lines.append(f'  {node} [label="{label}"];')
+            lines.append(f"  {root} -> {node};")
+    for edge in sorted(graph.ordering_edges(), key=lambda e: (e.source, e.target)):
+        lines.append(
+            f"  {prefix}_{edge.source} -> {prefix}_{edge.target} [style=dotted];"
+        )
+    for ref in sorted(graph.reference_names()):
+        target = graph.reference(ref)
+        if target is not None:
+            lines.append(
+                f'  {prefix}_ref_{ref} [label="{ref}", shape=plaintext];'
+            )
+            lines.append(
+                f"  {prefix}_ref_{ref} -> {prefix}_{target} "
+                "[style=dashed, color=grey];"
+            )
+    return lines
+
+
+def render_chain(graph: ObjectGraph, front_reference: str = "f") -> str:
+    """Render a linear object (e.g. a QStack) on a single line.
+
+    Produces ``front <.. e1 <.. e2 <.. back`` style output with reference
+    markers, mirroring Figure 2's left-to-right layout.  Falls back to
+    :func:`render_ascii` when the object is not a linear chain.
+    """
+    from repro.graph.analysis import is_linear_chain, ordering_walk
+
+    if not is_linear_chain(graph):
+        return render_ascii(graph)
+    vids = graph.vertex_ids()
+    if not vids:
+        markers = ",".join(sorted(graph.reference_names()))
+        return f"{graph.name}: <empty> ({markers} dangling)" if markers else (
+            f"{graph.name}: <empty>"
+        )
+    heads = [vid for vid in vids if not graph.predecessors(vid)]
+    back_to_front = list(ordering_walk(graph, heads[0]))
+    cells = []
+    for vid in reversed(back_to_front):  # front first
+        refs = sorted(
+            ref
+            for ref in graph.reference_names()
+            if graph.reference(ref) == vid
+        )
+        marker = f"[{','.join(refs)}]" if refs else ""
+        cells.append(f"{graph.vertex(vid).value!r}{marker}")
+    del front_reference  # layout is always front-first; kept for API clarity
+    return f"{graph.name}: front | " + " <.. ".join(cells) + " | back"

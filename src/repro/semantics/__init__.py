@@ -1,0 +1,77 @@
+"""The Section-3 semantic notions: commutativity, serial dependency,
+recoverability — implemented over the same executable specifications as
+the methodology, so the unification claims can be tested empirically.
+"""
+
+from repro.semantics.commutativity import (
+    backward_commute_events,
+    backward_commutativity_table,
+    commutativity_table,
+    commute_in_state,
+    forward_commute_events,
+    forward_commute_invocations,
+    forward_commutativity_table,
+)
+from repro.semantics.disciplines import (
+    DisciplineReport,
+    SerialOutcome,
+    compare_disciplines,
+    intentions_outcomes,
+    interleavings,
+    recoverability_outcomes,
+    serial_outcome,
+)
+from repro.semantics.equivalence import EquivalenceReport, compare_relations
+from repro.semantics.history import (
+    History,
+    HistoryEvent,
+    event_alphabet,
+    is_legal,
+    legal_histories,
+    replay,
+)
+from repro.semantics.recoverability import (
+    recoverability_table,
+    recoverable,
+    recoverable_in_state,
+    recoverable_operations,
+)
+from repro.semantics.serial_dependency import (
+    InvalidationWitness,
+    find_invalidation,
+    invalidates,
+    serial_dependency_relation,
+)
+
+__all__ = [
+    "History",
+    "HistoryEvent",
+    "replay",
+    "is_legal",
+    "legal_histories",
+    "event_alphabet",
+    "commute_in_state",
+    "forward_commute_invocations",
+    "forward_commute_events",
+    "backward_commute_events",
+    "commutativity_table",
+    "forward_commutativity_table",
+    "backward_commutativity_table",
+    "invalidates",
+    "find_invalidation",
+    "serial_dependency_relation",
+    "InvalidationWitness",
+    "recoverable",
+    "recoverable_in_state",
+    "recoverable_operations",
+    "recoverability_table",
+    "compare_relations",
+    "EquivalenceReport",
+    "DisciplineReport",
+    "SerialOutcome",
+    "compare_disciplines",
+    "intentions_outcomes",
+    "recoverability_outcomes",
+    "interleavings",
+    "serial_outcome",
+]

@@ -1,0 +1,195 @@
+"""Commutativity — the traditional conflict notion (Section 3).
+
+Three formulations, all decided by bounded enumeration:
+
+* :func:`commute_in_state` / :func:`forward_commute_invocations` — the
+  direct state-machine reading on invocations: both execution orders give
+  the same final state and each operation the same return value.  ("Two
+  operations do not commute if either type of dependency may result if
+  they execute concurrently.")
+* :func:`forward_commute_events` — Weihl's *forward commutativity* on
+  events (operations with results), the notion applicable with
+  intentions-list recovery.
+* :func:`backward_commute_events` — Weihl's *backward commutativity*,
+  applicable with log-based (undo) recovery: whenever the events can occur
+  in one order they can be reordered with the same effect.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.history import HistoryEvent, replay
+from repro.spec.adt import ADTSpec, AbstractState, EnumerationBounds, execute_invocation
+from repro.spec.operation import Invocation
+
+__all__ = [
+    "commute_in_state",
+    "forward_commute_invocations",
+    "forward_commute_events",
+    "backward_commute_events",
+    "commutativity_table",
+    "forward_commutativity_table",
+    "backward_commutativity_table",
+]
+
+
+def commute_in_state(
+    adt: ADTSpec,
+    state: AbstractState,
+    first: Invocation,
+    second: Invocation,
+) -> bool:
+    """Whether two invocations commute when started in ``state``.
+
+    Requires state equivalence *and* per-invocation return equality across
+    the two orders — return inequality is exactly what creates an
+    observable difference for the invoking transactions.
+    """
+    x_then_y_first = execute_invocation(adt, state, first)
+    x_then_y_second = execute_invocation(adt, x_then_y_first.post_state, second)
+    y_then_x_second = execute_invocation(adt, state, second)
+    y_then_x_first = execute_invocation(adt, y_then_x_second.post_state, first)
+    return (
+        x_then_y_second.post_state == y_then_x_first.post_state
+        and x_then_y_first.returned == y_then_x_first.returned
+        and x_then_y_second.returned == y_then_x_second.returned
+    )
+
+
+def forward_commute_invocations(
+    adt: ADTSpec,
+    first: Invocation,
+    second: Invocation,
+    bounds: EnumerationBounds | None = None,
+) -> bool:
+    """Whether two invocations commute in *every* enumerated state."""
+    return all(
+        commute_in_state(adt, state, first, second)
+        for state in adt.states(bounds or adt.default_bounds)
+    )
+
+
+def forward_commute_events(
+    adt: ADTSpec,
+    first: HistoryEvent,
+    second: HistoryEvent,
+    bounds: EnumerationBounds | None = None,
+) -> bool:
+    """Weihl's forward commutativity on events.
+
+    For every state in which *each* event is individually legal, both
+    orders of the pair must be legal and reach the same state.
+    """
+    for state in adt.states(bounds or adt.default_bounds):
+        first_alone = replay(adt, (first,), state)
+        second_alone = replay(adt, (second,), state)
+        if first_alone is None or second_alone is None:
+            continue
+        forward = replay(adt, (first, second), state)
+        backward = replay(adt, (second, first), state)
+        if forward is None or backward is None or forward != backward:
+            return False
+    return True
+
+
+def backward_commute_events(
+    adt: ADTSpec,
+    first: HistoryEvent,
+    second: HistoryEvent,
+    bounds: EnumerationBounds | None = None,
+) -> bool:
+    """Weihl's backward commutativity on events.
+
+    For every state in which ``first . second`` is legal, the reversed
+    order must be legal and reach the same state.
+    """
+    for state in adt.states(bounds or adt.default_bounds):
+        forward = replay(adt, (first, second), state)
+        if forward is None:
+            continue
+        backward = replay(adt, (second, first), state)
+        if backward is None or backward != forward:
+            return False
+    return True
+
+
+def forward_commutativity_table(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+) -> dict[tuple[str, str], bool]:
+    """Weihl's forward commutativity, aggregated to the operation level.
+
+    Two operations forward-commute when *every* pair of their events does;
+    the notion applicable with intentions-list recovery.  Keyed
+    ``(second, first)`` like all tables (symmetric by construction).
+    """
+    from repro.semantics.history import event_alphabet
+
+    events_by_operation: dict[str, list[HistoryEvent]] = {}
+    for event in event_alphabet(adt, bounds):
+        events_by_operation.setdefault(event.invocation.operation, []).append(
+            event
+        )
+    names = adt.operation_names()
+    table = {}
+    for first_name in names:
+        for second_name in names:
+            table[(second_name, first_name)] = all(
+                forward_commute_events(adt, first, second, bounds)
+                for first in events_by_operation.get(first_name, [])
+                for second in events_by_operation.get(second_name, [])
+            )
+    return table
+
+
+def backward_commutativity_table(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+) -> dict[tuple[str, str], bool]:
+    """Weihl's backward commutativity at the operation level.
+
+    The notion applicable with log-based (undo) recovery: whenever the
+    two events can occur consecutively, the reversed order is legal with
+    the same effect.  Weaker than forward commutativity (e.g. two
+    successful Withdrawals backward-commute — if both applied, funds
+    sufficed for both — but do not forward-commute near the balance
+    boundary).
+    """
+    from repro.semantics.history import event_alphabet
+
+    events_by_operation: dict[str, list[HistoryEvent]] = {}
+    for event in event_alphabet(adt, bounds):
+        events_by_operation.setdefault(event.invocation.operation, []).append(
+            event
+        )
+    names = adt.operation_names()
+    table = {}
+    for first_name in names:
+        for second_name in names:
+            table[(second_name, first_name)] = all(
+                backward_commute_events(adt, first, second, bounds)
+                for first in events_by_operation.get(first_name, [])
+                for second in events_by_operation.get(second_name, [])
+            )
+    return table
+
+
+def commutativity_table(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+) -> dict[tuple[str, str], bool]:
+    """Operation-level commutativity: all invocation pairs commute everywhere.
+
+    The classical yes/no compatibility relation that the paper's ND entries
+    generalise.  Keyed ``(second_operation, first_operation)`` (symmetric
+    by construction, but keyed both ways for uniform lookups).
+    """
+    table: dict[tuple[str, str], bool] = {}
+    names = adt.operation_names()
+    for first_name in names:
+        for second_name in names:
+            table[(second_name, first_name)] = all(
+                forward_commute_invocations(adt, first, second, bounds)
+                for first in adt.invocations_of(first_name, bounds)
+                for second in adt.invocations_of(second_name, bounds)
+            )
+    return table

@@ -1,0 +1,241 @@
+"""The two recovery disciplines of Section 3, made executable.
+
+The paper: serial dependency "is feasible only if intentions lists based
+recovery is used", while recoverability "assumes a flexible recovery
+technique for handling the abortion of operations" (in-place execution
+with undo), and the two notions "allow the same set of valid histories
+given a particular recovery mechanism".
+
+This module runs two-transaction interleavings under both disciplines and
+extracts the *valid committed histories* each admits:
+
+* **In-place / recoverability** (:func:`recoverability_outcomes`):
+  operations execute immediately against the shared state; an operation
+  whose return value would be perturbed by the other transaction's
+  uncommitted work (the dynamic recoverability test) blocks, rejecting
+  the interleaving.  Admitted runs commit in any order whose serial
+  replay reproduces the observed returns.
+* **Intentions lists / serial dependency**
+  (:func:`intentions_outcomes`): operations are deferred; each
+  transaction observes only the committed state plus its own intentions.
+  At commit, a transaction validates — its observed returns must replay
+  against the now-committed state (the serial-dependency check) — so the
+  admitted commit orders are interleaving-independent.
+
+A *valid history* here is a committed serial outcome: the transaction
+order together with each transaction's operations and observed returns.
+Because both disciplines only commit return values consistent with the
+chosen serial order, every admitted outcome equals the serial execution
+in that order — which is exactly the paper's equivalence: over all
+interleavings, both disciplines admit the same set of serial histories,
+and they differ only in *which interleavings* realise them (experiment
+X6 reports the counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Iterator, Sequence
+
+from repro.spec.adt import ADTSpec, AbstractState, execute_invocation
+from repro.spec.operation import Invocation
+
+__all__ = [
+    "SerialOutcome",
+    "interleavings",
+    "serial_outcome",
+    "recoverability_outcomes",
+    "intentions_outcomes",
+    "DisciplineReport",
+    "compare_disciplines",
+]
+
+
+@dataclass(frozen=True)
+class SerialOutcome:
+    """One committed serial history of two transactions.
+
+    ``order`` is the commit order as transaction indices (0/1); the
+    per-transaction histories are the operations with the returns the
+    serial execution produces.  Hashable so outcome sets can be compared.
+    """
+
+    order: tuple[int, ...]
+    histories: tuple[tuple[tuple[Invocation, object], ...], ...]
+
+
+def interleavings(
+    first: Sequence[Invocation], second: Sequence[Invocation]
+) -> Iterator[tuple[int, ...]]:
+    """All merge patterns of two programs, as sequences of txn indices."""
+    total = len(first) + len(second)
+    for positions in combinations(range(total), len(first)):
+        pattern = [1] * total
+        for position in positions:
+            pattern[position] = 0
+        yield tuple(pattern)
+
+
+def serial_outcome(
+    adt: ADTSpec,
+    start: AbstractState,
+    programs: Sequence[Sequence[Invocation]],
+    order: tuple[int, ...],
+) -> SerialOutcome:
+    """The (unique) serial history of running the programs in ``order``."""
+    state = start
+    histories: list[tuple[tuple[Invocation, object], ...]] = [(), ()]
+    for txn in order:
+        events = []
+        for invocation in programs[txn]:
+            execution = execute_invocation(adt, state, invocation)
+            events.append((invocation, execution.returned))
+            state = execution.post_state
+        histories[txn] = tuple(events)
+    return SerialOutcome(order=order, histories=tuple(histories))
+
+
+def recoverability_outcomes(
+    adt: ADTSpec,
+    start: AbstractState,
+    programs: Sequence[Sequence[Invocation]],
+    pattern: tuple[int, ...],
+) -> set[SerialOutcome]:
+    """Outcomes the in-place/recoverability discipline admits for one
+    interleaving.
+
+    Execution proceeds in the interleaved order; before each operation the
+    dynamic recoverability test runs (would the return value differ
+    without the other transaction's preceding operations?).  A failing
+    test means the operation would block — the interleaving is rejected.
+    Otherwise both commit orders are tried; each order whose serial replay
+    reproduces the observed returns is an admitted valid history.
+    """
+    cursors = [0, 0]
+    state = start
+    observed: list[list[tuple[Invocation, object]]] = [[], []]
+    executed: list[tuple[int, Invocation]] = []
+    for txn in pattern:
+        invocation = programs[txn][cursors[txn]]
+        cursors[txn] += 1
+        actual = execute_invocation(adt, state, invocation)
+        # Dynamic recoverability: replay without the other transaction.
+        shadow_state = start
+        for earlier_txn, earlier_invocation in executed:
+            if earlier_txn != txn:
+                continue
+            shadow_state = execute_invocation(
+                adt, shadow_state, earlier_invocation
+            ).post_state
+        shadow = execute_invocation(adt, shadow_state, invocation)
+        if shadow.returned != actual.returned:
+            return set()  # the operation would block: interleaving rejected
+        observed[txn].append((invocation, actual.returned))
+        executed.append((txn, invocation))
+        state = actual.post_state
+    admitted = set()
+    for order in ((0, 1), (1, 0)):
+        candidate = serial_outcome(adt, start, programs, order)
+        if candidate.histories == (tuple(observed[0]), tuple(observed[1])):
+            admitted.add(candidate)
+    return admitted
+
+
+def intentions_outcomes(
+    adt: ADTSpec,
+    start: AbstractState,
+    programs: Sequence[Sequence[Invocation]],
+) -> set[SerialOutcome]:
+    """Outcomes the intentions-list/serial-dependency discipline admits.
+
+    Deferred updates make execution interleaving-independent: each
+    transaction observes the committed state plus its own intentions.  A
+    commit order is admitted when every transaction's observed returns
+    survive validation against the state left by its predecessors —
+    which is the serial-dependency check ("does some earlier operation
+    invalidate mine?") run at commitment.
+    """
+    own_view: list[tuple[tuple[Invocation, object], ...]] = []
+    for program in programs:
+        state = start
+        events = []
+        for invocation in program:
+            execution = execute_invocation(adt, state, invocation)
+            events.append((invocation, execution.returned))
+            state = execution.post_state
+        own_view.append(tuple(events))
+    admitted = set()
+    for order in ((0, 1), (1, 0)):
+        candidate = serial_outcome(adt, start, programs, order)
+        # Validation: each transaction's pre-commit observations must
+        # survive; the first committer trivially validates (it saw the
+        # committed state), the follower validates iff its own-view
+        # returns match the serial replay after the first.
+        if candidate.histories[order[1]] == own_view[order[1]]:
+            admitted.add(candidate)
+    return admitted
+
+
+@dataclass(frozen=True)
+class DisciplineReport:
+    """Comparison of the two disciplines over every interleaving."""
+
+    program_pairs: int
+    interleavings_total: int
+    recoverability_admitted: int
+    intentions_admitted_orders: int
+    #: Valid-history sets over all interleavings, per discipline.
+    recoverability_histories: frozenset[SerialOutcome]
+    intentions_histories: frozenset[SerialOutcome]
+
+    @property
+    def same_valid_histories(self) -> bool:
+        """The paper's equivalence claim, empirically."""
+        return self.recoverability_histories == self.intentions_histories
+
+    def summary(self) -> str:
+        relation = "==" if self.same_valid_histories else "!="
+        return (
+            f"{self.program_pairs} program pairs, "
+            f"{self.interleavings_total} interleavings: "
+            f"valid-history sets {relation} "
+            f"({len(self.recoverability_histories)} recoverability vs "
+            f"{len(self.intentions_histories)} intentions); "
+            f"{self.recoverability_admitted} interleavings admitted in "
+            f"place, {self.intentions_admitted_orders} commit orders "
+            "validated under intentions lists"
+        )
+
+
+def compare_disciplines(
+    adt: ADTSpec,
+    start: AbstractState,
+    program_pairs: Iterable[tuple[Sequence[Invocation], Sequence[Invocation]]],
+) -> DisciplineReport:
+    """Run every interleaving of every program pair under both disciplines."""
+    pairs = list(program_pairs)
+    rec_histories: set[SerialOutcome] = set()
+    int_histories: set[SerialOutcome] = set()
+    interleavings_total = 0
+    rec_admitted = 0
+    int_orders = 0
+    for first, second in pairs:
+        programs = (tuple(first), tuple(second))
+        intentions = intentions_outcomes(adt, start, programs)
+        int_histories |= intentions
+        int_orders += len(intentions)
+        for pattern in interleavings(first, second):
+            interleavings_total += 1
+            outcomes = recoverability_outcomes(adt, start, programs, pattern)
+            if outcomes:
+                rec_admitted += 1
+            rec_histories |= outcomes
+    return DisciplineReport(
+        program_pairs=len(pairs),
+        interleavings_total=interleavings_total,
+        recoverability_admitted=rec_admitted,
+        intentions_admitted_orders=int_orders,
+        recoverability_histories=frozenset(rec_histories),
+        intentions_histories=frozenset(int_histories),
+    )

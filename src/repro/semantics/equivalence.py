@@ -1,0 +1,106 @@
+"""Serial dependency vs. recoverability (Section 3's equivalence claim).
+
+"Serial dependency and recoverability can be shown to be equivalent
+semantic notions in the sense that they allow the same set of valid
+histories given a particular recovery mechanism.  ...  The difference
+between these two semantic notions is in the assumption of the underlying
+recovery mechanism."
+
+The empirical form of the claim checked here, at the invocation level
+over bounded state spaces:
+
+* **Containment** (must hold exactly): every recoverability conflict —
+  a state in which the follower's return value is perturbed by the first
+  operation — yields an invalidation witness for the serial-dependency
+  relation (take ``h1 = h2 = ε`` at that state).
+* **Residual**: serial dependency may flag strictly more pairs, because
+  its history windows (``h1``/``h2``) let *later* operations observe the
+  perturbation — intentions-list recovery defers effects, so conflicts
+  surface at validation time through any downstream observer.  These
+  extra pairs are exactly the recovery-mechanism difference the paper
+  describes; they are counted and reported, never hidden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semantics.recoverability import recoverable
+from repro.semantics.serial_dependency import find_invocation_invalidation
+from repro.spec.adt import ADTSpec, EnumerationBounds
+from repro.spec.operation import Invocation
+
+__all__ = ["EquivalenceReport", "compare_relations"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Pairwise comparison of the two conflict relations."""
+
+    total: int
+    both_conflict: int
+    neither_conflicts: int
+    #: Pairs flagged by serial dependency only (history-window conflicts).
+    sd_only: tuple[tuple[Invocation, Invocation], ...]
+    #: Pairs flagged by recoverability only — the containment violation
+    #: set; must be empty for the paper's claim to hold.
+    rec_only: tuple[tuple[Invocation, Invocation], ...]
+
+    @property
+    def containment_holds(self) -> bool:
+        """Whether every recoverability conflict is an SD invalidation."""
+        return not self.rec_only
+
+    @property
+    def agreement_ratio(self) -> float:
+        """Fraction of invocation pairs with identical verdicts."""
+        agreeing = self.both_conflict + self.neither_conflicts
+        return agreeing / self.total if self.total else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.total} invocation pairs: {self.both_conflict} conflict in "
+            f"both, {self.neither_conflicts} in neither, "
+            f"{len(self.sd_only)} SD-only (history windows), "
+            f"{len(self.rec_only)} REC-only (containment "
+            f"{'holds' if self.containment_holds else 'VIOLATED'})"
+        )
+
+
+def compare_relations(
+    adt: ADTSpec,
+    max_h1: int = 1,
+    max_h2: int = 1,
+    bounds: EnumerationBounds | None = None,
+) -> EquivalenceReport:
+    """Compare the two conflict relations over all invocation pairs."""
+    invocations = adt.invocations(bounds)
+    total = 0
+    both = neither = 0
+    sd_only = []
+    rec_only = []
+    for first in invocations:
+        for second in invocations:
+            total += 1
+            rec_conflict = not recoverable(adt, second, first, bounds)
+            sd_conflict = (
+                find_invocation_invalidation(
+                    adt, first, second, max_h1, max_h2, bounds
+                )
+                is not None
+            )
+            if rec_conflict and sd_conflict:
+                both += 1
+            elif not rec_conflict and not sd_conflict:
+                neither += 1
+            elif sd_conflict:
+                sd_only.append((first, second))
+            else:
+                rec_only.append((first, second))
+    return EquivalenceReport(
+        total=total,
+        both_conflict=both,
+        neither_conflicts=neither,
+        sd_only=tuple(sd_only),
+        rec_only=tuple(rec_only),
+    )

@@ -1,0 +1,121 @@
+"""Operation histories and legality (Section 3 prerequisites).
+
+The semantic notions the paper unifies — forward/backward commutativity
+[Weihl 1988], serial dependency [Herlihy & Weihl 1988] and recoverability
+[Badrinath & Ramamritham] — are all stated over *histories*: sequences of
+operations **with their return values**.  A history is *legal* for an
+object when replaying it from a given state reproduces exactly the
+recorded return values (the state-machine reading of "legal sequence").
+
+Because our operation specifications are deterministic and total, each
+state and invocation determines exactly one event; legal histories are
+therefore enumerable by depth-first execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.spec.adt import ADTSpec, AbstractState, EnumerationBounds, execute_invocation
+from repro.spec.operation import Invocation
+from repro.spec.returnvalue import ReturnValue
+
+__all__ = [
+    "HistoryEvent",
+    "History",
+    "replay",
+    "is_legal",
+    "legal_histories",
+    "event_alphabet",
+]
+
+
+@dataclass(frozen=True)
+class HistoryEvent:
+    """One operation instance: an invocation together with its return value."""
+
+    invocation: Invocation
+    returned: ReturnValue
+
+    def render(self) -> str:
+        ret = self.returned
+        shown = ret.outcome if ret.has_outcome else repr(ret.result)
+        return f"{self.invocation.render()}:{shown}"
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
+#: A history is a sequence of events.
+History = tuple[HistoryEvent, ...]
+
+
+def replay(
+    adt: ADTSpec, history: Sequence[HistoryEvent], start: AbstractState
+) -> AbstractState | None:
+    """Replay a history from ``start``.
+
+    Returns the final state when every event's recorded return value
+    matches the replayed execution, or ``None`` when the history is not
+    legal from ``start``.
+    """
+    state = start
+    for event in history:
+        execution = execute_invocation(adt, state, event.invocation)
+        if execution.returned != event.returned:
+            return None
+        state = execution.post_state
+    return state
+
+
+def is_legal(
+    adt: ADTSpec, history: Sequence[HistoryEvent], start: AbstractState | None = None
+) -> bool:
+    """Whether a history is legal from ``start`` (default: the initial state)."""
+    origin = adt.initial_state() if start is None else start
+    return replay(adt, history, origin) is not None
+
+
+def legal_histories(
+    adt: ADTSpec,
+    max_length: int,
+    start: AbstractState | None = None,
+    bounds: EnumerationBounds | None = None,
+) -> Iterator[tuple[History, AbstractState]]:
+    """Enumerate every legal history up to ``max_length`` events.
+
+    Yields ``(history, final_state)`` pairs, including the empty history.
+    Determinism of the specs means the branching factor is exactly the
+    number of invocations, so the enumeration is |invocations|^length.
+    """
+    origin = adt.initial_state() if start is None else start
+    invocations = adt.invocations(bounds)
+
+    def extend(prefix: History, state: AbstractState) -> Iterator[tuple[History, AbstractState]]:
+        yield prefix, state
+        if len(prefix) >= max_length:
+            return
+        for invocation in invocations:
+            execution = execute_invocation(adt, state, invocation)
+            event = HistoryEvent(invocation, execution.returned)
+            yield from extend(prefix + (event,), execution.post_state)
+
+    return extend((), origin)
+
+
+def event_alphabet(
+    adt: ADTSpec, bounds: EnumerationBounds | None = None
+) -> set[HistoryEvent]:
+    """Every event an ADT can exhibit over its bounded state space.
+
+    The alphabet over which the serial-dependency relation quantifies: for
+    each invocation, each return value it produces in some enumerated
+    state.
+    """
+    events = set()
+    for state in adt.states(bounds or adt.default_bounds):
+        for invocation in adt.invocations(bounds):
+            execution = execute_invocation(adt, state, invocation)
+            events.add(HistoryEvent(invocation, execution.returned))
+    return events

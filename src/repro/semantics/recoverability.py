@@ -1,0 +1,100 @@
+"""Recoverability [Badrinath & Ramamritham] (Section 3).
+
+"An operation ``o1`` is *recoverable* relative to another operation
+``o2``, if ``o2`` returns the same value whether or not ``o1`` is executed
+immediately before ``o2``.  Transactions invoking ``o1`` and ``o2`` are
+required to commit in the order of invocation."
+
+Here the relation is oriented the library's usual way:
+``recoverable(adt, second, first)`` asks whether the *following* operation
+``second`` returns the same value whether or not ``first`` ran immediately
+before it — decided over every enumerated state.  When it holds, the
+follower may execute concurrently subject only to commit ordering (a CD);
+when it fails, the follower can observe the first operation's effect (an
+AD, forcing the abort-cascade discipline).
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import Dependency
+from repro.spec.adt import ADTSpec, AbstractState, EnumerationBounds, execute_invocation
+from repro.spec.operation import Invocation
+
+__all__ = [
+    "recoverable_in_state",
+    "recoverable",
+    "recoverable_operations",
+    "recoverability_table",
+]
+
+
+def recoverable_in_state(
+    adt: ADTSpec,
+    state: AbstractState,
+    second: Invocation,
+    first: Invocation,
+) -> bool:
+    """Whether ``second``'s return value in ``state`` survives ``first``."""
+    direct = execute_invocation(adt, state, second).returned
+    after_first = execute_invocation(adt, state, first).post_state
+    shadowed = execute_invocation(adt, after_first, second).returned
+    return direct == shadowed
+
+
+def recoverable(
+    adt: ADTSpec,
+    second: Invocation,
+    first: Invocation,
+    bounds: EnumerationBounds | None = None,
+) -> bool:
+    """Whether ``second`` is recoverable relative to ``first`` in every state."""
+    return all(
+        recoverable_in_state(adt, state, second, first)
+        for state in adt.states(bounds or adt.default_bounds)
+    )
+
+
+def recoverable_operations(
+    adt: ADTSpec,
+    second_operation: str,
+    first_operation: str,
+    bounds: EnumerationBounds | None = None,
+) -> bool:
+    """Operation-level recoverability: every invocation pair is recoverable."""
+    return all(
+        recoverable(adt, second, first, bounds)
+        for second in adt.invocations_of(second_operation, bounds)
+        for first in adt.invocations_of(first_operation, bounds)
+    )
+
+
+def recoverability_table(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+) -> dict[tuple[str, str], Dependency]:
+    """The compatibility table induced by recoverability alone.
+
+    ``(second, first) -> Dependency``: AD when the follower's return value
+    can be perturbed by the first operation (the follower would observe
+    it), otherwise CD when either operation modifies state (commit ordering
+    still required), otherwise ND.  This is the "exactly the semantics
+    captured by recoverability" reading the paper gives to its Table 4.
+    """
+    table: dict[tuple[str, str], Dependency] = {}
+    states = adt.state_list(bounds)
+    modifies: dict[str, bool] = {}
+    for name in adt.operation_names():
+        modifies[name] = any(
+            not execute_invocation(adt, state, invocation).is_identity
+            for state in states
+            for invocation in adt.invocations_of(name, bounds)
+        )
+    for first_name in adt.operation_names():
+        for second_name in adt.operation_names():
+            if not recoverable_operations(adt, second_name, first_name, bounds):
+                table[(second_name, first_name)] = Dependency.AD
+            elif modifies[first_name] or modifies[second_name]:
+                table[(second_name, first_name)] = Dependency.CD
+            else:
+                table[(second_name, first_name)] = Dependency.ND
+    return table

@@ -1,0 +1,175 @@
+"""Serial dependency relations [Herlihy & Weihl 1988] (Section 3).
+
+"An operation ``o1`` conflicts with another operation ``o2`` according to
+a serial dependency relation if ``o1`` can invalidate ``o2`` by appearing
+earlier in a serial sequence.  Specifically, if there exist operation
+sequences ``h1`` and ``h2`` such that ``h1.o2.h2`` and ``o1.h1.h2`` are
+legal sequences, but ``o1.h1.o2.h2`` is not, then ``o1`` invalidates
+``o2`` and ``o2`` has a serial dependency on ``o1``."
+
+Operations here are *events* (invocations with recorded return values);
+legality is replay-legality from the object's initial state.  The
+existential quantifiers over ``h1`` and ``h2`` are decided by bounded
+enumeration; determinism keeps the search tractable (from any state each
+invocation yields exactly one legal event).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semantics.history import (
+    History,
+    HistoryEvent,
+    is_legal,
+    legal_histories,
+    replay,
+)
+from repro.spec.adt import ADTSpec, EnumerationBounds
+
+__all__ = ["InvalidationWitness", "find_invalidation", "invalidates", "serial_dependency_relation"]
+
+
+@dataclass(frozen=True)
+class InvalidationWitness:
+    """A concrete (h1, h2) pair witnessing that ``first`` invalidates ``second``."""
+
+    first: HistoryEvent
+    second: HistoryEvent
+    h1: History
+    h2: History
+
+    def render(self) -> str:
+        h1 = ".".join(e.render() for e in self.h1) or "ε"
+        h2 = ".".join(e.render() for e in self.h2) or "ε"
+        return (
+            f"{self.first.render()} invalidates {self.second.render()} "
+            f"with h1={h1}, h2={h2}"
+        )
+
+
+def find_invalidation(
+    adt: ADTSpec,
+    first: HistoryEvent,
+    second: HistoryEvent,
+    max_h1: int = 2,
+    max_h2: int = 2,
+    bounds: EnumerationBounds | None = None,
+) -> InvalidationWitness | None:
+    """Search for a witness that ``first`` (o1) invalidates ``second`` (o2).
+
+    Enumerates legal ``h1`` from the initial state (up to ``max_h1``
+    events); for each, requires ``h1.o2`` and ``o1.h1`` legal, then
+    enumerates ``h2`` continuations of ``h1.o2`` (up to ``max_h2``) such
+    that ``o1.h1.h2`` is also legal, and reports the first combination for
+    which ``o1.h1.o2.h2`` is *not* legal.
+    """
+    initial = adt.initial_state()
+    for h1, state_after_h1 in legal_histories(adt, max_h1, bounds=bounds):
+        # h1 . o2 legal?
+        if replay(adt, (second,), state_after_h1) is None:
+            continue
+        # o1 . h1 legal?
+        after_first = replay(adt, (first,), initial)
+        if after_first is None:
+            continue
+        if replay(adt, h1, after_first) is None:
+            continue
+        # Enumerate h2 as continuations of h1 . o2 (their natural returns).
+        state_after_h1_o2 = replay(adt, (second,), state_after_h1)
+        assert state_after_h1_o2 is not None
+        for h2, _ in legal_histories(
+            adt, max_h2, start=state_after_h1_o2, bounds=bounds
+        ):
+            # o1 . h1 . h2 legal with the same h2 events?
+            if not is_legal(adt, (first, *h1, *h2), start=initial):
+                continue
+            # Is o1 . h1 . o2 . h2 legal?  If not: invalidation.
+            if not is_legal(adt, (first, *h1, second, *h2), start=initial):
+                return InvalidationWitness(first, second, h1, h2)
+    return None
+
+
+def invalidates(
+    adt: ADTSpec,
+    first: HistoryEvent,
+    second: HistoryEvent,
+    max_h1: int = 2,
+    max_h2: int = 2,
+    bounds: EnumerationBounds | None = None,
+) -> bool:
+    """Whether ``first`` invalidates ``second`` within the search bounds."""
+    return (
+        find_invalidation(adt, first, second, max_h1, max_h2, bounds) is not None
+    )
+
+
+def find_invocation_invalidation(
+    adt: ADTSpec,
+    first,
+    second,
+    max_h1: int = 1,
+    max_h2: int = 1,
+    bounds: EnumerationBounds | None = None,
+) -> InvalidationWitness | None:
+    """Invocation-level invalidation search over every reachable base state.
+
+    The paper's definition places ``o1`` at the very front of the history,
+    i.e. in the initial state; for a fair comparison with recoverability
+    (which quantifies over *all* states) the history is generalised with a
+    prefix ``h0`` reaching an arbitrary enumerated state — equivalently,
+    the search below runs the o1/h1/o2/h2 conditions from every state.
+    Events are instantiated with their natural (replay-determined) return
+    values.
+    """
+    from repro.spec.adt import execute_invocation
+
+    for base in adt.states(bounds or adt.default_bounds):
+        first_execution = execute_invocation(adt, base, first)
+        first_event = HistoryEvent(first, first_execution.returned)
+        for h1, state_after_h1 in legal_histories(
+            adt, max_h1, start=base, bounds=bounds
+        ):
+            second_execution = execute_invocation(adt, state_after_h1, second)
+            second_event = HistoryEvent(second, second_execution.returned)
+            # o1 . h1 legal (h1 replays identically after o1)?
+            after_o1_h1 = replay(adt, h1, first_execution.post_state)
+            if after_o1_h1 is None:
+                continue
+            for h2, _ in legal_histories(
+                adt, max_h2, start=second_execution.post_state, bounds=bounds
+            ):
+                # o1 . h1 . h2 legal with the same h2 events?
+                if replay(adt, h2, after_o1_h1) is None:
+                    continue
+                # o1 . h1 . o2 . h2 legal?  If not: invalidation.
+                if replay(adt, (second_event, *h2), after_o1_h1) is None:
+                    return InvalidationWitness(first_event, second_event, h1, h2)
+    return None
+
+
+def serial_dependency_relation(
+    adt: ADTSpec,
+    events: set[HistoryEvent] | None = None,
+    max_h1: int = 1,
+    max_h2: int = 1,
+    bounds: EnumerationBounds | None = None,
+) -> dict[tuple[HistoryEvent, HistoryEvent], bool]:
+    """The full event-level serial dependency relation.
+
+    Keys are ``(second, first)`` — "``second`` has a serial dependency on
+    ``first``" — matching the (invoked, executing) orientation used by the
+    compatibility tables.  ``events`` defaults to the ADT's full bounded
+    event alphabet; the history bounds default to 1 to keep the relation
+    computable in tests (raise them for stronger evidence).
+    """
+    from repro.semantics.history import event_alphabet
+
+    alphabet = events if events is not None else event_alphabet(adt, bounds)
+    relation = {}
+    for first in alphabet:
+        for second in alphabet:
+            relation[(second, first)] = invalidates(
+                adt, first, second, max_h1, max_h2, bounds
+            )
+    return relation

@@ -1,0 +1,44 @@
+"""Executable abstract specifications (Section 2 of the paper).
+
+The spec layer turns the paper's mathematical view of operations —
+functions ``state(s, p)`` / ``return(s, p)`` over object states — into
+runnable graph programs whose execution yields post-states, return values
+*and* locality traces at once.
+"""
+
+from repro.spec.adt import (
+    ADTSpec,
+    EnumerationBounds,
+    Execution,
+    execute_invocation,
+)
+from repro.spec.enumeration import (
+    all_executions,
+    execution_index,
+    executions_of,
+    reachable_states,
+    state_pairs,
+)
+from repro.spec.operation import Invocation, OperationSpec, Referencing
+from repro.spec.returnvalue import NOK, OK, ReturnValue, nok, ok, result_only
+
+__all__ = [
+    "ADTSpec",
+    "EnumerationBounds",
+    "Execution",
+    "execute_invocation",
+    "OperationSpec",
+    "Invocation",
+    "Referencing",
+    "ReturnValue",
+    "OK",
+    "NOK",
+    "ok",
+    "nok",
+    "result_only",
+    "all_executions",
+    "executions_of",
+    "reachable_states",
+    "state_pairs",
+    "execution_index",
+]

@@ -1,0 +1,119 @@
+"""Bounded enumeration utilities over ADT specifications.
+
+The paper's definitions quantify over states ("∃s", "∀s'") and over
+operation sequences.  This module provides the exhaustive, bounded
+enumerations that decide those quantifiers for the finite fragments
+configured by :class:`~repro.spec.adt.EnumerationBounds`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.graph.instrument import EdgeAttribution
+from repro.spec.adt import (
+    ADTSpec,
+    AbstractState,
+    EnumerationBounds,
+    Execution,
+    execute_invocation,
+)
+from repro.spec.operation import Invocation
+
+__all__ = [
+    "all_executions",
+    "executions_of",
+    "reachable_states",
+    "state_pairs",
+    "execution_index",
+]
+
+
+def all_executions(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> Iterator[Execution]:
+    """Execute every invocation in every state within ``bounds``.
+
+    The cross product |states| x |invocations| is the evidence base for
+    every state-independent judgement in the library.
+    """
+    bounds = bounds or adt.default_bounds
+    invocations = adt.invocations(bounds)
+    for state in adt.states(bounds):
+        for invocation in invocations:
+            yield execute_invocation(adt, state, invocation, attribution)
+
+
+def executions_of(
+    adt: ADTSpec,
+    invocation: Invocation,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> Iterator[Execution]:
+    """Execute one fixed invocation in every state within ``bounds``."""
+    bounds = bounds or adt.default_bounds
+    for state in adt.states(bounds):
+        yield execute_invocation(adt, state, invocation, attribution)
+
+
+def reachable_states(
+    adt: ADTSpec,
+    start: AbstractState | None = None,
+    bounds: EnumerationBounds | None = None,
+    max_steps: int | None = None,
+) -> set[AbstractState]:
+    """States reachable from ``start`` by invocation sequences.
+
+    Used by tests to confirm that the declared state enumeration covers the
+    reachable fragment (and nothing forces unreachable states into it).
+    ``max_steps`` bounds the exploration depth; ``None`` explores to a fixed
+    point.
+    """
+    bounds = bounds or adt.default_bounds
+    invocations = adt.invocations(bounds)
+    start = adt.initial_state() if start is None else start
+    seen = {start}
+    frontier = [start]
+    steps = 0
+    while frontier and (max_steps is None or steps < max_steps):
+        next_frontier = []
+        for state in frontier:
+            for invocation in invocations:
+                post = execute_invocation(adt, state, invocation).post_state
+                if post not in seen:
+                    seen.add(post)
+                    next_frontier.append(post)
+        frontier = next_frontier
+        steps += 1
+    return seen
+
+
+def state_pairs(
+    adt: ADTSpec, bounds: EnumerationBounds | None = None
+) -> Iterator[tuple[AbstractState, AbstractState]]:
+    """All ordered pairs of states (used by equivalence-style checks)."""
+    states = adt.state_list(bounds)
+    for first in states:
+        for second in states:
+            yield first, second
+
+
+def execution_index(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+    predicate: Callable[[Execution], bool] | None = None,
+) -> dict[Invocation, list[Execution]]:
+    """Group executions by invocation, optionally filtered.
+
+    Many analyses need "all executions of p" repeatedly; indexing them once
+    per derivation keeps the pipeline close to linear in the evidence size.
+    """
+    index: dict[Invocation, list[Execution]] = {}
+    for execution in all_executions(adt, bounds, attribution):
+        if predicate is not None and not predicate(execution):
+            continue
+        index.setdefault(execution.invocation, []).append(execution)
+    return index

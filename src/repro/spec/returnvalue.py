@@ -1,0 +1,83 @@
+"""Return values of abstract operations.
+
+Section 2 of the paper: "We refer to the 'status', such as *ok* or *nok*,
+returned by an operation as the *outcome* of the operation.  Other values
+returned are referred to as its *result*.  It is assumed that an operation
+always produces a return-value, that is, it has an outcome or a result or
+both."
+
+The outcome/result split matters to the methodology: Stage 4 refines
+compatibility entries with conditions over *outcomes* (e.g.
+``Push_out = nok``), while *results* only influence the
+modifier/modifier-observer distinction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ReturnValue", "OK", "NOK"]
+
+#: Conventional outcome constants used by the built-in ADTs.
+OK = "ok"
+NOK = "nok"
+
+
+@dataclass(frozen=True)
+class ReturnValue:
+    """The value returned by one execution of an operation.
+
+    Attributes:
+        outcome: Status component (``"ok"``, ``"nok"``, ...) or ``None``
+            when the operation has no status (e.g. QStack ``Size``).
+        result: Data component (e.g. the element returned by ``Pop``) or
+            ``None`` when the operation returns no data.
+
+    At least one of the two must be present (the paper assumes every
+    operation produces a return value).
+    """
+
+    outcome: str | None = None
+    result: Any = None
+
+    def __post_init__(self) -> None:
+        if self.outcome is None and self.result is None:
+            raise ValueError(
+                "an operation always has an outcome or a result or both"
+            )
+
+    @property
+    def has_outcome(self) -> bool:
+        """Whether the return value carries a status component."""
+        return self.outcome is not None
+
+    @property
+    def has_result(self) -> bool:
+        """Whether the return value carries a data component."""
+        return self.result is not None
+
+    def __repr__(self) -> str:
+        if self.outcome is not None and self.result is not None:
+            return f"Return(outcome={self.outcome!r}, result={self.result!r})"
+        if self.outcome is not None:
+            return f"Return(outcome={self.outcome!r})"
+        return f"Return(result={self.result!r})"
+
+
+def ok(result: Any = None) -> ReturnValue:
+    """Shorthand for a successful return, optionally carrying a result."""
+    return ReturnValue(outcome=OK, result=result)
+
+
+def nok() -> ReturnValue:
+    """Shorthand for an unsuccessful (overflow / empty) return."""
+    return ReturnValue(outcome=NOK)
+
+
+def result_only(value: Any) -> ReturnValue:
+    """Shorthand for a pure-result return (no status), e.g. ``Size``."""
+    return ReturnValue(outcome=None, result=value)
+
+
+__all__ += ["ok", "nok", "result_only"]

@@ -1,0 +1,66 @@
+"""Behavioural tests for the Account specification."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.core.classification import classify_all_operations
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> AccountSpec:
+    return AccountSpec(max_balance=4, amounts=(1, 2))
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, state, Invocation(operation, args))
+
+
+class TestOperations:
+    def test_deposit_adds(self, adt):
+        execution = run(adt, 1, "Deposit", 2)
+        assert execution.post_state == 3
+        assert execution.returned.outcome == "ok"
+
+    def test_deposit_saturates_at_cap(self, adt):
+        assert run(adt, 4, "Deposit", 2).post_state == 4
+
+    def test_deposit_always_ok(self, adt):
+        for state in adt.state_list():
+            assert run(adt, state, "Deposit", 1).returned.outcome == "ok"
+
+    def test_withdraw_subtracts(self, adt):
+        execution = run(adt, 3, "Withdraw", 2)
+        assert execution.post_state == 1
+        assert execution.returned.outcome == "ok"
+
+    def test_withdraw_insufficient_funds(self, adt):
+        execution = run(adt, 1, "Withdraw", 2)
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_balance_observes(self, adt):
+        execution = run(adt, 3, "Balance")
+        assert execution.returned.result == 3
+        assert execution.is_identity
+
+
+class TestClassification:
+    def test_recoverability_literature_classes(self, adt):
+        # The classic example: Deposit is a pure modifier, Withdraw a
+        # modifier-observer, Balance an observer.
+        classes = classify_all_operations(adt)
+        assert classes["Deposit"].name == "M"
+        assert classes["Withdraw"].name == "MO"
+        assert classes["Balance"].name == "O"
+
+    def test_no_operation_modifies_structure(self, adt):
+        # The account's single component is never inserted, deleted or
+        # re-ordered; modification is content-only (observation includes S
+        # because locating the component through the ``acct`` reference
+        # notes its existence, as with QStack's Top).
+        from repro.core.profile import characterize_all
+
+        for name, profile in characterize_all(adt).items():
+            assert profile.locality.modifier_kind in (None, "C"), name

@@ -1,0 +1,134 @@
+"""Tests for composite (complex) objects and their multilevel semantics."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.composite import CompositeSpec
+from repro.adts.qstack import QStackSpec
+from repro.core.dependency import Dependency
+from repro.core.methodology import derive
+from repro.errors import SpecError
+from repro.graph.analysis import hierarchy_depth
+
+
+@pytest.fixture(scope="module")
+def bank() -> CompositeSpec:
+    return CompositeSpec(
+        "Bank",
+        {
+            "a": AccountSpec(max_balance=2, amounts=(1,)),
+            "b": AccountSpec(max_balance=2, amounts=(1,)),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def bank_result(bank):
+    return derive(bank)
+
+
+class TestStructure:
+    def test_operations_are_namespaced(self, bank):
+        assert "a.Deposit" in bank.operation_names()
+        assert "b.Balance" in bank.operation_names()
+
+    def test_states_are_products(self, bank):
+        assert len(bank.state_list()) == 3 * 3
+
+    def test_initial_state(self, bank):
+        assert bank.initial_state() == (0, 0)
+
+    def test_graph_is_two_levels_deep(self, bank):
+        graph = bank.build_graph((1, 2))
+        assert hierarchy_depth(graph) == 2
+        assert len(graph) == 2  # one complex vertex per component
+
+    def test_v_simple_uses_paths(self, bank):
+        graph = bank.build_graph((0, 0))
+        paths = graph.simple_vertices()
+        assert all(len(path) == 2 for path in paths)
+        assert len(paths) == 2
+
+    def test_graph_round_trip(self, bank):
+        for state in bank.state_list():
+            assert bank.abstract_state(bank.build_graph(state)) == state
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(SpecError):
+            CompositeSpec("Empty", {})
+
+    def test_unknown_component_operation_rejected(self, bank):
+        with pytest.raises(SpecError):
+            bank.component_invocation("a", "Explode")
+
+
+class TestDelegation:
+    def test_delegation_updates_only_its_component(self, bank):
+        execution = bank.run_component((1, 2), "a", "Deposit", 1)
+        assert execution.post_state == (2, 2)
+        assert execution.returned.outcome == "ok"
+
+    def test_component_failure_propagates(self, bank):
+        execution = bank.run_component((0, 1), "a", "Withdraw", 1)
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_component_state_projection(self, bank):
+        assert bank.component_state((1, 2), "b") == 2
+
+    def test_parent_locality_is_the_component_vertex(self, bank):
+        execution = bank.run_component((0, 0), "a", "Deposit", 1)
+        assert len(execution.trace.content_modified) == 1
+        assert execution.trace.references_read == {"a"}
+
+    def test_observer_delegation_does_not_modify(self, bank):
+        execution = bank.run_component((1, 2), "b", "Balance")
+        assert execution.returned.result == 2
+        assert not execution.trace.content_modified
+
+
+class TestDerivedTable:
+    def test_cross_component_operations_never_conflict(self, bank_result):
+        table = bank_result.final_table
+        for invoked in table.operations:
+            for executing in table.operations:
+                if invoked.split(".")[0] != executing.split(".")[0]:
+                    entry = table.entry(invoked, executing)
+                    assert entry.weakest() is Dependency.ND, (invoked, executing)
+
+    def test_within_component_matches_the_plain_account(self, bank_result):
+        account_result = derive(AccountSpec(max_balance=2, amounts=(1,)))
+        composite = bank_result.final_table
+        plain = account_result.final_table
+        for invoked in ("Deposit", "Withdraw", "Balance"):
+            for executing in ("Deposit", "Withdraw", "Balance"):
+                assert composite.dependency(
+                    f"a.{invoked}", f"a.{executing}"
+                ) == plain.dependency(invoked, executing), (invoked, executing)
+
+    def test_stage_monotonicity(self, bank_result):
+        assert bank_result.stage5_table.refines(bank_result.stage3_table)
+
+
+class TestHeterogeneousComposite:
+    def test_queue_and_account(self):
+        composite = CompositeSpec(
+            "Branch",
+            {
+                "till": AccountSpec(max_balance=2, amounts=(1,)),
+                "queue": QStackSpec(
+                    capacity=1, domain=("c",), operations=["Push", "Pop"]
+                ),
+            },
+        )
+        execution = composite.run_component((1, ()), "queue", "Push", "c")
+        assert execution.post_state == (1, ("c",))
+        result = derive(composite)
+        assert (
+            result.final_table.dependency("till.Deposit", "queue.Push")
+            is Dependency.ND
+        )
+        assert (
+            result.final_table.dependency("queue.Pop", "queue.Push")
+            is Dependency.AD
+        )

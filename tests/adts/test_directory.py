@@ -1,0 +1,82 @@
+"""Behavioural tests for the Directory specification."""
+
+import pytest
+
+from repro.adts.directory import DirectorySpec
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> DirectorySpec:
+    return DirectorySpec(keys=("k1", "k2"), values=("u", "v"))
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, frozenset(state), Invocation(operation, args))
+
+
+class TestOperations:
+    def test_insert_new_key(self, adt):
+        execution = run(adt, set(), "Insert", "k1", "u")
+        assert execution.post_state == frozenset({("k1", "u")})
+        assert execution.returned.outcome == "ok"
+
+    def test_insert_existing_key_nok(self, adt):
+        execution = run(adt, {("k1", "u")}, "Insert", "k1", "v")
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_delete(self, adt):
+        execution = run(adt, {("k1", "u"), ("k2", "v")}, "Delete", "k1")
+        assert execution.post_state == frozenset({("k2", "v")})
+
+    def test_delete_absent_nok(self, adt):
+        assert run(adt, set(), "Delete", "k1").returned.outcome == "nok"
+
+    def test_lookup(self, adt):
+        assert run(adt, {("k1", "u")}, "Lookup", "k1").returned.result == "u"
+
+    def test_lookup_absent_nok(self, adt):
+        assert run(adt, set(), "Lookup", "k1").returned.outcome == "nok"
+
+    def test_update(self, adt):
+        execution = run(adt, {("k1", "u")}, "Update", "k1", "v")
+        assert execution.post_state == frozenset({("k1", "v")})
+
+    def test_update_absent_nok(self, adt):
+        assert run(adt, set(), "Update", "k1", "v").returned.outcome == "nok"
+
+
+class TestKeyDisjointness:
+    def test_operations_on_distinct_keys_commute(self, adt):
+        from repro.semantics.commutativity import forward_commute_invocations
+
+        assert forward_commute_invocations(
+            adt, Invocation("Insert", ("k1", "u")), Invocation("Delete", ("k2",))
+        )
+        assert forward_commute_invocations(
+            adt, Invocation("Update", ("k1", "v")), Invocation("Lookup", ("k2",))
+        )
+
+    def test_operations_on_same_key_conflict(self, adt):
+        from repro.semantics.commutativity import forward_commute_invocations
+
+        assert not forward_commute_invocations(
+            adt, Invocation("Insert", ("k1", "u")), Invocation("Delete", ("k1",))
+        )
+
+
+class TestStateSpace:
+    def test_partial_mappings_enumerated(self, adt):
+        # each of 2 keys absent or mapped to one of 2 values: 3^2 states
+        assert len(adt.state_list()) == 9
+
+    def test_keys_unique_in_every_state(self, adt):
+        for state in adt.state_list():
+            keys = [key for key, _ in state]
+            assert len(keys) == len(set(keys))
+
+    def test_graph_round_trip(self, adt):
+        for state in adt.state_list():
+            assert adt.abstract_state(adt.build_graph(state)) == state

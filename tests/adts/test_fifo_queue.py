@@ -1,0 +1,62 @@
+"""Behavioural tests for the FIFO queue specification."""
+
+import pytest
+
+from repro.adts.fifo_queue import FifoQueueSpec
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> FifoQueueSpec:
+    return FifoQueueSpec()
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, state, Invocation(operation, args))
+
+
+class TestOperations:
+    def test_enq_deq_fifo(self, adt):
+        state = run(adt, (), "Enq", "1").post_state
+        state = run(adt, state, "Enq", "2").post_state
+        execution = run(adt, state, "Deq")
+        assert execution.returned.result == "1"
+        assert execution.post_state == ("2",)
+
+    def test_enq_overflow(self, adt):
+        assert run(adt, ("a",) * 3, "Enq", "b").returned.outcome == "nok"
+
+    def test_deq_empty(self, adt):
+        assert run(adt, (), "Deq").returned.outcome == "nok"
+
+    def test_head_peeks_front(self, adt):
+        execution = run(adt, ("x", "y"), "Head")
+        assert execution.returned.result == "x"
+        assert execution.is_identity
+
+    def test_head_empty(self, adt):
+        assert run(adt, (), "Head").returned.outcome == "nok"
+
+    def test_length(self, adt):
+        assert run(adt, ("x",), "Length").returned.result == 1
+
+
+class TestReferences:
+    def test_disjoint_references_for_mutators(self, adt):
+        assert adt.operation("Enq").references_used == {"b"}
+        assert adt.operation("Deq").references_used == {"f"}
+
+    def test_references_collapse_on_singleton(self, adt):
+        graph = adt.build_graph(("only",))
+        assert graph.reference("f") == graph.reference("b")
+
+    def test_references_distinct_with_two_elements(self, adt):
+        graph = adt.build_graph(("x", "y"))
+        assert graph.reference("f") != graph.reference("b")
+
+
+class TestStateSpace:
+    def test_graph_round_trip(self, adt):
+        for state in adt.state_list():
+            assert adt.abstract_state(adt.build_graph(state)) == state

@@ -1,0 +1,116 @@
+"""Behavioural tests for the PriorityQueue specification."""
+
+import pytest
+
+from repro.adts.priority_queue import PriorityQueueSpec
+from repro.core.dependency import Dependency
+from repro.graph.analysis import is_linear_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> PriorityQueueSpec:
+    return PriorityQueueSpec()
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, state, Invocation(operation, args))
+
+
+class TestInsert:
+    @pytest.mark.parametrize(
+        "state, element, expected",
+        [
+            ((), 2, (2,)),
+            ((1, 3), 2, (1, 2, 3)),  # interior splice
+            ((1, 2), 3, (1, 2, 3)),  # at the maximum end
+            ((2, 3), 1, (1, 2, 3)),  # at the minimum end
+            ((1, 1), 1, (1, 1, 1)),  # duplicates allowed
+        ],
+    )
+    def test_sorted_insertion(self, adt, state, element, expected):
+        execution = run(adt, state, "Insert", element)
+        assert execution.post_state == expected
+        assert execution.returned.outcome == "ok"
+
+    def test_overflow(self, adt):
+        execution = run(adt, (1, 2, 3), "Insert", 2)
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_interior_insert_touches_neighbour_order(self, adt):
+        # The splice rewires edges around both neighbours: structural
+        # locality is not confined to the reference end.
+        execution = run(adt, (1, 3), "Insert", 2)
+        assert len(execution.trace.structure_modified) >= 2
+
+
+class TestExtractAndObserve:
+    def test_extract_min_returns_smallest(self, adt):
+        execution = run(adt, (1, 2, 3), "ExtractMin")
+        assert execution.returned.result == 1
+        assert execution.post_state == (2, 3)
+
+    def test_extract_empty(self, adt):
+        assert run(adt, (), "ExtractMin").returned.outcome == "nok"
+
+    def test_min_observes(self, adt):
+        execution = run(adt, (2, 3), "Min")
+        assert execution.returned.result == 2
+        assert execution.is_identity
+
+    def test_size(self, adt):
+        assert run(adt, (1, 1, 2), "Size").returned.result == 3
+
+    def test_heap_order_over_mixed_sequence(self, adt):
+        state = ()
+        for element in (3, 1, 2):
+            state = run(adt, state, "Insert", element).post_state
+        extracted = []
+        for _ in range(3):
+            execution = run(adt, state, "ExtractMin")
+            extracted.append(execution.returned.result)
+            state = execution.post_state
+        assert extracted == [1, 2, 3]
+
+
+class TestGraphInvariants:
+    def test_chain_and_sortedness_preserved_by_every_operation(self, adt):
+        for state in adt.state_list():
+            for invocation in adt.invocations():
+                graph = adt.build_graph(state)
+                view = InstrumentedGraph(graph)
+                adt.operation(invocation.operation).execute(
+                    view, *invocation.args
+                )
+                assert is_linear_chain(graph), (state, invocation)
+                post = adt.abstract_state(graph)  # raises if unsorted
+                assert post == tuple(sorted(post))
+
+    def test_min_reference_tracks_the_minimum(self, adt):
+        graph = adt.build_graph((1, 2, 3))
+        view = InstrumentedGraph(graph)
+        adt.operation("ExtractMin").execute(view)
+        assert graph.vertex(graph.reference("min")).value == 2
+
+
+class TestDerivedConcurrency:
+    def test_successful_inserts_commute(self, adt):
+        # Sorted insertion is position-determined: two successful Inserts
+        # reach the same queue in either order.
+        from repro.core.methodology import derive
+
+        entry = derive(adt).final_table.entry("Insert", "Insert")
+        signatures = {
+            (pair.dependency.name, pair.condition.render())
+            for pair in entry.pairs
+        }
+        assert ("ND", "x_out = ok ∧ y_out = ok") in signatures
+
+    def test_insert_extract_conflict(self, adt):
+        from repro.core.methodology import derive
+
+        table = derive(adt).final_table
+        assert table.dependency("ExtractMin", "Insert") is Dependency.AD

@@ -1,0 +1,206 @@
+"""Behavioural tests for the QStack specification (Section 2 semantics)."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.graph.analysis import is_linear_chain
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> QStackSpec:
+    return QStackSpec(include_enq=True)
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, state, Invocation(operation, args))
+
+
+class TestPush:
+    def test_push_appends_at_back(self, adt):
+        execution = run(adt, ("x",), "Push", "y")
+        assert execution.post_state == ("x", "y")
+        assert execution.returned.outcome == "ok"
+
+    def test_push_on_empty(self, adt):
+        assert run(adt, (), "Push", "a").post_state == ("a",)
+
+    def test_push_overflow(self, adt):
+        execution = run(adt, ("a", "a", "a"), "Push", "b")
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_enq_is_push(self, adt):
+        assert run(adt, ("x",), "Enq", "y").post_state == ("x", "y")
+
+
+class TestPop:
+    def test_pop_removes_back(self, adt):
+        execution = run(adt, ("x", "y"), "Pop")
+        assert execution.post_state == ("x",)
+        assert execution.returned.result == "y"
+
+    def test_pop_empty(self, adt):
+        execution = run(adt, (), "Pop")
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_pop_last_element_dangles_both_references(self, adt):
+        graph = adt.build_graph(("x",))
+        from repro.graph.instrument import InstrumentedGraph
+
+        view = InstrumentedGraph(graph)
+        adt.operation("Pop").execute(view)
+        assert graph.reference("b") is None
+        assert graph.reference("f") is None
+
+
+class TestDeq:
+    def test_deq_removes_front(self, adt):
+        execution = run(adt, ("x", "y"), "Deq")
+        assert execution.post_state == ("y",)
+        assert execution.returned.result == "x"
+
+    def test_deq_empty(self, adt):
+        assert run(adt, (), "Deq").returned.outcome == "nok"
+
+    def test_fifo_behaviour(self, adt):
+        state = ()
+        for element in ("1", "2", "3"):
+            state = run(adt, state, "Push", element).post_state
+        order = []
+        for _ in range(3):
+            execution = run(adt, state, "Deq")
+            order.append(execution.returned.result)
+            state = execution.post_state
+        assert order == ["1", "2", "3"]
+
+    def test_lifo_behaviour(self, adt):
+        state = ()
+        for element in ("1", "2", "3"):
+            state = run(adt, state, "Push", element).post_state
+        order = []
+        for _ in range(3):
+            execution = run(adt, state, "Pop")
+            order.append(execution.returned.result)
+            state = execution.post_state
+        assert order == ["3", "2", "1"]
+
+
+class TestObservers:
+    def test_top_returns_back_element(self, adt):
+        execution = run(adt, ("x", "y"), "Top")
+        assert execution.returned.result == "y"
+        assert execution.is_identity
+
+    def test_top_empty(self, adt):
+        assert run(adt, (), "Top").returned.outcome == "nok"
+
+    @pytest.mark.parametrize("state", [(), ("a",), ("a", "b", "a")])
+    def test_size_counts(self, adt, state):
+        assert run(adt, state, "Size").returned.result == len(state)
+
+
+class TestReplace:
+    def test_replace_rewrites_all_matches(self, adt):
+        execution = run(adt, ("a", "b", "a"), "Replace", "a", "c")
+        assert execution.post_state == ("c", "b", "c")
+        assert execution.returned.outcome == "ok"
+
+    def test_replace_without_matches_is_identity(self, adt):
+        execution = run(adt, ("b",), "Replace", "a", "c")
+        assert execution.is_identity
+        assert execution.returned.outcome == "ok"
+
+    def test_replace_on_empty(self, adt):
+        assert run(adt, (), "Replace", "a", "b").returned.outcome == "ok"
+
+
+class TestXTop:
+    def test_exchanges_back_two(self, adt):
+        assert run(adt, ("w", "x", "y"), "XTop").post_state == ("w", "y", "x")
+
+    def test_two_elements_swaps_front_too(self, adt):
+        assert run(adt, ("x", "y"), "XTop").post_state == ("y", "x")
+
+    def test_fewer_than_two_elements_nok(self, adt):
+        assert run(adt, ("x",), "XTop").returned.outcome == "nok"
+        assert run(adt, (), "XTop").returned.outcome == "nok"
+
+    def test_xtop_twice_is_identity(self, adt):
+        once = run(adt, ("a", "b", "a"), "XTop").post_state
+        twice = run(adt, once, "XTop").post_state
+        assert twice == ("a", "b", "a")
+
+    def test_xtop_touches_no_content(self, adt):
+        trace = run(adt, ("a", "b"), "XTop").trace
+        assert not trace.content_observed
+        assert not trace.content_modified
+
+
+class TestGraphInvariants:
+    def test_every_operation_preserves_the_chain_shape(self, adt):
+        from repro.graph.instrument import InstrumentedGraph
+
+        for state in adt.state_list():
+            for invocation in adt.invocations():
+                graph = adt.build_graph(state)
+                view = InstrumentedGraph(graph)
+                adt.operation(invocation.operation).execute(
+                    view, *invocation.args
+                )
+                assert is_linear_chain(graph), (state, invocation)
+
+    def test_references_always_front_and_back(self, adt):
+        from repro.graph.instrument import InstrumentedGraph
+
+        for state in adt.state_list():
+            for invocation in adt.invocations():
+                graph = adt.build_graph(state)
+                view = InstrumentedGraph(graph)
+                adt.operation(invocation.operation).execute(
+                    view, *invocation.args
+                )
+                post = adt.abstract_state(graph)
+                front, back = graph.reference("f"), graph.reference("b")
+                if post == ():
+                    assert front is None and back is None
+                else:
+                    assert graph.vertex(front).value == post[0]
+                    assert graph.vertex(back).value == post[-1]
+
+
+class TestSpecConstruction:
+    def test_operation_subset(self):
+        adt = QStackSpec(operations=["Push", "Pop"])
+        assert adt.operation_names() == ["Push", "Pop"]
+
+    def test_capacity_respected(self):
+        adt = QStackSpec(capacity=1, domain=("a",))
+        assert run(adt, ("a",), "Push", "a").returned.outcome == "nok"
+
+    def test_capacity_property(self):
+        assert QStackSpec(capacity=5).capacity == 5
+
+
+class TestEnqAlias:
+    def test_enq_shares_push_semantics_and_conflicts(self):
+        from repro.core.methodology import derive
+
+        adt = QStackSpec(include_enq=True, operations=["Push", "Enq", "Pop", "Deq"])
+        result = derive(adt)
+        table = result.final_table
+        # The alias inherits Push's classification, reference and entries.
+        assert result.profiles["Enq"].op_class == result.profiles["Push"].op_class
+        assert result.profiles["Enq"].declared_references == {"b"}
+        for other in ("Pop", "Deq"):
+            assert table.dependency(other, "Enq") == table.dependency(
+                other, "Push"
+            ), other
+
+    def test_enq_is_classified_mo(self):
+        from repro.core.classification import classify_operation
+
+        adt = QStackSpec(include_enq=True)
+        assert classify_operation(adt, "Enq").name == "MO"

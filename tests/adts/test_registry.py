@@ -1,0 +1,34 @@
+"""Unit tests for the ADT registry."""
+
+import pytest
+
+from repro.adts.registry import BUILTIN_ADTS, builtin_names, make_adt
+from repro.errors import SpecError
+from repro.spec.adt import ADTSpec
+
+
+class TestRegistry:
+    def test_all_builtins_constructible(self):
+        for name in builtin_names():
+            adt = make_adt(name)
+            assert isinstance(adt, ADTSpec)
+            assert adt.operation_names()
+
+    def test_expected_catalogue(self):
+        assert set(BUILTIN_ADTS) == {
+            "QStack", "Stack", "FifoQueue", "Set", "Account", "Directory",
+            "Bank", "PriorityQueue",
+        }
+
+    def test_unknown_name_raises_with_catalogue(self):
+        with pytest.raises(SpecError, match="QStack"):
+            make_adt("BTree")
+
+    def test_builtins_have_consistent_state_spaces(self):
+        from repro.spec.enumeration import reachable_states
+
+        for name in builtin_names():
+            adt = make_adt(name)
+            states = set(adt.state_list())
+            assert adt.initial_state() in states
+            assert reachable_states(adt) <= states

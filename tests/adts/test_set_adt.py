@@ -1,0 +1,70 @@
+"""Behavioural tests for the Set specification (explicit referencing)."""
+
+import pytest
+
+from repro.adts.set_adt import SetSpec
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> SetSpec:
+    return SetSpec(domain=("a", "b", "c"))
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, frozenset(state), Invocation(operation, args))
+
+
+class TestOperations:
+    def test_insert_new_element(self, adt):
+        execution = run(adt, {"a"}, "Insert", "b")
+        assert execution.post_state == frozenset({"a", "b"})
+        assert execution.returned.outcome == "ok"
+
+    def test_insert_duplicate_nok(self, adt):
+        execution = run(adt, {"a"}, "Insert", "a")
+        assert execution.returned.outcome == "nok"
+        assert execution.is_identity
+
+    def test_remove_member(self, adt):
+        execution = run(adt, {"a", "b"}, "Remove", "a")
+        assert execution.post_state == frozenset({"b"})
+        assert execution.returned.outcome == "ok"
+
+    def test_remove_absent_nok(self, adt):
+        assert run(adt, {"b"}, "Remove", "a").returned.outcome == "nok"
+
+    def test_member(self, adt):
+        assert run(adt, {"a"}, "Member", "a").returned.outcome == "ok"
+        assert run(adt, {"a"}, "Member", "b").returned.outcome == "nok"
+
+    def test_member_never_modifies(self, adt):
+        for state in adt.state_list():
+            for element in ("a", "b", "c"):
+                execution = execute_invocation(
+                    adt, state, Invocation("Member", (element,))
+                )
+                assert execution.is_identity
+
+    def test_cardinality(self, adt):
+        assert run(adt, {"a", "c"}, "Cardinality").returned.result == 2
+
+
+class TestLocalities:
+    def test_member_observes_only_the_target(self, adt):
+        execution = run(adt, {"a", "b"}, "Member", "a")
+        assert len(execution.trace.structure_observed) == 1
+
+    def test_no_ordering_edges_ever(self, adt):
+        for state in adt.state_list():
+            assert adt.build_graph(state).ordering_edges() == set()
+
+
+class TestStateSpace:
+    def test_all_subsets_enumerated(self, adt):
+        assert len(adt.state_list()) == 8
+
+    def test_graph_round_trip(self, adt):
+        for state in adt.state_list():
+            assert adt.abstract_state(adt.build_graph(state)) == state

@@ -1,0 +1,55 @@
+"""Behavioural tests for the Stack specification."""
+
+import pytest
+
+from repro.adts.stack import StackSpec
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> StackSpec:
+    return StackSpec()
+
+
+def run(adt, state, operation, *args):
+    return execute_invocation(adt, state, Invocation(operation, args))
+
+
+class TestOperations:
+    def test_push_pop_lifo(self, adt):
+        state = run(adt, (), "Push", "a").post_state
+        state = run(adt, state, "Push", "b").post_state
+        execution = run(adt, state, "Pop")
+        assert execution.returned.result == "b"
+        assert execution.post_state == ("a",)
+
+    def test_push_overflow(self, adt):
+        assert run(adt, ("a",) * 3, "Push", "b").returned.outcome == "nok"
+
+    def test_pop_empty(self, adt):
+        assert run(adt, (), "Pop").returned.outcome == "nok"
+
+    def test_top_observes_without_removing(self, adt):
+        execution = run(adt, ("a", "b"), "Top")
+        assert execution.returned.result == "b"
+        assert execution.is_identity
+
+    def test_size(self, adt):
+        assert run(adt, ("a", "b"), "Size").returned.result == 2
+
+    def test_single_reference_only(self, adt):
+        graph = adt.build_graph(("a",))
+        assert graph.reference_names() == {"b"}
+
+
+class TestStateSpace:
+    def test_state_count(self, adt):
+        assert len(adt.state_list()) == 15
+
+    def test_graph_round_trip(self, adt):
+        for state in adt.state_list():
+            assert adt.abstract_state(adt.build_graph(state)) == state
+
+    def test_initial_state_empty(self, adt):
+        assert adt.initial_state() == ()

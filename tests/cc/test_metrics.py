@@ -1,0 +1,46 @@
+"""Unit tests for run metrics."""
+
+import pytest
+
+from repro.cc.metrics import RunMetrics
+from repro.cc.scheduler import SchedulerStats
+
+
+class TestDerivedMetrics:
+    def test_throughput(self):
+        metrics = RunMetrics(makespan=10.0, committed=5)
+        assert metrics.throughput == pytest.approx(0.5)
+
+    def test_throughput_zero_makespan(self):
+        assert RunMetrics(committed=3).throughput == 0.0
+
+    def test_mean_response_time(self):
+        metrics = RunMetrics(committed=4, total_response_time=20.0)
+        assert metrics.mean_response_time == pytest.approx(5.0)
+
+    def test_mean_response_time_no_commits(self):
+        assert RunMetrics().mean_response_time == 0.0
+
+    def test_effective_concurrency(self):
+        metrics = RunMetrics(makespan=4.0, total_service_time=12.0)
+        assert metrics.effective_concurrency == pytest.approx(3.0)
+
+    def test_blocking_ratio(self):
+        metrics = RunMetrics(total_service_time=6.0, total_blocked_time=2.0)
+        assert metrics.blocking_ratio == pytest.approx(0.25)
+
+    def test_blocking_ratio_idle(self):
+        assert RunMetrics().blocking_ratio == 0.0
+
+    def test_summary_fields(self):
+        metrics = RunMetrics(
+            makespan=2.0,
+            committed=1,
+            aborted=2,
+            restarts=3,
+            scheduler=SchedulerStats(ad_edges=4, cd_edges=5, nd_pairs=6),
+        )
+        summary = metrics.summary()
+        for token in ("makespan=2.00", "committed=1", "aborted=2",
+                      "restarts=3", "AD=4", "CD=5", "ND=6"):
+            assert token in summary

@@ -1,0 +1,118 @@
+"""Tests for multi-object workload simulation."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.cc.serializability import is_serializable
+from repro.cc.simulator import ObjectConfig, SimulationConfig, simulate_with_scheduler
+from repro.cc.workload import Step, TransactionProgram, Workload
+from repro.core.methodology import derive
+from repro.errors import SchedulerError
+from repro.experiments import golden
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def objects():
+    qstack = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    account = AccountSpec()
+    return (
+        ("qs", ObjectConfig(adt=qstack, table=derive(qstack).final_table,
+                            initial_state=("a", "b"))),
+        ("acct", ObjectConfig(adt=account, table=derive(account).final_table,
+                              initial_state=2)),
+    )
+
+
+def program(*steps, arrival=0.0, voluntary_abort=False):
+    return TransactionProgram(
+        arrival=arrival, steps=tuple(steps), voluntary_abort=voluntary_abort
+    )
+
+
+def step(obj, operation, *args, service=1.0):
+    return Step(
+        object_name=obj, invocation=Invocation(operation, args), service_time=service
+    )
+
+
+class TestMultiObjectRuns:
+    def test_transactions_span_objects(self, objects):
+        workload = Workload(
+            programs=(
+                program(step("qs", "Push", "c"), step("acct", "Deposit", 1)),
+                program(step("acct", "Balance"), step("qs", "Top")),
+            )
+        )
+        metrics, scheduler = simulate_with_scheduler(
+            SimulationConfig(workload=workload, objects=objects)
+        )
+        assert metrics.committed + metrics.aborted == 2
+        assert is_serializable(scheduler)
+
+    def test_abort_rolls_back_all_objects(self, objects):
+        workload = Workload(
+            programs=(
+                program(
+                    step("qs", "Push", "c"),
+                    step("acct", "Deposit", 2),
+                    voluntary_abort=True,
+                ),
+            )
+        )
+        _, scheduler = simulate_with_scheduler(
+            SimulationConfig(workload=workload, objects=objects)
+        )
+        assert scheduler.object("qs").state() == ("a", "b")
+        assert scheduler.object("acct").state() == 2
+
+    def test_seeded_cross_object_sweep(self, objects):
+        import random
+
+        rng = random.Random(17)
+        qstack_invocations = objects[0][1].adt.invocations()
+        account_invocations = objects[1][1].adt.invocations()
+        programs = []
+        for index in range(8):
+            steps = []
+            for _ in range(3):
+                if rng.random() < 0.5:
+                    steps.append(
+                        Step("qs", rng.choice(qstack_invocations), 1.0)
+                    )
+                else:
+                    steps.append(
+                        Step("acct", rng.choice(account_invocations), 1.0)
+                    )
+            programs.append(program(*steps, arrival=index * 0.3))
+        metrics, scheduler = simulate_with_scheduler(
+            SimulationConfig(
+                workload=Workload(programs=tuple(programs)),
+                objects=objects,
+                policy="blocking",
+                restart_aborted=True,
+            )
+        )
+        assert metrics.committed + metrics.aborted == 8
+        assert is_serializable(scheduler)
+
+
+class TestConfigValidation:
+    def test_mixing_modes_rejected(self, objects):
+        qstack = objects[0][1].adt
+        with pytest.raises(SchedulerError, match="not both"):
+            simulate_with_scheduler(
+                SimulationConfig(
+                    adt=qstack,
+                    table=objects[0][1].table,
+                    workload=Workload(programs=()),
+                    objects=objects,
+                )
+            )
+
+    def test_missing_single_object_fields_rejected(self):
+        with pytest.raises(SchedulerError, match="single-object"):
+            simulate_with_scheduler(
+                SimulationConfig(workload=Workload(programs=()))
+            )

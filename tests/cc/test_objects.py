@@ -1,0 +1,101 @@
+"""Unit tests for shared objects and replay recovery."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.objects import SharedObject
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture
+def shared() -> SharedObject:
+    return SharedObject("qs", QStackSpec(), initial_state=("a",))
+
+
+class TestExecution:
+    def test_execute_mutates_live_state(self, shared):
+        applied = shared.execute(0, Invocation("Push", ("b",)))
+        assert applied.returned.outcome == "ok"
+        assert shared.state() == ("a", "b")
+
+    def test_log_in_execution_order(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.execute(1, Invocation("Pop"))
+        assert [entry.txn for entry in shared.log()] == [0, 1]
+
+    def test_operations_of(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.execute(1, Invocation("Pop"))
+        assert len(shared.operations_of(0)) == 1
+        assert len(shared.operations_of(2)) == 0
+
+    def test_active_writers(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.execute(1, Invocation("Pop"))
+        assert shared.active_writers(exclude=0) == {1}
+
+    def test_preview_does_not_change_state(self, shared):
+        returned = shared.preview(Invocation("Pop"))
+        assert returned.result == "a"
+        assert shared.state() == ("a",)
+        assert shared.log() == []
+
+
+class TestReplayRecovery:
+    def test_removing_sole_writer_restores_initial_state(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        invalidated = shared.remove_transactions({0})
+        assert invalidated == set()
+        assert shared.state() == ("a",)
+
+    def test_surviving_commuting_operation_keeps_return(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))  # back
+        shared.execute(1, Invocation("Deq"))  # front: 'a'
+        invalidated = shared.remove_transactions({0})
+        assert invalidated == set()
+        assert shared.state() == ()  # only the Deq survives: 'a' removed
+
+    def test_invalidated_survivor_reported(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.execute(1, Invocation("Pop"))  # observed 'b' (txn 0's push)
+        invalidated = shared.remove_transactions({0})
+        assert invalidated == {1}
+
+    def test_removing_multiple_transactions(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.execute(1, Invocation("Push", ("a",)))
+        shared.remove_transactions({0, 1})
+        assert shared.state() == ("a",)
+        assert shared.log() == []
+
+    def test_initial_state_property(self, shared):
+        assert shared.initial_state == ("a",)
+
+
+class TestForget:
+    def test_forget_sole_transaction_rebases(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.forget(0)
+        assert shared.log() == []
+        assert shared.initial_state == ("a", "b")
+        assert shared.state() == ("a", "b")
+
+    def test_forget_prefix_only(self, shared):
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.execute(1, Invocation("Push", ("a",)))
+        shared.forget(0)
+        # txn 0's entry preceded every surviving entry: folded into the
+        # baseline; txn 1's entry remains.
+        assert [entry.txn for entry in shared.log()] == [1]
+        assert shared.initial_state == ("a", "b")
+
+    def test_forget_interleaved_keeps_later_entries(self, shared):
+        shared.execute(1, Invocation("Push", ("a",)))
+        shared.execute(0, Invocation("Push", ("b",)))
+        shared.forget(0)
+        # txn 0 executed after the active txn 1: both entries must stay
+        # so that undoing txn 1 still replays correctly.
+        assert [entry.txn for entry in shared.log()] == [1, 0]
+        # and a subsequent abort of txn 1 replays txn 0's push alone
+        shared.remove_transactions({1})
+        assert shared.state() == ("a", "b")

@@ -1,0 +1,114 @@
+"""Tests for the simulator's involuntary-abort restart machinery."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.simulator import SimulationConfig, simulate, simulate_with_scheduler
+from repro.cc.workload import Step, TransactionProgram, Workload, WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.experiments import golden
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt():
+    return QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+
+
+@pytest.fixture(scope="module")
+def table(adt):
+    return derive(adt).final_table
+
+
+def contended_workload(adt, seed=21):
+    """A workload hot enough to produce involuntary aborts optimistically."""
+    return generate(
+        adt,
+        "shared",
+        WorkloadConfig(
+            transactions=10,
+            operations_per_transaction=3,
+            mean_interarrival=0.1,
+            operation_mix={"Pop": 2, "Push": 2, "Deq": 1},
+            seed=seed,
+        ),
+    )
+
+
+class TestRestarts:
+    def test_restarts_recover_committed_work(self, adt, table):
+        workload = contended_workload(adt)
+        plain = simulate(
+            SimulationConfig(adt=adt, table=table, workload=workload)
+        )
+        retried = simulate(
+            SimulationConfig(
+                adt=adt, table=table, workload=workload, restart_aborted=True
+            )
+        )
+        assert plain.aborted > 0  # premise: the workload really conflicts
+        assert retried.restarts > 0
+        assert retried.committed >= plain.committed
+
+    def test_restarted_runs_stay_serializable(self, adt, table):
+        from repro.cc.serializability import is_serializable
+
+        workload = contended_workload(adt, seed=5)
+        _, scheduler = simulate_with_scheduler(
+            SimulationConfig(
+                adt=adt, table=table, workload=workload, restart_aborted=True
+            )
+        )
+        assert is_serializable(scheduler)
+
+    def test_voluntary_aborts_never_restart(self, adt, table):
+        workload = Workload(
+            programs=(
+                TransactionProgram(
+                    arrival=0.0,
+                    steps=(
+                        Step("shared", Invocation("Push", ("a",)), 1.0),
+                    ),
+                    voluntary_abort=True,
+                ),
+            )
+        )
+        metrics = simulate(
+            SimulationConfig(
+                adt=adt, table=table, workload=workload, restart_aborted=True
+            )
+        )
+        assert metrics.aborted == 1
+        assert metrics.restarts == 0
+
+    def test_max_restarts_caps_retries(self, adt, table):
+        workload = contended_workload(adt, seed=9)
+        capped = simulate(
+            SimulationConfig(
+                adt=adt,
+                table=table,
+                workload=workload,
+                restart_aborted=True,
+                max_restarts=1,
+            )
+        )
+        roomy = simulate(
+            SimulationConfig(
+                adt=adt,
+                table=table,
+                workload=workload,
+                restart_aborted=True,
+                max_restarts=20,
+            )
+        )
+        assert capped.restarts <= 10  # at most one per program
+        assert roomy.restarts >= capped.restarts
+
+    def test_all_programs_accounted_with_restarts(self, adt, table):
+        workload = contended_workload(adt, seed=13)
+        metrics = simulate(
+            SimulationConfig(
+                adt=adt, table=table, workload=workload, restart_aborted=True
+            )
+        )
+        assert metrics.committed + metrics.aborted == len(workload.programs)

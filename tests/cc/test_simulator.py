@@ -1,0 +1,187 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.simulator import SimulationConfig, simulate, simulate_with_scheduler
+from repro.cc.workload import (
+    Step,
+    TransactionProgram,
+    Workload,
+    WorkloadConfig,
+    generate,
+)
+from repro.core.dependency import Dependency
+from repro.core.entry import Entry
+from repro.core.methodology import derive
+from repro.core.table import CompatibilityTable
+from repro.experiments import golden
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def adt() -> QStackSpec:
+    return QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+
+
+@pytest.fixture(scope="module")
+def table(adt):
+    return derive(adt).final_table
+
+
+def scripted(*programs) -> Workload:
+    return Workload(programs=tuple(programs))
+
+
+def step(operation, *args, at="shared", service=1.0):
+    return Step(
+        object_name=at, invocation=Invocation(operation, args), service_time=service
+    )
+
+
+class TestBasicRuns:
+    def test_single_transaction_commits(self, adt, table):
+        workload = scripted(
+            TransactionProgram(arrival=0.0, steps=(step("Push", "a"),))
+        )
+        metrics = simulate(SimulationConfig(adt=adt, table=table, workload=workload))
+        assert metrics.committed == 1
+        assert metrics.aborted == 0
+        assert metrics.makespan == pytest.approx(1.0)
+
+    def test_voluntary_abort_counts(self, adt, table):
+        workload = scripted(
+            TransactionProgram(
+                arrival=0.0, steps=(step("Push", "a"),), voluntary_abort=True
+            )
+        )
+        metrics, scheduler = simulate_with_scheduler(
+            SimulationConfig(adt=adt, table=table, workload=workload)
+        )
+        assert metrics.aborted == 1
+        assert scheduler.object("shared").state() == ()  # rolled back
+
+    def test_all_transactions_accounted(self, adt, table):
+        workload = generate(adt, "shared", WorkloadConfig(transactions=10, seed=5))
+        metrics = simulate(SimulationConfig(adt=adt, table=table, workload=workload))
+        assert metrics.committed + metrics.aborted == 10
+
+    def test_deterministic_metrics(self, adt, table):
+        workload = generate(adt, "shared", WorkloadConfig(transactions=8, seed=11))
+        config = SimulationConfig(adt=adt, table=table, workload=workload)
+        first, second = simulate(config), simulate(config)
+        assert first.makespan == second.makespan
+        assert first.committed == second.committed
+
+
+class TestConflictEffects:
+    def test_all_ad_table_serialises_under_blocking(self, adt):
+        all_ad = CompatibilityTable(adt.operation_names())
+        for invoked in adt.operation_names():
+            for executing in adt.operation_names():
+                all_ad.set_entry(
+                    invoked, executing, Entry.unconditional(Dependency.AD)
+                )
+        programs = [
+            TransactionProgram(arrival=0.0, steps=(step("Top"), step("Top")))
+            for _ in range(3)
+        ]
+        metrics = simulate(
+            SimulationConfig(
+                adt=adt,
+                table=all_ad,
+                workload=scripted(*programs),
+                policy="blocking",
+                initial_state=("a",),
+            )
+        )
+        # With everything conflicting, the three 2-op transactions run
+        # strictly one after another: makespan = 6 service units.
+        assert metrics.makespan == pytest.approx(6.0)
+        assert metrics.total_blocked_time > 0
+
+    def test_all_nd_table_runs_fully_parallel(self, adt):
+        all_nd = CompatibilityTable(adt.operation_names())
+        for invoked in adt.operation_names():
+            for executing in adt.operation_names():
+                all_nd.set_entry(
+                    invoked, executing, Entry.unconditional(Dependency.ND)
+                )
+        programs = [
+            TransactionProgram(arrival=0.0, steps=(step("Top"), step("Top")))
+            for _ in range(3)
+        ]
+        metrics = simulate(
+            SimulationConfig(
+                adt=adt,
+                table=all_nd,
+                workload=scripted(*programs),
+                policy="blocking",
+                initial_state=("a",),
+            )
+        )
+        assert metrics.makespan == pytest.approx(2.0)
+        assert metrics.effective_concurrency == pytest.approx(3.0)
+
+    def test_metrics_summary_renders(self, adt, table):
+        workload = generate(adt, "shared", WorkloadConfig(transactions=4, seed=2))
+        metrics = simulate(SimulationConfig(adt=adt, table=table, workload=workload))
+        summary = metrics.summary()
+        assert "makespan=" in summary and "committed=" in summary
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+    def test_both_policies_complete(self, adt, table, policy):
+        workload = generate(
+            adt,
+            "shared",
+            WorkloadConfig(transactions=8, abort_probability=0.25, seed=9),
+        )
+        metrics = simulate(
+            SimulationConfig(
+                adt=adt, table=table, workload=workload, policy=policy
+            )
+        )
+        assert metrics.committed + metrics.aborted == 8
+
+
+class TestEdgeCases:
+    def test_empty_workload(self, adt, table):
+        from repro.cc.workload import Workload
+
+        metrics = simulate(
+            SimulationConfig(
+                adt=adt, table=table, workload=Workload(programs=())
+            )
+        )
+        assert metrics.committed == 0 and metrics.aborted == 0
+        assert metrics.makespan == 0.0
+
+    def test_max_events_guard_trips(self, adt, table):
+        import pytest as _pytest
+
+        from repro.errors import SchedulerError
+
+        workload = generate(adt, "shared", WorkloadConfig(transactions=4, seed=1))
+        with _pytest.raises(SchedulerError, match="exceeded"):
+            simulate(
+                SimulationConfig(
+                    adt=adt, table=table, workload=workload, max_events=2
+                )
+            )
+
+    def test_initial_state_respected(self, adt, table):
+        workload = scripted(
+            TransactionProgram(arrival=0.0, steps=(step("Size"),))
+        )
+        _, scheduler = simulate_with_scheduler(
+            SimulationConfig(
+                adt=adt,
+                table=table,
+                workload=workload,
+                initial_state=("a", "b", "a"),
+            )
+        )
+        record = scheduler.transaction(0).records[0]
+        assert record.returned.result == 3

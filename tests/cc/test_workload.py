@@ -1,0 +1,97 @@
+"""Unit tests for workload generation."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.workload import Workload, WorkloadConfig, generate
+from repro.errors import WorkloadError
+
+
+@pytest.fixture(scope="module")
+def adt() -> QStackSpec:
+    return QStackSpec()
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        WorkloadConfig()
+
+    def test_bad_transaction_count(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(transactions=0)
+
+    def test_bad_ops_per_txn(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(operations_per_transaction=0)
+
+    def test_bad_abort_probability(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(abort_probability=1.5)
+
+    def test_bad_service_time(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(mean_service_time=0)
+
+
+class TestGeneration:
+    def test_shape(self, adt):
+        workload = generate(
+            adt, "qs", WorkloadConfig(transactions=5, operations_per_transaction=3)
+        )
+        assert isinstance(workload, Workload)
+        assert len(workload.programs) == 5
+        assert workload.total_operations() == 15
+        assert all(len(p.steps) == 3 for p in workload.programs)
+
+    def test_deterministic_for_seed(self, adt):
+        config = WorkloadConfig(seed=42)
+        assert generate(adt, "qs", config) == generate(adt, "qs", config)
+
+    def test_different_seeds_differ(self, adt):
+        first = generate(adt, "qs", WorkloadConfig(seed=1))
+        second = generate(adt, "qs", WorkloadConfig(seed=2))
+        assert first != second
+
+    def test_arrivals_monotone(self, adt):
+        workload = generate(adt, "qs", WorkloadConfig(transactions=10))
+        arrivals = [p.arrival for p in workload.programs]
+        assert arrivals == sorted(arrivals)
+
+    def test_zero_interarrival_starts_together(self, adt):
+        workload = generate(
+            adt, "qs", WorkloadConfig(transactions=4, mean_interarrival=0)
+        )
+        assert all(p.arrival == 0.0 for p in workload.programs)
+
+    def test_operation_mix_respected(self, adt):
+        workload = generate(
+            adt,
+            "qs",
+            WorkloadConfig(transactions=10, operation_mix={"Top": 1.0}),
+        )
+        operations = {
+            step.invocation.operation
+            for program in workload.programs
+            for step in program.steps
+        }
+        assert operations == {"Top"}
+
+    def test_unknown_operation_in_mix_rejected(self, adt):
+        with pytest.raises(WorkloadError):
+            generate(adt, "qs", WorkloadConfig(operation_mix={"Nope": 1.0}))
+
+    def test_abort_probability_marks_programs(self, adt):
+        workload = generate(
+            adt,
+            "qs",
+            WorkloadConfig(transactions=50, abort_probability=0.5, seed=3),
+        )
+        flagged = sum(p.voluntary_abort for p in workload.programs)
+        assert 0 < flagged < 50
+
+    def test_invocation_arguments_within_domain(self, adt):
+        workload = generate(adt, "qs", WorkloadConfig(transactions=20))
+        for program in workload.programs:
+            for step in program.steps:
+                for argument in step.invocation.args:
+                    assert argument in ("a", "b")

@@ -1,0 +1,43 @@
+"""Shared fixtures.
+
+The heavyweight artifacts (full QStack derivations) are session-scoped:
+every stage of the pipeline is deterministic, so tests can share them
+without interference, and the suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.methodology import MethodologyOptions, derive
+from repro.experiments import golden
+
+
+@pytest.fixture(scope="session")
+def qstack_full() -> QStackSpec:
+    """The full seven-operation QStack."""
+    return QStackSpec()
+
+
+@pytest.fixture(scope="session")
+def qstack_worked() -> QStackSpec:
+    """The five-operation QStack of the paper's worked example."""
+    return QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+
+
+@pytest.fixture(scope="session")
+def derivation(qstack_worked):
+    """Default (validated) derivation for the worked example."""
+    return derive(qstack_worked)
+
+
+@pytest.fixture(scope="session")
+def paper_derivation(qstack_worked):
+    """Paper-fidelity derivation (unvalidated Stage 4/5 conditions)."""
+    options = MethodologyOptions(
+        outcome_partition="first",
+        refine_inputs=False,
+        validate_conditions=False,
+    )
+    return derive(qstack_worked, options=options)

@@ -1,0 +1,45 @@
+"""Tests for annotation-mode characterisation (the DESIGN §5.1 ablation)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.core.methodology import MethodologyOptions, derive
+from repro.core.profile import characterize_all, characterize_from_annotations
+from repro.errors import SpecError
+
+
+@pytest.fixture(scope="module")
+def qstack() -> QStackSpec:
+    # Capacity 4 avoids the known capacity-3 globality artefact of XTop.
+    return QStackSpec(capacity=4)
+
+
+class TestDeclaredProfiles:
+    def test_declared_matches_derived_for_every_operation(self, qstack):
+        declared = characterize_from_annotations(qstack)
+        derived = characterize_all(qstack)
+        for name in qstack.operation_names():
+            assert declared[name].table9_row() == derived[name].table9_row(), name
+
+    def test_unannotated_operation_rejected(self):
+        adt = AccountSpec()  # Account operations carry no declarations
+        with pytest.raises(SpecError, match="declared_profile"):
+            characterize_from_annotations(adt)
+
+    def test_subset_selection(self, qstack):
+        profiles = characterize_from_annotations(qstack, operations=["Top"])
+        assert set(profiles) == {"Top"}
+
+
+class TestAnnotationModeDerivation:
+    def test_tables_identical_to_enumerated_stage2(self):
+        adt = QStackSpec(operations=["Push", "Pop", "Deq", "Top", "Size"])
+        annotated = derive(adt, options=MethodologyOptions(use_annotations=True))
+        enumerated = derive(adt)
+        assert annotated.stage3_table.diff(enumerated.stage3_table) == []
+        assert annotated.stage5_table.diff(enumerated.stage5_table) == []
+
+    def test_annotation_mode_requires_declarations(self):
+        with pytest.raises(SpecError):
+            derive(AccountSpec(), options=MethodologyOptions(use_annotations=True))

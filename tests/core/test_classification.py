@@ -1,0 +1,137 @@
+"""Unit tests for the O/M/MO classifiers (Defs. 1-6)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.core.classification import (
+    OpClass,
+    classify_all_operations,
+    classify_executions,
+    classify_in_state,
+    classify_invocation,
+    classify_operation,
+    classify_with_outcome,
+    outcome_label,
+    outcome_labels_of,
+)
+from repro.spec.enumeration import executions_of
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def qstack() -> QStackSpec:
+    return QStackSpec()
+
+
+class TestStateIndependent:
+    def test_paper_table1(self, qstack):
+        classes = classify_all_operations(qstack)
+        assert classes == {
+            "Push": OpClass.MO,
+            "Pop": OpClass.MO,
+            "Deq": OpClass.MO,
+            "Top": OpClass.O,
+            "Size": OpClass.O,
+            "Replace": OpClass.M,
+            "XTop": OpClass.MO,
+        }
+
+    def test_observer_with_varying_result_is_still_observer(self, qstack):
+        # Size returns a different result in every state but never
+        # modifies — Defs. 4-6 only promote *modifiers* on return variance.
+        assert classify_operation(qstack, "Size") is OpClass.O
+
+    def test_modifier_with_constant_return(self, qstack):
+        assert classify_operation(qstack, "Replace") is OpClass.M
+
+    def test_invocation_level(self, qstack):
+        assert classify_invocation(qstack, Invocation("Push", ("a",))) is OpClass.MO
+
+    def test_account_classes(self):
+        adt = AccountSpec()
+        classes = classify_all_operations(adt)
+        assert classes["Deposit"] is OpClass.M
+        assert classes["Withdraw"] is OpClass.MO
+        assert classes["Balance"] is OpClass.O
+
+    def test_selected_operations_only(self, qstack):
+        classes = classify_all_operations(qstack, operations=["Top", "Size"])
+        assert set(classes) == {"Top", "Size"}
+
+    def test_empty_execution_set_rejected(self):
+        with pytest.raises(ValueError):
+            classify_executions([])
+
+
+class TestPerState:
+    def test_push_is_observer_in_full_state(self, qstack):
+        invocation = Invocation("Push", ("a",))
+        executions = list(executions_of(qstack, invocation))
+        assert classify_in_state(executions, ("a", "a", "a")) is OpClass.O
+
+    def test_push_is_mo_in_nonfull_state(self, qstack):
+        invocation = Invocation("Push", ("a",))
+        executions = list(executions_of(qstack, invocation))
+        assert classify_in_state(executions, ()) is OpClass.MO
+
+    def test_replace_is_modifier_where_matching(self, qstack):
+        invocation = Invocation("Replace", ("a", "b"))
+        executions = list(executions_of(qstack, invocation))
+        assert classify_in_state(executions, ("a",)) is OpClass.M
+        assert classify_in_state(executions, ("b",)) is OpClass.O
+
+    def test_unknown_state_rejected(self, qstack):
+        executions = list(executions_of(qstack, Invocation("Pop")))
+        with pytest.raises(ValueError):
+            classify_in_state(executions, ("z", "z", "z", "z"))
+
+
+class TestOutcomeLabels:
+    def test_outcome_label_uses_result_for_pure_results(self, qstack):
+        from repro.spec.adt import execute_invocation
+
+        success = execute_invocation(qstack, ("a",), Invocation("Pop"))
+        failure = execute_invocation(qstack, (), Invocation("Pop"))
+        assert outcome_label(success) == "result"
+        assert outcome_label(failure) == "nok"
+
+    def test_labels_of_push(self, qstack):
+        executions = list(executions_of(qstack, Invocation("Push", ("a",))))
+        assert outcome_labels_of(executions) == {"ok", "nok"}
+
+
+class TestOutcomeRestricted:
+    def test_push_nok_is_observer(self, qstack):
+        executions = list(executions_of(qstack, Invocation("Push", ("a",))))
+        assert classify_with_outcome(executions, "nok") is OpClass.O
+
+    def test_push_ok_is_pure_modifier(self, qstack):
+        # conditioned on the outcome, the return carries no information
+        executions = list(executions_of(qstack, Invocation("Push", ("a",))))
+        assert classify_with_outcome(executions, "ok") is OpClass.M
+
+    def test_pop_result_stays_mo(self, qstack):
+        # the result component still varies with the state
+        executions = list(executions_of(qstack, Invocation("Pop")))
+        assert classify_with_outcome(executions, "result") is OpClass.MO
+
+    def test_pop_nok_is_observer(self, qstack):
+        executions = list(executions_of(qstack, Invocation("Pop")))
+        assert classify_with_outcome(executions, "nok") is OpClass.O
+
+    def test_unknown_label_returns_none(self, qstack):
+        executions = list(executions_of(qstack, Invocation("Top")))
+        assert classify_with_outcome(executions, "ok") is None
+
+
+class TestOpClassComponents:
+    def test_mo_decomposes(self):
+        assert OpClass.MO.components() == (OpClass.M, OpClass.O)
+
+    def test_pure_classes_are_their_own_component(self):
+        assert OpClass.O.components() == (OpClass.O,)
+        assert OpClass.M.components() == (OpClass.M,)
+
+    def test_strength_order(self):
+        assert OpClass.O < OpClass.M < OpClass.MO

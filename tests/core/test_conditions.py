@@ -1,0 +1,162 @@
+"""Unit tests for the condition algebra (Stage 4-5 predicates)."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.conditions import (
+    Always,
+    And,
+    ArgsDistinct,
+    ConditionContext,
+    InputsEqual,
+    Not,
+    OutcomeIs,
+    OutcomesEqual,
+    ReferencesDistinct,
+    ReferencesEqual,
+)
+from repro.spec.operation import Invocation
+from repro.spec.returnvalue import nok, ok, result_only
+
+
+def context(
+    state=("a", "b"),
+    first=Invocation("Push", ("a",)),
+    second=Invocation("Deq"),
+    first_return=None,
+    second_return=None,
+    with_graph=True,
+):
+    graph = QStackSpec().build_graph(state) if with_graph else None
+    return ConditionContext(
+        first_invocation=first,
+        second_invocation=second,
+        pre_graph=graph,
+        first_return=first_return,
+        second_return=second_return,
+    )
+
+
+class TestAlways:
+    def test_always_true(self):
+        assert Always().evaluate(context()) is True
+
+    def test_render(self):
+        assert Always().render() == "true"
+
+    def test_specificity_zero(self):
+        assert Always().specificity == 0
+
+
+class TestOutcomeIs:
+    def test_matches_outcome(self):
+        condition = OutcomeIs("first", "ok")
+        assert condition.evaluate(context(first_return=ok())) is True
+        assert condition.evaluate(context(first_return=nok())) is False
+
+    def test_result_label(self):
+        condition = OutcomeIs("second", "result")
+        assert condition.evaluate(context(second_return=result_only("e"))) is True
+
+    def test_undecidable_without_return(self):
+        assert OutcomeIs("first", "ok").evaluate(context()) is None
+
+    def test_render(self):
+        assert OutcomeIs("first", "nok").render() == "x_out = nok"
+        assert OutcomeIs("second", "ok").render() == "y_out = ok"
+
+
+class TestOutcomesEqual:
+    def test_equal_labels(self):
+        ctx = context(first_return=ok(), second_return=ok())
+        assert OutcomesEqual().evaluate(ctx) is True
+
+    def test_different_labels(self):
+        ctx = context(first_return=ok(), second_return=nok())
+        assert OutcomesEqual().evaluate(ctx) is False
+
+    def test_undecidable_when_either_missing(self):
+        assert OutcomesEqual().evaluate(context(first_return=ok())) is None
+
+
+class TestInputConditions:
+    def test_inputs_equal(self):
+        ctx = context(
+            first=Invocation("Push", ("a",)), second=Invocation("Push", ("a",))
+        )
+        assert InputsEqual().evaluate(ctx) is True
+
+    def test_inputs_unequal(self):
+        ctx = context(
+            first=Invocation("Push", ("a",)), second=Invocation("Push", ("b",))
+        )
+        assert InputsEqual().evaluate(ctx) is False
+
+    def test_args_distinct(self):
+        ctx = context(
+            first=Invocation("Insert", ("k1",)), second=Invocation("Delete", ("k2",))
+        )
+        assert ArgsDistinct(0).evaluate(ctx) is True
+
+    def test_args_distinct_missing_arg_is_false(self):
+        ctx = context(first=Invocation("Pop"), second=Invocation("Deq"))
+        assert ArgsDistinct(0).evaluate(ctx) is False
+
+
+class TestReferenceConditions:
+    def test_distinct_on_two_element_stack(self):
+        assert ReferencesDistinct("f", "b").evaluate(context(("a", "b"))) is True
+
+    def test_equal_on_singleton(self):
+        assert ReferencesDistinct("f", "b").evaluate(context(("a",))) is False
+        assert ReferencesEqual("f", "b").evaluate(context(("a",))) is True
+
+    def test_dangling_references_compare_not_distinct(self):
+        # conservative: an empty object offers no disjointness
+        assert ReferencesDistinct("f", "b").evaluate(context(())) is False
+
+    def test_undecidable_without_graph(self):
+        ctx = context(with_graph=False)
+        assert ReferencesDistinct("f", "b").evaluate(ctx) is None
+        assert ReferencesEqual("f", "b").evaluate(ctx) is None
+
+    def test_render(self):
+        assert ReferencesDistinct("f", "b").render() == "f ≠ b"
+        assert ReferencesEqual("f", "b").render() == "f = b"
+
+
+class TestCombinators:
+    def test_and_true(self):
+        ctx = context(("a", "b"), first_return=ok())
+        condition = And(OutcomeIs("first", "ok"), ReferencesDistinct("f", "b"))
+        assert condition.evaluate(ctx) is True
+
+    def test_and_false_dominates_undecided(self):
+        ctx = context(("a", "b"), first_return=nok())
+        condition = And(OutcomeIs("first", "ok"), OutcomeIs("second", "ok"))
+        assert condition.evaluate(ctx) is False
+
+    def test_and_undecided(self):
+        condition = And(OutcomeIs("first", "ok"), OutcomeIs("second", "ok"))
+        assert condition.evaluate(context(first_return=ok())) is None
+
+    def test_and_flattens(self):
+        inner = And(OutcomeIs("first", "ok"), InputsEqual())
+        outer = And(inner, OutcomesEqual())
+        assert len(outer.parts) == 3
+
+    def test_and_specificity_sums(self):
+        assert And(OutcomeIs("first", "ok"), InputsEqual()).specificity == 2
+
+    def test_and_render(self):
+        condition = And(OutcomeIs("first", "ok"), OutcomeIs("second", "nok"))
+        assert condition.render() == "x_out = ok ∧ y_out = nok"
+
+    def test_not(self):
+        condition = Not(OutcomeIs("first", "ok"))
+        assert condition.evaluate(context(first_return=nok())) is True
+        assert condition.evaluate(context(first_return=ok())) is False
+        assert condition.evaluate(context()) is None
+
+    def test_not_render(self):
+        assert Not(InputsEqual()).render() == "¬(x_in = y_in)"

@@ -1,0 +1,153 @@
+"""Unit tests for compatibility-table entries and their resolution rule."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.conditions import (
+    Always,
+    And,
+    ConditionContext,
+    InputsEqual,
+    OutcomeIs,
+    ReferencesDistinct,
+    ReferencesEqual,
+)
+from repro.core.dependency import Dependency
+from repro.core.entry import ConditionalDependency, Entry
+from repro.errors import InconsistentEntryError
+from repro.spec.operation import Invocation
+from repro.spec.returnvalue import nok, ok
+
+
+def make_context(state, first_return=None, second_return=None):
+    return ConditionContext(
+        first_invocation=Invocation("Push", ("a",)),
+        second_invocation=Invocation("Deq"),
+        pre_graph=QStackSpec().build_graph(state),
+        first_return=first_return,
+        second_return=second_return,
+    )
+
+
+@pytest.fixture
+def table14_entry() -> Entry:
+    """The paper's Table 14: {(CD, nok), (AD, f=b), (ND, f≠b)}."""
+    return Entry(
+        [
+            ConditionalDependency(Dependency.CD, OutcomeIs("first", "nok")),
+            ConditionalDependency(Dependency.AD, ReferencesEqual("f", "b")),
+            ConditionalDependency(Dependency.ND, ReferencesDistinct("f", "b")),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_unconditional(self):
+        entry = Entry.unconditional(Dependency.CD)
+        assert not entry.is_conditional
+        assert entry.strongest() is Dependency.CD
+        assert entry.weakest() is Dependency.CD
+
+    def test_empty_entry_rejected(self):
+        with pytest.raises(InconsistentEntryError):
+            Entry([])
+
+    def test_conditional_flag(self, table14_entry):
+        assert table14_entry.is_conditional
+
+    def test_dependencies_set(self, table14_entry):
+        assert table14_entry.dependencies() == {
+            Dependency.ND,
+            Dependency.CD,
+            Dependency.AD,
+        }
+
+
+class TestMutualConsistency:
+    def test_refining_condition_must_weaken(self):
+        # (AD, A ∧ B) next to (CD, A) violates Section 4.4's rule.
+        base = OutcomeIs("first", "ok")
+        with pytest.raises(InconsistentEntryError):
+            Entry(
+                [
+                    ConditionalDependency(Dependency.CD, base),
+                    ConditionalDependency(
+                        Dependency.AD, And(base, InputsEqual())
+                    ),
+                ]
+            )
+
+    def test_refining_condition_with_weaker_dep_accepted(self):
+        base = OutcomeIs("first", "ok")
+        entry = Entry(
+            [
+                ConditionalDependency(Dependency.AD, base),
+                ConditionalDependency(Dependency.ND, And(base, InputsEqual())),
+            ]
+        )
+        assert entry.strongest() is Dependency.AD
+
+    def test_conditional_stronger_than_unconditional_rejected(self):
+        with pytest.raises(InconsistentEntryError):
+            Entry(
+                [
+                    ConditionalDependency(Dependency.CD, Always()),
+                    ConditionalDependency(Dependency.AD, InputsEqual()),
+                ]
+            )
+
+
+class TestResolution:
+    def test_weakest_holding_pair_wins(self, table14_entry):
+        # Unsuccessful Push on a full stack with f != b: both the CD and
+        # the ND conditions hold; the paper chooses ND.
+        ctx = make_context(("a", "b", "a"), first_return=nok())
+        assert table14_entry.resolve(ctx) is Dependency.ND
+
+    def test_single_holding_pair(self, table14_entry):
+        ctx = make_context(("a", "b"), first_return=ok())
+        assert table14_entry.resolve(ctx) is Dependency.ND  # f != b
+
+    def test_reference_equality_resolves_ad(self, table14_entry):
+        ctx = make_context(("a",), first_return=ok())
+        assert table14_entry.resolve(ctx) is Dependency.AD
+
+    def test_fallback_to_strongest_when_undecidable(self):
+        entry = Entry(
+            [
+                ConditionalDependency(Dependency.CD, OutcomeIs("first", "nok")),
+                ConditionalDependency(Dependency.ND, OutcomeIs("first", "ok")),
+            ]
+        )
+        ctx = make_context(("a",))  # no returns known yet
+        assert entry.resolve(ctx) is Dependency.CD
+
+    def test_unconditional_resolution(self):
+        ctx = make_context(())
+        assert Entry.unconditional(Dependency.AD).resolve(ctx) is Dependency.AD
+
+
+class TestRendering:
+    def test_unconditional_render(self):
+        assert Entry.unconditional(Dependency.AD).render() == "AD"
+        assert Entry.unconditional(Dependency.ND).render() == ""
+        assert Entry.unconditional(Dependency.ND).render(blank_nd=False) == "ND"
+
+    def test_conditional_render_lists_pairs(self, table14_entry):
+        text = table14_entry.render()
+        assert "(CD, x_out = nok)" in text
+        assert "(AD, f = b)" in text
+        assert "(ND, f ≠ b)" in text
+
+
+class TestEquality:
+    def test_order_insensitive_equality(self):
+        pair_a = ConditionalDependency(Dependency.CD, OutcomeIs("first", "nok"))
+        pair_b = ConditionalDependency(Dependency.AD, OutcomeIs("first", "ok"))
+        assert Entry([pair_a, pair_b]) == Entry([pair_b, pair_a])
+        assert hash(Entry([pair_a, pair_b])) == hash(Entry([pair_b, pair_a]))
+
+    def test_inequality(self):
+        assert Entry.unconditional(Dependency.AD) != Entry.unconditional(
+            Dependency.CD
+        )

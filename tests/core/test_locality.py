@@ -1,0 +1,133 @@
+"""Unit tests for locality profiles (Defs. 11-19, dimension D2/D4)."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.locality import (
+    LocalityProfile,
+    profile_invocation,
+    profile_operation,
+)
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def qstack() -> QStackSpec:
+    return QStackSpec()
+
+
+class TestKinds:
+    def test_size_is_pure_structure_observer(self, qstack):
+        profile = profile_operation(qstack, "Size")
+        assert profile.observer_kind == "S"
+        assert profile.modifier_kind is None
+        assert profile.combined_kind == "S"
+
+    def test_replace_is_content_only(self, qstack):
+        profile = profile_operation(qstack, "Replace")
+        assert profile.observer_kind == "C"
+        assert profile.modifier_kind == "C"
+        assert profile.combined_kind == "C"
+
+    def test_xtop_modifies_structure_only(self, qstack):
+        profile = profile_operation(qstack, "XTop")
+        assert profile.modifier_kind == "S"
+
+    def test_push_is_cs(self, qstack):
+        profile = profile_operation(qstack, "Push")
+        assert profile.modifier_kind == "CS"
+        assert profile.combined_kind == "CS"
+
+    def test_top_observes_both(self, qstack):
+        profile = profile_operation(qstack, "Top")
+        assert profile.observer_kind == "CS"
+        assert profile.modifier_kind is None
+
+
+class TestGlobality:
+    def test_size_is_global_structure_observer(self, qstack):
+        profile = profile_operation(qstack, "Size")
+        assert profile.is_global
+        assert "so" in profile.global_kinds
+
+    def test_replace_is_global_content_observer(self, qstack):
+        # the paper's Def.-19 example of a global-content-observer
+        profile = profile_operation(qstack, "Replace")
+        assert profile.is_global
+        assert "co" in profile.global_kinds
+        assert "cm" not in profile.global_kinds
+
+    @pytest.mark.parametrize("operation", ["Push", "Pop", "Deq", "Top"])
+    def test_reference_operations_are_local(self, qstack, operation):
+        assert not profile_operation(qstack, operation).is_global
+
+    def test_xtop_globality_is_bound_sensitive(self):
+        # XTop touches the back *three* vertices (back, second, and the
+        # third gains/loses ordering edges), so at capacity 3 the bounded
+        # enumeration over-approximates it as global; from capacity 4 a
+        # state exists whose fourth vertex XTop never touches.
+        assert profile_operation(QStackSpec(capacity=3), "XTop").is_global
+        assert not profile_operation(QStackSpec(capacity=4), "XTop").is_global
+
+    def test_locality_symbol(self, qstack):
+        assert profile_operation(qstack, "Size").locality_symbol == "G"
+        assert profile_operation(qstack, "Pop").locality_symbol == "L"
+
+
+class TestComponents:
+    def test_observer_only_component(self, qstack):
+        profile = profile_operation(qstack, "Top")
+        assert profile.components() == (("o", "CS"),)
+
+    def test_modifier_and_observer_components(self, qstack):
+        profile = profile_operation(qstack, "Pop")
+        roles = {role for role, _ in profile.components()}
+        assert roles == {"o", "m"}
+
+
+class TestReferences:
+    def test_push_reads_and_writes_b(self, qstack):
+        profile = profile_operation(qstack, "Push")
+        assert "b" in profile.references_read
+        assert "b" in profile.references_written
+
+    def test_deq_uses_f(self, qstack):
+        profile = profile_operation(qstack, "Deq")
+        assert "f" in profile.references_read
+
+    def test_size_uses_no_references(self, qstack):
+        profile = profile_operation(qstack, "Size")
+        assert not profile.references_read
+        assert not profile.references_written
+
+
+class TestMerge:
+    def test_merge_unions_kinds(self):
+        content = LocalityProfile(
+            observer_kind="C",
+            modifier_kind=None,
+            is_global=True,
+            global_kinds=frozenset({"co"}),
+            references_read=frozenset({"f"}),
+            references_written=frozenset(),
+        )
+        structure = LocalityProfile(
+            observer_kind="S",
+            modifier_kind="S",
+            is_global=False,
+            global_kinds=frozenset(),
+            references_read=frozenset(),
+            references_written=frozenset({"b"}),
+        )
+        merged = content.merge(structure)
+        assert merged.observer_kind == "CS"
+        assert merged.modifier_kind == "S"
+        assert not merged.is_global  # global only if global everywhere
+        assert merged.global_kinds == frozenset()
+        assert merged.references_read == {"f"}
+        assert merged.references_written == {"b"}
+
+    def test_profile_invocation_matches_operation_for_argless(self, qstack):
+        assert profile_invocation(qstack, Invocation("Size")) == profile_operation(
+            qstack, "Size"
+        )

@@ -1,0 +1,176 @@
+"""Unit tests for the five-stage derivation pipeline (Section 5)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.fifo_queue import FifoQueueSpec
+from repro.adts.qstack import QStackSpec
+from repro.core.dependency import Dependency
+from repro.core.methodology import MethodologyOptions, derive, stage3_dependency
+from repro.core.profile import characterize_operation
+
+
+class TestStage1:
+    def test_object_graph_and_references(self, derivation):
+        assert derivation.object_graph.name == "QStack"
+        assert derivation.references == ["b", "f"]
+
+    def test_operations_recorded(self, derivation):
+        assert derivation.operations == ["Push", "Pop", "Deq", "Top", "Size"]
+
+
+class TestStage3:
+    def test_reproduces_table10(self, derivation):
+        table = derivation.stage3_table
+        mutators = ["Push", "Pop", "Deq"]
+        observers = ["Top", "Size"]
+        for invoked in mutators + observers:
+            for executing in mutators:
+                assert table.dependency(invoked, executing) is Dependency.AD
+        for invoked in mutators:
+            for executing in observers:
+                assert table.dependency(invoked, executing) is Dependency.CD
+        for invoked in observers:
+            for executing in observers:
+                assert table.dependency(invoked, executing) is Dependency.ND
+
+    def test_least_restrictive_across_dimensions(self):
+        # Replace (M by D1) against XTop: D1 says CD, D2 says ND -> ND.
+        adt = QStackSpec()
+        replace = characterize_operation(adt, "Replace")
+        xtop = characterize_operation(adt, "XTop")
+        assert stage3_dependency(replace, xtop) is Dependency.ND
+        assert stage3_dependency(xtop, replace) is Dependency.ND
+
+    def test_d1_only_when_no_locality(self):
+        adt = AccountSpec()
+        deposit = characterize_operation(adt, "Deposit")
+        balance = characterize_operation(adt, "Balance")
+        # Balance after Deposit: observer after modifier -> AD.
+        assert stage3_dependency(balance, deposit) is Dependency.AD
+        # Deposit after Balance: modifier after observer -> CD.
+        assert stage3_dependency(deposit, balance) is Dependency.CD
+
+
+class TestStage4:
+    def test_deq_push_outcome_cells(self, derivation):
+        from repro.experiments.base import entry_signature
+
+        assert entry_signature(
+            derivation.stage4_table.entry("Deq", "Push")
+        ) == frozenset({("CD", "x_out = nok"), ("AD", "x_out = ok")})
+
+    def test_nd_entries_untouched(self, derivation):
+        entry = derivation.stage4_table.entry("Top", "Size")
+        assert not entry.is_conditional
+        assert entry.strongest() is Dependency.ND
+
+    def test_partition_none_disables_refinement(self, qstack_worked):
+        options = MethodologyOptions(
+            outcome_partition="none", refine_inputs=False
+        )
+        result = derive(qstack_worked, options=options)
+        assert result.stage4_table.diff(result.stage3_table) == []
+
+    def test_guarded_input_condition_note(self, derivation):
+        assert any("outcome-guarded" in note for note in derivation.notes)
+
+    def test_joint_cells_feasibility_serial(self, qstack_worked):
+        from repro.experiments.base import entry_signature
+
+        options = MethodologyOptions(
+            outcome_partition="joint",
+            outcome_feasibility="serial",
+            refine_inputs=False,
+        )
+        result = derive(qstack_worked, options=options)
+        signature = entry_signature(result.stage4_table.entry("Push", "Push"))
+        # The serially infeasible (nok, ok) combination is absent.
+        assert ("CD", "x_out = nok ∧ y_out = ok") not in signature
+        assert ("ND", "x_out = nok ∧ y_out = nok") in signature
+
+
+class TestStage5:
+    def test_validated_deq_push_entry(self, derivation):
+        from repro.experiments.base import entry_signature
+
+        assert entry_signature(
+            derivation.stage5_table.entry("Deq", "Push")
+        ) == frozenset(
+            {
+                ("CD", "x_out = nok"),
+                ("AD", "x_out = ok ∧ f = b"),
+                ("ND", "x_out = ok ∧ f ≠ b"),
+            }
+        )
+
+    def test_paper_fidelity_reproduces_table14(self, paper_derivation):
+        from repro.experiments.base import entry_signature
+
+        assert entry_signature(
+            paper_derivation.stage5_table.entry("Deq", "Push")
+        ) == frozenset(
+            {("CD", "x_out = nok"), ("AD", "f = b"), ("ND", "f ≠ b")}
+        )
+
+    def test_same_reference_pairs_not_refined(self, derivation):
+        # Push and Pop share b: no locality predicate applies.
+        entry = derivation.stage5_table.entry("Pop", "Push")
+        assert entry == derivation.stage4_table.entry("Pop", "Push")
+
+    def test_global_operations_not_refined(self, derivation):
+        entry = derivation.stage5_table.entry("Size", "Push")
+        assert entry == derivation.stage4_table.entry("Size", "Push")
+
+    def test_explicit_referencing_refinement(self):
+        from repro.adts.directory import DirectorySpec
+        from repro.core.conditions import ArgsDistinct, And
+
+        result = derive(DirectorySpec())
+        entry = result.stage5_table.entry("Delete", "Insert")
+        conditions = [pair.condition for pair in entry.pairs]
+        assert any(
+            isinstance(condition, ArgsDistinct)
+            or (
+                isinstance(condition, And)
+                and any(isinstance(part, ArgsDistinct) for part in condition.parts)
+            )
+            for condition in conditions
+        )
+
+    def test_refine_localities_off(self, qstack_worked):
+        options = MethodologyOptions(refine_localities=False)
+        result = derive(qstack_worked, options=options)
+        assert result.stage5_table.diff(result.stage4_table) == []
+
+
+class TestMonotonicity:
+    def test_stages_never_strengthen(self, derivation):
+        assert derivation.stage4_table.refines(derivation.stage3_table)
+        assert derivation.stage5_table.refines(derivation.stage4_table)
+
+    def test_final_table_alias(self, derivation):
+        assert derivation.final_table is derivation.stage5_table
+
+    def test_stage_tables_listing(self, derivation):
+        labels = [label for label, _ in derivation.stage_tables()]
+        assert labels == ["stage3", "stage4", "stage5"]
+
+
+class TestOtherADTs:
+    def test_fifo_queue_enq_deq_refined(self):
+        result = derive(FifoQueueSpec())
+        entry = result.stage5_table.entry("Deq", "Enq")
+        assert entry.weakest() is Dependency.ND
+        assert entry.is_conditional
+
+    def test_account_no_locality_refinement(self):
+        # All operations share the single acct reference.
+        result = derive(AccountSpec())
+        assert result.stage5_table.diff(result.stage4_table) == []
+
+    def test_operation_subset_argument(self):
+        adt = QStackSpec()
+        result = derive(adt, operations=["Top", "Size"])
+        assert result.operations == ["Top", "Size"]
+        assert result.stage3_table.is_complete()

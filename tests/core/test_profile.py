@@ -1,0 +1,71 @@
+"""Unit tests for the Stage-2 operation profiles (Table 9 rows)."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.core.classification import OpClass
+from repro.core.profile import characterize_all, characterize_operation
+
+
+@pytest.fixture(scope="module")
+def qstack() -> QStackSpec:
+    return QStackSpec(operations=["Push", "Pop", "Deq", "Top", "Size"])
+
+
+class TestTable9Rows:
+    def test_push_row(self, qstack):
+        profile = characterize_operation(qstack, "Push")
+        assert profile.table9_row() == ("Push", "MO", "CS", "ok/nok", "L", "b")
+
+    def test_pop_row(self, qstack):
+        profile = characterize_operation(qstack, "Pop")
+        assert profile.table9_row() == ("Pop", "MO", "CS", "result/nok", "L", "b")
+
+    def test_deq_row(self, qstack):
+        profile = characterize_operation(qstack, "Deq")
+        assert profile.table9_row() == ("Deq", "MO", "CS", "result/nok", "L", "f")
+
+    def test_size_row(self, qstack):
+        profile = characterize_operation(qstack, "Size")
+        assert profile.table9_row() == ("Size", "O", "S", "result", "G", "")
+
+    def test_top_row(self, qstack):
+        profile = characterize_operation(qstack, "Top")
+        assert profile.table9_row() == ("Top", "O", "CS", "result/nok", "L", "b")
+
+
+class TestD3:
+    def test_outcome_labels(self, qstack):
+        assert characterize_operation(qstack, "Push").outcome_labels == {
+            "ok",
+            "nok",
+        }
+        assert characterize_operation(qstack, "Size").outcome_labels == {"result"}
+
+    def test_has_result(self, qstack):
+        assert characterize_operation(qstack, "Pop").has_result
+        assert not characterize_operation(qstack, "Push").has_result
+
+    def test_has_inputs(self, qstack):
+        assert characterize_operation(qstack, "Push").has_inputs
+        assert not characterize_operation(qstack, "Pop").has_inputs
+
+
+class TestD5:
+    def test_referencing_styles(self, qstack):
+        assert characterize_operation(qstack, "Push").referencing == "implicit"
+        assert characterize_operation(qstack, "Size").referencing == "none"
+
+    def test_declared_references(self, qstack):
+        assert characterize_operation(qstack, "Deq").declared_references == {"f"}
+
+
+class TestCharacterizeAll:
+    def test_covers_selected_operations(self, qstack):
+        profiles = characterize_all(qstack)
+        assert set(profiles) == {"Push", "Pop", "Deq", "Top", "Size"}
+
+    def test_subset_selection(self, qstack):
+        profiles = characterize_all(qstack, operations=["Top"])
+        assert set(profiles) == {"Top"}
+        assert profiles["Top"].op_class is OpClass.O

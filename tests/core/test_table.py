@@ -1,0 +1,149 @@
+"""Unit tests for compatibility tables."""
+
+import pytest
+
+from repro.core.dependency import Dependency
+from repro.core.entry import ConditionalDependency, Entry
+from repro.core.conditions import OutcomeIs
+from repro.core.table import CompatibilityTable
+from repro.errors import MethodologyError
+
+
+def small_table() -> CompatibilityTable:
+    table = CompatibilityTable(["A", "B"], name="test")
+    table.set_entry("A", "A", Entry.unconditional(Dependency.ND))
+    table.set_entry("A", "B", Entry.unconditional(Dependency.AD))
+    table.set_entry("B", "A", Entry.unconditional(Dependency.CD))
+    table.set_entry(
+        "B",
+        "B",
+        Entry(
+            [
+                ConditionalDependency(Dependency.CD, OutcomeIs("first", "nok")),
+                ConditionalDependency(Dependency.AD, OutcomeIs("first", "ok")),
+            ]
+        ),
+    )
+    return table
+
+
+class TestAccess:
+    def test_entry_round_trip(self):
+        table = small_table()
+        assert table.entry("A", "B").strongest() is Dependency.AD
+
+    def test_dependency_is_strongest(self):
+        assert small_table().dependency("B", "B") is Dependency.AD
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(MethodologyError):
+            small_table().entry("A", "Z")
+
+    def test_missing_entry_reported(self):
+        table = CompatibilityTable(["A"])
+        with pytest.raises(MethodologyError):
+            table.entry("A", "A")
+
+    def test_is_complete(self):
+        assert small_table().is_complete()
+        assert not CompatibilityTable(["A"]).is_complete()
+
+    def test_cells_row_major(self):
+        cells = list(small_table().cells())
+        assert [(invoked, executing) for invoked, executing, _ in cells] == [
+            ("A", "A"), ("A", "B"), ("B", "A"), ("B", "B"),
+        ]
+
+
+class TestDerived:
+    def test_simple_projection(self):
+        simple = small_table().simple()
+        assert simple[("A", "B")] is Dependency.AD
+        assert simple[("B", "B")] is Dependency.AD  # strongest of the pair
+
+    def test_map_entries(self):
+        weakened = small_table().map_entries(
+            lambda *_: Entry.unconditional(Dependency.ND), name="weak"
+        )
+        assert weakened.name == "weak"
+        assert all(dep is Dependency.ND for dep in weakened.simple().values())
+
+    def test_diff(self):
+        table = small_table()
+        other = small_table()
+        other.set_entry("A", "B", Entry.unconditional(Dependency.CD))
+        differences = table.diff(other)
+        assert len(differences) == 1
+        assert differences[0][:2] == ("A", "B")
+
+    def test_diff_requires_same_operations(self):
+        with pytest.raises(MethodologyError):
+            small_table().diff(CompatibilityTable(["X", "Y"]))
+
+    def test_refines_is_reflexive(self):
+        table = small_table()
+        assert table.refines(table)
+
+    def test_refines_detects_weakening(self):
+        table = small_table()
+        weaker = table.map_entries(
+            lambda *_: Entry.unconditional(Dependency.ND)
+        )
+        assert weaker.refines(table)
+        assert not table.refines(weaker)
+
+
+class TestMetrics:
+    def test_dependency_counts(self):
+        counts = small_table().dependency_counts()
+        assert counts[Dependency.ND] == 1
+        assert counts[Dependency.CD] == 1
+        assert counts[Dependency.AD] == 2
+
+    def test_conditional_cell_count(self):
+        assert small_table().conditional_cell_count() == 1
+
+    def test_restrictiveness_uses_weakest(self):
+        # cells weakest: ND, AD, CD, CD -> (0+2+1+1)/4
+        assert small_table().restrictiveness() == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_markdown_contains_all_cells(self):
+        text = small_table().render_markdown()
+        assert "| (o1, o2) | A | B |" in text
+        assert "AD" in text and "CD" in text
+
+    def test_ascii_blank_nd(self):
+        text = small_table().render_ascii()
+        lines = text.splitlines()
+        assert lines[0].startswith("(o1,o2)")
+        assert "ND" not in text
+
+    def test_ascii_explicit_nd(self):
+        assert "ND" in small_table().render_ascii(blank_nd=False)
+
+
+class TestConditionalRendering:
+    def test_markdown_joins_conditional_pairs(self):
+        table = small_table()
+        text = table.render_markdown()
+        # The conditional (B, B) cell renders its pairs on one line.
+        assert "(CD, x_out = nok); (AD, x_out = ok)" in text
+
+    def test_ascii_joins_conditional_pairs(self):
+        text = small_table().render_ascii()
+        assert "(CD, x_out = nok); (AD, x_out = ok)" in text
+
+    def test_resolve_via_table(self):
+        from repro.core.conditions import ConditionContext
+        from repro.spec.operation import Invocation
+        from repro.spec.returnvalue import nok
+
+        table = small_table()
+        context = ConditionContext(
+            first_invocation=Invocation("B"),
+            second_invocation=Invocation("B"),
+            first_return=nok(),
+        )
+        assert table.resolve("B", "B", context) is Dependency.CD

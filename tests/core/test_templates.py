@@ -1,0 +1,113 @@
+"""Unit tests for the template tables (Tables 2-8)."""
+
+import pytest
+
+from repro.core.classification import OpClass
+from repro.core.dependency import Dependency
+from repro.core.templates import (
+    LOCALITY_KINDS,
+    d1_base_entry,
+    d1_entry,
+    d2_base_entry,
+    d2_entry,
+    no_information_entry,
+    table2_entry,
+)
+from repro.errors import TemplateError
+
+
+class TestTable2:
+    def test_ad_cells(self):
+        assert table2_entry("so", "sm") is Dependency.AD
+        assert table2_entry("co", "cm") is Dependency.AD
+
+    def test_cd_cells(self):
+        for pair in (("sm", "so"), ("sm", "sm"), ("cm", "co"), ("cm", "cm")):
+            assert table2_entry(*pair) is Dependency.CD
+
+    def test_cross_dimension_is_nd(self):
+        for y in ("so", "sm"):
+            for x in ("co", "cm"):
+                assert table2_entry(y, x) is Dependency.ND
+                assert table2_entry(x, y) is Dependency.ND
+
+    def test_observer_observer_is_nd(self):
+        assert table2_entry("so", "so") is Dependency.ND
+        assert table2_entry("co", "co") is Dependency.ND
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TemplateError):
+            table2_entry("xx", "so")
+
+    def test_kind_universe(self):
+        assert set(LOCALITY_KINDS) == {"so", "co", "sm", "cm"}
+
+
+class TestD1:
+    def test_table5(self):
+        assert d1_base_entry(OpClass.O, OpClass.O) is Dependency.ND
+        assert d1_base_entry(OpClass.O, OpClass.M) is Dependency.AD
+        assert d1_base_entry(OpClass.M, OpClass.O) is Dependency.CD
+        assert d1_base_entry(OpClass.M, OpClass.M) is Dependency.CD
+
+    def test_base_entry_rejects_mo(self):
+        with pytest.raises(TemplateError):
+            d1_base_entry(OpClass.MO, OpClass.O)
+
+    def test_mo_expansion_matches_table4(self):
+        assert d1_entry(OpClass.O, OpClass.MO) is Dependency.AD
+        assert d1_entry(OpClass.M, OpClass.MO) is Dependency.CD
+        assert d1_entry(OpClass.MO, OpClass.O) is Dependency.CD
+        assert d1_entry(OpClass.MO, OpClass.M) is Dependency.AD
+        assert d1_entry(OpClass.MO, OpClass.MO) is Dependency.AD
+
+    def test_no_information_is_ad(self):
+        assert no_information_entry() is Dependency.AD
+        assert d1_entry(OpClass.MO, OpClass.MO) is no_information_entry()
+
+
+class TestD2:
+    def test_table6_corners(self):
+        assert d2_base_entry("o", "S", "m", "S") is Dependency.AD
+        assert d2_base_entry("o", "S", "m", "C") is Dependency.ND
+        assert d2_base_entry("o", "CS", "m", "CS") is Dependency.AD
+
+    def test_table7_corners(self):
+        assert d2_base_entry("m", "S", "m", "S") is Dependency.CD
+        assert d2_base_entry("m", "S", "m", "C") is Dependency.ND
+        assert d2_base_entry("m", "CS", "m", "C") is Dependency.CD
+
+    def test_table8_corners(self):
+        assert d2_base_entry("m", "C", "o", "S") is Dependency.ND
+        assert d2_base_entry("m", "CS", "o", "CS") is Dependency.CD
+
+    def test_observer_observer_always_nd(self):
+        for y_kind in ("S", "C", "CS"):
+            for x_kind in ("S", "C", "CS"):
+                assert d2_base_entry("o", y_kind, "o", x_kind) is Dependency.ND
+
+    def test_invalid_role_rejected(self):
+        with pytest.raises(TemplateError):
+            d2_base_entry("x", "S", "m", "S")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(TemplateError):
+            d2_base_entry("o", "Z", "m", "S")
+
+
+class TestD2Composition:
+    def test_structure_vs_content_separation(self):
+        # Replace (content-only) against XTop (structure-only): ND.
+        replace = (("o", "C"), ("m", "C"))
+        xtop = (("o", "S"), ("m", "S"))
+        assert d2_entry(replace, xtop) is Dependency.ND
+        assert d2_entry(xtop, replace) is Dependency.ND
+
+    def test_full_mo_pair_is_ad(self):
+        push = (("o", "S"), ("m", "CS"))
+        deq = (("o", "CS"), ("m", "CS"))
+        assert d2_entry(deq, push) is Dependency.AD
+
+    def test_missing_components_yield_none(self):
+        assert d2_entry((), (("o", "S"),)) is None
+        assert d2_entry((("m", "C"),), ()) is None

@@ -1,0 +1,77 @@
+"""Unit tests for the experiment infrastructure helpers."""
+
+from repro.core.conditions import And, OutcomeIs, ReferencesDistinct
+from repro.core.dependency import Dependency
+from repro.core.entry import ConditionalDependency, Entry
+from repro.experiments.base import (
+    ExperimentOutcome,
+    dependency_grid,
+    entry_signature,
+    paper_condition,
+    render_signature,
+)
+
+
+class TestEntrySignature:
+    def test_signature_is_order_free(self):
+        pair_a = ConditionalDependency(Dependency.CD, OutcomeIs("first", "nok"))
+        pair_b = ConditionalDependency(Dependency.AD, OutcomeIs("first", "ok"))
+        assert entry_signature(Entry([pair_a, pair_b])) == entry_signature(
+            Entry([pair_b, pair_a])
+        )
+
+    def test_signature_contents(self):
+        entry = Entry(
+            [ConditionalDependency(Dependency.ND, ReferencesDistinct("f", "b"))]
+        )
+        assert entry_signature(entry) == frozenset({("ND", "f ≠ b")})
+
+    def test_render_signature_sorted(self):
+        signature = frozenset({("CD", "x_out = nok"), ("AD", "x_out = ok")})
+        text = render_signature(signature)
+        assert text.splitlines() == sorted(text.splitlines())
+
+
+class TestPaperCondition:
+    def test_distinct_operation_names(self):
+        assert (
+            paper_condition("x_out = nok", "Push", "Deq") == "Push_out = nok"
+        )
+        assert paper_condition("y_out = ok", "Push", "Deq") == "Deq_out = ok"
+
+    def test_same_operation_names_get_superscripts(self):
+        rendered = paper_condition(
+            "x_out = ok ∧ y_out = nok", "Push", "Push"
+        )
+        assert rendered == "Push_out^x = ok ∧ Push_out^y = nok"
+
+    def test_input_markers(self):
+        assert (
+            paper_condition("x_in = y_in", "Push", "Push")
+            == "Push_in^x = Push_in^y"
+        )
+
+    def test_composite_conditions(self):
+        condition = And(OutcomeIs("first", "ok"), ReferencesDistinct("f", "b"))
+        assert (
+            paper_condition(condition.render(), "Push", "Deq")
+            == "Push_out = ok ∧ f ≠ b"
+        )
+
+
+class TestDependencyGrid:
+    def test_grid_layout(self):
+        grid = dependency_grid(
+            ["O", "M"], ["O", "M"], lambda y, x: "AD" if (y, x) == ("O", "M") else ""
+        )
+        lines = grid.splitlines()
+        assert lines[0].startswith("(y,x)")
+        assert "AD" in grid
+
+    def test_outcome_summary(self):
+        outcome = ExperimentOutcome(
+            exp_id="t", title="x", matches=True, expected="", derived=""
+        )
+        assert outcome.summary() == "[MATCH] t: x"
+        outcome.matches = False
+        assert "MISMATCH" in outcome.summary()

@@ -1,0 +1,50 @@
+"""Every paper artifact must reproduce.
+
+One test per experiment keeps failures attributable; the report module's
+aggregation is tested separately.
+"""
+
+import pytest
+
+from repro.experiments.report import ALL_EXPERIMENTS, render_markdown, render_text, run_all
+
+_RUNNERS = dict(ALL_EXPERIMENTS)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {outcome.exp_id: outcome for outcome in run_all()}
+
+
+@pytest.mark.parametrize("exp_id", [exp_id for exp_id, _ in ALL_EXPERIMENTS])
+def test_experiment_matches_paper(outcomes, exp_id):
+    outcome = next(
+        o for o in outcomes.values() if o.exp_id.startswith(exp_id)
+    )
+    assert outcome.matches, f"{outcome.exp_id} diverged:\n{outcome.derived}"
+
+
+class TestReport:
+    def test_all_experiments_present(self, outcomes):
+        assert len(outcomes) == len(ALL_EXPERIMENTS)
+
+    def test_markdown_report_lists_every_experiment(self, outcomes):
+        text = render_markdown(list(outcomes.values()))
+        for outcome in outcomes.values():
+            assert outcome.exp_id in text
+        assert "MISMATCH" not in text
+
+    def test_text_report_summarises(self, outcomes):
+        text = render_text(list(outcomes.values()))
+        assert f"{len(outcomes)}/{len(outcomes)} experiments match" in text
+
+    def test_run_all_subset(self):
+        subset = run_all(only={"table01"})
+        assert len(subset) == 1
+        assert subset[0].exp_id == "table01"
+
+    def test_cli_entry_point(self):
+        from repro.experiments.__main__ import main
+
+        assert main(["table03"]) == 0
+        assert main(["no-such-experiment"]) == 2

@@ -1,0 +1,46 @@
+"""Sanity checks on the golden data itself."""
+
+from repro.experiments import golden
+
+
+class TestGoldenShape:
+    def test_table1_covers_all_qstack_operations(self):
+        assert set(golden.TABLE1_CLASSES) == {
+            "Push", "Pop", "Deq", "Top", "Size", "Replace", "XTop",
+        }
+
+    def test_table2_is_complete_grid(self):
+        kinds = {"so", "co", "sm", "cm"}
+        assert set(golden.TABLE2_LOCALITY) == {
+            (y, x) for y in kinds for x in kinds
+        }
+
+    def test_table10_is_complete_grid(self):
+        operations = set(golden.QSTACK_WORKED_OPERATIONS)
+        assert set(golden.TABLE10_STAGE3) == {
+            (y, x) for y in operations for x in operations
+        }
+
+    def test_table9_variants_differ_only_in_references(self):
+        for name, printed in golden.TABLE9_AS_PRINTED.items():
+            corrected = golden.TABLE9_CORRECTED[name]
+            assert printed[:4] == corrected[:4]
+
+    def test_table13_extends_table12(self):
+        assert golden.TABLE12_PUSH_PUSH < golden.TABLE13_PUSH_PUSH_INPUT
+
+    def test_serially_feasible_subset(self):
+        assert golden.TABLE12_SERIALLY_FEASIBLE < golden.TABLE12_PUSH_PUSH
+
+    def test_dependency_names_valid(self):
+        valid = {"ND", "CD", "AD"}
+        for table in (
+            golden.TABLE2_LOCALITY,
+            golden.TABLE4_OMO,
+            golden.TABLE5_OM,
+            golden.TABLE6_OM_SC,
+            golden.TABLE7_MM_SC,
+            golden.TABLE8_MO_SC,
+            golden.TABLE10_STAGE3,
+        ):
+            assert set(table.values()) <= valid

@@ -1,0 +1,38 @@
+"""Unit tests for the per-ADT table-documentation generator."""
+
+from repro.experiments.table_docs import generate_all, render_adt_doc
+
+
+class TestRenderAdtDoc:
+    def test_contains_all_sections(self):
+        doc = render_adt_doc("Account")
+        assert "# Account — derived compatibility tables" in doc
+        assert "## Stage 2" in doc
+        assert "## Stage 3" in doc
+        assert "## Stage 5" in doc
+
+    def test_conditional_entries_listed(self):
+        doc = render_adt_doc("FifoQueue")
+        assert "Conditional entries" in doc
+        assert "b ≠ f" in doc or "f ≠ b" in doc
+
+    def test_stage2_rows_present(self):
+        doc = render_adt_doc("Stack")
+        for operation in ("Push", "Pop", "Top", "Size"):
+            assert f"| {operation} |" in doc
+
+
+class TestGenerateAll:
+    def test_one_file_per_adt_plus_index(self, tmp_path):
+        written = generate_all(tmp_path)
+        from repro.adts.registry import builtin_names
+
+        assert len(written) == len(builtin_names()) + 1
+        index = (tmp_path / "README.md").read_text(encoding="utf-8")
+        for name in builtin_names():
+            assert name in index
+
+    def test_output_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        generate_all(target)
+        assert (target / "README.md").exists()

@@ -1,0 +1,107 @@
+"""Unit tests for graph analysis helpers."""
+
+from repro.graph.analysis import (
+    component_count,
+    has_ordering_cycle,
+    hierarchy_depth,
+    is_linear_chain,
+    ordering_walk,
+)
+from repro.graph.builder import GraphBuilder, build_chain
+from repro.graph.object_graph import ObjectGraph
+
+
+class TestCycles:
+    def test_chain_has_no_cycle(self):
+        graph = build_chain("Q", [1, 2, 3])
+        assert not has_ordering_cycle(graph)
+
+    def test_two_cycle_detected(self):
+        graph = ObjectGraph()
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_ordering_edge(a, b)
+        graph.add_ordering_edge(b, a)
+        assert has_ordering_cycle(graph)
+
+    def test_disconnected_cycle_detected(self):
+        graph = ObjectGraph()
+        a, b, c = (graph.add_vertex() for _ in range(3))
+        graph.add_ordering_edge(b, c)
+        graph.add_ordering_edge(c, b)
+        assert has_ordering_cycle(graph)
+        assert a in graph  # the isolated vertex does not mask the cycle
+
+    def test_empty_graph_has_no_cycle(self):
+        assert not has_ordering_cycle(ObjectGraph())
+
+
+class TestOrderingWalk:
+    def test_walk_covers_chain(self):
+        graph = build_chain("Q", ["a", "b", "c"])
+        heads = [v for v in graph.vertex_ids() if not graph.predecessors(v)]
+        walked = [graph.vertex(v).value for v in ordering_walk(graph, heads[0])]
+        assert walked == ["c", "b", "a"]
+
+    def test_walk_terminates_on_cycle(self):
+        graph = ObjectGraph()
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_ordering_edge(a, b)
+        graph.add_ordering_edge(b, a)
+        assert len(list(ordering_walk(graph, a))) == 2
+
+    def test_walk_respects_limit(self):
+        graph = build_chain("Q", [1, 2, 3, 4])
+        heads = [v for v in graph.vertex_ids() if not graph.predecessors(v)]
+        assert len(list(ordering_walk(graph, heads[0], limit=2))) == 2
+
+
+class TestHierarchy:
+    def test_flat_graph_depth_one(self):
+        graph = build_chain("Q", [1, 2])
+        assert hierarchy_depth(graph) == 1
+
+    def test_nested_depth(self):
+        inner = GraphBuilder("D").component("E").build()
+        graph = GraphBuilder("A").component("D", value=inner).build()
+        assert hierarchy_depth(graph) == 2
+
+    def test_empty_graph_depth_one(self):
+        assert hierarchy_depth(ObjectGraph()) == 1
+
+    def test_component_count_recursive(self):
+        inner = GraphBuilder("D").component("E").component("F").build()
+        graph = (
+            GraphBuilder("A").component("B").component("D", value=inner).build()
+        )
+        assert component_count(graph) == 2
+        assert component_count(graph, recursive=True) == 4
+
+
+class TestLinearChain:
+    def test_chain_is_linear(self):
+        assert is_linear_chain(build_chain("Q", [1, 2, 3]))
+
+    def test_empty_and_singleton_are_linear(self):
+        assert is_linear_chain(build_chain("Q", []))
+        assert is_linear_chain(build_chain("Q", [1]))
+
+    def test_fork_is_not_linear(self):
+        graph = ObjectGraph()
+        a, b, c = (graph.add_vertex() for _ in range(3))
+        graph.add_ordering_edge(a, b)
+        graph.add_ordering_edge(a, c)
+        assert not is_linear_chain(graph)
+
+    def test_disconnected_is_not_linear(self):
+        graph = ObjectGraph()
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_vertex()
+        graph.add_ordering_edge(a, b)
+        assert not is_linear_chain(graph)
+
+    def test_cycle_is_not_linear(self):
+        graph = ObjectGraph()
+        a, b = graph.add_vertex(), graph.add_vertex()
+        graph.add_ordering_edge(a, b)
+        graph.add_ordering_edge(b, a)
+        assert not is_linear_chain(graph)

@@ -1,0 +1,47 @@
+"""Tests for id-preserving graph cloning (conflict-preview machinery)."""
+
+from repro.adts.qstack import QStackSpec
+from repro.graph.builder import GraphBuilder
+from repro.graph.instrument import InstrumentedGraph
+from repro.graph.object_graph import ObjectGraph
+
+
+class TestClone:
+    def test_clone_preserves_vertices_edges_references(self):
+        graph = QStackSpec().build_graph(("a", "b"))
+        clone = graph.clone()
+        assert clone.vertex_ids() == graph.vertex_ids()
+        assert clone.ordering_edges() == graph.ordering_edges()
+        assert clone.reference("f") == graph.reference("f")
+        assert clone.reference("b") == graph.reference("b")
+
+    def test_clone_is_independent(self):
+        graph = QStackSpec().build_graph(("a",))
+        clone = graph.clone()
+        clone.set_content(next(iter(clone.vertex_ids())), "changed")
+        assert graph.vertex(next(iter(graph.vertex_ids()))).value == "a"
+
+    def test_clone_allocates_the_same_future_ids(self):
+        graph = QStackSpec().build_graph(("a", "b"))
+        clone = graph.clone()
+        assert graph.add_vertex("x") == clone.add_vertex("y")
+
+    def test_preview_trace_comparable_with_live_trace(self):
+        adt = QStackSpec()
+        graph = adt.build_graph(("a", "b"))
+        clone = graph.clone()
+        live = InstrumentedGraph(graph)
+        previewed = InstrumentedGraph(clone)
+        adt.operation("Push").execute(live, "c")
+        adt.operation("Push").execute(previewed, "c")
+        assert live.trace.structure_modified == previewed.trace.structure_modified
+        assert live.trace.content_modified == previewed.trace.content_modified
+
+    def test_nested_graphs_are_deep_cloned(self):
+        inner = GraphBuilder("D").component("E", value="e").build()
+        graph = ObjectGraph("A")
+        vid = graph.add_vertex(value=inner)
+        clone = graph.clone()
+        nested_clone = clone.vertex(vid).value
+        nested_clone.set_content(next(iter(nested_clone.vertex_ids())), "mutated")
+        assert graph.content(vid) != clone.content(vid)

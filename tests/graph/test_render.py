@@ -1,0 +1,81 @@
+"""Unit tests for the graph renderers (Figures 1 and 2 machinery)."""
+
+from repro.graph.builder import GraphBuilder, build_chain
+from repro.graph.render import render_ascii, render_chain, render_dot
+
+
+def figure1_graph():
+    inner = (
+        GraphBuilder("D")
+        .component("E", value="e")
+        .component("F", value="f")
+        .order("E", "F")
+        .order("F", "E")
+        .build()
+    )
+    return (
+        GraphBuilder("A")
+        .component("B", value="b")
+        .component("C", value="c")
+        .component("D", value=inner)
+        .order("B", "C")
+        .order("C", "D")
+        .build()
+    )
+
+
+class TestAsciiRender:
+    def test_mentions_all_components(self):
+        text = render_ascii(figure1_graph())
+        for label in ("A", "B", "C", "D", "E", "F"):
+            assert label in text
+
+    def test_shows_ordering_edges(self):
+        text = render_ascii(figure1_graph())
+        assert "B..>C" in text
+        assert "C..>D" in text
+
+    def test_shows_references(self):
+        graph = build_chain("Q", ["x"], references=[("b", 0)])
+        assert "ref b" in render_ascii(graph)
+
+    def test_dangling_reference_rendered(self):
+        graph = build_chain("Q", [], references=[("f", None)])
+        assert "ref f -> -" in render_ascii(graph)
+
+
+class TestDotRender:
+    def test_valid_digraph_wrapper(self):
+        text = render_dot(figure1_graph())
+        assert text.startswith("digraph object_graph {")
+        assert text.rstrip().endswith("}")
+
+    def test_ordering_edges_dotted(self):
+        assert "style=dotted" in render_dot(figure1_graph())
+
+    def test_nested_objects_are_clusters(self):
+        assert "subgraph cluster_" in render_dot(figure1_graph())
+
+    def test_references_dashed(self):
+        graph = build_chain("Q", ["x"], references=[("b", 0)])
+        assert "style=dashed" in render_dot(graph)
+
+
+class TestChainRender:
+    def test_front_first_layout(self):
+        graph = build_chain(
+            "QStack", ["e1", "e2", "e3"], references=[("f", 0), ("b", 2)]
+        )
+        text = render_chain(graph)
+        assert text.index("e1") < text.index("e2") < text.index("e3")
+        assert "[f]" in text
+        assert "[b]" in text
+
+    def test_empty_chain(self):
+        graph = build_chain("QStack", [], references=[("f", None), ("b", None)])
+        assert "<empty>" in render_chain(graph)
+
+    def test_non_chain_falls_back_to_ascii(self):
+        graph = GraphBuilder("A").component("B").component("C").build()
+        # no ordering edges over two components -> not a linear chain
+        assert render_chain(graph) == render_ascii(graph)

@@ -1,0 +1,46 @@
+"""Unit tests for vertices, edges and the id allocator."""
+
+from repro.graph.edges import ComposedOfEdge, OrderingEdge
+from repro.graph.object_graph import ObjectGraph
+from repro.graph.vertex import Vertex, VertexIdAllocator
+
+
+class TestVertex:
+    def test_display_name_prefers_label(self):
+        assert Vertex(vid=3, label="B").display_name() == "B"
+
+    def test_display_name_falls_back_to_id(self):
+        assert Vertex(vid=3).display_name() == "v3"
+
+    def test_primitive_is_not_complex(self):
+        assert not Vertex(vid=0, value=42).is_complex()
+
+    def test_nested_graph_is_complex(self):
+        assert Vertex(vid=0, value=ObjectGraph("inner")).is_complex()
+
+
+class TestAllocator:
+    def test_ids_are_unique_and_increasing(self):
+        allocator = VertexIdAllocator()
+        ids = [allocator.allocate() for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_independent_allocators_restart(self):
+        first = VertexIdAllocator().allocate()
+        second = VertexIdAllocator().allocate()
+        assert first == second == 0
+
+
+class TestEdges:
+    def test_ordering_edge_endpoints(self):
+        edge = OrderingEdge(source=1, target=2)
+        assert edge.endpoints() == (1, 2)
+
+    def test_ordering_edges_hashable_and_directional(self):
+        assert OrderingEdge(1, 2) != OrderingEdge(2, 1)
+        assert len({OrderingEdge(1, 2), OrderingEdge(1, 2)}) == 1
+
+    def test_composed_of_edge_identity(self):
+        assert ComposedOfEdge(3) == ComposedOfEdge(3)
+        assert ComposedOfEdge(3) != ComposedOfEdge(4)

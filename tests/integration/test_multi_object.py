@@ -1,0 +1,120 @@
+"""Integration: transactions spanning several shared objects.
+
+The scheduler records dependencies per object but enforces commit order
+and abort cascades globally; these tests drive transactions that touch a
+QStack and an Account together and verify the cross-object guarantees.
+"""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.serializability import find_serialization, is_serializable
+from repro.core.dependency import Dependency
+from repro.core.methodology import derive
+from repro.experiments import golden
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def tables():
+    qstack = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    account = AccountSpec()
+    return {
+        "qstack": (qstack, derive(qstack).final_table),
+        "account": (account, derive(account).final_table),
+    }
+
+
+def make_scheduler(tables, policy="optimistic"):
+    scheduler = TableDrivenScheduler(policy=policy)
+    qstack, qstack_table = tables["qstack"]
+    account, account_table = tables["account"]
+    scheduler.register_object("qs", qstack, qstack_table, initial_state=("a", "b"))
+    scheduler.register_object("acct", account, account_table, initial_state=2)
+    return scheduler
+
+
+class TestCrossObjectDependencies:
+    def test_dependencies_span_objects(self, tables):
+        scheduler = make_scheduler(tables)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        # Conflict on the account...
+        scheduler.request(t1, "acct", Invocation("Deposit", (1,)))
+        scheduler.request(t2, "acct", Invocation("Balance"))  # AD on t1
+        # ...and independent work on the QStack.
+        scheduler.request(t2, "qs", Invocation("Top"))
+        commit = scheduler.try_commit(t2)
+        assert not commit.committed and commit.waiting_on == {t1}
+        assert scheduler.try_commit(t1).committed
+        assert scheduler.try_commit(t2).committed
+        assert is_serializable(scheduler)
+
+    def test_abort_rolls_back_every_object(self, tables):
+        scheduler = make_scheduler(tables)
+        t1 = scheduler.begin()
+        scheduler.request(t1, "qs", Invocation("Push", ("a",)))
+        scheduler.request(t1, "acct", Invocation("Deposit", (2,)))
+        scheduler.abort(t1)
+        assert scheduler.object("qs").state() == ("a", "b")
+        assert scheduler.object("acct").state() == 2
+
+    def test_cascade_crosses_objects(self, tables):
+        scheduler = make_scheduler(tables)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.request(t1, "acct", Invocation("Deposit", (1,)))
+        # t2 observes t1's deposit (AD) then touches the QStack.
+        decision = scheduler.request(t2, "acct", Invocation("Balance"))
+        assert (t1, Dependency.AD) in decision.dependencies
+        scheduler.request(t2, "qs", Invocation("Push", ("b",)))
+        scheduler.abort(t1)
+        assert scheduler.transaction(t2).is_aborted
+        # t2's push was rolled back along with it.
+        assert scheduler.object("qs").state() == ("a", "b")
+
+    def test_conflicts_isolated_per_object(self, tables):
+        scheduler = make_scheduler(tables)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.request(t1, "qs", Invocation("Pop"))
+        decision = scheduler.request(t2, "acct", Invocation("Withdraw", (1,)))
+        assert decision.dependencies == ()  # different objects never conflict
+
+    def test_serialization_spans_objects(self, tables):
+        scheduler = make_scheduler(tables)
+        t1, t2, t3 = scheduler.begin(), scheduler.begin(), scheduler.begin()
+        scheduler.request(t1, "qs", Invocation("Push", ("a",)))
+        scheduler.request(t2, "acct", Invocation("Deposit", (1,)))
+        scheduler.request(t3, "qs", Invocation("Deq"))
+        scheduler.request(t3, "acct", Invocation("Balance"))
+        for txn in (t3, t1, t2):
+            if not scheduler.transaction(txn).is_active:
+                continue
+            decision = scheduler.try_commit(txn)
+            if not decision.committed:
+                # commit-order waits resolve once predecessors commit
+                for other in decision.waiting_on:
+                    if scheduler.transaction(other).is_active:
+                        scheduler.try_commit(other)
+                if scheduler.transaction(txn).is_active:
+                    scheduler.try_commit(txn)
+        committed = [
+            txn
+            for txn in (t1, t2, t3)
+            if scheduler.transaction(txn).is_committed
+        ]
+        order = find_serialization(scheduler)
+        assert order is not None
+        assert set(order) == set(committed)
+
+
+class TestBlockingAcrossObjects:
+    def test_block_on_one_object_only(self, tables):
+        scheduler = make_scheduler(tables, policy="blocking")
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        scheduler.request(t1, "acct", Invocation("Deposit", (1,)))
+        blocked = scheduler.request(t2, "acct", Invocation("Balance"))
+        assert not blocked.executed
+        # The same transaction can still proceed on the other object.
+        executed = scheduler.request(t2, "qs", Invocation("Top"))
+        assert executed.executed

@@ -1,0 +1,93 @@
+"""Integration: multilevel scheduling over a composite object.
+
+Transfers between the two accounts of the composite ``Bank`` run as
+transactions against a *single* shared object; the derived table lets
+transfers on disjoint accounts interleave freely while same-account
+interactions are ordered or blocked.
+"""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.composite import CompositeSpec
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.serializability import is_serializable
+from repro.core.dependency import Dependency
+from repro.core.methodology import derive
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return CompositeSpec(
+        "Bank",
+        {
+            "a": AccountSpec(max_balance=2, amounts=(1,)),
+            "b": AccountSpec(max_balance=2, amounts=(1,)),
+            "c": AccountSpec(max_balance=2, amounts=(1,)),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def bank_table(bank):
+    return derive(bank).final_table
+
+
+def make_scheduler(bank, table):
+    scheduler = TableDrivenScheduler(policy="optimistic")
+    scheduler.register_object("bank", bank, table, initial_state=(1, 1, 1))
+    return scheduler
+
+
+def transfer(scheduler, bank, txn, source, target):
+    """Withdraw 1 from ``source`` and deposit it into ``target``."""
+    withdraw = scheduler.request(
+        txn, "bank", bank.component_invocation(source, "Withdraw", 1)
+    )
+    deposit = scheduler.request(
+        txn, "bank", bank.component_invocation(target, "Deposit", 1)
+    )
+    return withdraw, deposit
+
+
+class TestDisjointTransfers:
+    def test_no_dependencies_between_disjoint_transfers(self, bank, bank_table):
+        scheduler = make_scheduler(bank, bank_table)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        # t1 moves a -> b while t2's operations touch only c.
+        transfer(scheduler, bank, t1, "a", "b")
+        decision = scheduler.request(
+            t2, "bank", bank.component_invocation("c", "Balance")
+        )
+        assert decision.executed and decision.dependencies == ()
+        assert scheduler.try_commit(t2).committed  # commits ahead of t1
+        assert scheduler.try_commit(t1).committed
+        assert scheduler.object("bank").state() == (0, 2, 1)
+        assert is_serializable(scheduler)
+
+    def test_conflicting_transfers_are_ordered(self, bank, bank_table):
+        scheduler = make_scheduler(bank, bank_table)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        transfer(scheduler, bank, t1, "a", "b")
+        # t2 reads the balance t1 is withdrawing from: abort-dependent.
+        decision = scheduler.request(
+            t2, "bank", bank.component_invocation("a", "Balance")
+        )
+        assert (t1, Dependency.AD) in decision.dependencies
+        scheduler.abort(t1)
+        assert scheduler.transaction(t2).is_aborted  # cascade
+        assert scheduler.object("bank").state() == (1, 1, 1)
+
+    def test_failed_withdraw_only_commit_ordered(self, bank, bank_table):
+        scheduler = make_scheduler(bank, bank_table)
+        t1, t2 = scheduler.begin(), scheduler.begin()
+        # Drain account a so the next withdraw fails.
+        scheduler.request(
+            t1, "bank", bank.component_invocation("a", "Withdraw", 1)
+        )
+        decision = scheduler.request(
+            t2, "bank", bank.component_invocation("a", "Withdraw", 1)
+        )
+        assert decision.returned.outcome == "nok"
+        # The failed withdraw observed t1's withdrawal: abort-dependency.
+        assert decision.dependencies == ((t1, Dependency.AD),)

@@ -1,0 +1,86 @@
+"""Integration: the five-stage pipeline over every built-in ADT.
+
+Cross-module invariants that must hold regardless of the object:
+completeness, stage monotonicity, agreement with the Section-3 semantic
+notions, and soundness of every unconditional ND entry.
+"""
+
+import pytest
+
+from repro.adts.registry import builtin_names, make_adt
+from repro.core.dependency import Dependency
+from repro.core.methodology import derive
+from repro.semantics.commutativity import forward_commute_invocations
+from repro.semantics.recoverability import recoverable_operations
+
+
+@pytest.fixture(scope="module", params=builtin_names())
+def derivation(request):
+    return derive(make_adt(request.param)), make_adt(request.param)
+
+
+class TestStructure:
+    def test_tables_complete(self, derivation):
+        result, _ = derivation
+        for _, table in result.stage_tables():
+            assert table.is_complete()
+
+    def test_stage_monotonicity(self, derivation):
+        result, _ = derivation
+        assert result.stage4_table.refines(result.stage3_table)
+        assert result.stage5_table.refines(result.stage4_table)
+
+    def test_profiles_cover_operations(self, derivation):
+        result, adt = derivation
+        assert set(result.profiles) == set(adt.operation_names())
+
+
+class TestSoundness:
+    def test_unconditional_nd_entries_commute(self, derivation):
+        """An unconditional ND cell claims the operations never conflict."""
+        result, adt = derivation
+        for invoked, executing, entry in result.final_table.cells():
+            if entry.is_conditional or entry.strongest() is not Dependency.ND:
+                continue
+            assert all(
+                forward_commute_invocations(adt, first, second)
+                for first in adt.invocations_of(executing)
+                for second in adt.invocations_of(invoked)
+            ), (invoked, executing)
+
+    def test_non_recoverable_pairs_are_at_least_ad_capable(self, derivation):
+        """If the follower can observe the first operation's effect, the
+        entry must be able to resolve to AD in some situation."""
+        result, adt = derivation
+        for invoked, executing, entry in result.final_table.cells():
+            if recoverable_operations(adt, invoked, executing):
+                continue
+            assert entry.strongest() is Dependency.AD, (invoked, executing)
+
+    def test_commuting_operations_never_forced_ad(self, derivation):
+        """Operations that commute in every state need no abort-dependency."""
+        result, adt = derivation
+        for invoked, executing, entry in result.final_table.cells():
+            commutes = all(
+                forward_commute_invocations(adt, first, second)
+                for first in adt.invocations_of(executing)
+                for second in adt.invocations_of(invoked)
+            )
+            if commutes:
+                assert entry.weakest() is not Dependency.AD, (invoked, executing)
+
+
+class TestAgreementWithRecoverability:
+    def test_stage3_no_weaker_than_recoverability_on_ad(self, derivation):
+        """Stage 3 uses strictly less information than the recoverability
+        relation; where recoverability demands AD, stage 3 must too."""
+        from repro.semantics.recoverability import recoverability_table
+
+        result, adt = derivation
+        reference = recoverability_table(adt)
+        for (invoked, executing), dep in reference.items():
+            if dep is Dependency.AD:
+                assert (
+                    result.stage3_table.dependency(invoked, executing)
+                    is Dependency.AD
+                ), (invoked, executing)

@@ -1,0 +1,52 @@
+"""Integration: the broad soundness sweep.
+
+Every built-in ADT, both scheduling policies, with and without restarts,
+across seeded workloads with voluntary aborts injected — every run must
+complete (no livelock) and the committed portion must be serializable.
+This is the hammer that caught the interleaving-composability and
+restart-bookkeeping bugs during development; it stays in the suite at a
+size that keeps it meaningful without dominating the runtime.
+"""
+
+import pytest
+
+from repro.adts.registry import builtin_names, make_adt
+from repro.cc.serializability import find_serialization
+from repro.cc.simulator import SimulationConfig, simulate_with_scheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+
+SEEDS = range(8)
+
+
+@pytest.mark.parametrize("adt_name", builtin_names())
+@pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+def test_every_run_serializable(adt_name, policy):
+    adt = make_adt(adt_name)
+    table = derive(adt).final_table
+    for seed in SEEDS:
+        workload = generate(
+            adt,
+            "shared",
+            WorkloadConfig(
+                transactions=5,
+                operations_per_transaction=3,
+                abort_probability=0.25 if seed % 2 else 0.0,
+                seed=seed,
+            ),
+        )
+        metrics, scheduler = simulate_with_scheduler(
+            SimulationConfig(
+                adt=adt,
+                table=table,
+                workload=workload,
+                policy=policy,
+                restart_aborted=bool(seed % 3),
+            )
+        )
+        assert metrics.committed + metrics.aborted == 5, (adt_name, policy, seed)
+        assert find_serialization(scheduler) is not None, (
+            adt_name,
+            policy,
+            seed,
+        )

@@ -1,0 +1,66 @@
+"""Property-based tests: composite delegation is exactly component execution."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.account import AccountSpec
+from repro.adts.composite import CompositeSpec
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+COMPONENT = AccountSpec(max_balance=2, amounts=(1,))
+BANK = CompositeSpec("Bank", {"a": COMPONENT, "b": COMPONENT})
+
+states = st.sampled_from(BANK.state_list())
+components = st.sampled_from(("a", "b"))
+inner_invocations = st.sampled_from(COMPONENT.invocations())
+
+
+@given(states, components, inner_invocations)
+@settings(max_examples=200, deadline=None)
+def test_delegation_matches_component_semantics(state, component, inner):
+    """Running ``<component>.<op>`` on the composite equals running the
+    component's op on the projected state, leaving siblings untouched."""
+    composite_invocation = Invocation(
+        f"{component}.{inner.operation}", inner.args
+    )
+    composite_execution = execute_invocation(BANK, state, composite_invocation)
+    projected = BANK.component_state(state, component)
+    component_execution = execute_invocation(COMPONENT, projected, inner)
+    # Same return value...
+    assert composite_execution.returned == component_execution.returned
+    # ...same effect on the targeted component...
+    assert (
+        BANK.component_state(composite_execution.post_state, component)
+        == component_execution.post_state
+    )
+    # ...and no effect on the sibling.
+    sibling = "b" if component == "a" else "a"
+    assert BANK.component_state(
+        composite_execution.post_state, sibling
+    ) == BANK.component_state(state, sibling)
+
+
+@given(states, components, inner_invocations)
+@settings(max_examples=200, deadline=None)
+def test_delegation_locality_confined_to_one_vertex(state, component, inner):
+    """At the parent level, a delegated operation touches exactly the
+    component's complex vertex (the multilevel abstraction)."""
+    execution = execute_invocation(
+        BANK, state, Invocation(f"{component}.{inner.operation}", inner.args)
+    )
+    assert len(execution.trace.locality) == 1
+    assert execution.trace.references_read == {component}
+
+
+@given(states, inner_invocations, inner_invocations)
+@settings(max_examples=200, deadline=None)
+def test_cross_component_operations_always_commute(state, first, second):
+    from repro.semantics.commutativity import commute_in_state
+
+    assert commute_in_state(
+        BANK,
+        state,
+        Invocation(f"a.{first.operation}", first.args),
+        Invocation(f"b.{second.operation}", second.args),
+    )

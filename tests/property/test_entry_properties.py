@@ -1,0 +1,71 @@
+"""Property-based tests on entries, tables and condition evaluation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.qstack import QStackSpec
+from repro.core.conditions import ConditionContext
+from repro.core.dependency import Dependency
+from repro.core.methodology import derive
+from repro.experiments import golden
+from repro.spec.adt import execute_invocation
+
+ADT = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+RESULT = derive(ADT)
+TABLE = RESULT.final_table
+
+operations = st.sampled_from(ADT.operation_names())
+states = st.sampled_from(ADT.state_list())
+invocation_for = {
+    name: ADT.invocations_of(name) for name in ADT.operation_names()
+}
+
+
+def build_context(state, first, second):
+    first_execution = execute_invocation(ADT, state, first)
+    second_execution = execute_invocation(
+        ADT, first_execution.post_state, second
+    )
+    return ConditionContext(
+        first_invocation=first,
+        second_invocation=second,
+        pre_graph=ADT.build_graph(state),
+        first_return=first_execution.returned,
+        second_return=second_execution.returned,
+    )
+
+
+@given(states, operations, operations, st.randoms())
+@settings(max_examples=200, deadline=None)
+def test_resolution_within_entry_bounds(state, executing, invoked, rng):
+    first = rng.choice(invocation_for[executing])
+    second = rng.choice(invocation_for[invoked])
+    entry = TABLE.entry(invoked, executing)
+    resolved = entry.resolve(build_context(state, first, second))
+    assert entry.weakest() <= resolved <= entry.strongest()
+
+
+@given(states, operations, operations, st.randoms())
+@settings(max_examples=200, deadline=None)
+def test_stage5_never_resolves_stronger_than_stage4(state, executing, invoked, rng):
+    first = rng.choice(invocation_for[executing])
+    second = rng.choice(invocation_for[invoked])
+    context = build_context(state, first, second)
+    stage4 = RESULT.stage4_table.resolve(invoked, executing, context)
+    stage5 = RESULT.stage5_table.resolve(invoked, executing, context)
+    assert stage5 <= stage4
+
+
+@given(states, operations, operations, st.randoms())
+@settings(max_examples=200, deadline=None)
+def test_resolved_nd_implies_commutativity(state, executing, invoked, rng):
+    """The headline soundness property of the validated table: whenever a
+    cell resolves to ND for a concrete adjacent execution, the two
+    invocations commute in that state."""
+    from repro.semantics.commutativity import commute_in_state
+
+    first = rng.choice(invocation_for[executing])
+    second = rng.choice(invocation_for[invoked])
+    context = build_context(state, first, second)
+    if TABLE.resolve(invoked, executing, context) is Dependency.ND:
+        assert commute_in_state(ADT, state, first, second)

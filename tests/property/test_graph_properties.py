@@ -1,0 +1,105 @@
+"""Stateful property tests: object-graph invariants under random mutation.
+
+A hypothesis state machine drives an :class:`ObjectGraph` through random
+insertions, deletions, edge changes and reference retargetings, checking
+the Def.-8 structural invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.graph.object_graph import ObjectGraph
+
+
+class GraphMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.graph = ObjectGraph("fuzzed")
+        self.ever_issued: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(value=st.integers(min_value=0, max_value=9))
+    def add_vertex(self, value):
+        vid = self.graph.add_vertex(value)
+        assert vid not in self.ever_issued, "vertex id reused"
+        self.ever_issued.add(vid)
+
+    @precondition(lambda self: len(self.graph) >= 1)
+    @rule(data=st.data())
+    def remove_vertex(self, data):
+        vid = data.draw(st.sampled_from(sorted(self.graph.vertex_ids())))
+        self.graph.remove_vertex(vid)
+
+    @precondition(lambda self: len(self.graph) >= 2)
+    @rule(data=st.data())
+    def add_ordering_edge(self, data):
+        vids = sorted(self.graph.vertex_ids())
+        source = data.draw(st.sampled_from(vids))
+        target = data.draw(st.sampled_from([v for v in vids if v != source]))
+        self.graph.add_ordering_edge(source, target)
+
+    @precondition(lambda self: bool(self.graph.ordering_edges()))
+    @rule(data=st.data())
+    def remove_ordering_edge(self, data):
+        edge = data.draw(
+            st.sampled_from(
+                sorted(self.graph.ordering_edges(), key=lambda e: e.endpoints())
+            )
+        )
+        self.graph.remove_ordering_edge(edge.source, edge.target)
+
+    @rule(name=st.sampled_from(("r1", "r2")), data=st.data())
+    def declare_or_retarget_reference(self, name, data):
+        vids = sorted(self.graph.vertex_ids())
+        target = data.draw(st.sampled_from([None] + vids)) if vids else None
+        self.graph.declare_reference(name, target)
+
+    # ------------------------------------------------------------------
+    # Invariants (Def. 8 structure)
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def composed_of_edges_match_components(self):
+        edges = self.graph.composed_of_edges()
+        assert {edge.target for edge in edges} == self.graph.vertex_ids()
+        assert len(edges) == len(self.graph)
+
+    @invariant()
+    def ordering_edges_connect_live_vertices(self):
+        vids = self.graph.vertex_ids()
+        for edge in self.graph.ordering_edges():
+            assert edge.source in vids and edge.target in vids
+            assert edge.source != edge.target
+
+    @invariant()
+    def references_target_live_vertices(self):
+        vids = self.graph.vertex_ids()
+        for name in self.graph.reference_names():
+            target = self.graph.reference(name)
+            assert target is None or target in vids
+
+    @invariant()
+    def successors_and_predecessors_agree(self):
+        for edge in self.graph.ordering_edges():
+            assert edge.target in self.graph.successors(edge.source)
+            assert edge.source in self.graph.predecessors(edge.target)
+
+    @invariant()
+    def content_round_trips(self):
+        for vid in self.graph.vertex_ids():
+            assert self.graph.content(vid) == self.graph.vertex(vid).value
+
+
+TestGraphMachine = GraphMachine.TestCase
+TestGraphMachine.settings = settings(
+    max_examples=60, stateful_step_count=30, deadline=None
+)

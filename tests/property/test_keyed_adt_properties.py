@@ -1,0 +1,78 @@
+"""Property-based tests for the explicitly-referencing ADTs (Set, Directory)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.directory import DirectorySpec
+from repro.adts.set_adt import SetSpec
+from repro.semantics.commutativity import commute_in_state
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+SET = SetSpec(domain=("a", "b", "c"))
+DIRECTORY = DirectorySpec(keys=("k1", "k2"), values=("u", "v"))
+
+set_states = st.sampled_from(SET.state_list())
+set_invocations = st.sampled_from(SET.invocations())
+dir_states = st.sampled_from(DIRECTORY.state_list())
+dir_invocations = st.sampled_from(DIRECTORY.invocations())
+
+
+@given(set_states, st.lists(set_invocations, max_size=10))
+@settings(max_examples=120, deadline=None)
+def test_set_agrees_with_python_set(state, program):
+    model = set(state)
+    current = state
+    for invocation in program:
+        execution = execute_invocation(SET, current, invocation)
+        element = invocation.args[0] if invocation.args else None
+        if invocation.operation == "Insert" and execution.returned.outcome == "ok":
+            model.add(element)
+        elif invocation.operation == "Remove" and execution.returned.outcome == "ok":
+            model.discard(element)
+        current = execution.post_state
+    assert current == frozenset(model)
+
+
+@given(set_states, set_invocations, set_invocations)
+@settings(max_examples=200, deadline=None)
+def test_set_operations_on_distinct_elements_commute(state, first, second):
+    if not first.args or not second.args:
+        return
+    if first.args[0] == second.args[0]:
+        return
+    assert commute_in_state(SET, state, first, second)
+
+
+@given(dir_states, dir_invocations, dir_invocations)
+@settings(max_examples=200, deadline=None)
+def test_directory_operations_on_distinct_keys_commute(state, first, second):
+    if first.args[0] == second.args[0]:
+        return
+    assert commute_in_state(DIRECTORY, state, first, second)
+
+
+@given(dir_states, st.sampled_from(("k1", "k2")), st.sampled_from(("u", "v")))
+@settings(max_examples=120, deadline=None)
+def test_directory_insert_lookup_round_trip(state, key, value):
+    inserted = execute_invocation(
+        DIRECTORY, state, Invocation("Insert", (key, value))
+    )
+    if inserted.returned.outcome != "ok":
+        return  # key already present
+    found = execute_invocation(
+        DIRECTORY, inserted.post_state, Invocation("Lookup", (key,))
+    )
+    assert found.returned.result == value
+
+
+@given(dir_states, st.sampled_from(("k1", "k2")))
+@settings(max_examples=120, deadline=None)
+def test_directory_delete_then_lookup_misses(state, key):
+    deleted = execute_invocation(DIRECTORY, state, Invocation("Delete", (key,)))
+    if deleted.returned.outcome != "ok":
+        return
+    missed = execute_invocation(
+        DIRECTORY, deleted.post_state, Invocation("Lookup", (key,))
+    )
+    assert missed.returned.outcome == "nok"

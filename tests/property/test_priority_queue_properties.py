@@ -1,0 +1,73 @@
+"""Property-based tests: PriorityQueue invariants under random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.priority_queue import PriorityQueueSpec
+from repro.graph.analysis import is_linear_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+ADT = PriorityQueueSpec(capacity=4, domain=(1, 2, 3))
+
+invocations = st.sampled_from(ADT.invocations())
+programs = st.lists(invocations, max_size=12)
+
+
+def apply_program(program):
+    graph = ADT.build_graph(())
+    model: list[int] = []
+    for invocation in program:
+        view = InstrumentedGraph(graph)
+        returned = ADT.operation(invocation.operation).execute(
+            view, *invocation.args
+        )
+        if invocation.operation == "Insert" and returned.outcome == "ok":
+            model.append(invocation.args[0])
+            model.sort()
+        elif invocation.operation == "ExtractMin" and returned.outcome != "nok":
+            model.pop(0)
+    return graph, tuple(model)
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_graph_agrees_with_sorted_model(program):
+    graph, model = apply_program(program)
+    assert ADT.abstract_state(graph) == model
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_structure_stays_a_sorted_chain(program):
+    graph, model = apply_program(program)
+    assert is_linear_chain(graph)
+    if model:
+        assert graph.vertex(graph.reference("min")).value == model[0]
+    else:
+        assert graph.reference("min") is None
+
+
+@given(st.sampled_from(ADT.state_list()), st.sampled_from((1, 2, 3)))
+@settings(max_examples=120, deadline=None)
+def test_insert_then_extract_round_trip(state, element):
+    inserted = execute_invocation(ADT, state, Invocation("Insert", (element,)))
+    if inserted.returned.outcome != "ok":
+        return
+    extracted = execute_invocation(ADT, inserted.post_state, Invocation("ExtractMin"))
+    expected_min = min(list(state) + [element])
+    assert extracted.returned.result == expected_min
+
+
+@given(st.sampled_from(ADT.state_list()), st.sampled_from((1, 2, 3)),
+       st.sampled_from((1, 2, 3)))
+@settings(max_examples=120, deadline=None)
+def test_successful_inserts_commute(state, first, second):
+    from repro.semantics.commutativity import commute_in_state
+
+    if len(state) + 2 > ADT.default_bounds.capacity:
+        return  # both succeed only with two free slots
+    assert commute_in_state(
+        ADT, state, Invocation("Insert", (first,)), Invocation("Insert", (second,))
+    )

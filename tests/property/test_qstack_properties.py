@@ -1,0 +1,95 @@
+"""Property-based tests: QStack invariants under arbitrary operation
+sequences (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.qstack import QStackSpec
+from repro.graph.analysis import is_linear_chain
+from repro.graph.instrument import InstrumentedGraph
+from repro.spec.adt import execute_invocation
+from repro.spec.operation import Invocation
+
+ADT = QStackSpec(capacity=4, domain=("a", "b"))
+
+invocations = st.sampled_from(ADT.invocations())
+programs = st.lists(invocations, max_size=12)
+states = st.sampled_from(ADT.state_list())
+
+
+def apply_program(program, start=()):
+    """Run a program on a single live graph, returning graph and model."""
+    graph = ADT.build_graph(start)
+    model = list(start)
+    for invocation in program:
+        view = InstrumentedGraph(graph)
+        returned = ADT.operation(invocation.operation).execute(
+            view, *invocation.args
+        )
+        _apply_to_model(model, invocation, returned)
+    return graph, tuple(model)
+
+
+def _apply_to_model(model, invocation, returned):
+    """Reference semantics: a plain Python list, front first."""
+    op, args = invocation.operation, invocation.args
+    if op == "Push" and returned.outcome == "ok":
+        model.append(args[0])
+    elif op == "Pop" and returned.outcome != "nok":
+        model.pop()
+    elif op == "Deq" and returned.outcome != "nok":
+        model.pop(0)
+    elif op == "Replace":
+        model[:] = [args[1] if value == args[0] else value for value in model]
+    elif op == "XTop" and returned.outcome == "ok":
+        model[-1], model[-2] = model[-2], model[-1]
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_graph_agrees_with_reference_model(program):
+    graph, model = apply_program(program)
+    assert ADT.abstract_state(graph) == model
+
+
+@given(programs)
+@settings(max_examples=150, deadline=None)
+def test_graph_shape_invariants(program):
+    graph, model = apply_program(program)
+    assert is_linear_chain(graph)
+    assert len(graph) == len(model) <= ADT.capacity
+    front, back = graph.reference("f"), graph.reference("b")
+    if model:
+        assert graph.vertex(front).value == model[0]
+        assert graph.vertex(back).value == model[-1]
+    else:
+        assert front is None and back is None
+
+
+@given(states, invocations)
+@settings(max_examples=200, deadline=None)
+def test_single_execution_totality(state, invocation):
+    execution = execute_invocation(ADT, state, invocation)
+    # Every operation is total and always produces a return value.
+    assert execution.returned.has_outcome or execution.returned.has_result
+    # Post-states stay within the bounded space.
+    assert len(execution.post_state) <= ADT.capacity
+
+
+@given(states, st.sampled_from(("a", "b")))
+@settings(max_examples=100, deadline=None)
+def test_push_then_pop_round_trip(state, element):
+    push = execute_invocation(ADT, state, Invocation("Push", (element,)))
+    if push.returned.outcome != "ok":
+        return
+    pop = execute_invocation(ADT, push.post_state, Invocation("Pop"))
+    assert pop.returned.result == element
+    assert pop.post_state == state
+
+
+@given(states)
+@settings(max_examples=100, deadline=None)
+def test_size_equals_length(state):
+    execution = execute_invocation(ADT, state, Invocation("Size"))
+    assert execution.returned.result == len(state)
+    assert execution.is_identity

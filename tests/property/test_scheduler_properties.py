@@ -1,0 +1,90 @@
+"""Property-based tests: the end-to-end scheduling stack stays sound.
+
+Random workloads over derived tables, both policies, with voluntary
+aborts injected — every run must leave the committed transactions
+serializable, and the replay recovery must never discover an invalidated
+survivor beyond the recorded AD cascades (the scheduler counts those as
+aborts too, so the serializability check covers them).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.fifo_queue import FifoQueueSpec
+from repro.adts.qstack import QStackSpec
+from repro.cc.serializability import is_serializable
+from repro.cc.simulator import SimulationConfig, simulate_with_scheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.experiments import golden
+
+QSTACK = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+QSTACK_TABLE = derive(QSTACK).final_table
+QUEUE = FifoQueueSpec()
+QUEUE_TABLE = derive(QUEUE).final_table
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    policy=st.sampled_from(("optimistic", "blocking")),
+    abort_probability=st.sampled_from((0.0, 0.3)),
+)
+@settings(max_examples=40, deadline=None)
+def test_qstack_runs_serializable(seed, policy, abort_probability):
+    workload = generate(
+        QSTACK,
+        "shared",
+        WorkloadConfig(
+            transactions=5,
+            operations_per_transaction=3,
+            abort_probability=abort_probability,
+            seed=seed,
+        ),
+    )
+    metrics, scheduler = simulate_with_scheduler(
+        SimulationConfig(
+            adt=QSTACK, table=QSTACK_TABLE, workload=workload, policy=policy
+        )
+    )
+    assert metrics.committed + metrics.aborted == 5
+    assert is_serializable(scheduler)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_fifo_queue_runs_serializable(seed):
+    workload = generate(
+        QUEUE,
+        "shared",
+        WorkloadConfig(transactions=5, operations_per_transaction=3, seed=seed),
+    )
+    metrics, scheduler = simulate_with_scheduler(
+        SimulationConfig(
+            adt=QUEUE, table=QUEUE_TABLE, workload=workload, policy="blocking"
+        )
+    )
+    assert metrics.committed + metrics.aborted == 5
+    assert is_serializable(scheduler)
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_committed_effects_survive_aborts(seed):
+    """The final object state equals the serial replay of the committed
+    transactions alone — aborted work leaves no residue."""
+    workload = generate(
+        QSTACK,
+        "shared",
+        WorkloadConfig(
+            transactions=4,
+            operations_per_transaction=2,
+            abort_probability=0.5,
+            seed=seed,
+        ),
+    )
+    _, scheduler = simulate_with_scheduler(
+        SimulationConfig(adt=QSTACK, table=QSTACK_TABLE, workload=workload)
+    )
+    from repro.cc.serializability import find_serialization
+
+    assert find_serialization(scheduler) is not None

@@ -1,0 +1,67 @@
+"""Property-based tests on the semantic relations (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.qstack import QStackSpec
+from repro.core.assertions import assertion2_commute, assertion3_recoverable
+from repro.semantics.commutativity import commute_in_state
+from repro.semantics.recoverability import recoverable_in_state
+from repro.spec.adt import execute_invocation
+
+ADT = QStackSpec(capacity=3, domain=("a", "b"))
+
+invocations = st.sampled_from(ADT.invocations())
+states = st.sampled_from(ADT.state_list())
+
+
+@given(states, invocations, invocations)
+@settings(max_examples=250, deadline=None)
+def test_commutativity_is_symmetric(state, first, second):
+    assert commute_in_state(ADT, state, first, second) == commute_in_state(
+        ADT, state, second, first
+    )
+
+
+@given(states, invocations)
+@settings(max_examples=150, deadline=None)
+def test_every_invocation_commutes_with_itself_or_not_reflexively_consistent(
+    state, invocation
+):
+    # Self-commutation: identical invocations in both orders are literally
+    # the same sequence, so the state halves must agree; only the
+    # per-transaction returns can differ (e.g. two Pops).
+    first = execute_invocation(ADT, state, invocation)
+    second = execute_invocation(ADT, first.post_state, invocation)
+    if first.returned == second.returned:
+        assert commute_in_state(ADT, state, invocation, invocation)
+
+
+@given(states, invocations, invocations)
+@settings(max_examples=250, deadline=None)
+def test_commuting_pairs_are_recoverable_both_ways(state, first, second):
+    if commute_in_state(ADT, state, first, second):
+        assert recoverable_in_state(ADT, state, second, first)
+        assert recoverable_in_state(ADT, state, first, second)
+
+
+@given(states, invocations, invocations)
+@settings(max_examples=250, deadline=None)
+def test_assertion3_is_implied_by_assertion2(state, first, second):
+    # Commutativity (Assertion 2) is stronger than recoverability
+    # (Assertion 3) at the locality level.
+    trace_x = execute_invocation(ADT, state, first).trace
+    trace_y = execute_invocation(ADT, state, second).trace
+    if assertion2_commute(trace_x, trace_y):
+        assert assertion3_recoverable(trace_x, trace_y)
+
+
+@given(states, invocations, invocations)
+@settings(max_examples=250, deadline=None)
+def test_identity_executions_commute(state, first, second):
+    first_execution = execute_invocation(ADT, state, first)
+    second_execution = execute_invocation(ADT, state, second)
+    if first_execution.is_identity and second_execution.is_identity:
+        # Two operations that both leave the state unchanged in this state
+        # trivially commute here.
+        assert commute_in_state(ADT, state, first, second)

@@ -1,0 +1,51 @@
+"""Property-based tests: the validation scheduler commits only serial logs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.validation import ValidationScheduler
+from repro.core.methodology import derive
+from repro.experiments import golden
+from repro.spec.adt import execute_invocation
+
+ADT = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+TABLE = derive(ADT).final_table
+INVOCATIONS = ADT.invocations()
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    overlap=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_committed_observations_replay_in_commit_order(seed, overlap):
+    import random
+
+    rng = random.Random(seed)
+    scheduler = ValidationScheduler()
+    scheduler.register_object("qs", ADT, TABLE, initial_state=("a", "b"))
+    committed_log = []
+    active = {}
+    for _ in range(24):
+        if len(active) >= overlap:
+            txn = rng.choice(sorted(active))
+            if scheduler.try_commit(txn):
+                committed_log.extend(active[txn])
+            del active[txn]
+        txn = scheduler.begin()
+        observations = []
+        for _ in range(rng.randint(1, 3)):
+            invocation = rng.choice(INVOCATIONS)
+            returned = scheduler.request(txn, "qs", invocation)
+            observations.append((invocation, returned))
+        active[txn] = observations
+    for txn in sorted(active):
+        if scheduler.try_commit(txn):
+            committed_log.extend(active[txn])
+    state = ("a", "b")
+    for invocation, returned in committed_log:
+        execution = execute_invocation(ADT, state, invocation)
+        assert execution.returned == returned
+        state = execution.post_state
+    assert state == scheduler.object("qs").state()

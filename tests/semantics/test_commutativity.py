@@ -1,0 +1,164 @@
+"""Unit tests for the commutativity notions (Section 3)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.semantics.commutativity import (
+    backward_commute_events,
+    commutativity_table,
+    commute_in_state,
+    forward_commute_events,
+    forward_commute_invocations,
+)
+from repro.semantics.history import HistoryEvent
+from repro.spec.operation import Invocation
+from repro.spec.returnvalue import ok, result_only
+
+
+@pytest.fixture(scope="module")
+def qstack() -> QStackSpec:
+    return QStackSpec()
+
+
+class TestStateCommutativity:
+    def test_observers_commute_everywhere(self, qstack):
+        assert forward_commute_invocations(
+            qstack, Invocation("Top"), Invocation("Size")
+        )
+
+    def test_push_deq_commute_with_two_elements(self, qstack):
+        assert commute_in_state(
+            qstack, ("a", "b"), Invocation("Push", ("a",)), Invocation("Deq")
+        )
+
+    def test_push_deq_conflict_on_empty(self, qstack):
+        assert not commute_in_state(
+            qstack, (), Invocation("Push", ("a",)), Invocation("Deq")
+        )
+
+    def test_push_deq_conflict_when_full(self, qstack):
+        # reversing the order lets the Push succeed
+        assert not commute_in_state(
+            qstack, ("a", "a", "a"), Invocation("Push", ("b",)), Invocation("Deq")
+        )
+
+    def test_two_pops_conflict(self, qstack):
+        assert not forward_commute_invocations(
+            qstack, Invocation("Pop"), Invocation("Pop")
+        )
+
+    def test_same_element_pushes_commute_away_from_boundary(self, qstack):
+        assert commute_in_state(
+            qstack, ("a",), Invocation("Push", ("b",)), Invocation("Push", ("b",))
+        )
+
+    def test_same_element_pushes_conflict_at_boundary(self, qstack):
+        assert not commute_in_state(
+            qstack,
+            ("a", "a"),
+            Invocation("Push", ("b",)),
+            Invocation("Push", ("b",)),
+        )
+
+    def test_replace_xtop_commute(self, qstack):
+        assert forward_commute_invocations(
+            qstack, Invocation("Replace", ("a", "b")), Invocation("XTop")
+        )
+
+
+class TestEventCommutativity:
+    def test_successful_pushes_forward_commute(self):
+        adt = QStackSpec(capacity=3, domain=("a",))
+        push_ok = HistoryEvent(Invocation("Push", ("a",)), ok())
+        # In every state where Push:ok applies twice, the orders agree.
+        assert backward_commute_events(adt, push_ok, push_ok)
+
+    def test_push_pop_events_do_not_commute(self):
+        adt = QStackSpec(capacity=2, domain=("a", "b"))
+        push_ok = HistoryEvent(Invocation("Push", ("b",)), ok())
+        pop_a = HistoryEvent(Invocation("Pop"), result_only("a"))
+        # From ("a",) both events are individually legal, but after the
+        # Push the Pop would return "b": the orders disagree.
+        assert not forward_commute_events(adt, push_ok, pop_a)
+
+    def test_forward_vs_backward_difference(self):
+        # Withdraw(ok) and Withdraw(ok) on an account with exactly enough
+        # funds for one: backward-commutative (if both applied in sequence
+        # the balance sufficed for both, so the reverse is fine) — while
+        # forward commutativity fails (each applies individually at
+        # balance 1 but not in sequence).
+        adt = AccountSpec(max_balance=2, amounts=(1,))
+        withdraw_ok = HistoryEvent(Invocation("Withdraw", (1,)), ok())
+        assert backward_commute_events(adt, withdraw_ok, withdraw_ok)
+        assert not forward_commute_events(adt, withdraw_ok, withdraw_ok)
+
+
+class TestOperationTable:
+    def test_classic_conflicts(self, qstack):
+        table = commutativity_table(
+            QStackSpec(operations=["Push", "Pop", "Top", "Size"])
+        )
+        assert not table[("Pop", "Push")]
+        assert not table[("Top", "Push")]
+        assert table[("Top", "Size")]
+        assert table[("Size", "Size")]
+
+    def test_table_is_symmetric(self):
+        table = commutativity_table(AccountSpec())
+        for (second, first), commutes in table.items():
+            assert table[(first, second)] == commutes
+
+
+class TestWeihlOperationTables:
+    def test_forward_subset_of_backward(self):
+        from repro.semantics.commutativity import (
+            backward_commutativity_table,
+            forward_commutativity_table,
+        )
+
+        adt = AccountSpec(max_balance=2, amounts=(1,))
+        forward = forward_commutativity_table(adt)
+        backward = backward_commutativity_table(adt)
+        # Forward commutativity is the stronger notion: whatever
+        # forward-commutes must backward-commute.
+        assert all(backward[key] for key in forward if forward[key])
+
+    def test_deposits_commute_under_both(self):
+        from repro.semantics.commutativity import (
+            backward_commutativity_table,
+            forward_commutativity_table,
+        )
+
+        adt = AccountSpec(max_balance=2, amounts=(1,))
+        assert forward_commutativity_table(adt)[("Deposit", "Deposit")]
+        assert backward_commutativity_table(adt)[("Deposit", "Deposit")]
+
+    def test_observer_pairs_commute_under_both(self):
+        from repro.semantics.commutativity import (
+            backward_commutativity_table,
+            forward_commutativity_table,
+        )
+
+        adt = QStackSpec(capacity=2, domain=("a",), operations=["Top", "Size"])
+        forward = forward_commutativity_table(adt)
+        backward = backward_commutativity_table(adt)
+        assert all(forward.values()) and all(backward.values())
+
+    def test_push_pop_conflict_under_both(self):
+        from repro.semantics.commutativity import (
+            backward_commutativity_table,
+            forward_commutativity_table,
+        )
+
+        adt = QStackSpec(capacity=2, domain=("a", "b"), operations=["Push", "Pop"])
+        assert not forward_commutativity_table(adt)[("Pop", "Push")]
+        assert not backward_commutativity_table(adt)[("Pop", "Push")]
+
+    def test_tables_symmetric(self):
+        from repro.semantics.commutativity import forward_commutativity_table
+
+        adt = AccountSpec(max_balance=2, amounts=(1,))
+        table = forward_commutativity_table(adt)
+        for (second, first), value in table.items():
+            assert table[(first, second)] == value

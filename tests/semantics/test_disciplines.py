@@ -1,0 +1,115 @@
+"""Unit tests for the recovery-discipline comparison (X6)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.semantics.disciplines import (
+    compare_disciplines,
+    intentions_outcomes,
+    interleavings,
+    recoverability_outcomes,
+    serial_outcome,
+)
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def qstack():
+    return QStackSpec(
+        capacity=2, domain=("a", "b"), operations=["Push", "Pop", "Top"]
+    )
+
+
+PUSH = Invocation("Push", ("b",))
+POP = Invocation("Pop")
+TOP = Invocation("Top")
+
+
+class TestInterleavings:
+    def test_merge_count(self):
+        patterns = list(interleavings([PUSH, POP], [TOP]))
+        assert len(patterns) == 3  # C(3,1) positions for the singleton
+
+    def test_pattern_contents(self):
+        for pattern in interleavings([PUSH], [TOP, POP]):
+            assert pattern.count(0) == 1
+            assert pattern.count(1) == 2
+
+
+class TestSerialOutcome:
+    def test_deterministic_histories(self, qstack):
+        outcome = serial_outcome(qstack, ("a",), ((PUSH,), (POP,)), (0, 1))
+        (push_event,) = outcome.histories[0]
+        (pop_event,) = outcome.histories[1]
+        assert push_event[1].outcome == "ok"
+        assert pop_event[1].result == "b"  # pops the freshly pushed 'b'
+
+    def test_order_changes_returns(self, qstack):
+        first = serial_outcome(qstack, ("a",), ((PUSH,), (POP,)), (0, 1))
+        second = serial_outcome(qstack, ("a",), ((PUSH,), (POP,)), (1, 0))
+        assert first != second
+
+
+class TestRecoverabilityDiscipline:
+    def test_conflicting_interleaving_blocks(self, qstack):
+        # Pop right after the other transaction's uncommitted Push would
+        # observe it: the dynamic recoverability test rejects the pattern.
+        outcomes = recoverability_outcomes(
+            qstack, (), ((PUSH,), (POP,)), (0, 1)
+        )
+        assert outcomes == set()
+
+    def test_independent_interleaving_admits_both_orders(self, qstack):
+        # Top and Top: observers interleave freely, both orders replay.
+        outcomes = recoverability_outcomes(
+            qstack, ("a",), ((TOP,), (TOP,)), (0, 1)
+        )
+        assert {outcome.order for outcome in outcomes} == {(0, 1), (1, 0)}
+
+    def test_admitted_outcome_is_the_serial_history(self, qstack):
+        outcomes = recoverability_outcomes(
+            qstack, ("a",), ((PUSH,), (TOP,)), (1, 0)  # Top first
+        )
+        assert serial_outcome(qstack, ("a",), ((PUSH,), (TOP,)), (1, 0)) in outcomes
+
+
+class TestIntentionsDiscipline:
+    def test_follower_validation(self, qstack):
+        # Push then Pop: Pop's own view ('a' from the base state) matches
+        # the serial order (Pop, Push) but not (Push, Pop).
+        outcomes = intentions_outcomes(qstack, ("a",), ((PUSH,), (POP,)))
+        orders = {outcome.order for outcome in outcomes}
+        assert (1, 0) in orders
+        assert (0, 1) not in orders
+
+    def test_commuting_programs_validate_both_orders(self, qstack):
+        outcomes = intentions_outcomes(qstack, ("a",), ((TOP,), (TOP,)))
+        assert {outcome.order for outcome in outcomes} == {(0, 1), (1, 0)}
+
+
+class TestEquivalence:
+    def test_valid_history_sets_coincide(self, qstack):
+        invocations = qstack.invocations()
+        pairs = [
+            ((first,), (second,))
+            for first in invocations
+            for second in invocations
+        ]
+        report = compare_disciplines(qstack, ("a",), pairs)
+        assert report.same_valid_histories
+
+    def test_account_equivalence(self):
+        adt = AccountSpec(max_balance=2, amounts=(1,))
+        invocations = adt.invocations()
+        pairs = [
+            ((first,), (second,))
+            for first in invocations
+            for second in invocations
+        ]
+        report = compare_disciplines(adt, 1, pairs)
+        assert report.same_valid_histories
+
+    def test_report_summary(self, qstack):
+        report = compare_disciplines(qstack, ("a",), [((TOP,), (TOP,))])
+        assert "valid-history sets ==" in report.summary()

@@ -1,0 +1,55 @@
+"""Unit tests for the serial-dependency/recoverability comparison (X2)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.semantics.equivalence import compare_relations
+from repro.spec.adt import EnumerationBounds
+
+
+@pytest.fixture(scope="module")
+def qstack_report():
+    adt = QStackSpec(capacity=2, domain=("a",), operations=["Push", "Pop", "Top"])
+    return compare_relations(adt, bounds=EnumerationBounds(2, ("a",)))
+
+
+@pytest.fixture(scope="module")
+def account_report():
+    return compare_relations(AccountSpec(max_balance=3, amounts=(1,)))
+
+
+class TestContainment:
+    def test_qstack_containment(self, qstack_report):
+        # every recoverability conflict is an invalidation witness
+        assert qstack_report.containment_holds
+
+    def test_account_containment(self, account_report):
+        assert account_report.containment_holds
+
+    def test_sd_only_residual_exists_for_account(self, account_report):
+        # Deposit/Deposit: recoverable, but a later Balance in h2 observes
+        # the doubled effect — the intentions-list recovery difference.
+        pairs = {
+            (first.operation, second.operation)
+            for first, second in account_report.sd_only
+        }
+        assert ("Deposit", "Deposit") in pairs
+
+
+class TestReportShape:
+    def test_counts_are_consistent(self, qstack_report):
+        report = qstack_report
+        assert (
+            report.both_conflict
+            + report.neither_conflicts
+            + len(report.sd_only)
+            + len(report.rec_only)
+            == report.total
+        )
+
+    def test_agreement_ratio_bounds(self, qstack_report):
+        assert 0.0 <= qstack_report.agreement_ratio <= 1.0
+
+    def test_summary_mentions_containment(self, qstack_report):
+        assert "containment" in qstack_report.summary()

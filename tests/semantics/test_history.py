@@ -1,0 +1,77 @@
+"""Unit tests for histories and legality."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.semantics.history import (
+    HistoryEvent,
+    event_alphabet,
+    is_legal,
+    legal_histories,
+    replay,
+)
+from repro.spec.operation import Invocation
+from repro.spec.returnvalue import nok, ok, result_only
+
+
+@pytest.fixture(scope="module")
+def adt() -> QStackSpec:
+    return QStackSpec(capacity=2, domain=("a",))
+
+
+def event(operation, returned, *args):
+    return HistoryEvent(Invocation(operation, args), returned)
+
+
+class TestReplay:
+    def test_legal_history_replays_to_final_state(self, adt):
+        history = (
+            event("Push", ok(), "a"),
+            event("Pop", result_only("a")),
+        )
+        assert replay(adt, history, ()) == ()
+
+    def test_wrong_return_makes_history_illegal(self, adt):
+        history = (event("Pop", result_only("a")),)
+        assert replay(adt, history, ()) is None  # Pop on empty returns nok
+
+    def test_replay_from_arbitrary_state(self, adt):
+        history = (event("Pop", result_only("a")),)
+        assert replay(adt, history, ("a",)) == ()
+
+    def test_empty_history_is_legal(self, adt):
+        assert replay(adt, (), ("a",)) == ("a",)
+
+    def test_is_legal_defaults_to_initial_state(self, adt):
+        assert is_legal(adt, (event("Pop", nok()),))
+        assert not is_legal(adt, (event("Pop", result_only("a")),))
+
+
+class TestEnumeration:
+    def test_legal_histories_counts(self, adt):
+        invocations = len(adt.invocations())
+        histories = list(legal_histories(adt, max_length=2))
+        # deterministic specs: 1 + n + n^2 histories
+        assert len(histories) == 1 + invocations + invocations**2
+
+    def test_all_yielded_histories_are_legal(self, adt):
+        for history, final in legal_histories(adt, max_length=2):
+            assert replay(adt, history, adt.initial_state()) == final
+
+    def test_start_state_respected(self, adt):
+        histories = dict(legal_histories(adt, max_length=1, start=("a", "a")))
+        pop_event = event("Pop", result_only("a"))
+        assert (pop_event,) in histories
+
+
+class TestEventAlphabet:
+    def test_alphabet_contains_both_outcomes(self, adt):
+        alphabet = event_alphabet(adt)
+        assert event("Pop", nok()) in alphabet
+        assert event("Pop", result_only("a")) in alphabet
+        assert event("Push", ok(), "a") in alphabet
+        assert event("Push", nok(), "a") in alphabet
+
+    def test_event_render(self):
+        assert event("Push", ok(), "a").render() == "Push('a'):ok"
+        assert event("Pop", result_only("a")).render() == "Pop():'a'"

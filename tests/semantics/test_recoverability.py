@@ -1,0 +1,90 @@
+"""Unit tests for the recoverability relation (Badrinath & Ramamritham)."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.core.dependency import Dependency
+from repro.semantics.recoverability import (
+    recoverability_table,
+    recoverable,
+    recoverable_in_state,
+    recoverable_operations,
+)
+from repro.spec.operation import Invocation
+
+
+@pytest.fixture(scope="module")
+def account() -> AccountSpec:
+    return AccountSpec(max_balance=4, amounts=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def qstack() -> QStackSpec:
+    return QStackSpec()
+
+
+class TestAccountClassics:
+    def test_deposit_recoverable_after_deposit(self, account):
+        # the canonical example: increments do not read the balance
+        assert recoverable(
+            account, Invocation("Deposit", (1,)), Invocation("Deposit", (2,))
+        )
+
+    def test_balance_not_recoverable_after_deposit(self, account):
+        assert not recoverable(
+            account, Invocation("Balance"), Invocation("Deposit", (1,))
+        )
+
+    def test_withdraw_not_recoverable_after_withdraw(self, account):
+        assert not recoverable(
+            account, Invocation("Withdraw", (2,)), Invocation("Withdraw", (2,))
+        )
+
+    def test_deposit_recoverable_after_balance(self, account):
+        assert recoverable(
+            account, Invocation("Deposit", (1,)), Invocation("Balance")
+        )
+
+    def test_per_state_check(self, account):
+        # At balance 2, a withdrawal of 1 leaves enough for another 1.
+        assert recoverable_in_state(
+            account, 2, Invocation("Withdraw", (1,)), Invocation("Withdraw", (1,))
+        )
+        assert not recoverable_in_state(
+            account, 1, Invocation("Withdraw", (1,)), Invocation("Withdraw", (1,))
+        )
+
+
+class TestQStack:
+    def test_top_recoverable_after_size_preserving_ops(self, qstack):
+        assert recoverable(qstack, Invocation("Top"), Invocation("Size"))
+
+    def test_top_not_recoverable_after_push(self, qstack):
+        assert not recoverable(
+            qstack, Invocation("Top"), Invocation("Push", ("a",))
+        )
+
+    def test_operation_level_aggregation(self, qstack):
+        assert recoverable_operations(qstack, "Size", "Top")
+        assert not recoverable_operations(qstack, "Size", "Push")
+
+
+class TestRecoverabilityTable:
+    def test_matches_table4_semantics(self):
+        # "This is exactly the semantics that is captured by
+        # recoverability": observers after modifiers form AD, modifiers
+        # after anything form CD, observers together ND.
+        adt = QStackSpec(operations=["Push", "Top", "Size"])
+        table = recoverability_table(adt)
+        assert table[("Top", "Push")] is Dependency.AD
+        assert table[("Push", "Top")] is Dependency.CD
+        assert table[("Push", "Push")] is Dependency.AD
+        assert table[("Top", "Size")] is Dependency.ND
+
+    def test_account_table(self, account):
+        table = recoverability_table(account)
+        assert table[("Deposit", "Deposit")] is Dependency.CD
+        assert table[("Balance", "Deposit")] is Dependency.AD
+        assert table[("Deposit", "Balance")] is Dependency.CD
+        assert table[("Balance", "Balance")] is Dependency.ND

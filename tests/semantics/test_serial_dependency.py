@@ -1,0 +1,99 @@
+"""Unit tests for the serial-dependency relation (Herlihy & Weihl)."""
+
+import pytest
+
+from repro.adts.qstack import QStackSpec
+from repro.semantics.history import HistoryEvent
+from repro.semantics.serial_dependency import (
+    find_invalidation,
+    find_invocation_invalidation,
+    invalidates,
+    serial_dependency_relation,
+)
+from repro.spec.operation import Invocation
+from repro.spec.returnvalue import nok, ok, result_only
+
+
+@pytest.fixture(scope="module")
+def adt() -> QStackSpec:
+    return QStackSpec(capacity=2, domain=("a",))
+
+
+def event(operation, returned, *args):
+    return HistoryEvent(Invocation(operation, args), returned)
+
+
+class TestEventLevel:
+    def test_push_invalidates_pop_nok(self, adt):
+        # o1 = Push:ok, o2 = Pop:nok with h1 = h2 = ε: Pop:nok is legal in
+        # the empty initial state but not after the Push.
+        witness = find_invalidation(
+            adt, event("Push", ok(), "a"), event("Pop", nok())
+        )
+        assert witness is not None
+        assert witness.first.invocation.operation == "Push"
+
+    def test_push_invalidates_size_zero(self, adt):
+        assert invalidates(
+            adt, event("Push", ok(), "a"), event("Size", result_only(0))
+        )
+
+    def test_top_never_invalidates(self, adt):
+        # Top is an observer: appearing earlier never invalidates anything.
+        top_nok = event("Top", nok())
+        for second in [
+            event("Pop", nok()),
+            event("Size", result_only(0)),
+            event("Push", ok(), "a"),
+        ]:
+            assert not invalidates(adt, top_nok, second)
+
+    def test_witness_render(self, adt):
+        witness = find_invalidation(
+            adt, event("Push", ok(), "a"), event("Pop", nok())
+        )
+        text = witness.render()
+        assert "invalidates" in text and "h1=" in text
+
+    def test_relation_orientation(self, adt):
+        events = {event("Push", ok(), "a"), event("Size", result_only(0))}
+        relation = serial_dependency_relation(adt, events=events)
+        assert relation[
+            (event("Size", result_only(0)), event("Push", ok(), "a"))
+        ]
+        assert not relation[
+            (event("Push", ok(), "a"), event("Size", result_only(0)))
+        ]
+
+
+class TestInvocationLevel:
+    def test_push_invalidates_size_from_any_state(self, adt):
+        witness = find_invocation_invalidation(
+            adt, Invocation("Push", ("a",)), Invocation("Size")
+        )
+        assert witness is not None
+
+    def test_size_never_invalidates_push(self, adt):
+        assert (
+            find_invocation_invalidation(
+                adt, Invocation("Size"), Invocation("Push", ("a",))
+            )
+            is None
+        )
+
+    def test_observer_pairs_never_invalidate(self, adt):
+        for first in (Invocation("Top"), Invocation("Size")):
+            for second in (Invocation("Top"), Invocation("Size")):
+                assert (
+                    find_invocation_invalidation(adt, first, second) is None
+                )
+
+    def test_prefix_generalisation_matters(self, adt):
+        # Pop:result invalidates a following Pop only from non-initial
+        # states; the invocation-level search must find it even though
+        # Pop succeeds in no history that starts at the (empty) initial
+        # state without a prefix.
+        witness = find_invocation_invalidation(
+            adt, Invocation("Pop"), Invocation("Pop"), max_h1=0, max_h2=0
+        )
+        assert witness is not None

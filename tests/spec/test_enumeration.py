@@ -1,0 +1,64 @@
+"""Unit tests for the bounded enumeration utilities."""
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.spec.adt import EnumerationBounds
+from repro.spec.enumeration import (
+    all_executions,
+    execution_index,
+    executions_of,
+    reachable_states,
+    state_pairs,
+)
+from repro.spec.operation import Invocation
+
+
+class TestAllExecutions:
+    def test_covers_cross_product(self):
+        adt = QStackSpec(capacity=1, domain=("a",))
+        executions = list(all_executions(adt))
+        # 2 states x 5 invocations (Push(a), Pop, Deq, Top, Size, Replace?, XTop?)
+        invocations = adt.invocations()
+        assert len(executions) == 2 * len(invocations)
+
+    def test_executions_of_fixed_invocation(self):
+        adt = QStackSpec(capacity=2, domain=("a",))
+        executions = list(executions_of(adt, Invocation("Pop")))
+        assert len(executions) == len(adt.state_list())
+        assert all(e.invocation == Invocation("Pop") for e in executions)
+
+
+class TestReachableStates:
+    def test_qstack_full_reachability(self):
+        adt = QStackSpec(capacity=2, domain=("a", "b"))
+        assert reachable_states(adt) == set(adt.state_list())
+
+    def test_account_reachability(self):
+        adt = AccountSpec(max_balance=3, amounts=(1,))
+        assert reachable_states(adt) == set(range(4))
+
+    def test_max_steps_limits_exploration(self):
+        adt = QStackSpec(capacity=3, domain=("a",))
+        one_step = reachable_states(adt, max_steps=1)
+        assert one_step == {(), ("a",)}
+
+
+class TestHelpers:
+    def test_state_pairs_is_square(self):
+        adt = AccountSpec(max_balance=2, amounts=(1,))
+        pairs = list(state_pairs(adt))
+        assert len(pairs) == 3 * 3
+
+    def test_execution_index_groups_by_invocation(self):
+        adt = QStackSpec(capacity=1, domain=("a",), operations=["Push", "Pop"])
+        index = execution_index(adt)
+        assert set(index) == {Invocation("Push", ("a",)), Invocation("Pop")}
+        assert all(len(executions) == 2 for executions in index.values())
+
+    def test_execution_index_predicate_filter(self):
+        adt = QStackSpec(capacity=1, domain=("a",), operations=["Push"])
+        index = execution_index(
+            adt, predicate=lambda e: e.returned.outcome == "nok"
+        )
+        (executions,) = index.values()
+        assert all(e.returned.outcome == "nok" for e in executions)

@@ -1,0 +1,51 @@
+"""Unit tests for return values (outcome/result split, Section 2)."""
+
+import pytest
+
+from repro.spec.returnvalue import NOK, OK, ReturnValue, nok, ok, result_only
+
+
+class TestReturnValue:
+    def test_outcome_only(self):
+        value = ReturnValue(outcome=OK)
+        assert value.has_outcome and not value.has_result
+
+    def test_result_only(self):
+        value = ReturnValue(result=7)
+        assert value.has_result and not value.has_outcome
+
+    def test_both_components(self):
+        value = ReturnValue(outcome=OK, result="e")
+        assert value.has_outcome and value.has_result
+
+    def test_neither_component_rejected(self):
+        # "an operation always produces a return-value"
+        with pytest.raises(ValueError):
+            ReturnValue()
+
+    def test_equality_and_hash(self):
+        assert ReturnValue(outcome=NOK) == ReturnValue(outcome=NOK)
+        assert ReturnValue(result=1) != ReturnValue(result=2)
+        assert len({ReturnValue(outcome=OK), ReturnValue(outcome=OK)}) == 1
+
+    def test_repr_variants(self):
+        assert "ok" in repr(ok())
+        assert "nok" in repr(nok())
+        assert "7" in repr(result_only(7))
+
+
+class TestShorthands:
+    def test_ok_with_result(self):
+        value = ok("e")
+        assert value.outcome == OK and value.result == "e"
+
+    def test_nok(self):
+        assert nok() == ReturnValue(outcome=NOK)
+
+    def test_result_only(self):
+        assert result_only(0).result == 0
+        assert result_only(0).outcome is None
+
+    def test_false_like_results_are_still_results(self):
+        # result=0 must not be confused with "no result"
+        assert result_only(0).has_result

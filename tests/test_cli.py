@@ -1,0 +1,79 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_adt_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["classify", "BTree"])
+
+
+class TestCommands:
+    def test_adts_lists_builtins(self, capsys):
+        assert main(["adts"]) == 0
+        out = capsys.readouterr().out
+        for name in ("QStack", "Account", "Directory"):
+            assert name in out
+
+    def test_classify(self, capsys):
+        assert main(["classify", "Account"]) == 0
+        out = capsys.readouterr().out
+        assert "Deposit" in out and "M" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "Stack"]) == 0
+        out = capsys.readouterr().out
+        assert "obs/mod" in out and "Push" in out
+
+    def test_derive_stage3(self, capsys):
+        assert main(["derive", "Stack", "--stage", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "(o1,o2)" in out and "AD" in out
+
+    def test_derive_paper_mode(self, capsys):
+        assert main(["derive", "QStack", "--paper", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "f ≠ b" in out
+
+    def test_graph_ascii(self, capsys):
+        assert main(["graph", "QStack"]) == 0
+        out = capsys.readouterr().out
+        assert "ref b" in out and "ref f" in out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "Set", "--dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "5", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serializable: True" in out
+
+    def test_experiments_subset(self, capsys):
+        assert main(["experiments", "table03"]) == 0
+        out = capsys.readouterr().out
+        assert "table03" in out
+
+    def test_experiments_unknown_id(self, capsys):
+        assert main(["experiments", "nope"]) == 2
+
+
+class TestTablesCommand:
+    def test_tables_generates_docs(self, tmp_path, capsys):
+        assert main(["tables", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "qstack.md" in out
+        generated = {path.name for path in tmp_path.iterdir()}
+        assert "README.md" in generated
+        assert "account.md" in generated
+        content = (tmp_path / "qstack.md").read_text(encoding="utf-8")
+        assert "Stage 5" in content and "f ≠ b" in content

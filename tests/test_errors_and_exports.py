@@ -1,0 +1,70 @@
+"""Error-hierarchy and public-API surface tests."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            if name == "ReproError":
+                continue
+            exception_type = getattr(errors, name)
+            assert issubclass(exception_type, errors.ReproError), name
+
+    def test_unknown_vertex_carries_the_id(self):
+        error = errors.UnknownVertexError(7)
+        assert error.vid == 7
+        assert "7" in str(error)
+
+    def test_unknown_operation_carries_names(self):
+        error = errors.UnknownOperationError("QStack", "Warp")
+        assert error.adt == "QStack"
+        assert error.operation == "Warp"
+
+    def test_unknown_reference_carries_name(self):
+        assert errors.UnknownReferenceError("f").name == "f"
+
+    def test_single_catch_covers_the_library(self):
+        from repro.adts import QStackSpec
+
+        with pytest.raises(errors.ReproError):
+            QStackSpec().operation("Nope")
+
+
+class TestPublicSurface:
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+
+    def test_subpackage_exports_resolve(self):
+        import repro.adts
+        import repro.cc
+        import repro.core
+        import repro.graph
+        import repro.semantics
+        import repro.spec
+
+        for module in (
+            repro.adts,
+            repro.cc,
+            repro.core,
+            repro.graph,
+            repro.semantics,
+            repro.spec,
+        ):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (module.__name__, name)
+
+    def test_quickstart_docstring_example_runs(self):
+        from repro import QStackSpec, derive
+
+        result = derive(
+            QStackSpec(operations=["Push", "Pop", "Deq", "Top", "Size"])
+        )
+        assert "AD" in result.final_table.render_ascii()
