@@ -7,7 +7,11 @@ Commands:
 * ``characterize <ADT>`` — the Stage-2 (Table-9 style) questionnaire.
 * ``derive <ADT>`` — run the five-stage pipeline and print the tables.
 * ``graph <ADT>`` — render the object graph (Stage 1 / Figure 2).
-* ``simulate <ADT>`` — run a seeded workload under the derived table.
+* ``simulate <ADT>`` — run a seeded workload under the derived table
+  (``--trace out.jsonl`` records a structured event trace,
+  ``--metrics-format {json,prom}`` exports the run's metrics registry).
+* ``trace <file>`` — analyse a recorded trace: summary, per-transaction
+  timeline, per-table-entry firing histogram.
 * ``tables`` — generate per-ADT compatibility-table documentation.
 * ``experiments [ids...]`` — run the paper-reproduction experiments.
 """
@@ -89,9 +93,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.cc.serializability import is_serializable
     from repro.cc.simulator import SimulationConfig, simulate_with_scheduler
     from repro.cc.workload import WorkloadConfig, generate
+    from repro.obs.tracers import JsonlTracer
 
     adt = make_adt(args.adt)
-    table = derive(adt).final_table
+    result = derive(adt)
+    table = result.final_table
     workload = generate(
         adt,
         "shared",
@@ -101,17 +107,86 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
         ),
     )
-    metrics, scheduler = simulate_with_scheduler(
-        SimulationConfig(
-            adt=adt,
-            table=table,
-            workload=workload,
-            policy=args.policy,
-            restart_aborted=True,
+    try:
+        tracer = JsonlTracer(args.trace) if args.trace else None
+    except OSError as error:
+        print(f"cannot open trace file: {error}", file=sys.stderr)
+        return 2
+    try:
+        metrics, scheduler = simulate_with_scheduler(
+            SimulationConfig(
+                adt=adt,
+                table=table,
+                workload=workload,
+                policy=args.policy,
+                restart_aborted=True,
+                tracer=tracer,
+            )
         )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    # One-line run header so a pasted summary is reproducible as-is.
+    print(
+        f"run: adt={args.adt} policy={args.policy} "
+        f"transactions={args.transactions} operations={args.operations} "
+        f"seed={args.seed} table={table.name}"
     )
     print(metrics.summary())
     print("serializable:", is_serializable(scheduler))
+    if tracer is not None:
+        print(f"trace: {args.trace} ({tracer.emitted} events)")
+    if args.metrics_format:
+        registry = metrics.to_registry()
+        if args.metrics_format == "json":
+            print(registry.render_json())
+        else:
+            print(registry.render_prometheus(), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import (
+        firing_histogram,
+        render_event,
+        summarize,
+        transaction_timeline,
+    )
+    from repro.obs.tracers import read_trace
+
+    try:
+        events = read_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    if args.timeline is not None:
+        timeline = transaction_timeline(events, args.timeline)
+        if not timeline:
+            print(f"no events involve transaction {args.timeline}")
+            return 1
+        for event in timeline:
+            print(render_event(event))
+        return 0
+    if args.entries:
+        firings = firing_histogram(events)
+        if not firings:
+            print("no dependencies were recorded in this trace")
+            return 0
+        for firing in firings:
+            condition = firing.condition or "<fallback: strongest>"
+            print(
+                f"{firing.count:6}x {firing.object_name}: "
+                f"({firing.invoked}, {firing.executing}) -> "
+                f"{firing.dependency} [{firing.source}] {condition}"
+                + (f"  entry: {firing.entry}" if firing.entry else "")
+            )
+        return 0
+    summary = summarize(events)
+    print(summary.render())
+    if args.verify:
+        from repro.obs.analysis import serializable_from_trace
+
+        print("serializable (from trace):", serializable_from_trace(events))
     return 0
 
 
@@ -185,7 +260,38 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--transactions", type=int, default=12)
     simulate.add_argument("--operations", type=int, default=3)
     simulate.add_argument("--seed", type=int, default=1991)
+    simulate.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record a structured JSONL event trace to FILE",
+    )
+    simulate.add_argument(
+        "--metrics-format", choices=("json", "prom"), default=None,
+        help="also export the run's metrics registry (JSON or Prometheus text)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace", help="analyse a JSONL trace recorded with simulate --trace"
+    )
+    trace.add_argument("file", help="path to the .jsonl trace")
+    trace_mode = trace.add_mutually_exclusive_group()
+    trace_mode.add_argument(
+        "--summary", action="store_true",
+        help="aggregate summary (the default mode)",
+    )
+    trace_mode.add_argument(
+        "--timeline", type=int, metavar="TXN", default=None,
+        help="print every event involving one transaction",
+    )
+    trace_mode.add_argument(
+        "--entries", action="store_true",
+        help="full per-table-entry firing histogram",
+    )
+    trace.add_argument(
+        "--verify", action="store_true",
+        help="re-verify serializability from the trace alone (summary mode)",
+    )
+    trace.set_defaults(func=_cmd_trace)
 
     tables = sub.add_parser(
         "tables", help="generate per-ADT compatibility-table docs"
@@ -204,7 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output was piped into a pager/head that closed early; not an error.
+        return 0
 
 
 if __name__ == "__main__":

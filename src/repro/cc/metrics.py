@@ -27,6 +27,8 @@ class RunMetrics:
     restarts: int = 0
     #: Sum over transactions of time spent blocked waiting for conflicts.
     total_blocked_time: float = 0.0
+    #: Individual blocked-interval durations (feeds the histogram export).
+    blocked_durations: list[float] = field(default_factory=list)
     #: Sum over committed transactions of (commit time - arrival time).
     total_response_time: float = 0.0
     #: Sum of service times of every executed operation (committed or not).
@@ -70,3 +72,50 @@ class RunMetrics:
             f"(AD={self.scheduler.ad_edges} CD={self.scheduler.cd_edges} "
             f"ND={self.scheduler.nd_pairs})"
         )
+
+    def to_registry(self, registry=None):
+        """Export the run into a :class:`repro.obs.registry.MetricsRegistry`.
+
+        Scheduler counters become counters, the derived observables become
+        gauges, and the blocked-interval durations populate a fixed-bound
+        histogram — ready for JSON or Prometheus text rendering.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        from repro.obs.registry import MetricsRegistry
+
+        registry = registry if registry is not None else MetricsRegistry()
+        registry.counter("txns", "Transactions by final status.",
+                         labels={"status": "committed"}).inc(self.committed)
+        registry.counter("txns", "Transactions by final status.",
+                         labels={"status": "aborted"}).inc(self.aborted)
+        registry.counter("restarts", "Involuntary-abort restarts.").inc(
+            self.restarts
+        )
+        for field_info in dataclass_fields(self.scheduler):
+            registry.counter(
+                f"scheduler_{field_info.name}", "Raw scheduler counter."
+            ).inc(getattr(self.scheduler, field_info.name))
+        registry.gauge("makespan", "Time of the last event of the run.").set(
+            self.makespan
+        )
+        registry.gauge("throughput", "Committed transactions per unit time.").set(
+            self.throughput
+        )
+        registry.gauge(
+            "effective_concurrency", "Mean operations in service."
+        ).set(self.effective_concurrency)
+        registry.gauge(
+            "blocking_ratio", "Blocked time over busy time."
+        ).set(self.blocking_ratio)
+        registry.gauge(
+            "mean_response_time", "Average committed-transaction latency."
+        ).set(self.mean_response_time)
+        blocked = registry.histogram(
+            "blocked_time",
+            bounds=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0),
+            help="Blocked-interval durations (sim-time units).",
+        )
+        for duration in self.blocked_durations:
+            blocked.observe(duration)
+        return registry

@@ -40,6 +40,7 @@ in :mod:`repro.cc.validation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.cc.dependencies import DependencyGraph
 from repro.cc.objects import AppliedOperation, SharedObject
@@ -55,6 +56,20 @@ from repro.core.dependency import Dependency
 from repro.core.table import CompatibilityTable
 from repro.errors import DependencyCycleError, SchedulerError
 from repro.graph.instrument import LocalityTrace
+from repro.obs.events import (
+    CascadeAborted,
+    CommitWaited,
+    DeadlockResolved,
+    DependencyRecorded,
+    ObjectRegistered,
+    OpBlocked,
+    OpGranted,
+    OpRequested,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+)
+from repro.obs.tracers import NULL_TRACER, Tracer
 from repro.spec.adt import ADTSpec, AbstractState
 from repro.spec.operation import Invocation
 from repro.spec.returnvalue import ReturnValue
@@ -95,6 +110,38 @@ class SchedulerStats:
     cascaded_aborts: int = 0
     deadlock_victims: int = 0
     commit_waits: int = 0
+    #: Distinct block intervals begun (a blocked retry of an already
+    #: blocked transaction counts in operations_blocked but not here).
+    blocked_time_events: int = 0
+    #: Non-trivial table-entry condition evaluations performed while
+    #: resolving pair dependencies.
+    condition_evaluations: int = 0
+
+
+class _DepEvidence(NamedTuple):
+    """Provenance of one pair-dependency verdict, for the tracer.
+
+    Carries the live ``Entry``/``Condition`` objects and renders only at
+    emission time, so the un-traced path never builds strings.
+    """
+
+    executing: str
+    entry: object | None
+    condition: object | None
+    source: str
+
+    def render_entry(self) -> str:
+        if self.entry is None:
+            return ""
+        return self.entry.render().replace("\n", "; ")
+
+    def render_condition(self) -> str:
+        if self.condition is None:
+            return ""
+        return self.condition.render()
+
+
+_NO_EVIDENCE = _DepEvidence(executing="", entry=None, condition=None, source="table")
 
 
 @dataclass
@@ -106,10 +153,18 @@ class _RegisteredObject:
 class TableDrivenScheduler:
     """Scheduler over shared objects, driven by compatibility tables."""
 
-    def __init__(self, policy: str = "optimistic") -> None:
+    def __init__(
+        self, policy: str = "optimistic", tracer: Tracer | None = None
+    ) -> None:
         if policy not in ("optimistic", "blocking"):
             raise SchedulerError(f"unknown policy {policy!r}")
         self.policy = policy
+        #: Falsy NullTracer by default: emissions are guarded with
+        #: ``if self.tracer:`` so untraced runs never build an event.
+        self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
+        #: Logical timestamp stamped onto emitted events; drivers with a
+        #: clock (the discrete-event simulator) keep it current.
+        self.now: float = 0.0
         self.stats = SchedulerStats()
         self._objects: dict[str, _RegisteredObject] = {}
         self._txns: dict[TxnId, Transaction] = {}
@@ -135,7 +190,20 @@ class TableDrivenScheduler:
             raise SchedulerError(f"object {name!r} already registered")
         shared = SharedObject(name, adt, initial_state)
         self._objects[name] = _RegisteredObject(shared=shared, table=table)
+        if self.tracer:
+            self.tracer.emit(
+                ObjectRegistered(
+                    time=self.now,
+                    object_name=name,
+                    adt=adt.name,
+                    initial_state=repr(shared.initial_state),
+                )
+            )
         return shared
+
+    def object_names(self) -> list[str]:
+        """Names of all registered shared objects, in registration order."""
+        return list(self._objects)
 
     def object(self, name: str) -> SharedObject:
         """Look up a registered shared object."""
@@ -146,6 +214,8 @@ class TableDrivenScheduler:
         txn_id = self._next_txn
         self._next_txn += 1
         self._txns[txn_id] = Transaction(txn_id=txn_id)
+        if self.tracer:
+            self.tracer.emit(TxnBegun(time=self.now, txn=txn_id))
         return txn_id
 
     def transaction(self, txn: TxnId) -> Transaction:
@@ -176,16 +246,26 @@ class TableDrivenScheduler:
         transaction.require_active()
         registered = self._required(object_name)
         shared, table = registered.shared, registered.table
+        if self.tracer:
+            self.tracer.emit(
+                OpRequested(
+                    time=self.now,
+                    txn=txn,
+                    object_name=object_name,
+                    operation=invocation.operation,
+                    args=repr(invocation.args),
+                )
+            )
 
         if self.policy == "blocking":
             blockers = self._blocking_conflicts(txn, shared, table, invocation)
             if blockers:
                 self.stats.operations_blocked += 1
+                if txn not in self._wait_for:
+                    self.stats.blocked_time_events += 1
                 self._wait_for[txn] = set(blockers)
-                victim = self._deadlock_victim(txn)
+                victim = self._resolve_deadlock(txn)
                 if victim is not None:
-                    self.stats.deadlock_victims += 1
-                    self.abort(victim)
                     # The victim's abort may have cascaded to the
                     # requester itself (an AD edge from earlier work).
                     if victim == txn or not self.transaction(txn).is_active:
@@ -193,6 +273,17 @@ class TableDrivenScheduler:
                     # The blocker was the victim; fall through and retry
                     # the request now that it is gone.
                     return self.request(txn, object_name, invocation)
+                if self.tracer:
+                    self.tracer.emit(
+                        OpBlocked(
+                            time=self.now,
+                            txn=txn,
+                            object_name=object_name,
+                            operation=invocation.operation,
+                            args=repr(invocation.args),
+                            blocked_on=tuple(sorted(blockers)),
+                        )
+                    )
                 return OpDecision(executed=False, blocked_on=frozenset(blockers))
             self._wait_for.pop(txn, None)
 
@@ -204,7 +295,7 @@ class TableDrivenScheduler:
         if recorded is None:
             # A cycle: the requester becomes the victim.  Its executed
             # operation is rolled back with the rest of its effects.
-            self.abort(txn)
+            self.abort(txn, reason="dependency-cycle")
             return OpDecision(executed=False, aborted=True)
         self.stats.operations_executed += 1
         self._sequence += 1
@@ -216,6 +307,19 @@ class TableDrivenScheduler:
                 sequence=self._sequence,
             )
         )
+        if self.tracer:
+            self.tracer.emit(
+                OpGranted(
+                    time=self.now,
+                    txn=txn,
+                    object_name=object_name,
+                    operation=invocation.operation,
+                    args=repr(invocation.args),
+                    outcome=applied.returned.outcome,
+                    result=repr(applied.returned.result),
+                    sequence=self._sequence,
+                )
+            )
         return OpDecision(
             executed=True, returned=applied.returned, dependencies=tuple(recorded)
         )
@@ -239,7 +343,7 @@ class TableDrivenScheduler:
             if status is TransactionStatus.ACTIVE:
                 waiting.add(earlier)
             elif status is TransactionStatus.ABORTED and dependency is Dependency.AD:
-                self.abort(txn)
+                self.abort(txn, reason="ad-predecessor-aborted")
                 return CommitDecision(committed=False, must_abort=True)
         if waiting:
             self.stats.commit_waits += 1
@@ -247,27 +351,40 @@ class TableDrivenScheduler:
             # operation waiting on us while we commit-wait on it is a
             # genuine cycle and must be broken.
             self._wait_for[txn] = set(waiting)
-            victim = self._deadlock_victim(txn)
+            victim = self._resolve_deadlock(txn)
             if victim is not None:
-                self.stats.deadlock_victims += 1
-                self.abort(victim)
                 if victim == txn or not self.transaction(txn).is_active:
                     return CommitDecision(committed=False, must_abort=True)
                 return self.try_commit(txn)
+            if self.tracer:
+                self.tracer.emit(
+                    CommitWaited(
+                        time=self.now,
+                        txn=txn,
+                        waiting_on=tuple(sorted(waiting)),
+                    )
+                )
             return CommitDecision(committed=False, waiting_on=frozenset(waiting))
         transaction.status = TransactionStatus.COMMITTED
         self._commit_counter += 1
         transaction.commit_sequence = self._commit_counter
         self._wait_for.pop(txn, None)
+        if self.tracer:
+            self.tracer.emit(
+                TxnCommitted(
+                    time=self.now, txn=txn, commit_sequence=self._commit_counter
+                )
+            )
         return CommitDecision(committed=True)
 
-    def abort(self, txn: TxnId) -> set[TxnId]:
+    def abort(self, txn: TxnId, reason: str = "requested") -> set[TxnId]:
         """Abort ``txn``, cascading along AD edges.
 
         Returns the set of transactions aborted *in addition to* ``txn``.
         Replay recovery re-verifies surviving return values; invalidated
         survivors (impossible under a sound table) are aborted as well and
-        included in the returned set.
+        included in the returned set.  ``reason`` labels the trigger in
+        the emitted trace event.
         """
         transaction = self.transaction(txn)
         if transaction.is_aborted:
@@ -284,6 +401,10 @@ class TableDrivenScheduler:
             self._wait_for.pop(t, None)
         self.stats.aborts += len(all_aborting)
         self.stats.cascaded_aborts += len(cascade)
+        if self.tracer:
+            self.tracer.emit(TxnAborted(time=self.now, txn=txn, reason=reason))
+            for t in sorted(cascade):
+                self.tracer.emit(CascadeAborted(time=self.now, txn=t, root=txn))
         collateral: set[TxnId] = set()
         for registered in self._objects.values():
             invalidated = registered.shared.remove_transactions(all_aborting)
@@ -291,7 +412,7 @@ class TableDrivenScheduler:
                 t for t in invalidated if self.transaction(t).is_active
             }
         for t in collateral:
-            cascade |= {t} | self.abort(t)
+            cascade |= {t} | self.abort(t, reason="replay-invalidated")
         return cascade
 
     # ------------------------------------------------------------------
@@ -375,7 +496,7 @@ class TableDrivenScheduler:
         pre_state: AbstractState,
         other_txn: TxnId,
         skip: AppliedOperation | None,
-    ) -> Dependency:
+    ) -> tuple[Dependency, _DepEvidence]:
         """Dependency of the requested operation on one active transaction.
 
         Three sources of evidence, strongest verdict wins:
@@ -393,8 +514,13 @@ class TableDrivenScheduler:
         3. the **shadow-return certification** — the requested operation is
            re-executed on a replay of the log without the other
            transaction; a differing return value escalates to AD.
+
+        Returns the verdict together with its provenance — which earlier
+        operation, table entry, condition and evidence source were
+        decisive — for the ``DependencyRecorded`` trace event.
         """
         verdict = Dependency.ND
+        evidence = _NO_EVIDENCE
         for earlier in shared.log():
             if earlier is skip or earlier.txn != other_txn:
                 continue
@@ -404,8 +530,11 @@ class TableDrivenScheduler:
             context = self._context(
                 shared, earlier, invocation, pre_state, returned
             )
-            resolved = entry.resolve(context)
-            if resolved is Dependency.ND and not entry.is_conditional:
+            is_conditional = entry.is_conditional
+            if is_conditional:
+                self.stats.condition_evaluations += len(entry.pairs)
+            resolved, held = entry.resolve_with_condition(context)
+            if resolved is Dependency.ND and not is_conditional:
                 # An unconditional ND is full-state-space forward
                 # commutativity: the operations can be swapped anywhere in
                 # any history, so the (conservative) locality escalation is
@@ -415,15 +544,24 @@ class TableDrivenScheduler:
                 # property for every unconditional ND cell of every
                 # derived table; the shadow test below still runs.)
                 continue
-            verdict = max(
-                verdict, resolved, locality_dependency(earlier.trace, trace)
-            )
+            from_locality = locality_dependency(earlier.trace, trace)
+            pair_verdict = max(resolved, from_locality)
+            if pair_verdict > verdict:
+                verdict = pair_verdict
+                evidence = _DepEvidence(
+                    executing=earlier.invocation.operation,
+                    entry=entry,
+                    condition=held,
+                    source="locality" if from_locality > resolved else "table",
+                )
             if verdict is Dependency.AD:
-                return Dependency.AD
+                return Dependency.AD, evidence
         shadow = self._shadow_return(shared, invocation, other_txn, skip)
         if shadow != returned:
-            return Dependency.AD
-        return verdict
+            return Dependency.AD, _DepEvidence(
+                executing="*", entry=None, condition=None, source="shadow-return"
+            )
+        return verdict, evidence
 
     def _record_dependencies(
         self,
@@ -445,7 +583,7 @@ class TableDrivenScheduler:
             if self.transaction(other).is_active
         )
         for other_txn in others:
-            dependency = self._pair_dependency(
+            dependency, evidence = self._pair_dependency(
                 shared,
                 table,
                 applied.invocation,
@@ -466,6 +604,21 @@ class TableDrivenScheduler:
                 self.stats.ad_edges += 1
             else:
                 self.stats.cd_edges += 1
+            if self.tracer:
+                self.tracer.emit(
+                    DependencyRecorded(
+                        time=self.now,
+                        txn=txn,
+                        other_txn=other_txn,
+                        object_name=shared.name,
+                        invoked=applied.invocation.operation,
+                        executing=evidence.executing,
+                        dependency=dependency.name,
+                        entry=evidence.render_entry(),
+                        condition=evidence.render_condition(),
+                        source=evidence.source,
+                    )
+                )
             recorded.append((other_txn, dependency))
         return recorded
 
@@ -486,7 +639,7 @@ class TableDrivenScheduler:
             if self.transaction(other).is_active
         )
         for other_txn in others:
-            dependency = self._pair_dependency(
+            dependency, _evidence = self._pair_dependency(
                 shared,
                 table,
                 invocation,
@@ -507,8 +660,28 @@ class TableDrivenScheduler:
                 blockers.add(other_txn)
         return blockers
 
-    def _deadlock_victim(self, start: TxnId) -> TxnId | None:
-        """Find a wait-for cycle through ``start``; return the youngest member."""
+    def _resolve_deadlock(self, start: TxnId) -> TxnId | None:
+        """Break a wait-for cycle through ``start``, if there is one.
+
+        The youngest member of the cycle (largest id) is aborted and
+        returned; ``None`` means no cycle.
+        """
+        cycle = self._wait_cycle(start)
+        if cycle is None:
+            return None
+        victim = max(cycle)  # the youngest transaction has the largest id
+        self.stats.deadlock_victims += 1
+        if self.tracer:
+            self.tracer.emit(
+                DeadlockResolved(
+                    time=self.now, victim=victim, cycle=tuple(cycle)
+                )
+            )
+        self.abort(victim, reason="deadlock-victim")
+        return victim
+
+    def _wait_cycle(self, start: TxnId) -> list[TxnId] | None:
+        """Find a wait-for cycle through ``start``, as a list of members."""
         path: list[TxnId] = []
 
         def visit(node: TxnId) -> list[TxnId] | None:
@@ -522,7 +695,4 @@ class TableDrivenScheduler:
             path.pop()
             return None
 
-        cycle = visit(start)
-        if cycle is None:
-            return None
-        return max(cycle)  # the youngest transaction has the largest id
+        return visit(start)

@@ -34,6 +34,8 @@ from repro.cc.transaction import TxnId
 from repro.cc.workload import TransactionProgram, Workload
 from repro.core.table import CompatibilityTable
 from repro.errors import SchedulerError
+from repro.obs.events import RunCompleted, RunStarted
+from repro.obs.tracers import NULL_TRACER, Tracer
 from repro.spec.adt import ADTSpec, AbstractState
 
 __all__ = ["ObjectConfig", "SimulationConfig", "simulate", "simulate_with_scheduler"]
@@ -78,6 +80,9 @@ class SimulationConfig:
     #: Safety valve: abort the run if the event loop exceeds this many
     #: events (a livelock would otherwise spin forever).
     max_events: int = 1_000_000
+    #: Trace-event sink threaded through the scheduler; event timestamps
+    #: are sim-clock times.  ``None`` means the zero-overhead NullTracer.
+    tracer: Tracer | None = None
 
 
 @dataclass(order=True)
@@ -114,7 +119,10 @@ def simulate_with_scheduler(
 ) -> tuple[RunMetrics, TableDrivenScheduler]:
     """Like :func:`simulate`, but also return the scheduler for inspection
     (serializability verification, dependency-graph examination)."""
-    scheduler = TableDrivenScheduler(policy=config.policy)
+    tracer = config.tracer if config.tracer is not None else NULL_TRACER
+    scheduler = TableDrivenScheduler(policy=config.policy, tracer=tracer)
+    if tracer:
+        tracer.emit(RunStarted(time=0.0, policy=config.policy))
     if config.objects:
         if config.adt is not None or config.table is not None:
             raise SchedulerError(
@@ -154,13 +162,19 @@ def simulate_with_scheduler(
                 state.stalled = False
                 push(now, "retry", index)
 
+    def credit_blocked(state: _ProgramState, now: float) -> None:
+        """Close an open blocked interval and account its duration."""
+        if state.blocked_since is not None:
+            duration = now - state.blocked_since
+            metrics.total_blocked_time += duration
+            metrics.blocked_durations.append(duration)
+            state.blocked_since = None
+
     def finish(state: _ProgramState, now: float, committed: bool) -> None:
         if state.done:
             return
         state.done = True
-        if state.blocked_since is not None:
-            metrics.total_blocked_time += now - state.blocked_since
-            state.blocked_since = None
+        credit_blocked(state, now)
         if committed:
             metrics.committed += 1
             metrics.total_response_time += now - state.program.arrival
@@ -170,7 +184,10 @@ def simulate_with_scheduler(
 
     def resolve_abort(state: _ProgramState, now: float) -> None:
         """Handle an involuntary abort: restart when configured, else finish."""
-        if state.done:
+        if state.done or state.txn is None:
+            # txn is None when settle_collaterals already restarted this
+            # program inside the current attempt; a second resolve here
+            # would double-count the restart and re-bump the epoch.
             return
         if (
             config.restart_aborted
@@ -180,9 +197,7 @@ def simulate_with_scheduler(
             state.restarts += 1
             state.epoch += 1
             metrics.restarts += 1
-            if state.blocked_since is not None:
-                metrics.total_blocked_time += now - state.blocked_since
-                state.blocked_since = None
+            credit_blocked(state, now)
             state.txn = None
             state.next_step = 0
             state.stalled = False
@@ -205,6 +220,7 @@ def simulate_with_scheduler(
         if state.done:
             return
         assert state.txn is not None
+        scheduler.now = now
         if scheduler.transaction(state.txn).is_aborted:
             resolve_abort(state, now)
             return
@@ -217,9 +233,7 @@ def simulate_with_scheduler(
         # such programs now so they are woken and accounted for.
         settle_collaterals(now)
         if decision.aborted:
-            if state.blocked_since is not None:
-                metrics.total_blocked_time += now - state.blocked_since
-                state.blocked_since = None
+            credit_blocked(state, now)
             resolve_abort(state, now)
             settle_collaterals(now)
             return
@@ -228,9 +242,7 @@ def simulate_with_scheduler(
                 state.blocked_since = now
             state.stalled = True
             return
-        if state.blocked_since is not None:
-            metrics.total_blocked_time += now - state.blocked_since
-            state.blocked_since = None
+        credit_blocked(state, now)
         state.next_step += 1
         metrics.total_service_time += step.service_time
         push(now + step.service_time, "step", index)
@@ -238,8 +250,9 @@ def simulate_with_scheduler(
     def attempt_commit(index: int, now: float) -> None:
         state = states[index]
         assert state.txn is not None
+        scheduler.now = now
         if state.program.voluntary_abort:
-            scheduler.abort(state.txn)
+            scheduler.abort(state.txn, reason="requested")
             finish(state, now, committed=False)
             settle_collaterals(now)
             return
@@ -271,6 +284,7 @@ def simulate_with_scheduler(
         if state.done or event.epoch != state.epoch:
             continue
         if event.kind == "arrive":
+            scheduler.now = event.time
             state.txn = scheduler.begin()
             attempt_step(event.program_index, event.time)
         elif event.kind in ("step", "retry"):
@@ -287,4 +301,16 @@ def simulate_with_scheduler(
 
     metrics.makespan = clock
     metrics.scheduler = scheduler.stats
+    if tracer:
+        tracer.emit(
+            RunCompleted(
+                time=clock,
+                committed=metrics.committed,
+                aborted=metrics.aborted,
+                final_states=tuple(
+                    (name, repr(scheduler.object(name).state()))
+                    for name in scheduler.object_names()
+                ),
+            )
+        )
     return metrics, scheduler

@@ -109,14 +109,28 @@ class Entry:
         decidably true (conservative fallback — an undecidable condition
         must not weaken the verdict).
         """
-        holding = [
-            pair.dependency
-            for pair in self.pairs
-            if pair.condition.evaluate(context) is True
-        ]
-        if holding:
-            return min(holding)
-        return self.strongest()
+        return self.resolve_with_condition(context)[0]
+
+    def resolve_with_condition(
+        self, context: ConditionContext
+    ) -> tuple[Dependency, Condition | None]:
+        """Like :meth:`resolve`, but also report *which* condition won.
+
+        Returns the resolved dependency together with the condition of the
+        winning pair, or ``None`` when the entry fell back to its
+        strongest dependency because no condition was decidably true —
+        the provenance the observability layer records per decision.
+        """
+        best: Dependency | None = None
+        best_condition: Condition | None = None
+        for pair in self.pairs:
+            if pair.condition.evaluate(context) is True:
+                if best is None or pair.dependency < best:
+                    best = pair.dependency
+                    best_condition = pair.condition
+        if best is None:
+            return self.strongest(), None
+        return best, best_condition
 
     # ------------------------------------------------------------------
     # Rendering

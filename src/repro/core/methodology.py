@@ -53,6 +53,8 @@ from repro.core.table import CompatibilityTable
 from repro.core.templates import d1_entry, d2_entry
 from repro.graph.instrument import EdgeAttribution
 from repro.graph.object_graph import ObjectGraph
+from repro.obs.profiling import DerivationProfile, StageProfiler
+from repro.obs.tracers import Tracer
 from repro.semantics.commutativity import commute_in_state
 from repro.spec.adt import ADTSpec, EnumerationBounds, Execution, execute_invocation
 from repro.spec.enumeration import executions_of
@@ -123,6 +125,8 @@ class DerivationResult:
     stage5_table: CompatibilityTable
     #: Free-form derivation notes (validation outcomes, skipped candidates).
     notes: list[str] = field(default_factory=list)
+    #: Per-stage wall-time and table-entry-count profile of the run.
+    profile: DerivationProfile | None = None
 
     @property
     def final_table(self) -> CompatibilityTable:
@@ -751,6 +755,7 @@ def derive(
     adt: ADTSpec,
     operations: Sequence[str] | None = None,
     options: MethodologyOptions | None = None,
+    tracer: Tracer | None = None,
 ) -> DerivationResult:
     """Run the five-stage methodology for an ADT.
 
@@ -760,39 +765,52 @@ def derive(
             (the paper's worked example uses Push/Pop/Deq/Top/Size).
         options: Pipeline knobs; defaults are the validated, automatic
             settings described in :class:`MethodologyOptions`.
+        tracer: Optional trace-event sink; each pipeline stage emits a
+            ``StageTimed`` event (wall time + table-entry counts).  The
+            profile itself is always attached to the result.
 
     Returns:
         The :class:`DerivationResult` bundling the Stage-1 graph, the
-        Stage-2 profiles and the Stage-3/4/5 tables.
+        Stage-2 profiles, the Stage-3/4/5 tables and the stage profile.
     """
     options = options or MethodologyOptions()
     bounds = options.bounds or adt.default_bounds
     names = list(operations) if operations is not None else adt.operation_names()
     notes: list[str] = []
+    profiler = StageProfiler(adt.name, tracer)
 
     # Stage 1: the object graph and its references.
-    sample_graph = adt.build_graph(adt.initial_state())
-    references = sorted(sample_graph.reference_names())
+    with profiler.stage("stage1"):
+        sample_graph = adt.build_graph(adt.initial_state())
+        references = sorted(sample_graph.reference_names())
 
     # Stage 2: D1-D5 characterisation — derived by enumeration, or taken
     # from the operations' own declarations in annotation mode.
-    if options.use_annotations:
-        from repro.core.profile import characterize_from_annotations
+    with profiler.stage("stage2"):
+        if options.use_annotations:
+            from repro.core.profile import characterize_from_annotations
 
-        profiles = characterize_from_annotations(adt, names)
-    else:
-        profiles = characterize_all(adt, names, bounds, options.attribution)
+            profiles = characterize_from_annotations(adt, names)
+        else:
+            profiles = characterize_all(adt, names, bounds, options.attribution)
 
     # Stage 3: template-table lookup.
-    stage3 = _stage3_table(names, profiles)
+    with profiler.stage("stage3") as stage:
+        stage3 = _stage3_table(names, profiles)
+        stage.count_table(stage3)
 
     # Stages 4 and 5: conditional refinement over the evidence base.
-    evidence = _Evidence(adt, names, bounds, options.attribution)
-    stage4 = _stage4_table(evidence, profiles, stage3, options, notes)
-    if options.refine_localities:
-        stage5 = _stage5_table(evidence, profiles, stage4, options, notes)
-    else:
-        stage5 = stage4.map_entries(lambda *_args: _args[2], name="stage5")
+    with profiler.stage("evidence"):
+        evidence = _Evidence(adt, names, bounds, options.attribution)
+    with profiler.stage("stage4") as stage:
+        stage4 = _stage4_table(evidence, profiles, stage3, options, notes)
+        stage.count_table(stage4)
+    with profiler.stage("stage5") as stage:
+        if options.refine_localities:
+            stage5 = _stage5_table(evidence, profiles, stage4, options, notes)
+        else:
+            stage5 = stage4.map_entries(lambda *_args: _args[2], name="stage5")
+        stage.count_table(stage5)
 
     return DerivationResult(
         adt_name=adt.name,
@@ -804,4 +822,5 @@ def derive(
         stage4_table=stage4,
         stage5_table=stage5,
         notes=notes,
+        profile=profiler.profile,
     )

@@ -1,0 +1,100 @@
+"""repro.obs — observability for the scheduler stack.
+
+Structured event tracing (:mod:`repro.obs.events`,
+:mod:`repro.obs.tracers`), a dependency-free metrics registry with JSON
+and Prometheus exports (:mod:`repro.obs.registry`), derivation profiling
+(:mod:`repro.obs.profiling`), and offline trace analysis — timelines,
+table-entry firing histograms, and trace-only serializability
+re-verification (:mod:`repro.obs.analysis`).
+
+The tracing contract: every instrumented component takes an optional
+``tracer``; the default :class:`~repro.obs.tracers.NullTracer` is falsy
+and instrumentation guards each emission with ``if tracer:``, so the
+un-traced hot path never constructs an event.
+"""
+
+from repro.obs.analysis import (
+    EntryFiring,
+    TraceSummary,
+    find_serialization_from_trace,
+    firing_histogram,
+    parse_literal,
+    registry_from_trace,
+    serializable_from_trace,
+    summarize,
+    transaction_timeline,
+)
+from repro.obs.events import (
+    CascadeAborted,
+    CommitWaited,
+    DeadlockResolved,
+    DependencyRecorded,
+    ObjectRegistered,
+    OpBlocked,
+    OpGranted,
+    OpRequested,
+    RunCompleted,
+    RunStarted,
+    StageTimed,
+    TraceEvent,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+    event_from_dict,
+)
+from repro.obs.profiling import DerivationProfile, StageProfile, StageProfiler
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracers import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    read_trace,
+)
+
+__all__ = [
+    # events
+    "TraceEvent",
+    "RunStarted",
+    "ObjectRegistered",
+    "TxnBegun",
+    "OpRequested",
+    "OpGranted",
+    "OpBlocked",
+    "DependencyRecorded",
+    "CommitWaited",
+    "TxnCommitted",
+    "TxnAborted",
+    "CascadeAborted",
+    "DeadlockResolved",
+    "StageTimed",
+    "RunCompleted",
+    "event_from_dict",
+    # tracers
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "read_trace",
+    # registry
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # profiling
+    "StageProfile",
+    "DerivationProfile",
+    "StageProfiler",
+    # analysis
+    "parse_literal",
+    "EntryFiring",
+    "firing_histogram",
+    "transaction_timeline",
+    "TraceSummary",
+    "summarize",
+    "find_serialization_from_trace",
+    "serializable_from_trace",
+    "registry_from_trace",
+]

@@ -1,0 +1,449 @@
+"""Trace analysis: timelines, firing histograms, trace-only verification.
+
+A JSONL trace produced by the instrumented scheduler stack is a complete
+account of a run.  This module reconstructs three things from it:
+
+* a **per-transaction timeline** — every event touching one transaction,
+  in order (:func:`transaction_timeline`);
+* a **per-table-entry firing histogram** — how often each
+  ``(invoked, executing)`` compatibility-table entry produced each
+  dependency, under which condition and evidence source
+  (:func:`firing_histogram`); this is the paper's "more potential for
+  concurrency" claim made countable per refined entry;
+* the **serializability verdict, from the trace alone**
+  (:func:`find_serialization_from_trace`): committed transactions'
+  operation logs, return values, commit order and dependency edges are
+  all in the trace, so the same replay argument
+  :mod:`repro.cc.serializability` applies to the live scheduler can be
+  re-run offline — the cross-check that the trace is faithful.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from itertools import permutations
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.events import (
+    CascadeAborted,
+    CommitWaited,
+    DeadlockResolved,
+    DependencyRecorded,
+    ObjectRegistered,
+    OpBlocked,
+    OpGranted,
+    RunCompleted,
+    TraceEvent,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+)
+from repro.obs.tracers import read_trace
+
+__all__ = [
+    "read_trace",
+    "parse_literal",
+    "EntryFiring",
+    "firing_histogram",
+    "transaction_timeline",
+    "render_event",
+    "TraceSummary",
+    "summarize",
+    "TracedOperation",
+    "TracedRun",
+    "reconstruct_run",
+    "find_serialization_from_trace",
+    "serializable_from_trace",
+    "registry_from_trace",
+]
+
+
+def parse_literal(text: str):
+    """Parse a recorded ``repr`` back into a Python value.
+
+    Abstract states and invocation arguments are plain literals (tuples,
+    strings, numbers) except for the set-based ADTs, whose states are
+    ``frozenset({...})`` — handled by a restricted eval that exposes
+    nothing but the two set constructors.
+    """
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return eval(  # noqa: S307 - constructors only, no builtins
+            text, {"__builtins__": {}, "frozenset": frozenset, "set": set}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Firing histogram
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EntryFiring:
+    """One cell of the firing histogram: a decision signature and its count."""
+
+    object_name: str
+    invoked: str
+    executing: str
+    dependency: str
+    condition: str
+    source: str
+    entry: str
+    count: int
+
+
+def firing_histogram(events: Iterable[TraceEvent]) -> list[EntryFiring]:
+    """Count :class:`DependencyRecorded` events per decision signature.
+
+    Sorted most-frequent first, then by operation pair for stability.
+    """
+    tally: TallyCounter = TallyCounter()
+    entries: dict[tuple, str] = {}
+    for event in events:
+        if not isinstance(event, DependencyRecorded):
+            continue
+        key = (
+            event.object_name,
+            event.invoked,
+            event.executing,
+            event.dependency,
+            event.condition,
+            event.source,
+        )
+        tally[key] += 1
+        entries[key] = event.entry
+    return sorted(
+        (
+            EntryFiring(*key, entry=entries[key], count=count)
+            for key, count in tally.items()
+        ),
+        key=lambda firing: (-firing.count, firing.invoked, firing.executing,
+                            firing.dependency, firing.condition),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Timelines
+# ---------------------------------------------------------------------------
+
+def _touches(event: TraceEvent, txn: int) -> bool:
+    if getattr(event, "txn", None) == txn:
+        return True
+    if isinstance(event, DependencyRecorded) and event.other_txn == txn:
+        return True
+    if isinstance(event, DeadlockResolved):
+        return event.victim == txn or txn in event.cycle
+    if isinstance(event, CascadeAborted) and event.root == txn:
+        return True
+    if isinstance(event, (OpBlocked, CommitWaited)):
+        blocked_on = getattr(event, "blocked_on", getattr(event, "waiting_on", ()))
+        if txn in blocked_on:
+            return True
+    return False
+
+
+def transaction_timeline(
+    events: Sequence[TraceEvent], txn: int
+) -> list[TraceEvent]:
+    """Every event involving ``txn``, in trace order."""
+    return [event for event in events if _touches(event, txn)]
+
+
+def render_event(event: TraceEvent) -> str:
+    """One human-readable line per event, for the ``trace`` CLI."""
+    payload = event.to_dict()
+    payload.pop("type")
+    time_stamp = payload.pop("time")
+    detail = " ".join(f"{key}={value!r}" for key, value in payload.items())
+    return f"t={time_stamp:<8.2f} {event.type:20} {detail}"
+
+
+# ---------------------------------------------------------------------------
+# Summary
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one trace."""
+
+    events: int = 0
+    by_type: dict[str, int] = field(default_factory=dict)
+    transactions: int = 0
+    committed: int = 0
+    aborted: int = 0
+    deadlocks: int = 0
+    cascades: int = 0
+    dependencies_by_kind: dict[str, int] = field(default_factory=dict)
+    firings: list[EntryFiring] = field(default_factory=list)
+
+    def render(self, top: int = 10) -> str:
+        lines = [
+            f"events={self.events} transactions={self.transactions} "
+            f"committed={self.committed} aborted={self.aborted} "
+            f"deadlocks={self.deadlocks} cascades={self.cascades}",
+            "dependencies: " + (
+                " ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.dependencies_by_kind.items())
+                ) or "none"
+            ),
+        ]
+        if self.firings:
+            lines.append(f"top table-entry firings (of {len(self.firings)}):")
+            for firing in self.firings[:top]:
+                condition = firing.condition or "<fallback: strongest>"
+                lines.append(
+                    f"  {firing.count:5}x ({firing.invoked}, {firing.executing}) "
+                    f"-> {firing.dependency} [{firing.source}] {condition}"
+                )
+        return "\n".join(lines)
+
+
+def summarize(events: Sequence[TraceEvent]) -> TraceSummary:
+    """Compute the :class:`TraceSummary` of a trace."""
+    summary = TraceSummary(events=len(events))
+    for event in events:
+        summary.by_type[event.type] = summary.by_type.get(event.type, 0) + 1
+        if isinstance(event, TxnBegun):
+            summary.transactions += 1
+        elif isinstance(event, TxnCommitted):
+            summary.committed += 1
+        elif isinstance(event, TxnAborted):
+            summary.aborted += 1
+        elif isinstance(event, CascadeAborted):
+            summary.cascades += 1
+            summary.aborted += 1
+        elif isinstance(event, DeadlockResolved):
+            summary.deadlocks += 1
+        elif isinstance(event, DependencyRecorded):
+            summary.dependencies_by_kind[event.dependency] = (
+                summary.dependencies_by_kind.get(event.dependency, 0) + 1
+            )
+    summary.firings = firing_histogram(events)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Trace-based serializability
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TracedOperation:
+    """One granted operation reconstructed from the trace."""
+
+    object_name: str
+    operation: str
+    args: tuple
+    outcome: str | None
+    result: Any
+    sequence: int
+
+
+@dataclass
+class TracedRun:
+    """Everything replay needs, reconstructed from a trace."""
+
+    #: object name -> (adt name, parsed initial state)
+    objects: dict[str, tuple[str, Any]] = field(default_factory=dict)
+    #: txn -> granted operations in execution order
+    operations: dict[int, list[TracedOperation]] = field(default_factory=dict)
+    #: committed txn -> commit sequence stamp
+    commit_sequence: dict[int, int] = field(default_factory=dict)
+    #: (later, earlier) dependency edges recorded during the run
+    edges: set[tuple[int, int]] = field(default_factory=set)
+    #: object name -> repr of the final abstract state (when recorded)
+    final_states: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> list[int]:
+        """Committed transactions in commit order."""
+        return sorted(self.commit_sequence, key=self.commit_sequence.__getitem__)
+
+
+def reconstruct_run(events: Iterable[TraceEvent]) -> TracedRun:
+    """Fold a trace into the replayable :class:`TracedRun` form."""
+    run = TracedRun()
+    for event in events:
+        if isinstance(event, ObjectRegistered):
+            run.objects[event.object_name] = (
+                event.adt, parse_literal(event.initial_state)
+            )
+        elif isinstance(event, OpGranted):
+            run.operations.setdefault(event.txn, []).append(
+                TracedOperation(
+                    object_name=event.object_name,
+                    operation=event.operation,
+                    args=tuple(parse_literal(event.args)),
+                    outcome=event.outcome,
+                    result=parse_literal(event.result),
+                    sequence=event.sequence,
+                )
+            )
+        elif isinstance(event, TxnCommitted):
+            run.commit_sequence[event.txn] = event.commit_sequence
+        elif isinstance(event, DependencyRecorded):
+            run.edges.add((event.txn, event.other_txn))
+        elif isinstance(event, RunCompleted):
+            run.final_states = dict(event.final_states)
+    for operations in run.operations.values():
+        operations.sort(key=lambda op: op.sequence)
+    return run
+
+
+def _resolve_adts(
+    run: TracedRun, adts: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Object name -> ADT spec, from the caller or the built-in registry."""
+    from repro.adts.registry import make_adt
+
+    resolved = {}
+    for object_name, (adt_name, _) in run.objects.items():
+        if adts is not None and object_name in adts:
+            resolved[object_name] = adts[object_name]
+        else:
+            resolved[object_name] = make_adt(adt_name)
+    return resolved
+
+
+def _replay(run: TracedRun, adts: dict[str, Any], order: Sequence[int]) -> bool:
+    """Whether serial execution in ``order`` reproduces the trace.
+
+    Mirrors :func:`repro.cc.serializability.replay_serial`: every recorded
+    return value must be reproduced, and — when the trace recorded final
+    states — the replayed final states must match them.
+    """
+    from repro.spec.adt import execute_invocation
+    from repro.spec.operation import Invocation
+    from repro.spec.returnvalue import ReturnValue
+
+    states = {name: initial for name, (_, initial) in run.objects.items()}
+    for txn in order:
+        for op in run.operations.get(txn, []):
+            execution = execute_invocation(
+                adts[op.object_name],
+                states[op.object_name],
+                Invocation(op.operation, op.args),
+            )
+            recorded = ReturnValue(outcome=op.outcome, result=op.result)
+            if execution.returned != recorded:
+                return False
+            states[op.object_name] = execution.post_state
+    for object_name, final_repr in run.final_states.items():
+        if object_name in states and repr(states[object_name]) != final_repr:
+            return False
+    return True
+
+
+def _topological(run: TracedRun) -> list[int] | None:
+    """Committed transactions ordered so edges point backwards."""
+    members = set(run.commit_sequence)
+    preds: dict[int, set[int]] = {txn: set() for txn in members}
+    for later, earlier in run.edges:
+        if later in members and earlier in members:
+            preds[later].add(earlier)
+
+    def first_stamp(txn: int) -> int:
+        operations = run.operations.get(txn, [])
+        return operations[0].sequence if operations else 0
+
+    order: list[int] = []
+    remaining = set(members)
+    while remaining:
+        ready = sorted(
+            (txn for txn in remaining if not (preds[txn] & remaining)),
+            key=first_stamp,
+        )
+        if not ready:
+            return None
+        order.append(ready[0])
+        remaining.discard(ready[0])
+    return order
+
+
+def find_serialization_from_trace(
+    events: Iterable[TraceEvent],
+    adts: Mapping[str, Any] | None = None,
+    brute_force_limit: int = 6,
+) -> list[int] | None:
+    """A serial order of the committed transactions explaining the trace.
+
+    Candidate orders, exactly as in
+    :func:`repro.cc.serializability.find_serialization`: the recorded
+    commit order, the topological order over the recorded dependency
+    edges, then brute force for small populations.  ``adts`` optionally
+    maps object names to specs; unmapped objects are resolved through the
+    built-in ADT registry by the name recorded at registration.
+    """
+    run = reconstruct_run(events)
+    committed = run.committed
+    if not committed:
+        return []
+    resolved = _resolve_adts(run, adts)
+    if _replay(run, resolved, committed):
+        return committed
+    topological = _topological(run)
+    if topological is not None and _replay(run, resolved, topological):
+        return topological
+    if len(committed) <= brute_force_limit:
+        for permutation in permutations(committed):
+            candidate = list(permutation)
+            if _replay(run, resolved, candidate):
+                return candidate
+    return None
+
+
+def serializable_from_trace(
+    events: Iterable[TraceEvent],
+    adts: Mapping[str, Any] | None = None,
+    brute_force_limit: int = 6,
+) -> bool:
+    """Whether the committed portion of the traced run is serializable."""
+    return (
+        find_serialization_from_trace(events, adts, brute_force_limit)
+        is not None
+    )
+
+
+# ---------------------------------------------------------------------------
+# Metrics from a trace
+# ---------------------------------------------------------------------------
+
+#: Default histogram bounds for blocked-interval durations (sim-time units).
+BLOCKED_BOUNDS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0)
+
+
+def registry_from_trace(events: Sequence[TraceEvent], registry=None):
+    """Populate a metrics registry from a trace.
+
+    Counters per event type and per dependency kind, plus a histogram of
+    blocked-interval durations (from each transaction's ``OpBlocked`` to
+    its next grant or abort, in sim-time).  Returns the registry.
+    """
+    from repro.obs.registry import MetricsRegistry
+
+    registry = registry if registry is not None else MetricsRegistry()
+    blocked = registry.histogram(
+        "blocked_interval_seconds",
+        bounds=BLOCKED_BOUNDS,
+        help="Duration of operation-blocked intervals (sim-time).",
+    )
+    blocked_since: dict[int, float] = {}
+    for event in events:
+        registry.counter(
+            "events", help="Trace events by type.", labels={"type": event.type}
+        ).inc()
+        if isinstance(event, DependencyRecorded):
+            registry.counter(
+                "dependencies",
+                help="Recorded dependencies by kind and evidence source.",
+                labels={"kind": event.dependency, "source": event.source},
+            ).inc()
+        if isinstance(event, OpBlocked):
+            blocked_since.setdefault(event.txn, event.time)
+        elif isinstance(event, (OpGranted, TxnAborted)):
+            txn = event.txn
+            if txn in blocked_since:
+                blocked.observe(event.time - blocked_since.pop(txn))
+    return registry

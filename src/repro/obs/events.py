@@ -1,0 +1,271 @@
+"""Typed, immutable trace events of the scheduler stack.
+
+Every decision the table-driven concurrency-control stack takes —
+operation granted, operation blocked, dependency recorded (with the exact
+table entry and the evaluated condition that produced it), commit, abort,
+cascade, deadlock resolution, derivation-stage timing — is representable
+as one frozen dataclass here.  Events carry only JSON-friendly primitives
+(strings, numbers, tuples), so a trace serialises losslessly to JSONL and
+back without importing the scheduler: the analysis layer reconstructs
+invocations and states from the ``repr`` strings recorded at emission
+time.
+
+The event vocabulary deliberately mirrors the observables of the paper's
+Section-5 refinement claims: a :class:`DependencyRecorded` event names the
+``(invoked, executing)`` operation pair, the full compatibility-table
+entry, the condition that held, and which evidence source (table entry,
+locality intersection, or shadow-return certification) was decisive — so
+"the refined table extracted more concurrency" is inspectable per
+decision, not only in post-hoc aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+__all__ = [
+    "TraceEvent",
+    "RunStarted",
+    "ObjectRegistered",
+    "TxnBegun",
+    "OpRequested",
+    "OpGranted",
+    "OpBlocked",
+    "DependencyRecorded",
+    "CommitWaited",
+    "TxnCommitted",
+    "TxnAborted",
+    "CascadeAborted",
+    "DeadlockResolved",
+    "StageTimed",
+    "RunCompleted",
+    "event_from_dict",
+    "event_type_names",
+]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base of all trace events: a timestamp plus a registered type tag."""
+
+    #: Class-level type tag used in serialised form; set per subclass.
+    type: ClassVar[str] = "event"
+
+    time: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation: ``{"type": ..., **fields}``."""
+        payload: dict[str, Any] = {"type": self.type}
+        for field in fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+
+_EVENT_TYPES: dict[str, type[TraceEvent]] = {}
+
+
+def _register(cls: type[TraceEvent]) -> type[TraceEvent]:
+    _EVENT_TYPES[cls.type] = cls
+    return cls
+
+
+@_register
+@dataclass(frozen=True)
+class RunStarted(TraceEvent):
+    """A simulated run began under the given scheduling policy."""
+
+    type: ClassVar[str] = "run_started"
+    policy: str = ""
+    seed: int | None = None
+
+
+@_register
+@dataclass(frozen=True)
+class ObjectRegistered(TraceEvent):
+    """A shared object joined the run.
+
+    ``initial_state`` is the ``repr`` of the object's abstract initial
+    state; trace-based replay parses it back with
+    :func:`repro.obs.analysis.parse_literal`.
+    """
+
+    type: ClassVar[str] = "object_registered"
+    object_name: str = ""
+    adt: str = ""
+    initial_state: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class TxnBegun(TraceEvent):
+    """A transaction entered the system."""
+
+    type: ClassVar[str] = "txn_begun"
+    txn: int = -1
+
+
+@_register
+@dataclass(frozen=True)
+class OpRequested(TraceEvent):
+    """A transaction asked to run an operation on a shared object."""
+
+    type: ClassVar[str] = "op_requested"
+    txn: int = -1
+    object_name: str = ""
+    operation: str = ""
+    args: str = "()"
+
+
+@_register
+@dataclass(frozen=True)
+class OpGranted(TraceEvent):
+    """The operation executed; ``sequence`` is the global execution stamp."""
+
+    type: ClassVar[str] = "op_granted"
+    txn: int = -1
+    object_name: str = ""
+    operation: str = ""
+    args: str = "()"
+    outcome: str | None = None
+    result: str = "None"
+    sequence: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class OpBlocked(TraceEvent):
+    """Blocking policy: an AD verdict stalled the requester."""
+
+    type: ClassVar[str] = "op_blocked"
+    txn: int = -1
+    object_name: str = ""
+    operation: str = ""
+    args: str = "()"
+    blocked_on: tuple[int, ...] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class DependencyRecorded(TraceEvent):
+    """An AD/CD edge was recorded between two transactions.
+
+    ``entry`` is the full compatibility-table entry consulted for the
+    decisive operation pair, ``condition`` the (rendered) condition that
+    held during resolution (empty when the entry fell back to its
+    strongest dependency), and ``source`` names the decisive evidence:
+    ``"table"`` (the resolved entry), ``"locality"`` (the live Section-4.3
+    locality intersection escalated the verdict) or ``"shadow-return"``
+    (the replay certification escalated to AD).
+    """
+
+    type: ClassVar[str] = "dependency_recorded"
+    txn: int = -1
+    other_txn: int = -1
+    object_name: str = ""
+    invoked: str = ""
+    executing: str = ""
+    dependency: str = "ND"
+    entry: str = ""
+    condition: str = ""
+    source: str = "table"
+
+
+@_register
+@dataclass(frozen=True)
+class CommitWaited(TraceEvent):
+    """A commit attempt stalled on unresolved predecessors."""
+
+    type: ClassVar[str] = "commit_waited"
+    txn: int = -1
+    waiting_on: tuple[int, ...] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class TxnCommitted(TraceEvent):
+    """A transaction committed; ``commit_sequence`` is the commit stamp."""
+
+    type: ClassVar[str] = "txn_committed"
+    txn: int = -1
+    commit_sequence: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class TxnAborted(TraceEvent):
+    """A transaction aborted; ``reason`` names the trigger."""
+
+    type: ClassVar[str] = "txn_aborted"
+    txn: int = -1
+    #: "requested" (voluntary), "dependency-cycle", "deadlock-victim",
+    #: "ad-predecessor-aborted" or "replay-invalidated".
+    reason: str = "requested"
+
+
+@_register
+@dataclass(frozen=True)
+class CascadeAborted(TraceEvent):
+    """A transaction was dragged down by an AD cascade from ``root``."""
+
+    type: ClassVar[str] = "cascade_aborted"
+    txn: int = -1
+    root: int = -1
+
+
+@_register
+@dataclass(frozen=True)
+class DeadlockResolved(TraceEvent):
+    """A wait-for cycle was found and broken by aborting ``victim``."""
+
+    type: ClassVar[str] = "deadlock_resolved"
+    victim: int = -1
+    cycle: tuple[int, ...] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class StageTimed(TraceEvent):
+    """One derivation-pipeline stage finished (methodology profiling)."""
+
+    type: ClassVar[str] = "stage_timed"
+    adt: str = ""
+    stage: str = ""
+    seconds: float = 0.0
+    table_entries: int = 0
+    conditional_entries: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class RunCompleted(TraceEvent):
+    """A simulated run finished; final object states are recorded by repr."""
+
+    type: ClassVar[str] = "run_completed"
+    committed: int = 0
+    aborted: int = 0
+    final_states: tuple[tuple[str, str], ...] = ()
+
+
+def event_type_names() -> list[str]:
+    """All registered event type tags, sorted."""
+    return sorted(_EVENT_TYPES)
+
+
+def _coerce(value: Any) -> Any:
+    """JSON gives back lists where events carry tuples; restore tuples."""
+    if isinstance(value, list):
+        return tuple(_coerce(item) for item in value)
+    return value
+
+
+def event_from_dict(payload: dict[str, Any]) -> TraceEvent:
+    """Reconstruct an event from its :meth:`TraceEvent.to_dict` form."""
+    data = dict(payload)
+    type_tag = data.pop("type", None)
+    if type_tag not in _EVENT_TYPES:
+        raise ValueError(f"unknown trace event type {type_tag!r}")
+    cls = _EVENT_TYPES[type_tag]
+    known = {field.name for field in fields(cls)}
+    kwargs = {key: _coerce(value) for key, value in data.items() if key in known}
+    return cls(**kwargs)

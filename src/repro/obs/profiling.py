@@ -1,0 +1,117 @@
+"""Derivation profiling: where the five-stage pipeline spends its time.
+
+:func:`repro.core.methodology.derive` drives a :class:`StageProfiler`
+through its stages; the result is a :class:`DerivationProfile` of
+per-stage wall time and table-entry counts, and — when a tracer is
+supplied — a :class:`~repro.obs.events.StageTimed` event per stage, so
+derivation cost lands in the same trace as the scheduling decisions the
+derived table later produces.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.events import StageTimed
+from repro.obs.tracers import NULL_TRACER, Tracer
+
+__all__ = ["StageProfile", "DerivationProfile", "StageProfiler"]
+
+
+@dataclass(frozen=True)
+class StageProfile:
+    """One pipeline stage: wall time plus the size of what it produced."""
+
+    stage: str
+    seconds: float
+    #: Cells of the stage's table (0 for the non-table stages 1-2).
+    table_entries: int = 0
+    #: Cells carrying at least one non-vacuous condition.
+    conditional_entries: int = 0
+
+
+@dataclass
+class DerivationProfile:
+    """Per-stage profile of one :func:`~repro.core.methodology.derive` run."""
+
+    adt_name: str
+    stages: list[StageProfile] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def stage(self, name: str) -> StageProfile:
+        for profile in self.stages:
+            if profile.stage == name:
+                return profile
+        raise KeyError(f"no stage {name!r} profiled")
+
+    def summary(self) -> str:
+        """One line per stage, ``stage3 0.123s entries=25 conditional=4``."""
+        lines = []
+        for profile in self.stages:
+            line = f"{profile.stage:10} {profile.seconds:8.4f}s"
+            if profile.table_entries:
+                line += (
+                    f" entries={profile.table_entries}"
+                    f" conditional={profile.conditional_entries}"
+                )
+            lines.append(line)
+        lines.append(f"{'total':10} {self.total_seconds:8.4f}s")
+        return "\n".join(lines)
+
+
+class StageProfiler:
+    """Context-manager-per-stage timer feeding a :class:`DerivationProfile`."""
+
+    def __init__(self, adt_name: str, tracer: Tracer | None = None) -> None:
+        self.profile = DerivationProfile(adt_name=adt_name)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    class _Stage:
+        def __init__(self, profiler: "StageProfiler", name: str) -> None:
+            self._profiler = profiler
+            self._name = name
+            self._started = 0.0
+            self.table_entries = 0
+            self.conditional_entries = 0
+
+        def __enter__(self) -> "StageProfiler._Stage":
+            self._started = time.perf_counter()
+            return self
+
+        def count_table(self, table) -> None:
+            """Record the entry counts of the stage's output table."""
+            cells = list(table.cells())
+            self.table_entries = len(cells)
+            self.conditional_entries = sum(
+                1 for _, _, entry in cells if entry.is_conditional
+            )
+
+        def __exit__(self, *exc_info: object) -> None:
+            elapsed = time.perf_counter() - self._started
+            profile = StageProfile(
+                stage=self._name,
+                seconds=elapsed,
+                table_entries=self.table_entries,
+                conditional_entries=self.conditional_entries,
+            )
+            self._profiler.profile.stages.append(profile)
+            tracer = self._profiler._tracer
+            if tracer:
+                tracer.emit(
+                    StageTimed(
+                        time=0.0,
+                        adt=self._profiler.profile.adt_name,
+                        stage=profile.stage,
+                        seconds=profile.seconds,
+                        table_entries=profile.table_entries,
+                        conditional_entries=profile.conditional_entries,
+                    )
+                )
+
+    def stage(self, name: str) -> "StageProfiler._Stage":
+        """``with profiler.stage("stage3") as s: ... s.count_table(t)``."""
+        return StageProfiler._Stage(self, name)

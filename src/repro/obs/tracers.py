@@ -1,0 +1,130 @@
+"""Tracer implementations: where trace events go.
+
+The scheduler stack emits events through the tiny :class:`Tracer`
+protocol.  The default :class:`NullTracer` is falsy, so instrumented code
+guards every emission with ``if tracer:`` — with tracing off, the hot
+path pays one truthiness check and never constructs an event object.
+
+:class:`RecordingTracer` keeps events in memory for programmatic
+analysis; :class:`JsonlTracer` streams them to a JSON-lines file, one
+event object per line, for offline analysis with ``python -m repro
+trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Protocol, runtime_checkable
+
+from repro.obs.events import TraceEvent, event_from_dict
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "RecordingTracer",
+    "JsonlTracer",
+    "read_trace",
+]
+
+
+@runtime_checkable
+class Tracer(Protocol):
+    """Anything that accepts trace events.
+
+    Implementations must also be truthy/falsy: falsy means "emissions are
+    discarded", letting instrumentation skip event construction entirely.
+    """
+
+    def emit(self, event: TraceEvent) -> None:
+        """Accept one event."""
+        ...  # pragma: no cover - protocol
+
+
+class NullTracer:
+    """The zero-overhead default: falsy, discards everything."""
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - never hot
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Shared default instance (the tracer is stateless).
+NULL_TRACER = NullTracer()
+
+
+class RecordingTracer:
+    """Keeps every emitted event in an in-memory list."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_type(self, event_type: type[TraceEvent]) -> list[TraceEvent]:
+        """The recorded events of one type, in emission order."""
+        return [event for event in self.events if isinstance(event, event_type)]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return True  # even when empty: emissions must not be skipped
+
+
+class JsonlTracer:
+    """Streams events to a JSON-lines file (one ``to_dict`` per line)."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        json.dump(event.to_dict(), self._stream, ensure_ascii=False)
+        self._stream.write("\n")
+        self.emitted += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTracer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_trace(source: str | IO[str] | Iterable[str]) -> list[TraceEvent]:
+    """Load a JSONL trace back into typed events.
+
+    Accepts a file path, an open text stream, or any iterable of lines.
+    Blank lines are skipped; malformed lines raise ``ValueError`` with the
+    line number.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as stream:
+            return read_trace(stream.readlines())
+    events = []
+    for number, line in enumerate(source, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"trace line {number} is not JSON: {error}") from None
+        events.append(event_from_dict(payload))
+    return events

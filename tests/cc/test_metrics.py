@@ -32,6 +32,16 @@ class TestDerivedMetrics:
     def test_blocking_ratio_idle(self):
         assert RunMetrics().blocking_ratio == 0.0
 
+    def test_effective_concurrency_zero_makespan(self):
+        assert RunMetrics(total_service_time=5.0).effective_concurrency == 0.0
+
+    def test_blocking_ratio_all_blocked(self):
+        metrics = RunMetrics(total_blocked_time=4.0)
+        assert metrics.blocking_ratio == pytest.approx(1.0)
+
+    def test_throughput_with_no_commits(self):
+        assert RunMetrics(makespan=5.0).throughput == 0.0
+
     def test_summary_fields(self):
         metrics = RunMetrics(
             makespan=2.0,
@@ -44,3 +54,50 @@ class TestDerivedMetrics:
         for token in ("makespan=2.00", "committed=1", "aborted=2",
                       "restarts=3", "AD=4", "CD=5", "ND=6"):
             assert token in summary
+
+
+class TestRegistryExport:
+    def test_counters_and_gauges(self):
+        metrics = RunMetrics(
+            makespan=10.0,
+            committed=4,
+            aborted=1,
+            restarts=2,
+            total_service_time=20.0,
+            scheduler=SchedulerStats(
+                ad_edges=3, cd_edges=7, blocked_time_events=5,
+                condition_evaluations=40,
+            ),
+        )
+        document = metrics.to_registry().to_json()
+        counters = document["counters"]
+        assert counters['txns{status="committed"}'] == 4
+        assert counters['txns{status="aborted"}'] == 1
+        assert counters["restarts"] == 2
+        assert counters["scheduler_ad_edges"] == 3
+        assert counters["scheduler_blocked_time_events"] == 5
+        assert counters["scheduler_condition_evaluations"] == 40
+        gauges = document["gauges"]
+        assert gauges["makespan"] == 10.0
+        assert gauges["throughput"] == pytest.approx(0.4)
+        assert gauges["effective_concurrency"] == pytest.approx(2.0)
+
+    def test_blocked_durations_feed_histogram(self):
+        metrics = RunMetrics(blocked_durations=[0.05, 0.2, 3.0, 100.0])
+        document = metrics.to_registry().to_json()
+        histogram = document["histograms"]["blocked_time"]
+        assert histogram["count"] == 4
+        assert histogram["buckets"]["0.1"] == 1
+        assert histogram["buckets"]["+Inf"] == 4
+
+    def test_empty_run_exports_cleanly(self):
+        document = RunMetrics().to_registry().to_json()
+        assert document["counters"]['txns{status="committed"}'] == 0
+        assert document["gauges"]["throughput"] == 0.0
+        assert document["histograms"]["blocked_time"]["count"] == 0
+
+    def test_renders_prometheus_text(self):
+        text = RunMetrics(committed=2, makespan=4.0).to_registry().render_prometheus()
+        assert '# TYPE repro_txns counter' in text
+        assert 'repro_txns_total{status="committed"} 2' in text
+        assert "# TYPE repro_blocked_time histogram" in text

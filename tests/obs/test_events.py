@@ -1,0 +1,90 @@
+"""Unit tests for the trace-event vocabulary and its serialisation."""
+
+import json
+
+import pytest
+
+from repro.obs.events import (
+    DeadlockResolved,
+    DependencyRecorded,
+    OpBlocked,
+    OpGranted,
+    RunCompleted,
+    RunStarted,
+    StageTimed,
+    TxnCommitted,
+    event_from_dict,
+    event_type_names,
+)
+
+
+class TestToDict:
+    def test_type_tag_present(self):
+        payload = RunStarted(time=0.0, policy="blocking", seed=7).to_dict()
+        assert payload["type"] == "run_started"
+        assert payload["policy"] == "blocking"
+        assert payload["seed"] == 7
+
+    def test_all_fields_serialised(self):
+        event = DependencyRecorded(
+            time=3.5, txn=2, other_txn=1, object_name="shared",
+            invoked="Pop", executing="Push", dependency="CD",
+            entry="(CD, x_out = nok)", condition="x_out = nok",
+            source="table",
+        )
+        payload = event.to_dict()
+        assert payload["invoked"] == "Pop"
+        assert payload["condition"] == "x_out = nok"
+        assert payload["source"] == "table"
+
+
+class TestRoundTrip:
+    EVENTS = [
+        RunStarted(time=0.0, policy="optimistic", seed=3),
+        OpGranted(time=1.0, txn=1, object_name="shared", operation="Push",
+                  args="('a',)", outcome="ok", result="None", sequence=4),
+        OpBlocked(time=2.0, txn=2, object_name="shared", operation="Pop",
+                  args="()", blocked_on=(1, 3)),
+        DeadlockResolved(time=2.5, victim=3, cycle=(1, 2, 3)),
+        TxnCommitted(time=3.0, txn=1, commit_sequence=1),
+        StageTimed(time=0.0, adt="QStack", stage="stage5", seconds=0.01,
+                   table_entries=25, conditional_entries=4),
+        RunCompleted(time=9.0, committed=4, aborted=1,
+                     final_states=(("shared", "('a',)"),)),
+    ]
+
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: e.type)
+    def test_dict_round_trip(self, event):
+        assert event_from_dict(event.to_dict()) == event
+
+    @pytest.mark.parametrize("event", EVENTS, ids=lambda e: e.type)
+    def test_json_round_trip_restores_tuples(self, event):
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert event_from_dict(payload) == event
+
+
+class TestFromDict:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event type"):
+            event_from_dict({"type": "nonsense", "time": 0.0})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"time": 0.0})
+
+    def test_unknown_fields_ignored(self):
+        event = event_from_dict(
+            {"type": "txn_committed", "time": 1.0, "txn": 2,
+             "commit_sequence": 1, "added_in_v9": "zzz"}
+        )
+        assert event == TxnCommitted(time=1.0, txn=2, commit_sequence=1)
+
+
+class TestRegistry:
+    def test_vocabulary_is_complete(self):
+        names = event_type_names()
+        for expected in ("run_started", "op_requested", "op_granted",
+                         "op_blocked", "dependency_recorded", "commit_waited",
+                         "txn_committed", "txn_aborted", "cascade_aborted",
+                         "deadlock_resolved", "stage_timed", "run_completed"):
+            assert expected in names

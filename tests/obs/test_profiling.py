@@ -1,0 +1,73 @@
+"""Unit tests for derivation profiling (StageProfiler + derive integration)."""
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.core.methodology import derive
+from repro.obs.events import StageTimed
+from repro.obs.profiling import StageProfiler
+from repro.obs.tracers import RecordingTracer
+
+
+class TestStageProfiler:
+    def test_stage_timing_and_counts(self):
+        profiler = StageProfiler("Demo")
+        with profiler.stage("stage1"):
+            pass
+        profile = profiler.profile
+        assert [stage.stage for stage in profile.stages] == ["stage1"]
+        assert profile.stages[0].seconds >= 0.0
+        assert profile.total_seconds == pytest.approx(
+            sum(stage.seconds for stage in profile.stages)
+        )
+
+    def test_unknown_stage_lookup(self):
+        profiler = StageProfiler("Demo")
+        with pytest.raises(KeyError):
+            profiler.profile.stage("stage9")
+
+    def test_emits_stage_timed_when_traced(self):
+        tracer = RecordingTracer()
+        profiler = StageProfiler("Demo", tracer=tracer)
+        with profiler.stage("stage2"):
+            pass
+        (event,) = tracer.of_type(StageTimed)
+        assert event.adt == "Demo"
+        assert event.stage == "stage2"
+
+
+class TestDeriveProfile:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return derive(make_adt("QStack"))
+
+    def test_profile_attached(self, result):
+        assert result.profile is not None
+        assert result.profile.adt_name == result.adt_name
+
+    def test_all_pipeline_stages_present(self, result):
+        stages = [stage.stage for stage in result.profile.stages]
+        for expected in ("stage1", "stage2", "stage3", "stage4", "stage5"):
+            assert expected in stages
+
+    def test_table_stages_count_entries(self, result):
+        operations = len(result.operations)
+        stage5 = result.profile.stage("stage5")
+        assert stage5.table_entries == operations * operations
+        assert 0 < stage5.conditional_entries <= stage5.table_entries
+        # Non-table stages carry no entry counts.
+        assert result.profile.stage("stage1").table_entries == 0
+
+    def test_summary_mentions_each_stage(self, result):
+        summary = result.profile.summary()
+        assert "stage3" in summary and "total" in summary
+        assert "entries=" in summary
+
+    def test_derive_with_tracer_emits_stage_events(self):
+        tracer = RecordingTracer()
+        derive(make_adt("Account"), tracer=tracer)
+        events = tracer.of_type(StageTimed)
+        assert {event.stage for event in events} >= {
+            "stage1", "stage2", "stage3", "stage4", "stage5"
+        }
+        assert all(event.adt == "Account" for event in events)

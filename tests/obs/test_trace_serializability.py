@@ -1,0 +1,97 @@
+"""Trace-based serializability re-verification against the live scheduler.
+
+The acceptance property of the tracing subsystem: a JSONL-round-tripped
+trace alone carries enough information (operation logs, return values,
+commit order, dependency edges, final states) that the offline verdict of
+:func:`repro.obs.analysis.serializable_from_trace` equals the live
+:func:`repro.cc.serializability.is_serializable` verdict — across 20
+seeded workloads spanning ADTs and scheduling policies.
+"""
+
+import io
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.cc.serializability import find_serialization, is_serializable
+from repro.cc.simulator import SimulationConfig, simulate_with_scheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.obs.analysis import (
+    find_serialization_from_trace,
+    serializable_from_trace,
+)
+from repro.obs.tracers import JsonlTracer, RecordingTracer, read_trace
+
+_TABLES = {}
+
+
+def derived_table(adt_name):
+    if adt_name not in _TABLES:
+        _TABLES[adt_name] = derive(make_adt(adt_name)).final_table
+    return _TABLES[adt_name]
+
+
+def run_traced(adt_name, policy, seed, transactions=8):
+    adt = make_adt(adt_name)
+    workload = generate(
+        adt, "shared",
+        WorkloadConfig(
+            transactions=transactions, operations_per_transaction=3, seed=seed
+        ),
+    )
+    tracer = RecordingTracer()
+    _, scheduler = simulate_with_scheduler(
+        SimulationConfig(
+            adt=adt, table=derived_table(adt_name), workload=workload,
+            policy=policy, restart_aborted=True, tracer=tracer,
+        )
+    )
+    return tracer.events, scheduler
+
+
+# 2 ADTs x 2 policies x 5 seeds = 20 seeded workloads.
+WORKLOADS = [
+    (adt_name, policy, seed)
+    for adt_name in ("QStack", "Account")
+    for policy in ("optimistic", "blocking")
+    for seed in (1, 2, 3, 4, 5)
+]
+
+
+class TestTraceVerdictMatchesScheduler:
+    @pytest.mark.parametrize(
+        "adt_name, policy, seed", WORKLOADS,
+        ids=[f"{a}-{p}-s{s}" for a, p, s in WORKLOADS],
+    )
+    def test_verdicts_agree(self, adt_name, policy, seed):
+        events, scheduler = run_traced(adt_name, policy, seed)
+        assert serializable_from_trace(events) == is_serializable(scheduler)
+
+    def test_orders_agree_after_jsonl_round_trip(self):
+        events, scheduler = run_traced("QStack", "blocking", seed=9)
+        stream = io.StringIO()
+        with JsonlTracer(stream) as tracer:
+            for event in events:
+                tracer.emit(event)
+        stream.seek(0)
+        reloaded = read_trace(stream)
+        assert reloaded == events
+        from_trace = find_serialization_from_trace(reloaded)
+        live = find_serialization(scheduler)
+        assert (from_trace is None) == (live is None)
+        if from_trace is not None:
+            assert [int(txn) for txn in from_trace] == [int(txn) for txn in live]
+
+    def test_empty_trace_is_trivially_serializable(self):
+        assert serializable_from_trace([]) is True
+        assert find_serialization_from_trace([]) == []
+
+
+class TestNewSchedulerCounters:
+    def test_contended_blocking_run_populates_counters(self):
+        _, scheduler = run_traced("QStack", "blocking", seed=3, transactions=12)
+        stats = scheduler.stats
+        assert stats.condition_evaluations > 0
+        if stats.operations_blocked:
+            assert 0 < stats.blocked_time_events <= stats.operations_blocked

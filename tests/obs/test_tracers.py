@@ -1,0 +1,107 @@
+"""Unit tests for the tracer implementations and trace (re)loading."""
+
+import io
+
+import pytest
+
+from repro.obs.events import OpGranted, RunStarted, TxnBegun, TxnCommitted
+from repro.obs.tracers import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    Tracer,
+    read_trace,
+)
+
+
+class TestNullTracer:
+    def test_falsy(self):
+        assert not NullTracer()
+        assert not NULL_TRACER
+
+    def test_emit_discards(self):
+        NULL_TRACER.emit(RunStarted(time=0.0, policy="blocking"))
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NULL_TRACER, Tracer)
+
+
+class TestRecordingTracer:
+    def test_truthy_even_when_empty(self):
+        tracer = RecordingTracer()
+        assert tracer  # emissions must not be skipped before first event
+        assert len(tracer) == 0
+
+    def test_records_in_order(self):
+        tracer = RecordingTracer()
+        first = TxnBegun(time=0.0, txn=1)
+        second = TxnCommitted(time=1.0, txn=1, commit_sequence=1)
+        tracer.emit(first)
+        tracer.emit(second)
+        assert tracer.events == [first, second]
+
+    def test_of_type_filters(self):
+        tracer = RecordingTracer()
+        tracer.emit(TxnBegun(time=0.0, txn=1))
+        tracer.emit(TxnCommitted(time=1.0, txn=1, commit_sequence=1))
+        assert tracer.of_type(TxnCommitted) == [
+            TxnCommitted(time=1.0, txn=1, commit_sequence=1)
+        ]
+
+    def test_clear(self):
+        tracer = RecordingTracer()
+        tracer.emit(TxnBegun(time=0.0, txn=1))
+        tracer.clear()
+        assert len(tracer) == 0
+
+
+class TestJsonlTracer:
+    EVENTS = [
+        RunStarted(time=0.0, policy="optimistic", seed=5),
+        OpGranted(time=1.5, txn=1, object_name="shared", operation="Push",
+                  args="('a',)", outcome="ok", result="None", sequence=1),
+        TxnCommitted(time=2.0, txn=1, commit_sequence=1),
+    ]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            for event in self.EVENTS:
+                tracer.emit(event)
+            assert tracer.emitted == len(self.EVENTS)
+        assert read_trace(str(path)) == self.EVENTS
+
+    def test_stream_round_trip(self):
+        stream = io.StringIO()
+        tracer = JsonlTracer(stream)
+        for event in self.EVENTS:
+            tracer.emit(event)
+        tracer.close()  # flushes but must not close a borrowed stream
+        assert not stream.closed
+        stream.seek(0)
+        assert read_trace(stream) == self.EVENTS
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTracer(str(path)) as tracer:
+            for event in self.EVENTS:
+                tracer.emit(event)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == len(self.EVENTS)
+        assert all(line.startswith("{\"type\":") for line in lines)
+
+
+class TestReadTrace:
+    def test_blank_lines_skipped(self):
+        lines = ["", '{"type": "txn_begun", "time": 0.0, "txn": 1}', "   "]
+        assert read_trace(lines) == [TxnBegun(time=0.0, txn=1)]
+
+    def test_malformed_line_reports_line_number(self):
+        lines = ['{"type": "txn_begun", "time": 0.0, "txn": 1}', "{oops"]
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(lines)
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event type"):
+            read_trace(['{"type": "martian", "time": 0.0}'])

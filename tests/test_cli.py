@@ -77,3 +77,96 @@ class TestTablesCommand:
         assert "account.md" in generated
         content = (tmp_path / "qstack.md").read_text(encoding="utf-8")
         assert "Stage 5" in content and "f ≠ b" in content
+
+
+class TestObservabilityCommands:
+    def test_simulate_run_header(self, capsys):
+        assert main([
+            "simulate", "QStack", "--transactions", "6", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(
+            "run: adt=QStack policy=blocking transactions=6 operations=3 seed=7"
+        )
+        assert "table=stage5" in out
+
+    def test_simulate_writes_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main([
+            "simulate", "QStack", "--transactions", "6", "--seed", "7",
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace: {trace_path}" in out
+        from repro.obs.tracers import read_trace
+
+        events = read_trace(str(trace_path))
+        assert events[0].type == "run_started"
+        assert events[-1].type == "run_completed"
+
+    def test_simulate_metrics_json(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "4", "--seed", "2",
+            "--metrics-format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        document = json.loads(out[out.index("{"):])
+        assert 'txns{status="committed"}' in document["counters"]
+
+    def test_simulate_metrics_prometheus(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "4", "--seed", "2",
+            "--metrics-format", "prom",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_txns counter" in out
+        assert "repro_makespan" in out
+
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        assert main([
+            "simulate", "QStack", "--transactions", "8", "--seed", "7",
+            "--trace", str(path),
+        ]) == 0
+        return str(path)
+
+    def test_trace_summary(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "events=" in out and "dependencies:" in out
+
+    def test_trace_verify(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace", trace_file, "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "serializable (from trace): True" in out
+
+    def test_trace_timeline(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace", trace_file, "--timeline", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "txn_begun" in out
+
+    def test_trace_timeline_unknown_txn(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace", trace_file, "--timeline", "9999"]) == 1
+
+    def test_trace_entries(self, trace_file, capsys):
+        capsys.readouterr()
+        assert main(["trace", trace_file, "--entries"]) == 0
+        out = capsys.readouterr().out
+        assert "->" in out  # at least one firing line
+
+    def test_trace_missing_file(self, capsys):
+        assert main(["trace", "/nonexistent/nope.jsonl"]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_trace_modes_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "x.jsonl", "--entries", "--timeline", "1"]
+            )
