@@ -1,0 +1,177 @@
+"""BENCH_pipeline.json — the derivation pipeline's perf baseline writer.
+
+Measures the full five-stage derivation per ADT in two configurations —
+uncached (``use_cache=False``) and cached (the defaults) — verifies the
+two produce identical tables, and writes the result as a JSON baseline so
+the perf trajectory of the pipeline is recorded run over run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/baseline.py \
+        --out BENCH_pipeline.json --adts QStack --min-speedup 1.0
+
+Exit status is non-zero when any ADT misses ``--min-speedup`` (cached vs
+uncached), exceeds the recorded seed-commit reference by more than
+``--max-seed-ratio``, or fails the cached-vs-uncached parity check.
+
+The CI benchmark smoke job runs this after the pytest-benchmark smoke
+pass and uploads the JSON as an artifact (see
+``.github/workflows/ci.yml`` and ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.adts.registry import builtin_names, make_adt  # noqa: E402
+from repro.core.methodology import MethodologyOptions, derive  # noqa: E402
+
+#: Wall time of the full derivation at the seed commit (835540b), before
+#: the shared evidence base and execution cache existed — measured on the
+#: reference dev container, best of 3.  The absolute floor the CI smoke
+#: job holds the cached pipeline to (scaled by ``--max-seed-ratio``).
+SEED_REFERENCE_SECONDS = {
+    "QStack": 0.1861,
+}
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    """Best wall time over ``rounds`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure_pipeline(adt_names: list[str], rounds: int = 3) -> dict:
+    """The BENCH_pipeline.json payload for the named ADTs."""
+    results = {}
+    for name in adt_names:
+        adt = make_adt(name)
+        uncached_seconds, uncached = _best_of(
+            lambda: derive(adt, options=MethodologyOptions(use_cache=False)),
+            rounds,
+        )
+        cached_seconds, cached = _best_of(lambda: derive(adt), rounds)
+        parity = (
+            cached.stage3_table == uncached.stage3_table
+            and cached.stage4_table == uncached.stage4_table
+            and cached.stage5_table == uncached.stage5_table
+            and cached.notes == uncached.notes
+        )
+        profile = cached.profile
+        results[name] = {
+            "uncached_seconds": round(uncached_seconds, 6),
+            "cached_seconds": round(cached_seconds, 6),
+            "speedup": round(uncached_seconds / cached_seconds, 3)
+            if cached_seconds
+            else None,
+            "parity": parity,
+            "cache_hits": profile.cache_hits,
+            "cache_misses": profile.cache_misses,
+            "cache_evictions": profile.cache_evictions,
+            "cache_hit_rate": round(profile.cache_hit_rate, 4),
+            "stage_seconds": {
+                stage.stage: round(stage.seconds, 6) for stage in profile.stages
+            },
+            "stage_speedups": {
+                stage: round(value, 3)
+                for stage, value in profile.speedup_vs(
+                    uncached.profile
+                ).items()
+            },
+            "seed_reference_seconds": SEED_REFERENCE_SECONDS.get(name),
+        }
+    return {
+        "benchmark": "pipeline",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+
+
+def check_thresholds(
+    payload: dict, min_speedup: float, max_seed_ratio: float
+) -> list[str]:
+    """Threshold violations in a measured payload (empty = all good)."""
+    failures = []
+    for name, entry in payload["results"].items():
+        if not entry["parity"]:
+            failures.append(f"{name}: cached and uncached tables differ")
+        if entry["speedup"] is not None and entry["speedup"] < min_speedup:
+            failures.append(
+                f"{name}: cached speedup {entry['speedup']}x "
+                f"below required {min_speedup}x"
+            )
+        reference = entry.get("seed_reference_seconds")
+        if reference is not None and entry["cached_seconds"] > reference * max_seed_ratio:
+            failures.append(
+                f"{name}: cached pipeline {entry['cached_seconds']}s slower "
+                f"than seed baseline {reference}s x {max_seed_ratio}"
+            )
+    return failures
+
+
+def write_baseline(payload: dict, out: str | Path) -> Path:
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json",
+        help="where to write the baseline JSON (default: BENCH_pipeline.json)",
+    )
+    parser.add_argument(
+        "--adts", nargs="*", default=["QStack"], choices=builtin_names(),
+        help="ADTs to measure (default: QStack, the paper's worked example)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measurement rounds per configuration (best-of; default 3)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.0,
+        help="required cached-vs-uncached speedup (default 1.0: no slower)",
+    )
+    parser.add_argument(
+        "--max-seed-ratio", type=float, default=1.0,
+        help="allowed cached time as a multiple of the recorded seed-commit "
+             "reference (default 1.0: no slower than the seed)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = measure_pipeline(args.adts, rounds=args.rounds)
+    path = write_baseline(payload, args.out)
+    for name, entry in payload["results"].items():
+        print(
+            f"{name:12} uncached={entry['uncached_seconds']:.4f}s "
+            f"cached={entry['cached_seconds']:.4f}s "
+            f"speedup={entry['speedup']}x "
+            f"hit_rate={entry['cache_hit_rate']} parity={entry['parity']}"
+        )
+    print(f"wrote {path}")
+
+    failures = check_thresholds(payload, args.min_speedup, args.max_seed_ratio)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,24 @@
 """Benchmark: the full five-stage derivation per built-in ADT.
 
 Measures what a user pays to go from an executable specification to a
-fully refined compatibility table.
+fully refined compatibility table — cached (the default configuration)
+and uncached, so the evidence-base/memoization win stays visible.
+
+Set ``REPRO_BENCH_BASELINE=<path>`` to also record the
+``BENCH_pipeline.json`` perf baseline (see ``benchmarks/baseline.py``
+and ``docs/PERFORMANCE.md``).
 """
+
+import os
+import sys
+from pathlib import Path
 
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
 from repro.adts.registry import builtin_names, make_adt
-from repro.core.methodology import derive
+from repro.core.methodology import MethodologyOptions, derive
 
 
 @pytest.mark.parametrize("adt_name", builtin_names())
@@ -16,3 +27,26 @@ def test_full_derivation(benchmark, adt_name):
     result = benchmark.pedantic(derive, args=(adt,), rounds=2, iterations=1)
     assert result.final_table.is_complete()
     assert result.stage5_table.refines(result.stage3_table)
+
+
+@pytest.mark.parametrize("adt_name", ["QStack"])
+def test_full_derivation_uncached(benchmark, adt_name):
+    adt = make_adt(adt_name)
+    options = MethodologyOptions(use_cache=False)
+    result = benchmark.pedantic(
+        derive, args=(adt,), kwargs={"options": options}, rounds=2, iterations=1
+    )
+    assert result.final_table.is_complete()
+
+
+def test_write_pipeline_baseline():
+    """Record BENCH_pipeline.json when REPRO_BENCH_BASELINE names a path."""
+    out = os.environ.get("REPRO_BENCH_BASELINE")
+    if not out:
+        pytest.skip("set REPRO_BENCH_BASELINE=<path> to record the baseline")
+    from baseline import measure_pipeline, write_baseline
+
+    payload = measure_pipeline(["QStack"], rounds=2)
+    path = write_baseline(payload, out)
+    assert path.exists()
+    assert all(entry["parity"] for entry in payload["results"].values())

@@ -53,7 +53,11 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 def _cmd_derive(args: argparse.Namespace) -> int:
     adt = make_adt(args.adt)
-    options = MethodologyOptions(validate_conditions=not args.paper)
+    options = MethodologyOptions(
+        validate_conditions=not args.paper,
+        use_cache=not args.no_cache,
+        jobs=args.jobs,
+    )
     result = derive(adt, options=options)
     stage_tables = dict(result.stage_tables())
     table = stage_tables[f"stage{args.stage}"]
@@ -74,6 +78,20 @@ def _cmd_derive(args: argparse.Namespace) -> int:
         print("derivation notes:")
         for note in result.notes:
             print(f"  - {note}")
+    if args.profile and result.profile is not None:
+        print()
+        print("derivation profile:")
+        for line in result.profile.summary().splitlines():
+            print(f"  {line}")
+    if args.metrics_format and result.profile is not None:
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        result.profile.publish(registry)
+        if args.metrics_format == "json":
+            print(registry.render_json())
+        else:
+            print(registry.render_prometheus(), end="")
     return 0
 
 
@@ -244,6 +262,24 @@ def build_parser() -> argparse.ArgumentParser:
     derive_cmd.add_argument(
         "--paper", action="store_true",
         help="paper-fidelity mode (disable condition validation)",
+    )
+    derive_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the Stage-4/5 pair fan-out "
+             "(1 = sequential, 0 = one per CPU; results are identical)",
+    )
+    derive_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the shared execution cache (for benchmarking/audit)",
+    )
+    derive_cmd.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage wall-time and cache profile",
+    )
+    derive_cmd.add_argument(
+        "--metrics-format", choices=("json", "prom"), default=None,
+        help="export the derivation's metrics (cache hit rate, stage "
+             "timings) as JSON or Prometheus text",
     )
     derive_cmd.add_argument("--verbose", action="store_true")
     derive_cmd.set_defaults(func=_cmd_derive)

@@ -27,14 +27,11 @@ unguarded (see EXPERIMENTS.md for the two affected cells).
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-from repro.core.classification import (
-    OpClass,
-    classify_with_outcome,
-    outcome_label,
-)
+from repro.core.classification import OpClass, outcome_label
 from repro.core.conditions import (
     And,
     ArgsDistinct,
@@ -55,9 +52,14 @@ from repro.graph.instrument import EdgeAttribution
 from repro.graph.object_graph import ObjectGraph
 from repro.obs.profiling import DerivationProfile, StageProfiler
 from repro.obs.tracers import Tracer
-from repro.semantics.commutativity import commute_in_state
-from repro.spec.adt import ADTSpec, EnumerationBounds, Execution, execute_invocation
-from repro.spec.enumeration import executions_of
+from repro.perf.cache import (
+    DEFAULT_CACHE_MAXSIZE,
+    ExecutionCache,
+    install_execution_cache,
+)
+from repro.perf.evidence import EvidenceBase
+from repro.perf.parallel import resolve_jobs, worker_pool
+from repro.spec.adt import ADTSpec, EnumerationBounds
 from repro.spec.operation import Invocation
 
 __all__ = [
@@ -93,6 +95,12 @@ class MethodologyOptions:
             condition by exhaustive commutativity checking.  Disabling
             this reproduces the paper's literal Table 13 (whose unguarded
             same-input condition is unsound at the capacity boundary).
+        use_cache: Install a shared execution cache for the derivation
+            (see ``docs/PERFORMANCE.md``); results are bit-identical
+            either way.
+        cache_maxsize: Entry bound of that cache.
+        jobs: Worker processes for the Stage-4/5 pair fan-out
+            (``1`` = sequential, ``0`` = one per CPU).
     """
 
     bounds: EnumerationBounds | None = None
@@ -103,6 +111,16 @@ class MethodologyOptions:
     refine_localities: bool = True
     validate_conditions: bool = True
     use_annotations: bool = False
+    #: Memoize every execution behind one shared
+    #: :class:`~repro.perf.cache.ExecutionCache` for the duration of the
+    #: derivation.  Deterministic specs make the cached and uncached
+    #: paths bit-identical; disabling exists for benchmarking and audit.
+    use_cache: bool = True
+    #: Entry bound of the per-derivation execution cache.
+    cache_maxsize: int = DEFAULT_CACHE_MAXSIZE
+    #: Worker processes for the pair-level Stage-4/5 fan-out.  ``1`` is
+    #: fully sequential (no pool); ``0`` means one worker per CPU.
+    jobs: int = 1
 
 
 @dataclass
@@ -180,82 +198,8 @@ def _stage3_table(
 # Stage 4 — outcome and input refinement
 # ---------------------------------------------------------------------------
 
-class _Evidence:
-    """Cached executions per operation, the pipeline's evidence base."""
-
-    def __init__(
-        self,
-        adt: ADTSpec,
-        operations: Sequence[str],
-        bounds: EnumerationBounds,
-        attribution: EdgeAttribution,
-    ) -> None:
-        self.adt = adt
-        self.bounds = bounds
-        self.attribution = attribution
-        #: operation -> invocation -> executions over every state
-        self.by_operation: dict[str, dict[Invocation, list[Execution]]] = {}
-        for name in operations:
-            per_invocation = {}
-            for invocation in adt.invocations_of(name, bounds):
-                per_invocation[invocation] = list(
-                    executions_of(adt, invocation, bounds, attribution)
-                )
-            self.by_operation[name] = per_invocation
-
-    def labels(self, operation: str) -> set[str]:
-        """Outcome labels the operation ever exhibits."""
-        return {
-            outcome_label(execution)
-            for executions in self.by_operation[operation].values()
-            for execution in executions
-        }
-
-    def class_given_label(self, operation: str, label: str) -> OpClass | None:
-        """Strongest outcome-restricted class over the operation's invocations."""
-        classes = []
-        for executions in self.by_operation[operation].values():
-            restricted = classify_with_outcome(executions, label)
-            if restricted is not None:
-                classes.append(restricted)
-        return max(classes) if classes else None
-
-    def full_class(self, operation: str, profiles: Mapping[str, OperationProfile]) -> OpClass:
-        return profiles[operation].op_class
-
-    def serial_label_pairs(self, executing: str, invoked: str) -> set[tuple[str, str]]:
-        """Outcome-label pairs observable when ``invoked`` directly follows
-        ``executing`` (the ``"serial"`` feasibility mode)."""
-        pairs = set()
-        for first_inv, first_execs in self.by_operation[executing].items():
-            del first_inv
-            for first_execution in first_execs:
-                for second_inv in self.by_operation[invoked]:
-                    second_execution = execute_invocation(
-                        self.adt,
-                        first_execution.post_state,
-                        second_inv,
-                        self.attribution,
-                    )
-                    pairs.add(
-                        (
-                            outcome_label(first_execution),
-                            outcome_label(second_execution),
-                        )
-                    )
-        return pairs
-
-    def states(self):
-        return self.adt.state_list(self.bounds)
-
-    def invocation_pairs(self, executing: str, invoked: str):
-        for first in self.by_operation[executing]:
-            for second in self.by_operation[invoked]:
-                yield first, second
-
-
 def _cell_dependency(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     profiles: Mapping[str, OperationProfile],
     invoked: str,
     executing: str,
@@ -290,7 +234,7 @@ def _cell_dependency(
 
 
 def _empirical_cells(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     invoked: str,
     executing: str,
     cap: Dependency,
@@ -314,22 +258,15 @@ def _empirical_cells(
     cells: dict[tuple[str, str], Dependency] = {}
     for first, second in evidence.invocation_pairs(executing, invoked):
         for state in evidence.states():
-            first_execution = execute_invocation(
-                evidence.adt, state, first, evidence.attribution
-            )
-            second_execution = execute_invocation(
-                evidence.adt,
-                first_execution.post_state,
-                second,
-                evidence.attribution,
+            first_execution = evidence.execute(state, first)
+            second_execution = evidence.execute(
+                first_execution.post_state, second
             )
             key = (outcome_label(first_execution), outcome_label(second_execution))
-            if commute_in_state(evidence.adt, state, first, second):
+            if evidence.commute_in_state(state, first, second):
                 required = Dependency.ND
             else:
-                alone = execute_invocation(
-                    evidence.adt, state, second, evidence.attribution
-                ).returned
+                alone = evidence.execute(state, second).returned
                 if alone == second_execution.returned:
                     required = Dependency.CD
                 else:
@@ -339,7 +276,7 @@ def _empirical_cells(
 
 
 def _joint_cell_map(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     profiles: Mapping[str, OperationProfile],
     invoked: str,
     executing: str,
@@ -374,7 +311,7 @@ def _joint_cell_map(
 
 
 def _outcome_cells(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     profiles: Mapping[str, OperationProfile],
     invoked: str,
     executing: str,
@@ -455,7 +392,7 @@ def _outcome_cells(
 
 
 def _validated_inputs_condition(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     invoked: str,
     executing: str,
     options: MethodologyOptions,
@@ -485,20 +422,15 @@ def _validated_inputs_condition(
         for first, second in equal_pairs:
             for state in evidence.states():
                 if guarded:
-                    first_execution = execute_invocation(
-                        evidence.adt, state, first, evidence.attribution
-                    )
-                    second_execution = execute_invocation(
-                        evidence.adt,
-                        first_execution.post_state,
-                        second,
-                        evidence.attribution,
+                    first_execution = evidence.execute(state, first)
+                    second_execution = evidence.execute(
+                        first_execution.post_state, second
                     )
                     if outcome_label(first_execution) != outcome_label(
                         second_execution
                     ):
                         continue
-                if not commute_in_state(evidence.adt, state, first, second):
+                if not evidence.commute_in_state(state, first, second):
                     return False
         return True
 
@@ -517,37 +449,67 @@ def _validated_inputs_condition(
     return None
 
 
+def _stage4_pair_entry(
+    evidence: EvidenceBase,
+    profiles: Mapping[str, OperationProfile],
+    invoked: str,
+    executing: str,
+    entry: Entry,
+    options: MethodologyOptions,
+) -> tuple[Entry, list[str]]:
+    """The Stage-4 entry for one operation pair (plus its derivation notes).
+
+    A pure function of the evidence base — the unit of the pair-level
+    parallel fan-out.
+    """
+    notes: list[str] = []
+    current = entry.strongest()
+    pairs: list[ConditionalDependency] = []
+    if current is not Dependency.ND:
+        cells = _outcome_cells(
+            evidence, profiles, invoked, executing, current, options
+        )
+        if cells and any(dep < current for dep, _ in cells):
+            pairs = [
+                ConditionalDependency(dep, condition) for dep, condition in cells
+            ]
+    if not pairs:
+        pairs = list(entry.pairs)
+    strongest_so_far = max(pair.dependency for pair in pairs)
+    if options.refine_inputs and strongest_so_far is not Dependency.ND:
+        inputs_condition = _validated_inputs_condition(
+            evidence, invoked, executing, options, notes
+        )
+        if inputs_condition is not None:
+            pairs.append(
+                ConditionalDependency(Dependency.ND, inputs_condition)
+            )
+    return Entry(pairs), notes
+
+
 def _stage4_table(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     profiles: Mapping[str, OperationProfile],
     stage3: CompatibilityTable,
     options: MethodologyOptions,
     notes: list[str],
+    pair_map=None,
 ) -> CompatibilityTable:
     table = CompatibilityTable(stage3.operations, name="stage4")
-    for invoked, executing, entry in stage3.cells():
-        current = entry.strongest()
-        pairs: list[ConditionalDependency] = []
-        if current is not Dependency.ND:
-            cells = _outcome_cells(
-                evidence, profiles, invoked, executing, current, options
-            )
-            if cells and any(dep < current for dep, _ in cells):
-                pairs = [
-                    ConditionalDependency(dep, condition) for dep, condition in cells
-                ]
-        if not pairs:
-            pairs = list(entry.pairs)
-        strongest_so_far = max(pair.dependency for pair in pairs)
-        if options.refine_inputs and strongest_so_far is not Dependency.ND:
-            inputs_condition = _validated_inputs_condition(
-                evidence, invoked, executing, options, notes
-            )
-            if inputs_condition is not None:
-                pairs.append(
-                    ConditionalDependency(Dependency.ND, inputs_condition)
-                )
-        table.set_entry(invoked, executing, Entry(pairs))
+    cells = list(stage3.cells())
+    if pair_map is not None:
+        results = pair_map(
+            _pair_task,
+            [("stage4", invoked, executing, entry) for invoked, executing, entry in cells],
+        )
+    else:
+        results = [
+            _stage4_pair_entry(evidence, profiles, invoked, executing, entry, options)
+            for invoked, executing, entry in cells
+        ]
+    for (invoked, executing, _entry), (new_entry, pair_notes) in zip(cells, results):
+        table.set_entry(invoked, executing, new_entry)
+        notes.extend(pair_notes)
     return table
 
 
@@ -609,7 +571,7 @@ def _stage5_candidate(
 
 
 def _validate_stage5(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     invoked: str,
     executing: str,
     condition: Condition,
@@ -623,11 +585,9 @@ def _validate_stage5(
     """
     for first, second in evidence.invocation_pairs(executing, invoked):
         for state in evidence.states():
-            first_execution = execute_invocation(
-                evidence.adt, state, first, evidence.attribution
-            )
-            second_execution = execute_invocation(
-                evidence.adt, first_execution.post_state, second, evidence.attribution
+            first_execution = evidence.execute(state, first)
+            second_execution = evidence.execute(
+                first_execution.post_state, second
             )
             context = ConditionContext(
                 first_invocation=first,
@@ -638,7 +598,7 @@ def _validate_stage5(
             )
             if condition.evaluate(context) is not True:
                 continue
-            if not commute_in_state(evidence.adt, state, first, second):
+            if not evidence.commute_in_state(state, first, second):
                 return False
     return True
 
@@ -653,7 +613,7 @@ def _conjoin(outcome_condition: Condition, locality_condition: Condition) -> Con
 
 
 def _stage5_entry_validated(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     invoked: str,
     executing: str,
     entry: Entry,
@@ -720,31 +680,102 @@ def _stage5_entry_paper(
     return Entry(new_pairs)
 
 
+def _stage5_pair_entry(
+    evidence: EvidenceBase,
+    profiles: Mapping[str, OperationProfile],
+    invoked: str,
+    executing: str,
+    entry: Entry,
+    options: MethodologyOptions,
+) -> tuple[Entry, list[str]]:
+    """The Stage-5 entry for one operation pair (plus its derivation notes).
+
+    Like :func:`_stage4_pair_entry`, a pure function of the evidence base
+    and the unit of the pair-level parallel fan-out.
+    """
+    notes: list[str] = []
+    if entry.strongest() is Dependency.ND:
+        return entry, notes
+    candidate = _stage5_candidate(profiles[invoked], profiles[executing])
+    if candidate is None:
+        return entry, notes
+    condition, complement = candidate
+    if options.validate_conditions:
+        refined = _stage5_entry_validated(
+            evidence, invoked, executing, entry, condition, complement, notes
+        )
+    else:
+        refined = _stage5_entry_paper(entry, condition, complement)
+    return refined, notes
+
+
 def _stage5_table(
-    evidence: _Evidence,
+    evidence: EvidenceBase,
     profiles: Mapping[str, OperationProfile],
     stage4: CompatibilityTable,
     options: MethodologyOptions,
     notes: list[str],
+    pair_map=None,
 ) -> CompatibilityTable:
     table = CompatibilityTable(stage4.operations, name="stage5")
-    for invoked, executing, entry in stage4.cells():
-        if entry.strongest() is Dependency.ND:
-            table.set_entry(invoked, executing, entry)
-            continue
-        candidate = _stage5_candidate(profiles[invoked], profiles[executing])
-        if candidate is None:
-            table.set_entry(invoked, executing, entry)
-            continue
-        condition, complement = candidate
-        if options.validate_conditions:
-            refined = _stage5_entry_validated(
-                evidence, invoked, executing, entry, condition, complement, notes
-            )
-        else:
-            refined = _stage5_entry_paper(entry, condition, complement)
-        table.set_entry(invoked, executing, refined)
+    cells = list(stage4.cells())
+    if pair_map is not None:
+        results = pair_map(
+            _pair_task,
+            [("stage5", invoked, executing, entry) for invoked, executing, entry in cells],
+        )
+    else:
+        results = [
+            _stage5_pair_entry(evidence, profiles, invoked, executing, entry, options)
+            for invoked, executing, entry in cells
+        ]
+    for (invoked, executing, _entry), (new_entry, pair_notes) in zip(cells, results):
+        table.set_entry(invoked, executing, new_entry)
+        notes.extend(pair_notes)
     return table
+
+
+# ---------------------------------------------------------------------------
+# Parallel fan-out plumbing
+# ---------------------------------------------------------------------------
+
+#: Per-process worker state: ``(evidence, profiles, options)``.  Populated
+#: by the parent before forking (inherited for free under ``fork``) or by
+#: :func:`_init_stage_worker` under ``spawn``; cleared by :func:`derive`.
+_WORKER_STATE: dict[str, object] = {}
+
+
+def _init_stage_worker(adt, names, bounds, attribution, options, profiles) -> None:
+    """Pool initializer: ensure the worker holds a full evidence base.
+
+    Under ``fork`` the parent's ``_WORKER_STATE`` (and its installed
+    execution cache) arrive with the process image, so this is a no-op;
+    under ``spawn`` the worker rebuilds the state from the pickled
+    arguments, behind its own fresh cache.
+    """
+    if _WORKER_STATE:
+        return
+    if options.use_cache:
+        install_execution_cache(ExecutionCache(maxsize=options.cache_maxsize))
+    _WORKER_STATE["evidence"] = EvidenceBase(adt, names, bounds, attribution)
+    _WORKER_STATE["profiles"] = profiles
+    _WORKER_STATE["options"] = options
+
+
+def _pair_task(task: tuple[str, str, str, Entry]) -> tuple[Entry, list[str]]:
+    """One fan-out unit: dispatch a ``(stage, invoked, executing, entry)``
+    tuple against the worker's evidence base."""
+    stage, invoked, executing, entry = task
+    evidence = _WORKER_STATE["evidence"]
+    profiles = _WORKER_STATE["profiles"]
+    options = _WORKER_STATE["options"]
+    if stage == "stage4":
+        return _stage4_pair_entry(
+            evidence, profiles, invoked, executing, entry, options
+        )
+    return _stage5_pair_entry(
+        evidence, profiles, invoked, executing, entry, options
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -776,41 +807,84 @@ def derive(
     options = options or MethodologyOptions()
     bounds = options.bounds or adt.default_bounds
     names = list(operations) if operations is not None else adt.operation_names()
+    jobs = resolve_jobs(options.jobs)
     notes: list[str] = []
-    profiler = StageProfiler(adt.name, tracer)
 
-    # Stage 1: the object graph and its references.
-    with profiler.stage("stage1"):
-        sample_graph = adt.build_graph(adt.initial_state())
-        references = sorted(sample_graph.reference_names())
+    # The shared execution cache: installed for the whole run so Stage 2
+    # characterisation, the evidence base and the Stage-4/5 validators all
+    # draw from one memoized pool.  Restored (not just removed) on exit so
+    # nested derivations compose.
+    cache = ExecutionCache(maxsize=options.cache_maxsize) if options.use_cache else None
+    previous = install_execution_cache(cache) if cache is not None else None
+    profiler = StageProfiler(adt.name, tracer, cache=cache)
+    try:
+        # Stage 1: the object graph and its references.
+        with profiler.stage("stage1"):
+            sample_graph = adt.build_graph(adt.initial_state())
+            references = sorted(sample_graph.reference_names())
 
-    # Stage 2: D1-D5 characterisation — derived by enumeration, or taken
-    # from the operations' own declarations in annotation mode.
-    with profiler.stage("stage2"):
-        if options.use_annotations:
-            from repro.core.profile import characterize_from_annotations
+        # Stage 2: D1-D5 characterisation — derived by enumeration, or
+        # taken from the operations' own declarations in annotation mode.
+        with profiler.stage("stage2"):
+            if options.use_annotations:
+                from repro.core.profile import characterize_from_annotations
 
-            profiles = characterize_from_annotations(adt, names)
-        else:
-            profiles = characterize_all(adt, names, bounds, options.attribution)
+                profiles = characterize_from_annotations(adt, names)
+            else:
+                profiles = characterize_all(adt, names, bounds, options.attribution)
 
-    # Stage 3: template-table lookup.
-    with profiler.stage("stage3") as stage:
-        stage3 = _stage3_table(names, profiles)
-        stage.count_table(stage3)
+        # Stage 3: template-table lookup.
+        with profiler.stage("stage3") as stage:
+            stage3 = _stage3_table(names, profiles)
+            stage.count_table(stage3)
 
-    # Stages 4 and 5: conditional refinement over the evidence base.
-    with profiler.stage("evidence"):
-        evidence = _Evidence(adt, names, bounds, options.attribution)
-    with profiler.stage("stage4") as stage:
-        stage4 = _stage4_table(evidence, profiles, stage3, options, notes)
-        stage.count_table(stage4)
-    with profiler.stage("stage5") as stage:
-        if options.refine_localities:
-            stage5 = _stage5_table(evidence, profiles, stage4, options, notes)
-        else:
-            stage5 = stage4.map_entries(lambda *_args: _args[2], name="stage5")
-        stage.count_table(stage5)
+        # Stages 4 and 5: conditional refinement over the evidence base,
+        # fanned out per pair across worker processes when jobs > 1.
+        with profiler.stage("evidence"):
+            evidence = EvidenceBase(adt, names, bounds, options.attribution)
+        with ExitStack() as stack:
+            pair_map = None
+            if jobs > 1:
+                # Populate the worker state *before* the pool exists so
+                # fork-started workers inherit the built evidence base;
+                # spawn-started ones rebuild it from the initargs.
+                _WORKER_STATE["evidence"] = evidence
+                _WORKER_STATE["profiles"] = profiles
+                _WORKER_STATE["options"] = options
+                stack.callback(_WORKER_STATE.clear)
+                pair_map = stack.enter_context(
+                    worker_pool(
+                        jobs,
+                        _init_stage_worker,
+                        (adt, names, bounds, options.attribution, options, profiles),
+                    )
+                )
+            with profiler.stage("stage4") as stage:
+                stage4 = _stage4_table(
+                    evidence, profiles, stage3, options, notes, pair_map
+                )
+                stage.count_table(stage4)
+            with profiler.stage("stage5") as stage:
+                if options.refine_localities:
+                    stage5 = _stage5_table(
+                        evidence, profiles, stage4, options, notes, pair_map
+                    )
+                else:
+                    stage5 = stage4.map_entries(
+                        lambda *_args: _args[2], name="stage5"
+                    )
+                stage.count_table(stage5)
+    finally:
+        if cache is not None:
+            install_execution_cache(previous)
+
+    profile = profiler.profile
+    profile.parallel_jobs = jobs
+    if cache is not None:
+        stats = cache.stats()
+        profile.cache_hits = stats.hits
+        profile.cache_misses = stats.misses
+        profile.cache_evictions = stats.evictions
 
     return DerivationResult(
         adt_name=adt.name,
@@ -822,5 +896,5 @@ def derive(
         stage4_table=stage4,
         stage5_table=stage5,
         notes=notes,
-        profile=profiler.profile,
+        profile=profile,
     )

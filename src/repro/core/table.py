@@ -63,6 +63,22 @@ class CompatibilityTable:
         """Strongest (unconditional projection) dependency of a cell."""
         return self.entry(invoked, executing).strongest()
 
+    def __eq__(self, other: object) -> bool:
+        """Structural equality: same operations (in order), same entries.
+
+        The table ``name`` is presentation metadata and does not
+        participate — stage outputs are compared across derivation modes
+        (cached vs uncached, parallel vs sequential) by content.
+        """
+        if not isinstance(other, CompatibilityTable):
+            return NotImplemented
+        return (
+            self.operations == other.operations
+            and self._entries == other._entries
+        )
+
+    __hash__ = None  # mutable container
+
     def resolve(
         self, invoked: str, executing: str, context: ConditionContext
     ) -> Dependency:

@@ -67,12 +67,19 @@ ALL_EXPERIMENTS: list[tuple[str, Callable[[], ExperimentOutcome]]] = [
 def run_all(
     only: set[str] | None = None,
 ) -> list[ExperimentOutcome]:
-    """Run all (or a named subset of) experiments."""
+    """Run all (or a named subset of) experiments.
+
+    The whole batch shares one execution cache: the experiments derive
+    tables for overlapping ADTs, so later runs draw on earlier evidence.
+    """
+    from repro.perf.cache import ensure_execution_cache
+
     outcomes = []
-    for exp_id, runner in ALL_EXPERIMENTS:
-        if only is not None and exp_id not in only:
-            continue
-        outcomes.append(runner())
+    with ensure_execution_cache():
+        for exp_id, runner in ALL_EXPERIMENTS:
+            if only is not None and exp_id not in only:
+                continue
+            outcomes.append(runner())
     return outcomes
 
 

@@ -41,7 +41,12 @@ from typing import Any
 from repro.graph.object_graph import ObjectGraph
 from repro.graph.vertex import VertexId
 
-__all__ = ["EdgeAttribution", "LocalityTrace", "InstrumentedGraph"]
+__all__ = [
+    "EdgeAttribution",
+    "LocalityTrace",
+    "InstrumentedGraph",
+    "discard_trace",
+]
 
 
 class EdgeAttribution(enum.Enum):
@@ -129,6 +134,41 @@ class LocalityTrace:
         return not (self.structure_modified or self.content_modified)
 
 
+class _DiscardSet(set):
+    """A set that drops everything added to it.
+
+    Backing store of :func:`discard_trace`: the instrumentation code paths
+    stay identical (no per-call-site "am I tracing?" branches) while the
+    bookkeeping itself becomes a no-op.
+    """
+
+    __slots__ = ()
+
+    def add(self, _element: object) -> None:
+        pass
+
+    def update(self, *_others: object) -> None:
+        pass
+
+
+def discard_trace() -> LocalityTrace:
+    """A :class:`LocalityTrace` that records nothing.
+
+    For callers that execute an operation only for its post-state or
+    return value (e.g. reachability sweeps), locality bookkeeping is pure
+    overhead; executing against a discarding trace skips it without
+    forking the execution path.
+    """
+    return LocalityTrace(
+        structure_observed=_DiscardSet(),
+        structure_modified=_DiscardSet(),
+        content_observed=_DiscardSet(),
+        content_modified=_DiscardSet(),
+        references_read=_DiscardSet(),
+        references_written=_DiscardSet(),
+    )
+
+
 class InstrumentedGraph:
     """Object-graph facade that records every access in a locality trace.
 
@@ -155,10 +195,11 @@ class InstrumentedGraph:
         self,
         graph: ObjectGraph,
         attribution: EdgeAttribution = EdgeAttribution.BOTH,
+        trace: LocalityTrace | None = None,
     ) -> None:
         self.graph = graph
         self.attribution = attribution
-        self.trace = LocalityTrace()
+        self.trace = trace if trace is not None else LocalityTrace()
 
     # ------------------------------------------------------------------
     # Structure modification

@@ -1,0 +1,38 @@
+"""repro.perf — shared evidence base, execution memoization, parallel fan-out.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.perf.cache` — a bounded LRU :class:`ExecutionCache` that
+  :func:`~repro.spec.adt.execute_invocation` consults when installed, so
+  every semantic judgement in the library shares one execution pool;
+  counters export through the :mod:`repro.obs` metrics registry.
+* :mod:`repro.perf.evidence` — the :class:`EvidenceBase` built once per
+  derivation: the full state x invocation execution matrix, the successor
+  index, memoized replay, and the Stage-4 evidence queries.
+* :mod:`repro.perf.parallel` — ``multiprocessing`` fan-out over the
+  independent O(n^2) operation pairs of the table builders, with a
+  sequential fallback (``jobs <= 1``) that is bit-identical.
+
+See ``docs/PERFORMANCE.md`` for the architecture and the knobs.
+"""
+
+from repro.perf.cache import (
+    DEFAULT_CACHE_MAXSIZE,
+    CacheStats,
+    ExecutionCache,
+    ensure_execution_cache,
+    execution_cache,
+)
+from repro.perf.evidence import EvidenceBase
+from repro.perf.parallel import resolve_jobs, worker_pool
+
+__all__ = [
+    "DEFAULT_CACHE_MAXSIZE",
+    "CacheStats",
+    "ExecutionCache",
+    "EvidenceBase",
+    "ensure_execution_cache",
+    "execution_cache",
+    "resolve_jobs",
+    "worker_pool",
+]

@@ -1,0 +1,224 @@
+"""Execution memoization — the shared foundation of :mod:`repro.perf`.
+
+Every semantic judgement in the library (Stage-2 classification, the
+Section-3 commutativity/recoverability tables, Stage-4/5 condition
+validation, the simulator's shadow executions) bottoms out in
+:func:`~repro.spec.adt.execute_invocation`, and the operation specs are
+deterministic: the same ``(adt, state, invocation, attribution)`` always
+yields the same :class:`~repro.spec.adt.Execution`.  The
+:class:`ExecutionCache` exploits exactly that — a bounded LRU memo that
+:func:`~repro.spec.adt.execute_invocation` consults when the cache is
+*installed* (see :func:`~repro.spec.adt.install_execution_cache`), so
+every call site in the library shares one evidence pool without being
+rewritten.
+
+The cached :class:`~repro.spec.adt.Execution` records are treated as
+immutable by every consumer (their locality traces are only ever read or
+merged into fresh traces), so sharing one record across call sites is
+safe.
+
+Hit/miss/eviction counters are exported through the existing
+:class:`repro.obs.registry.MetricsRegistry` via :meth:`ExecutionCache.publish`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.spec.adt import (
+    Execution,
+    active_execution_cache,
+    execute_uncached,
+    install_execution_cache,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_MAXSIZE",
+    "CacheStats",
+    "ExecutionCache",
+    "ensure_execution_cache",
+    "execution_cache",
+]
+
+#: Default entry bound.  An entry is one ``Execution`` (a few hundred
+#: bytes); the default comfortably holds the full evidence base of every
+#: built-in ADT at default bounds while still bounding pathological use.
+DEFAULT_CACHE_MAXSIZE = 1 << 18
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup, ``0.0`` before the first lookup."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+
+class ExecutionCache:
+    """Bounded LRU memo of :func:`~repro.spec.adt.execute_invocation`.
+
+    Keys are ``(adt, state, invocation, attribution)`` where the ADT spec
+    participates by *identity* (``ADTSpec`` instances hash by object
+    identity): two instances of the same class are never conflated, so a
+    parameterised spec (e.g. a QStack restricted to a subset of its
+    operations) can never poison another instance's entries.
+
+    Thread-safe: lookups and insertions run under a lock, so a cache
+    installed process-wide behaves under the threaded examples exactly as
+    it does single-threaded.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_MAXSIZE) -> None:
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[tuple, Execution] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        #: Snapshot of the counters at the last :meth:`publish`, so
+        #: repeated publishes into one registry increment by the delta.
+        self._published = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Core
+    # ------------------------------------------------------------------
+
+    def get_or_execute(self, adt, state, invocation, attribution) -> Execution:
+        """The memoized execution of one invocation in one state."""
+        key = (adt, state, invocation, attribution)
+        with self._lock:
+            cached = self._entries.get(key)
+            if cached is not None:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return cached
+            self._misses += 1
+        execution = execute_uncached(adt, state, invocation, attribution)
+        with self._lock:
+            if key not in self._entries and len(self._entries) >= self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._entries[key] = execution
+        return execution
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+            )
+
+    def publish(self, registry, labels: dict[str, str] | None = None) -> CacheStats:
+        """Export the counters through a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Counters (``execution_cache_hits`` / ``_misses`` / ``_evictions``)
+        are incremented by the delta since the previous publish into any
+        registry, so periodic publishing composes with Prometheus-style
+        scraping; the ``execution_cache_size`` gauge is set absolutely.
+        Returns the snapshot that was published.
+        """
+        snapshot = self.stats()
+        registry.counter(
+            "execution_cache_hits",
+            help="Memoized execute_invocation lookups served from cache.",
+            labels=labels,
+        ).inc(snapshot.hits - self._published.hits)
+        registry.counter(
+            "execution_cache_misses",
+            help="Memoized execute_invocation lookups that executed.",
+            labels=labels,
+        ).inc(snapshot.misses - self._published.misses)
+        registry.counter(
+            "execution_cache_evictions",
+            help="Cache entries evicted by the LRU bound.",
+            labels=labels,
+        ).inc(snapshot.evictions - self._published.evictions)
+        registry.gauge(
+            "execution_cache_size",
+            help="Entries currently held by the execution cache.",
+            labels=labels,
+        ).set(snapshot.size)
+        self._published = snapshot
+        return snapshot
+
+
+@contextmanager
+def execution_cache(
+    maxsize: int = DEFAULT_CACHE_MAXSIZE,
+) -> Iterator[ExecutionCache]:
+    """Install a fresh cache for the dynamic extent of the ``with`` block.
+
+    The previously installed cache (if any) is restored on exit, so the
+    context nests — an inner derivation gets its own cache without
+    disturbing an outer one.
+    """
+    cache = ExecutionCache(maxsize=maxsize)
+    previous = install_execution_cache(cache)
+    try:
+        yield cache
+    finally:
+        install_execution_cache(previous)
+
+
+@contextmanager
+def ensure_execution_cache(
+    maxsize: int = DEFAULT_CACHE_MAXSIZE,
+) -> Iterator[ExecutionCache]:
+    """Reuse the installed cache, or install a temporary one.
+
+    The idiom for library entry points (the semantic table builders, the
+    serial-dependency search): inside a derivation they join its cache and
+    contribute to its hit rate; standalone they still get memoization for
+    their own internal redundancy, torn down on exit.
+    """
+    existing = active_execution_cache()
+    if existing is not None:
+        yield existing
+        return
+    with execution_cache(maxsize=maxsize) as cache:
+        yield cache

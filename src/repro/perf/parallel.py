@@ -1,0 +1,71 @@
+"""Process-level fan-out over independent operation pairs.
+
+The ``O(|ops|^2)`` cells of a compatibility (or commutativity /
+recoverability) table are mutually independent — each is a pure function
+of the ADT spec and the bounds — which makes them the natural unit of
+parallelism.  This module wraps :mod:`multiprocessing` behind two small
+helpers with a strictly sequential fallback (``jobs <= 1`` never touches
+a process pool), so parallel and sequential runs produce bit-identical
+results and the library keeps working where ``fork``/``spawn`` are
+unavailable or pointless.
+
+Workers hold per-process state (an installed execution cache plus an
+:class:`~repro.perf.evidence.EvidenceBase`) set up by the pool
+initializer; under the ``fork`` start method the parent's already-built
+state is inherited for free, under ``spawn`` each worker rebuilds it
+from the pickled initializer arguments.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+__all__ = ["resolve_jobs", "worker_pool"]
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` style request to a concrete worker count.
+
+    ``None`` and ``0`` mean "auto": one worker per available CPU.
+    Negative values are rejected; everything else passes through.
+    """
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+    return jobs
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """``fork`` when available (cheap, inherits built state), else ``spawn``."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@contextmanager
+def worker_pool(
+    jobs: int,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[object] = (),
+) -> Iterator[Callable]:
+    """A pool of ``jobs`` workers, yielded as an order-preserving ``map``.
+
+    The yielded callable has the contract of :func:`map` (results in task
+    order, so table assembly and note collection are deterministic).
+    Callers gate on ``jobs > 1`` themselves; asking for a one-worker pool
+    is almost certainly a bug, so it is rejected loudly.
+    """
+    if jobs <= 1:
+        raise ValueError("worker_pool requires jobs > 1; run sequentially instead")
+    context = _pool_context()
+    pool = context.Pool(
+        processes=jobs, initializer=initializer, initargs=tuple(initargs)
+    )
+    try:
+        yield pool.map
+    finally:
+        pool.close()
+        pool.join()

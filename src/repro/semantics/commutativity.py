@@ -13,11 +13,24 @@ Three formulations, all decided by bounded enumeration:
 * :func:`backward_commute_events` — Weihl's *backward commutativity*,
   applicable with log-based (undo) recovery: whenever the events can occur
   in one order they can be reordered with the same effect.
+
+The operation-level tables accept a prebuilt
+:class:`~repro.perf.evidence.EvidenceBase` (``evidence=``) and a worker
+count (``jobs=``); standalone calls run behind a temporary execution
+cache (:func:`~repro.perf.cache.ensure_execution_cache`), inside a
+derivation they join its cache.  Forward commutativity is symmetric in
+its two events, so the forward/invocation tables decide each unordered
+operation pair once and mirror it; backward commutativity is *not*
+symmetric, so the backward table decides both orientations of each
+unordered pair in one pass over the shared replays.
 """
 
 from __future__ import annotations
 
-from repro.semantics.history import HistoryEvent, replay
+from repro.perf.cache import ensure_execution_cache
+from repro.perf.evidence import EvidenceBase
+from repro.perf.parallel import worker_pool
+from repro.semantics.history import HistoryEvent, event_alphabet, replay
 from repro.spec.adt import ADTSpec, AbstractState, EnumerationBounds, execute_invocation
 from repro.spec.operation import Invocation
 
@@ -26,6 +39,7 @@ __all__ = [
     "forward_commute_invocations",
     "forward_commute_events",
     "backward_commute_events",
+    "events_by_operation",
     "commutativity_table",
     "forward_commutativity_table",
     "backward_commutativity_table",
@@ -37,13 +51,20 @@ def commute_in_state(
     state: AbstractState,
     first: Invocation,
     second: Invocation,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Whether two invocations commute when started in ``state``.
 
     Requires state equivalence *and* per-invocation return equality across
     the two orders — return inequality is exactly what creates an
     observable difference for the invoking transactions.
+
+    With ``evidence`` the four executions are matrix lookups; in
+    particular the shared first leg (``first`` in ``state``) is computed
+    once across every partner ``second`` of a table loop.
     """
+    if evidence is not None:
+        return evidence.commute_in_state(state, first, second)
     x_then_y_first = execute_invocation(adt, state, first)
     x_then_y_second = execute_invocation(adt, x_then_y_first.post_state, second)
     y_then_x_second = execute_invocation(adt, state, second)
@@ -60,8 +81,14 @@ def forward_commute_invocations(
     first: Invocation,
     second: Invocation,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Whether two invocations commute in *every* enumerated state."""
+    if evidence is not None:
+        return all(
+            evidence.commute_in_state(state, first, second)
+            for state in evidence.states()
+        )
     return all(
         commute_in_state(adt, state, first, second)
         for state in adt.states(bounds or adt.default_bounds)
@@ -73,19 +100,27 @@ def forward_commute_events(
     first: HistoryEvent,
     second: HistoryEvent,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Weihl's forward commutativity on events.
 
     For every state in which *each* event is individually legal, both
-    orders of the pair must be legal and reach the same state.
+    orders of the pair must be legal and reach the same state.  Symmetric
+    in ``first`` and ``second`` by construction.
     """
-    for state in adt.states(bounds or adt.default_bounds):
-        first_alone = replay(adt, (first,), state)
-        second_alone = replay(adt, (second,), state)
+    if evidence is not None:
+        states = evidence.states()
+        replay_from = evidence.replay
+    else:
+        states = adt.states(bounds or adt.default_bounds)
+        replay_from = lambda history, start: replay(adt, history, start)  # noqa: E731
+    for state in states:
+        first_alone = replay_from((first,), state)
+        second_alone = replay_from((second,), state)
         if first_alone is None or second_alone is None:
             continue
-        forward = replay(adt, (first, second), state)
-        backward = replay(adt, (second, first), state)
+        forward = replay_from((first, second), state)
+        backward = replay_from((second, first), state)
         if forward is None or backward is None or forward != backward:
             return False
     return True
@@ -96,54 +131,230 @@ def backward_commute_events(
     first: HistoryEvent,
     second: HistoryEvent,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Weihl's backward commutativity on events.
 
     For every state in which ``first . second`` is legal, the reversed
-    order must be legal and reach the same state.
+    order must be legal and reach the same state.  *Not* symmetric: one
+    order may be legal in states where the other never is.
     """
-    for state in adt.states(bounds or adt.default_bounds):
-        forward = replay(adt, (first, second), state)
+    if evidence is not None:
+        states = evidence.states()
+        replay_from = evidence.replay
+    else:
+        states = adt.states(bounds or adt.default_bounds)
+        replay_from = lambda history, start: replay(adt, history, start)  # noqa: E731
+    for state in states:
+        forward = replay_from((first, second), state)
         if forward is None:
             continue
-        backward = replay(adt, (second, first), state)
+        backward = replay_from((second, first), state)
         if backward is None or backward != forward:
             return False
     return True
 
 
+# ---------------------------------------------------------------------------
+# Operation-level tables
+# ---------------------------------------------------------------------------
+
+def events_by_operation(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
+) -> dict[str, list[HistoryEvent]]:
+    """The bounded event alphabet, grouped by operation name.
+
+    The shared grouping the three operation-level tables quantify over
+    (sorted for reproducible iteration order).
+    """
+    if evidence is not None:
+        alphabet = evidence.event_alphabet()
+    else:
+        alphabet = event_alphabet(adt, bounds)
+    grouped: dict[str, list[HistoryEvent]] = {}
+    for event in sorted(alphabet, key=lambda e: (e.invocation.operation, e.render())):
+        grouped.setdefault(event.invocation.operation, []).append(event)
+    return grouped
+
+
+def _forward_pair(
+    adt: ADTSpec,
+    events: dict[str, list[HistoryEvent]],
+    first_name: str,
+    second_name: str,
+    bounds: EnumerationBounds | None,
+    evidence: EvidenceBase | None,
+) -> tuple[bool, bool]:
+    """Forward commutativity of one unordered operation pair.
+
+    Event-level forward commutativity is symmetric, so the two table
+    orientations carry the same verdict.
+    """
+    value = all(
+        forward_commute_events(adt, first, second, bounds, evidence=evidence)
+        for first in events.get(first_name, [])
+        for second in events.get(second_name, [])
+    )
+    return value, value
+
+
+def _backward_pair(
+    adt: ADTSpec,
+    events: dict[str, list[HistoryEvent]],
+    first_name: str,
+    second_name: str,
+    bounds: EnumerationBounds | None,
+    evidence: EvidenceBase | None,
+) -> tuple[bool, bool]:
+    """Backward commutativity of one unordered operation pair.
+
+    Backward commutativity is not symmetric at the event level, so both
+    orientations are decided — in one pass over the event pairs, sharing
+    the two replays each pair needs.  Returns the verdicts for table keys
+    ``(second_name, first_name)`` and ``(first_name, second_name)``.
+    """
+    key_ba = True  # table[(second_name, first_name)]
+    key_ab = True  # table[(first_name, second_name)]
+    for first in events.get(first_name, []):
+        for second in events.get(second_name, []):
+            if key_ba and not backward_commute_events(
+                adt, first, second, bounds, evidence=evidence
+            ):
+                key_ba = False
+            if key_ab and not backward_commute_events(
+                adt, second, first, bounds, evidence=evidence
+            ):
+                key_ab = False
+            if not key_ba and not key_ab:
+                return False, False
+    return key_ba, key_ab
+
+
+def _invocation_pair(
+    adt: ADTSpec,
+    events: dict[str, list[HistoryEvent]],
+    first_name: str,
+    second_name: str,
+    bounds: EnumerationBounds | None,
+    evidence: EvidenceBase | None,
+) -> tuple[bool, bool]:
+    """Invocation-level commutativity of one unordered operation pair
+    (symmetric: both orders must agree on states and returns)."""
+    value = all(
+        forward_commute_invocations(adt, first, second, bounds, evidence=evidence)
+        for first in adt.invocations_of(first_name, bounds)
+        for second in adt.invocations_of(second_name, bounds)
+    )
+    return value, value
+
+
+_PAIR_FUNCTIONS = {
+    "forward": _forward_pair,
+    "backward": _backward_pair,
+    "invocation": _invocation_pair,
+}
+
+#: Per-process worker state of the table fan-out (see
+#: :func:`repro.core.methodology._WORKER_STATE` for the same pattern).
+_TABLE_WORKER_STATE: dict[str, object] = {}
+
+
+def _init_table_worker(adt, bounds) -> None:
+    """Pool initializer: no-op under ``fork`` (state inherited), rebuild
+    the evidence base behind a fresh cache under ``spawn``."""
+    if _TABLE_WORKER_STATE:
+        return
+    from repro.perf.cache import ExecutionCache
+    from repro.spec.adt import install_execution_cache
+
+    install_execution_cache(ExecutionCache())
+    evidence = EvidenceBase(adt, bounds=bounds)
+    _TABLE_WORKER_STATE["adt"] = adt
+    _TABLE_WORKER_STATE["bounds"] = bounds
+    _TABLE_WORKER_STATE["evidence"] = evidence
+    _TABLE_WORKER_STATE["events"] = events_by_operation(adt, bounds, evidence=evidence)
+
+
+def _table_pair_task(task: tuple[str, str, str]) -> tuple[bool, bool]:
+    kind, first_name, second_name = task
+    return _PAIR_FUNCTIONS[kind](
+        _TABLE_WORKER_STATE["adt"],
+        _TABLE_WORKER_STATE["events"],
+        first_name,
+        second_name,
+        _TABLE_WORKER_STATE["bounds"],
+        _TABLE_WORKER_STATE["evidence"],
+    )
+
+
+def _operation_pair_table(
+    adt: ADTSpec,
+    bounds: EnumerationBounds | None,
+    evidence: EvidenceBase | None,
+    jobs: int,
+    kind: str,
+) -> dict[tuple[str, str], bool]:
+    """Shared driver of the three tables: decide each unordered operation
+    pair once (both orientations for the asymmetric kinds) and assemble
+    the ``(second, first)``-keyed table, optionally fanning the pairs out
+    across worker processes."""
+    names = adt.operation_names()
+    pairs = [
+        (names[i], names[j])
+        for i in range(len(names))
+        for j in range(i, len(names))
+    ]
+    with ensure_execution_cache():
+        if evidence is None:
+            evidence = EvidenceBase(adt, bounds=bounds)
+        events = events_by_operation(adt, bounds, evidence=evidence)
+        if jobs > 1:
+            _TABLE_WORKER_STATE["adt"] = adt
+            _TABLE_WORKER_STATE["bounds"] = bounds
+            _TABLE_WORKER_STATE["evidence"] = evidence
+            _TABLE_WORKER_STATE["events"] = events
+            try:
+                with worker_pool(jobs, _init_table_worker, (adt, bounds)) as pair_map:
+                    results = pair_map(
+                        _table_pair_task, [(kind, a, b) for a, b in pairs]
+                    )
+            finally:
+                _TABLE_WORKER_STATE.clear()
+        else:
+            pair_fn = _PAIR_FUNCTIONS[kind]
+            results = [
+                pair_fn(adt, events, a, b, bounds, evidence) for a, b in pairs
+            ]
+    table: dict[tuple[str, str], bool] = {}
+    for (a, b), (key_ba, key_ab) in zip(pairs, results):
+        table[(b, a)] = key_ba
+        table[(a, b)] = key_ab
+    return table
+
+
 def forward_commutativity_table(
     adt: ADTSpec,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
+    jobs: int = 1,
 ) -> dict[tuple[str, str], bool]:
     """Weihl's forward commutativity, aggregated to the operation level.
 
     Two operations forward-commute when *every* pair of their events does;
     the notion applicable with intentions-list recovery.  Keyed
-    ``(second, first)`` like all tables (symmetric by construction).
+    ``(second, first)`` like all tables (symmetric by construction, so
+    each unordered pair is decided once and mirrored).
     """
-    from repro.semantics.history import event_alphabet
-
-    events_by_operation: dict[str, list[HistoryEvent]] = {}
-    for event in event_alphabet(adt, bounds):
-        events_by_operation.setdefault(event.invocation.operation, []).append(
-            event
-        )
-    names = adt.operation_names()
-    table = {}
-    for first_name in names:
-        for second_name in names:
-            table[(second_name, first_name)] = all(
-                forward_commute_events(adt, first, second, bounds)
-                for first in events_by_operation.get(first_name, [])
-                for second in events_by_operation.get(second_name, [])
-            )
-    return table
+    return _operation_pair_table(adt, bounds, evidence, jobs, "forward")
 
 
 def backward_commutativity_table(
     adt: ADTSpec,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
+    jobs: int = 1,
 ) -> dict[tuple[str, str], bool]:
     """Weihl's backward commutativity at the operation level.
 
@@ -154,28 +365,14 @@ def backward_commutativity_table(
     sufficed for both — but do not forward-commute near the balance
     boundary).
     """
-    from repro.semantics.history import event_alphabet
-
-    events_by_operation: dict[str, list[HistoryEvent]] = {}
-    for event in event_alphabet(adt, bounds):
-        events_by_operation.setdefault(event.invocation.operation, []).append(
-            event
-        )
-    names = adt.operation_names()
-    table = {}
-    for first_name in names:
-        for second_name in names:
-            table[(second_name, first_name)] = all(
-                backward_commute_events(adt, first, second, bounds)
-                for first in events_by_operation.get(first_name, [])
-                for second in events_by_operation.get(second_name, [])
-            )
-    return table
+    return _operation_pair_table(adt, bounds, evidence, jobs, "backward")
 
 
 def commutativity_table(
     adt: ADTSpec,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
+    jobs: int = 1,
 ) -> dict[tuple[str, str], bool]:
     """Operation-level commutativity: all invocation pairs commute everywhere.
 
@@ -183,13 +380,4 @@ def commutativity_table(
     generalise.  Keyed ``(second_operation, first_operation)`` (symmetric
     by construction, but keyed both ways for uniform lookups).
     """
-    table: dict[tuple[str, str], bool] = {}
-    names = adt.operation_names()
-    for first_name in names:
-        for second_name in names:
-            table[(second_name, first_name)] = all(
-                forward_commute_invocations(adt, first, second, bounds)
-                for first in adt.invocations_of(first_name, bounds)
-                for second in adt.invocations_of(second_name, bounds)
-            )
-    return table
+    return _operation_pair_table(adt, bounds, evidence, jobs, "invocation")

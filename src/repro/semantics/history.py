@@ -105,14 +105,17 @@ def legal_histories(
 
 
 def event_alphabet(
-    adt: ADTSpec, bounds: EnumerationBounds | None = None
+    adt: ADTSpec, bounds: EnumerationBounds | None = None, evidence=None
 ) -> set[HistoryEvent]:
     """Every event an ADT can exhibit over its bounded state space.
 
     The alphabet over which the serial-dependency relation quantifies: for
     each invocation, each return value it produces in some enumerated
-    state.
+    state.  With an :class:`~repro.perf.evidence.EvidenceBase` the events
+    are read off its precomputed execution matrix.
     """
+    if evidence is not None:
+        return evidence.event_alphabet()
     events = set()
     for state in adt.states(bounds or adt.default_bounds):
         for invocation in adt.invocations(bounds):

@@ -12,11 +12,19 @@ before it — decided over every enumerated state.  When it holds, the
 follower may execute concurrently subject only to commit ordering (a CD);
 when it fails, the follower can observe the first operation's effect (an
 AD, forcing the abort-cascade discipline).
+
+Every function accepts a prebuilt
+:class:`~repro.perf.evidence.EvidenceBase`; the table additionally runs
+behind :func:`~repro.perf.cache.ensure_execution_cache`, so standalone
+calls memoize their own redundancy and calls inside a derivation join its
+shared cache.
 """
 
 from __future__ import annotations
 
 from repro.core.dependency import Dependency
+from repro.perf.cache import ensure_execution_cache
+from repro.perf.evidence import EvidenceBase
 from repro.spec.adt import ADTSpec, AbstractState, EnumerationBounds, execute_invocation
 from repro.spec.operation import Invocation
 
@@ -33,8 +41,14 @@ def recoverable_in_state(
     state: AbstractState,
     second: Invocation,
     first: Invocation,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Whether ``second``'s return value in ``state`` survives ``first``."""
+    if evidence is not None:
+        direct = evidence.execute(state, second).returned
+        after_first = evidence.successor(state, first)
+        shadowed = evidence.execute(after_first, second).returned
+        return direct == shadowed
     direct = execute_invocation(adt, state, second).returned
     after_first = execute_invocation(adt, state, first).post_state
     shadowed = execute_invocation(adt, after_first, second).returned
@@ -46,11 +60,16 @@ def recoverable(
     second: Invocation,
     first: Invocation,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Whether ``second`` is recoverable relative to ``first`` in every state."""
+    if evidence is not None:
+        states = evidence.states()
+    else:
+        states = adt.states(bounds or adt.default_bounds)
     return all(
-        recoverable_in_state(adt, state, second, first)
-        for state in adt.states(bounds or adt.default_bounds)
+        recoverable_in_state(adt, state, second, first, evidence=evidence)
+        for state in states
     )
 
 
@@ -59,10 +78,11 @@ def recoverable_operations(
     second_operation: str,
     first_operation: str,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
 ) -> bool:
     """Operation-level recoverability: every invocation pair is recoverable."""
     return all(
-        recoverable(adt, second, first, bounds)
+        recoverable(adt, second, first, bounds, evidence=evidence)
         for second in adt.invocations_of(second_operation, bounds)
         for first in adt.invocations_of(first_operation, bounds)
     )
@@ -71,6 +91,7 @@ def recoverable_operations(
 def recoverability_table(
     adt: ADTSpec,
     bounds: EnumerationBounds | None = None,
+    evidence: EvidenceBase | None = None,
 ) -> dict[tuple[str, str], Dependency]:
     """The compatibility table induced by recoverability alone.
 
@@ -81,20 +102,25 @@ def recoverability_table(
     captured by recoverability" reading the paper gives to its Table 4.
     """
     table: dict[tuple[str, str], Dependency] = {}
-    states = adt.state_list(bounds)
-    modifies: dict[str, bool] = {}
-    for name in adt.operation_names():
-        modifies[name] = any(
-            not execute_invocation(adt, state, invocation).is_identity
-            for state in states
-            for invocation in adt.invocations_of(name, bounds)
-        )
-    for first_name in adt.operation_names():
-        for second_name in adt.operation_names():
-            if not recoverable_operations(adt, second_name, first_name, bounds):
-                table[(second_name, first_name)] = Dependency.AD
-            elif modifies[first_name] or modifies[second_name]:
-                table[(second_name, first_name)] = Dependency.CD
-            else:
-                table[(second_name, first_name)] = Dependency.ND
+    with ensure_execution_cache():
+        if evidence is None:
+            evidence = EvidenceBase(adt, bounds=bounds)
+        states = evidence.states()
+        modifies: dict[str, bool] = {}
+        for name in adt.operation_names():
+            modifies[name] = any(
+                not evidence.execute(state, invocation).is_identity
+                for state in states
+                for invocation in adt.invocations_of(name, bounds)
+            )
+        for first_name in adt.operation_names():
+            for second_name in adt.operation_names():
+                if not recoverable_operations(
+                    adt, second_name, first_name, bounds, evidence=evidence
+                ):
+                    table[(second_name, first_name)] = Dependency.AD
+                elif modifies[first_name] or modifies[second_name]:
+                    table[(second_name, first_name)] = Dependency.CD
+                else:
+                    table[(second_name, first_name)] = Dependency.ND
     return table

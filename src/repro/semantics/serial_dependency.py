@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.perf.cache import ensure_execution_cache
 from repro.semantics.history import (
     History,
     HistoryEvent,
@@ -65,6 +66,21 @@ def find_invalidation(
     which ``o1.h1.o2.h2`` is *not* legal.
     """
     initial = adt.initial_state()
+    with ensure_execution_cache():
+        return _find_invalidation(
+            adt, first, second, max_h1, max_h2, bounds, initial
+        )
+
+
+def _find_invalidation(
+    adt: ADTSpec,
+    first: HistoryEvent,
+    second: HistoryEvent,
+    max_h1: int,
+    max_h2: int,
+    bounds: EnumerationBounds | None,
+    initial,
+) -> InvalidationWitness | None:
     for h1, state_after_h1 in legal_histories(adt, max_h1, bounds=bounds):
         # h1 . o2 legal?
         if replay(adt, (second,), state_after_h1) is None:
@@ -122,6 +138,13 @@ def find_invocation_invalidation(
     Events are instantiated with their natural (replay-determined) return
     values.
     """
+    with ensure_execution_cache():
+        return _find_invocation_invalidation(
+            adt, first, second, max_h1, max_h2, bounds
+        )
+
+
+def _find_invocation_invalidation(adt, first, second, max_h1, max_h2, bounds):
     from repro.spec.adt import execute_invocation
 
     for base in adt.states(bounds or adt.default_bounds):
@@ -165,11 +188,12 @@ def serial_dependency_relation(
     """
     from repro.semantics.history import event_alphabet
 
-    alphabet = events if events is not None else event_alphabet(adt, bounds)
-    relation = {}
-    for first in alphabet:
-        for second in alphabet:
-            relation[(second, first)] = invalidates(
-                adt, first, second, max_h1, max_h2, bounds
-            )
+    with ensure_execution_cache():
+        alphabet = events if events is not None else event_alphabet(adt, bounds)
+        relation = {}
+        for first in sorted(alphabet, key=lambda e: e.render()):
+            for second in sorted(alphabet, key=lambda e: e.render()):
+                relation[(second, first)] = invalidates(
+                    adt, first, second, max_h1, max_h2, bounds
+                )
     return relation

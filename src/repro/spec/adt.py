@@ -20,12 +20,25 @@ from dataclasses import dataclass
 from typing import Any, Hashable, Iterable, Mapping
 
 from repro.errors import UnknownOperationError
-from repro.graph.instrument import EdgeAttribution, InstrumentedGraph, LocalityTrace
+from repro.graph.instrument import (
+    EdgeAttribution,
+    InstrumentedGraph,
+    LocalityTrace,
+    discard_trace,
+)
 from repro.graph.object_graph import ObjectGraph
 from repro.spec.operation import Invocation, OperationSpec
 from repro.spec.returnvalue import ReturnValue
 
-__all__ = ["EnumerationBounds", "ADTSpec", "Execution", "execute_invocation"]
+__all__ = [
+    "EnumerationBounds",
+    "ADTSpec",
+    "Execution",
+    "execute_invocation",
+    "post_state_of",
+    "install_execution_cache",
+    "active_execution_cache",
+]
 
 #: Abstract states are opaque hashable values.
 AbstractState = Hashable
@@ -161,6 +174,32 @@ class Execution:
         return self.pre_state == self.post_state
 
 
+#: Process-wide :class:`~repro.perf.cache.ExecutionCache`, or ``None``.
+#: Installed for the duration of a derivation (or explicitly by callers);
+#: when present every :func:`execute_invocation` goes through it.  The
+#: specs are deterministic, so the cached and uncached paths are
+#: bit-identical by construction.
+_ACTIVE_CACHE = None
+
+
+def install_execution_cache(cache):
+    """Install (or, with ``None``, remove) the process-wide execution cache.
+
+    Returns the previously installed cache so callers can restore it —
+    the idiom used by :func:`~repro.core.methodology.derive` and by
+    :func:`~repro.perf.cache.ensure_execution_cache` to support nesting.
+    """
+    global _ACTIVE_CACHE
+    previous = _ACTIVE_CACHE
+    _ACTIVE_CACHE = cache
+    return previous
+
+
+def active_execution_cache():
+    """The currently installed execution cache, or ``None``."""
+    return _ACTIVE_CACHE
+
+
 def execute_invocation(
     adt: ADTSpec,
     state: AbstractState,
@@ -171,8 +210,23 @@ def execute_invocation(
 
     The single entry point used by classification, locality analysis, the
     Section-3 semantic notions and the experiments; building a fresh graph
-    per execution keeps executions independent and reproducible.
+    per execution keeps executions independent and reproducible.  When an
+    execution cache is installed the result is memoized by
+    ``(adt, state, invocation, attribution)``.
     """
+    cache = _ACTIVE_CACHE
+    if cache is not None:
+        return cache.get_or_execute(adt, state, invocation, attribution)
+    return execute_uncached(adt, state, invocation, attribution)
+
+
+def execute_uncached(
+    adt: ADTSpec,
+    state: AbstractState,
+    invocation: Invocation,
+    attribution: EdgeAttribution = EdgeAttribution.BOTH,
+) -> Execution:
+    """The raw execution path (also the cache's miss handler)."""
     graph = adt.build_graph(state)
     pre_simple = frozenset(graph.simple_vertices())
     view = InstrumentedGraph(graph, attribution=attribution)
@@ -186,3 +240,31 @@ def execute_invocation(
         trace=view.trace,
         pre_simple_vertices=pre_simple,
     )
+
+
+def post_state_of(
+    adt: ADTSpec, state: AbstractState, invocation: Invocation
+) -> AbstractState:
+    """The successor state only, skipping locality bookkeeping.
+
+    Reachability-style sweeps need nothing but the state transition; the
+    full :class:`Execution` record (locality trace, ``V_simple`` snapshot,
+    ``BOTH`` edge attribution) is pure overhead there.  With a cache
+    installed the full execution is computed once and shared with every
+    other consumer; without one the invocation runs against a discarding
+    trace under ``SOURCE`` attribution (attribution and tracing cannot
+    affect the post-state, so the result is identical either way).
+    """
+    cache = _ACTIVE_CACHE
+    if cache is not None:
+        return cache.get_or_execute(
+            adt, state, invocation, EdgeAttribution.BOTH
+        ).post_state
+    graph = adt.build_graph(state)
+    view = InstrumentedGraph(
+        graph,
+        attribution=EdgeAttribution.SOURCE,
+        trace=discard_trace(),
+    )
+    adt.operation(invocation.operation).execute(view, *invocation.args)
+    return adt.abstract_state(graph)

@@ -17,6 +17,7 @@ from repro.spec.adt import (
     EnumerationBounds,
     Execution,
     execute_invocation,
+    post_state_of,
 )
 from repro.spec.operation import Invocation
 
@@ -70,6 +71,11 @@ def reachable_states(
     reachable fragment (and nothing forces unreachable states into it).
     ``max_steps`` bounds the exploration depth; ``None`` explores to a fixed
     point.
+
+    Only successor states matter here, so the walk goes through
+    :func:`~repro.spec.adt.post_state_of` — no locality tracing, no
+    ordering-edge attribution — rather than a fully instrumented
+    execution per edge.
     """
     bounds = bounds or adt.default_bounds
     invocations = adt.invocations(bounds)
@@ -81,7 +87,7 @@ def reachable_states(
         next_frontier = []
         for state in frontier:
             for invocation in invocations:
-                post = execute_invocation(adt, state, invocation).post_state
+                post = post_state_of(adt, state, invocation)
                 if post not in seen:
                     seen.add(post)
                     next_frontier.append(post)

@@ -1,0 +1,102 @@
+"""Parity: cached/parallel derivations are bit-identical to uncached/sequential.
+
+The central correctness contract of :mod:`repro.perf` — memoization and
+the pair-level fan-out are pure plumbing and may never change a single
+table cell, condition, or derivation note.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.adts.registry import builtin_names, make_adt
+from repro.core.methodology import MethodologyOptions, derive
+
+
+def assert_same_result(left, right):
+    assert left.stage3_table == right.stage3_table
+    assert left.stage4_table == right.stage4_table
+    assert left.stage5_table == right.stage5_table
+    assert left.notes == right.notes
+    assert left.profiles == right.profiles
+
+
+@pytest.mark.parametrize("adt_name", builtin_names())
+def test_cache_parity_across_builtin_adts(adt_name):
+    adt = make_adt(adt_name)
+    cached = derive(adt, options=MethodologyOptions(use_cache=True))
+    uncached = derive(adt, options=MethodologyOptions(use_cache=False))
+    assert_same_result(cached, uncached)
+    assert cached.profile.cache_hits > 0
+    assert uncached.profile.cache_hits == 0
+
+
+options_strategy = st.builds(
+    MethodologyOptions,
+    outcome_partition=st.sampled_from(("auto", "first", "second", "joint", "none")),
+    outcome_feasibility=st.sampled_from(("serial", "any")),
+    refine_inputs=st.booleans(),
+    refine_localities=st.booleans(),
+    validate_conditions=st.booleans(),
+    use_cache=st.just(True),
+)
+
+
+@given(options_strategy)
+@settings(max_examples=12, deadline=None)
+def test_cache_parity_across_option_combinations(options):
+    """Every pipeline configuration is cache-invariant, not just the default."""
+    adt = QStackSpec(capacity=2, domain=("a",), operations=["Push", "Pop", "Top"])
+    cached = derive(adt, options=options)
+    uncached = derive(
+        adt,
+        options=MethodologyOptions(
+            **{
+                **options.__dict__,
+                "use_cache": False,
+            }
+        ),
+    )
+    assert_same_result(cached, uncached)
+
+
+def test_parallel_parity_small_adt():
+    adt = AccountSpec(max_balance=2, amounts=(1,))
+    sequential = derive(adt, options=MethodologyOptions(jobs=1))
+    parallel = derive(adt, options=MethodologyOptions(jobs=2))
+    assert_same_result(sequential, parallel)
+    assert parallel.profile.parallel_jobs == 2
+
+
+def test_parallel_parity_qstack():
+    adt = QStackSpec()
+    sequential = derive(adt)
+    parallel = derive(adt, options=MethodologyOptions(jobs=2))
+    assert_same_result(sequential, parallel)
+
+
+def test_parallel_uncached_parity():
+    """jobs>1 with the cache off is still bit-identical."""
+    adt = AccountSpec(max_balance=2, amounts=(1,))
+    baseline = derive(adt, options=MethodologyOptions(use_cache=False))
+    parallel = derive(adt, options=MethodologyOptions(use_cache=False, jobs=2))
+    assert_same_result(baseline, parallel)
+
+
+def test_commutativity_tables_parallel_parity():
+    from repro.semantics.commutativity import (
+        backward_commutativity_table,
+        commutativity_table,
+        forward_commutativity_table,
+    )
+
+    adt = AccountSpec(max_balance=2, amounts=(1,))
+    assert forward_commutativity_table(adt) == forward_commutativity_table(
+        adt, jobs=2
+    )
+    assert backward_commutativity_table(adt) == backward_commutativity_table(
+        adt, jobs=2
+    )
+    assert commutativity_table(adt) == commutativity_table(adt, jobs=2)
