@@ -3,6 +3,12 @@
 The soundness experiment (every run serializable) plus a pure scheduling
 throughput benchmark: operations scheduled per second through the
 table-driven scheduler under the fully refined QStack table.
+
+Run directly (``python benchmarks/bench_scheduler.py``) this delegates to
+:mod:`bench_scheduler_throughput` and emits the same JSON baseline schema
+as ``benchmarks/baseline.py`` — host info, per-config results, speedup
+against the frozen :class:`~repro.cc.reference.ReferenceScheduler`, and a
+transcript parity flag (written to ``BENCH_scheduler.json``).
 """
 
 from repro.adts.qstack import QStackSpec
@@ -53,3 +59,11 @@ def _drive_scheduler() -> int:
 def test_scheduler_throughput(benchmark):
     committed = benchmark(_drive_scheduler)
     assert committed > 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    from bench_scheduler_throughput import main
+
+    sys.exit(main())

@@ -1,0 +1,225 @@
+"""BENCH_scheduler.json — the runtime scheduler's throughput baseline writer.
+
+Drives identical seeded workloads through the optimized
+:class:`~repro.cc.scheduler.TableDrivenScheduler` and the frozen
+seed-behaviour :class:`~repro.cc.reference.ReferenceScheduler`, verifies
+the two produce bit-identical transcripts (decisions, dependency edges,
+final states, seed counters), and records throughput (operations and
+committed transactions per second) plus the speedup as a JSON baseline.
+
+The configurations deliberately stress the seed's weak spot: many
+simultaneously active transactions over long operation histories, where
+shadow-replay certification used to replay the whole log per pair.  The
+``account_contention`` config is the acceptance workload — 10 active
+transactions, a 250-operation commutative history — and is held to
+``--min-speedup`` (default 3.0).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_throughput.py \
+        --out BENCH_scheduler.json --min-speedup 3.0
+
+Exit status is non-zero when any config fails transcript parity or the
+thresholded configs miss ``--min-speedup``.  The CI scheduler bench smoke
+job runs this and uploads the JSON as an artifact (see
+``.github/workflows/ci.yml`` and ``docs/PERFORMANCE.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.adts.registry import make_adt  # noqa: E402
+from repro.cc.harness import drive  # noqa: E402
+from repro.cc.reference import ReferenceScheduler  # noqa: E402
+from repro.cc.scheduler import TableDrivenScheduler  # noqa: E402
+from repro.cc.workload import WorkloadConfig, generate  # noqa: E402
+from repro.core.methodology import derive as derive_table  # noqa: E402
+
+#: name -> (adt, workload config, policy, enforce --min-speedup).
+#: ``account_contention`` is the acceptance workload: >=8 simultaneously
+#: active transactions building a >=200-operation history (Deposits are
+#: unconditionally commutative, so nothing blocks or aborts and every
+#: certification runs against the full set of active peers).  The other
+#: configs cover the blocking policy and a conflict-heavy mix; they are
+#: parity-checked but not speed-thresholded (aborts keep their histories
+#: short, so the seed's replay cost never dominates).
+CONFIGS: dict[str, dict] = {
+    "account_contention": {
+        "adt": "Account",
+        "workload": WorkloadConfig(
+            transactions=10,
+            operations_per_transaction=25,
+            operation_mix={"Deposit": 1.0},
+            seed=11,
+        ),
+        "policy": "optimistic",
+        "enforce": True,
+    },
+    "account_blocking": {
+        "adt": "Account",
+        "workload": WorkloadConfig(
+            transactions=10,
+            operations_per_transaction=25,
+            operation_mix={"Deposit": 1.0},
+            seed=11,
+        ),
+        "policy": "blocking",
+        "enforce": True,
+    },
+    "qstack_mixed": {
+        "adt": "QStack",
+        "workload": WorkloadConfig(
+            transactions=12,
+            operations_per_transaction=8,
+            abort_probability=0.1,
+            seed=1991,
+        ),
+        "policy": "optimistic",
+        "enforce": False,
+    },
+}
+
+
+def _best_of(fn, rounds: int) -> tuple[float, object]:
+    """Best wall time over ``rounds`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def measure_scheduler(
+    config_names: list[str], rounds: int = 3
+) -> dict:
+    """The BENCH_scheduler.json payload for the named configs."""
+    results = {}
+    for name in config_names:
+        spec = CONFIGS[name]
+        adt = make_adt(spec["adt"])
+        table = derive_table(adt).final_table
+        workload = generate(adt, "obj", spec["workload"])
+        policy = spec["policy"]
+
+        reference_seconds, reference = _best_of(
+            lambda: drive(ReferenceScheduler(policy=policy), adt, table, workload),
+            rounds,
+        )
+        optimized_seconds, optimized = _best_of(
+            lambda: drive(TableDrivenScheduler(policy=policy), adt, table, workload),
+            rounds,
+        )
+        counters = dict(optimized.seed_stats)
+        executed = counters["operations_executed"]
+        committed = len(optimized.committed())
+        results[name] = {
+            "adt": spec["adt"],
+            "policy": policy,
+            "transactions": spec["workload"].transactions,
+            "operations_requested": workload.total_operations(),
+            "operations_executed": executed,
+            "committed": committed,
+            "reference_seconds": round(reference_seconds, 6),
+            "optimized_seconds": round(optimized_seconds, 6),
+            "speedup": round(reference_seconds / optimized_seconds, 3)
+            if optimized_seconds
+            else None,
+            "ops_per_second": round(executed / optimized_seconds, 1)
+            if optimized_seconds
+            else None,
+            "txns_per_second": round(committed / optimized_seconds, 1)
+            if optimized_seconds
+            else None,
+            "reference_ops_per_second": round(executed / reference_seconds, 1)
+            if reference_seconds
+            else None,
+            "parity": reference == optimized,
+            "enforce_speedup": spec["enforce"],
+        }
+    return {
+        "benchmark": "scheduler_throughput",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+
+
+def check_thresholds(payload: dict, min_speedup: float) -> list[str]:
+    """Threshold violations in a measured payload (empty = all good)."""
+    failures = []
+    for name, entry in payload["results"].items():
+        if not entry["parity"]:
+            failures.append(
+                f"{name}: optimized and reference transcripts differ"
+            )
+        if (
+            entry["enforce_speedup"]
+            and entry["speedup"] is not None
+            and entry["speedup"] < min_speedup
+        ):
+            failures.append(
+                f"{name}: speedup {entry['speedup']}x below required "
+                f"{min_speedup}x"
+            )
+    return failures
+
+
+def write_baseline(payload: dict, out: str | Path) -> Path:
+    path = Path(out)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_scheduler.json",
+        help="where to write the baseline JSON (default: BENCH_scheduler.json)",
+    )
+    parser.add_argument(
+        "--configs", nargs="*", default=list(CONFIGS), choices=list(CONFIGS),
+        help="workload configs to measure (default: all)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measurement rounds per scheduler (best-of; default 3)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=3.0,
+        help="required optimized-vs-reference speedup on enforced configs "
+             "(default 3.0, the PR's acceptance bar)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = measure_scheduler(args.configs, rounds=args.rounds)
+    path = write_baseline(payload, args.out)
+    for name, entry in payload["results"].items():
+        print(
+            f"{name:20} reference={entry['reference_seconds']:.4f}s "
+            f"optimized={entry['optimized_seconds']:.4f}s "
+            f"speedup={entry['speedup']}x "
+            f"ops/s={entry['ops_per_second']} parity={entry['parity']}"
+        )
+    print(f"wrote {path}")
+
+    failures = check_thresholds(payload, args.min_speedup)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

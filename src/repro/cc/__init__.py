@@ -4,7 +4,9 @@ Transactions (:mod:`repro.cc.transaction`), the AD/CD dependency graph
 (:mod:`repro.cc.dependencies`), shared objects with replay recovery
 (:mod:`repro.cc.objects`), intentions-list and undo-log recovery
 (:mod:`repro.cc.recovery`), the table-driven scheduler
-(:mod:`repro.cc.scheduler`), workload generation
+(:mod:`repro.cc.scheduler`) and its frozen seed-behaviour oracle
+(:mod:`repro.cc.reference`), the deterministic closed-loop driver
+(:mod:`repro.cc.harness`), workload generation
 (:mod:`repro.cc.workload`), the discrete-event simulator
 (:mod:`repro.cc.simulator`) and serializability verification
 (:mod:`repro.cc.serializability`).
@@ -16,7 +18,9 @@ from repro.cc.conflict_graph import (
     serialization_graph_order,
 )
 from repro.cc.dependencies import DependencyGraph
+from repro.cc.harness import Transcript, drive
 from repro.cc.metrics import RunMetrics
+from repro.cc.reference import ReferenceScheduler
 from repro.cc.objects import AppliedOperation, SharedObject
 from repro.cc.recovery import IntentionsList, UndoLog
 from repro.cc.scheduler import (
@@ -61,6 +65,9 @@ __all__ = [
     "IntentionsList",
     "UndoLog",
     "TableDrivenScheduler",
+    "ReferenceScheduler",
+    "Transcript",
+    "drive",
     "ValidationScheduler",
     "ValidationStats",
     "OpDecision",

@@ -35,6 +35,10 @@ class RunMetrics:
     total_service_time: float = 0.0
     #: Raw scheduler counters.
     scheduler: SchedulerStats = field(default_factory=SchedulerStats)
+    #: The scheduler's execution cache, when the run had one; exported as
+    #: ``execution_cache_*`` counters so cache behaviour under runtime
+    #: traffic is observable alongside the scheduler counters.
+    execution_cache: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -96,6 +100,8 @@ class RunMetrics:
             registry.counter(
                 f"scheduler_{field_info.name}", "Raw scheduler counter."
             ).inc(getattr(self.scheduler, field_info.name))
+        if self.execution_cache is not None:
+            self.execution_cache.publish(registry)
         registry.gauge("makespan", "Time of the last event of the run.").set(
             self.makespan
         )

@@ -33,6 +33,33 @@ ids) and by a shadow-replay return test.  Unconditional ND entries —
 full-state-space commutativity, which is composable — skip the locality
 escalation.  See :meth:`TableDrivenScheduler._pair_dependency`.
 
+**The hot path is amortized O(active transactions) per request**, not
+O(active × log × replay) as in the seed (kept verbatim in
+:mod:`repro.cc.reference` as the parity oracle):
+
+* shadow-replay certification reads a
+  :class:`~repro.perf.shadow.ShadowStateIndex` — per-transaction "log
+  without that txn" states advanced incrementally on every grant and
+  epoch-invalidated on abort rollback — instead of replaying the log per
+  pair check;
+* the pre-state object graph backing condition contexts is built at most
+  once per request and shared across every pair iteration;
+* under the blocking policy, the admission preview's pair verdicts are
+  memoized and reused when the operation executes immediately afterwards
+  (nothing can run in between — both happen in one synchronous call), so
+  each pair is decided once rather than twice;
+* tables are precompiled to a :class:`~repro.perf.flat_table.FlatTable`
+  whose unconditional-ND bitset settles the common no-conflict pair in a
+  dict hit and a bit test;
+* every scheduler-side ``execute_invocation`` goes through an
+  :class:`~repro.perf.cache.ExecutionCache`, so the
+  ``execution_cache_*`` metrics reflect runtime traffic too.
+
+The decision stream, dependency edges, final states and seed counters are
+bit-identical to the reference — enforced by
+``tests/property/test_scheduler_parity.py`` and the
+``benchmarks/bench_scheduler_throughput.py`` parity gate.
+
 A third discipline, commit-time validation over intentions lists, lives
 in :mod:`repro.cc.validation`.
 """
@@ -40,7 +67,7 @@ in :mod:`repro.cc.validation`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Iterator, NamedTuple
 
 from repro.cc.dependencies import DependencyGraph
 from repro.cc.objects import AppliedOperation, SharedObject
@@ -70,7 +97,10 @@ from repro.obs.events import (
     TxnCommitted,
 )
 from repro.obs.tracers import NULL_TRACER, Tracer
-from repro.spec.adt import ADTSpec, AbstractState
+from repro.perf.cache import ExecutionCache
+from repro.perf.flat_table import FlatTable
+from repro.perf.shadow import ShadowStateIndex
+from repro.spec.adt import ADTSpec, AbstractState, active_execution_cache
 from repro.spec.operation import Invocation
 from repro.spec.returnvalue import ReturnValue
 
@@ -116,6 +146,42 @@ class SchedulerStats:
     #: Non-trivial table-entry condition evaluations performed while
     #: resolving pair dependencies.
     condition_evaluations: int = 0
+    #: Shadow certifications served from the incremental shadow-state
+    #: index; each one replaces the full log replay the seed performed.
+    shadow_replays_avoided: int = 0
+    #: Shadow states (re)built by a full log replay (a transaction's
+    #: first certification, or the first after an abort invalidation).
+    shadow_full_replays: int = 0
+    #: Condition contexts that reused the per-request pre-state graph
+    #: instead of rebuilding it (the seed rebuilt one per pair).
+    context_reuses: int = 0
+    #: Blocking-policy pair verdicts reused from the admission preview
+    #: instead of being recomputed after execution.
+    preview_reuses: int = 0
+    #: Pair checks settled by the flattened table's unconditional-ND
+    #: bitset without building a condition context.
+    nd_fast_path_hits: int = 0
+
+    #: The counters the seed scheduler also maintains; parity with
+    #: :class:`repro.cc.reference.ReferenceScheduler` is asserted on
+    #: exactly these (the optimization counters above stay zero there).
+    SEED_FIELDS = (
+        "operations_executed",
+        "operations_blocked",
+        "ad_edges",
+        "cd_edges",
+        "nd_pairs",
+        "aborts",
+        "cascaded_aborts",
+        "deadlock_victims",
+        "commit_waits",
+        "blocked_time_events",
+        "condition_evaluations",
+    )
+
+    def seed_counters(self) -> dict[str, int]:
+        """The seed-comparable slice of the counters."""
+        return {name: getattr(self, name) for name in self.SEED_FIELDS}
 
 
 class _DepEvidence(NamedTuple):
@@ -143,18 +209,62 @@ class _DepEvidence(NamedTuple):
 
 _NO_EVIDENCE = _DepEvidence(executing="", entry=None, condition=None, source="table")
 
+_SHADOW_EVIDENCE = _DepEvidence(
+    executing="*", entry=None, condition=None, source="shadow-return"
+)
+
+
+class _PreGraph:
+    """The pre-state object graph of one request, built at most once.
+
+    Every pair iteration of a request evaluates its conditions against
+    the same pre-state; the seed rebuilt the graph per pair.  The holder
+    materialises it on first use and counts each subsequent reuse.
+    """
+
+    __slots__ = ("adt", "pre_state", "stats", "graph")
+
+    def __init__(self, adt: ADTSpec, pre_state: AbstractState, stats) -> None:
+        self.adt = adt
+        self.pre_state = pre_state
+        self.stats = stats
+        self.graph = None
+
+    def get(self):
+        if self.graph is None:
+            self.graph = self.adt.build_graph(self.pre_state)
+        else:
+            self.stats.context_reuses += 1
+        return self.graph
+
+
+class _PreviewVerdicts(NamedTuple):
+    """Blocking-policy admission verdicts, reusable by the grant path.
+
+    ``condition_evaluations`` per transaction record what recomputing the
+    verdict would cost, so reusing it can keep the seed counter exact.
+    """
+
+    #: other txn -> (dependency, evidence, condition evaluations).
+    verdicts: dict[TxnId, tuple[Dependency, _DepEvidence, int]]
+    pre_graph: "_PreGraph"
+
 
 @dataclass
 class _RegisteredObject:
     shared: SharedObject
     table: CompatibilityTable
+    flat: FlatTable
 
 
 class TableDrivenScheduler:
     """Scheduler over shared objects, driven by compatibility tables."""
 
     def __init__(
-        self, policy: str = "optimistic", tracer: Tracer | None = None
+        self,
+        policy: str = "optimistic",
+        tracer: Tracer | None = None,
+        execution_cache: ExecutionCache | None = None,
     ) -> None:
         if policy not in ("optimistic", "blocking"):
             raise SchedulerError(f"unknown policy {policy!r}")
@@ -166,10 +276,23 @@ class TableDrivenScheduler:
         #: clock (the discrete-event simulator) keep it current.
         self.now: float = 0.0
         self.stats = SchedulerStats()
+        #: Memo for every scheduler-side ``execute_invocation`` (shadow
+        #: replays and shadow-state maintenance).  Joins an installed
+        #: process-wide cache when one is active, else owns a private one
+        #: — the ``ensure_execution_cache`` idiom, held for the
+        #: scheduler's lifetime.
+        self.execution_cache: ExecutionCache = (
+            execution_cache
+            if execution_cache is not None
+            else (active_execution_cache() or ExecutionCache())
+        )
         self._objects: dict[str, _RegisteredObject] = {}
         self._txns: dict[TxnId, Transaction] = {}
         self._deps = DependencyGraph()
         self._wait_for: dict[TxnId, set[TxnId]] = {}
+        self._shadow = ShadowStateIndex(
+            cache=self.execution_cache, stats=self.stats
+        )
         self._next_txn: TxnId = 0
         self._sequence = 0
         self._commit_counter = 0
@@ -185,11 +308,18 @@ class TableDrivenScheduler:
         table: CompatibilityTable,
         initial_state: AbstractState | None = None,
     ) -> SharedObject:
-        """Attach a shared object and the table governing it."""
+        """Attach a shared object and the table governing it.
+
+        The table is flattened once, here, into the dict-indexed
+        :class:`~repro.perf.flat_table.FlatTable` the hot path reads.
+        """
         if name in self._objects:
             raise SchedulerError(f"object {name!r} already registered")
         shared = SharedObject(name, adt, initial_state)
-        self._objects[name] = _RegisteredObject(shared=shared, table=table)
+        self._objects[name] = _RegisteredObject(
+            shared=shared, table=table, flat=FlatTable.compile(table)
+        )
+        self._shadow.register(name)
         if self.tracer:
             self.tracer.emit(
                 ObjectRegistered(
@@ -229,6 +359,10 @@ class TableDrivenScheduler:
         """Ids of all currently active transactions."""
         return {tid for tid, txn in self._txns.items() if txn.is_active}
 
+    def shadow_index(self) -> ShadowStateIndex:
+        """The live shadow-state index (introspection for tests/tools)."""
+        return self._shadow
+
     # ------------------------------------------------------------------
     # Operation requests
     # ------------------------------------------------------------------
@@ -241,62 +375,78 @@ class TableDrivenScheduler:
         Returns an executed decision (with the return value and the
         dependencies recorded), a blocked decision (blocking policy, AD
         conflict), or an aborted decision (cycle/deadlock victim).
-        """
-        transaction = self.transaction(txn)
-        transaction.require_active()
-        registered = self._required(object_name)
-        shared, table = registered.shared, registered.table
-        if self.tracer:
-            self.tracer.emit(
-                OpRequested(
-                    time=self.now,
-                    txn=txn,
-                    object_name=object_name,
-                    operation=invocation.operation,
-                    args=repr(invocation.args),
-                )
-            )
 
-        if self.policy == "blocking":
-            blockers = self._blocking_conflicts(txn, shared, table, invocation)
-            if blockers:
-                self.stats.operations_blocked += 1
-                if txn not in self._wait_for:
-                    self.stats.blocked_time_events += 1
-                self._wait_for[txn] = set(blockers)
-                victim = self._resolve_deadlock(txn)
-                if victim is not None:
-                    # The victim's abort may have cascaded to the
-                    # requester itself (an AD edge from earlier work).
-                    if victim == txn or not self.transaction(txn).is_active:
-                        return OpDecision(executed=False, aborted=True)
-                    # The blocker was the victim; fall through and retry
-                    # the request now that it is gone.
-                    return self.request(txn, object_name, invocation)
-                if self.tracer:
-                    self.tracer.emit(
-                        OpBlocked(
-                            time=self.now,
-                            txn=txn,
-                            object_name=object_name,
-                            operation=invocation.operation,
-                            args=repr(invocation.args),
-                            blocked_on=tuple(sorted(blockers)),
-                        )
+        The blocking-policy admission check retries iteratively after a
+        deadlock victim is removed (the seed recursed, which deep victim
+        chains could drive into the recursion limit).
+        """
+        preview: _PreviewVerdicts | None = None
+        while True:
+            transaction = self.transaction(txn)
+            transaction.require_active()
+            registered = self._required(object_name)
+            shared = registered.shared
+            if self.tracer:
+                self.tracer.emit(
+                    OpRequested(
+                        time=self.now,
+                        txn=txn,
+                        object_name=object_name,
+                        operation=invocation.operation,
+                        args=repr(invocation.args),
                     )
-                return OpDecision(executed=False, blocked_on=frozenset(blockers))
-            self._wait_for.pop(txn, None)
+                )
+
+            if self.policy == "blocking":
+                blockers, preview = self._blocking_conflicts(
+                    txn, registered, invocation
+                )
+                if blockers:
+                    self.stats.operations_blocked += 1
+                    if txn not in self._wait_for:
+                        self.stats.blocked_time_events += 1
+                    self._wait_for[txn] = set(blockers)
+                    victim = self._resolve_deadlock(txn)
+                    if victim is not None:
+                        # The victim's abort may have cascaded to the
+                        # requester itself (an AD edge from earlier work).
+                        if victim == txn or not self.transaction(txn).is_active:
+                            return OpDecision(executed=False, aborted=True)
+                        # The blocker was the victim; retry the request
+                        # now that it is gone (the preview is stale).
+                        preview = None
+                        continue
+                    if self.tracer:
+                        self.tracer.emit(
+                            OpBlocked(
+                                time=self.now,
+                                txn=txn,
+                                object_name=object_name,
+                                operation=invocation.operation,
+                                args=repr(invocation.args),
+                                blocked_on=tuple(sorted(blockers)),
+                            )
+                        )
+                    return OpDecision(
+                        executed=False, blocked_on=frozenset(blockers)
+                    )
+                self._wait_for.pop(txn, None)
+            break
 
         pre_state = shared.state()
         applied = shared.execute(txn, invocation)
         recorded = self._record_dependencies(
-            txn, shared, table, applied, pre_state
+            txn, registered, applied, pre_state, preview
         )
         if recorded is None:
             # A cycle: the requester becomes the victim.  Its executed
             # operation is rolled back with the rest of its effects.
             self.abort(txn, reason="dependency-cycle")
             return OpDecision(executed=False, aborted=True)
+        # Only now does the shadow index learn about the grant: the
+        # certification above must see every maintained state *without*
+        # the entry it is certifying.
+        self._shadow.note_execute(object_name, shared, applied)
         self.stats.operations_executed += 1
         self._sequence += 1
         transaction.record(
@@ -334,48 +484,60 @@ class TableDrivenScheduler:
         AD/CD predecessors must be resolved first; an aborted AD
         predecessor forces this transaction to abort too (the caller sees
         ``must_abort`` and the abort has already been carried out).
+        Retries iteratively after a commit-wait deadlock victim is
+        removed (the seed recursed).
         """
-        transaction = self.transaction(txn)
-        transaction.require_active()
-        waiting = set()
-        for earlier, dependency in self._deps.predecessors(txn).items():
-            status = self.transaction(earlier).status
-            if status is TransactionStatus.ACTIVE:
-                waiting.add(earlier)
-            elif status is TransactionStatus.ABORTED and dependency is Dependency.AD:
-                self.abort(txn, reason="ad-predecessor-aborted")
-                return CommitDecision(committed=False, must_abort=True)
-        if waiting:
-            self.stats.commit_waits += 1
-            # Commit waits participate in deadlock detection: a blocked
-            # operation waiting on us while we commit-wait on it is a
-            # genuine cycle and must be broken.
-            self._wait_for[txn] = set(waiting)
-            victim = self._resolve_deadlock(txn)
-            if victim is not None:
-                if victim == txn or not self.transaction(txn).is_active:
+        while True:
+            transaction = self.transaction(txn)
+            transaction.require_active()
+            waiting = set()
+            for earlier, dependency in self._deps.predecessors(txn).items():
+                status = self.transaction(earlier).status
+                if status is TransactionStatus.ACTIVE:
+                    waiting.add(earlier)
+                elif (
+                    status is TransactionStatus.ABORTED
+                    and dependency is Dependency.AD
+                ):
+                    self.abort(txn, reason="ad-predecessor-aborted")
                     return CommitDecision(committed=False, must_abort=True)
-                return self.try_commit(txn)
+            if waiting:
+                self.stats.commit_waits += 1
+                # Commit waits participate in deadlock detection: a blocked
+                # operation waiting on us while we commit-wait on it is a
+                # genuine cycle and must be broken.
+                self._wait_for[txn] = set(waiting)
+                victim = self._resolve_deadlock(txn)
+                if victim is not None:
+                    if victim == txn or not self.transaction(txn).is_active:
+                        return CommitDecision(committed=False, must_abort=True)
+                    continue
+                if self.tracer:
+                    self.tracer.emit(
+                        CommitWaited(
+                            time=self.now,
+                            txn=txn,
+                            waiting_on=tuple(sorted(waiting)),
+                        )
+                    )
+                return CommitDecision(
+                    committed=False, waiting_on=frozenset(waiting)
+                )
+            transaction.status = TransactionStatus.COMMITTED
+            self._commit_counter += 1
+            transaction.commit_sequence = self._commit_counter
+            self._wait_for.pop(txn, None)
+            # Committed transactions are never certified against again;
+            # their shadow states would only cost maintenance.
+            for name in self._objects:
+                self._shadow.forget(name, txn)
             if self.tracer:
                 self.tracer.emit(
-                    CommitWaited(
-                        time=self.now,
-                        txn=txn,
-                        waiting_on=tuple(sorted(waiting)),
+                    TxnCommitted(
+                        time=self.now, txn=txn, commit_sequence=self._commit_counter
                     )
                 )
-            return CommitDecision(committed=False, waiting_on=frozenset(waiting))
-        transaction.status = TransactionStatus.COMMITTED
-        self._commit_counter += 1
-        transaction.commit_sequence = self._commit_counter
-        self._wait_for.pop(txn, None)
-        if self.tracer:
-            self.tracer.emit(
-                TxnCommitted(
-                    time=self.now, txn=txn, commit_sequence=self._commit_counter
-                )
-            )
-        return CommitDecision(committed=True)
+            return CommitDecision(committed=True)
 
     def abort(self, txn: TxnId, reason: str = "requested") -> set[TxnId]:
         """Abort ``txn``, cascading along AD edges.
@@ -411,6 +573,9 @@ class TableDrivenScheduler:
             collateral |= {
                 t for t in invalidated if self.transaction(t).is_active
             }
+        # The rollback rewrote every object's log; every maintained
+        # shadow state is stale.  Epoch-invalidate and rebuild lazily.
+        self._shadow.invalidate()
         for t in collateral:
             cascade |= {t} | self.abort(t, reason="replay-invalidated")
         return cascade
@@ -437,63 +602,34 @@ class TableDrivenScheduler:
         except KeyError:
             raise SchedulerError(f"object {name!r} is not registered") from None
 
-    def _context(
-        self,
-        shared: SharedObject,
-        earlier: AppliedOperation,
-        invocation: Invocation,
-        pre_state: AbstractState,
-        second_return: ReturnValue | None,
-    ) -> ConditionContext:
-        """Runtime condition context for an (earlier, requested) pair.
+    def _active_entries_by_txn(
+        self, txn: TxnId, shared: SharedObject, skip: AppliedOperation | None
+    ) -> dict[TxnId, list[AppliedOperation]]:
+        """Log entries of every *other* active transaction, grouped.
 
-        Reference predicates are evaluated on the object state just before
-        the requested operation runs — the scheduler's dynamic reading of
-        the paper's "before the operations are executed".
+        One pass over the log per request, instead of one per (pair ×
+        log-scan) as in the seed.
         """
-        return ConditionContext(
-            first_invocation=earlier.invocation,
-            second_invocation=invocation,
-            pre_graph=shared.adt.build_graph(pre_state),
-            first_return=earlier.returned,
-            second_return=second_return,
-        )
-
-    def _shadow_return(
-        self,
-        shared: SharedObject,
-        invocation: Invocation,
-        exclude_txn: TxnId,
-        skip: AppliedOperation | None = None,
-    ) -> ReturnValue:
-        """The return value ``invocation`` would produce had ``exclude_txn``
-        never run: replay the log without its entries, then execute.
-
-        The certification step that makes the table-driven decisions sound
-        under interleaving: a static ND/CD verdict is only trusted when the
-        requested operation's return value is provably independent of the
-        other transaction's presence — exactly the information-flow test
-        that abort-dependencies exist to protect.
-        """
-        from repro.spec.adt import execute_invocation
-
-        state = shared.initial_state
+        by_txn: dict[TxnId, list[AppliedOperation]] = {}
         for entry in shared.log():
-            if entry is skip or entry.txn == exclude_txn:
+            if entry is skip or entry.txn == txn:
                 continue
-            state = execute_invocation(
-                shared.adt, state, entry.invocation
-            ).post_state
-        return execute_invocation(shared.adt, state, invocation).returned
+            by_txn.setdefault(entry.txn, []).append(entry)
+        return {
+            other: entries
+            for other, entries in by_txn.items()
+            if self.transaction(other).is_active
+        }
 
     def _pair_dependency(
         self,
         shared: SharedObject,
-        table: CompatibilityTable,
+        flat: FlatTable,
         invocation: Invocation,
         returned: ReturnValue,
         trace: LocalityTrace,
-        pre_state: AbstractState,
+        pre_graph: _PreGraph,
+        other_entries: list[AppliedOperation],
         other_txn: TxnId,
         skip: AppliedOperation | None,
     ) -> tuple[Dependency, _DepEvidence]:
@@ -512,8 +648,10 @@ class TableDrivenScheduler:
            active transaction created is an AD even when the *value* would
            coincidentally be available elsewhere);
         3. the **shadow-return certification** — the requested operation is
-           re-executed on a replay of the log without the other
-           transaction; a differing return value escalates to AD.
+           re-executed on the shadow state "log without the other
+           transaction" (maintained incrementally by the
+           :class:`~repro.perf.shadow.ShadowStateIndex`); a differing
+           return value escalates to AD.
 
         Returns the verdict together with its provenance — which earlier
         operation, table entry, condition and evidence source were
@@ -521,78 +659,97 @@ class TableDrivenScheduler:
         """
         verdict = Dependency.ND
         evidence = _NO_EVIDENCE
-        for earlier in shared.log():
-            if earlier is skip or earlier.txn != other_txn:
-                continue
-            entry = table.entry(
-                invocation.operation, earlier.invocation.operation
-            )
-            context = self._context(
-                shared, earlier, invocation, pre_state, returned
-            )
-            is_conditional = entry.is_conditional
-            if is_conditional:
-                self.stats.condition_evaluations += len(entry.pairs)
-            resolved, held = entry.resolve_with_condition(context)
-            if resolved is Dependency.ND and not is_conditional:
-                # An unconditional ND is full-state-space forward
-                # commutativity: the operations can be swapped anywhere in
-                # any history, so the (conservative) locality escalation is
-                # skipped — otherwise two Deposits would be needlessly
+        stats = self.stats
+        for earlier in other_entries:
+            executing = earlier.invocation.operation
+            if flat.is_unconditional_nd(invocation.operation, executing):
+                # Full-state-space forward commutativity: the operations
+                # can be swapped anywhere in any history, so the
+                # (conservative) locality escalation is skipped —
+                # otherwise two Deposits would be needlessly
                 # commit-ordered for touching the same balance vertex.
                 # (The integration suite verifies the commutativity
                 # property for every unconditional ND cell of every
                 # derived table; the shadow test below still runs.)
+                stats.nd_fast_path_hits += 1
                 continue
+            entry = flat.entry(invocation.operation, executing)
+            context = ConditionContext(
+                first_invocation=earlier.invocation,
+                second_invocation=invocation,
+                pre_graph=pre_graph.get(),
+                first_return=earlier.returned,
+                second_return=returned,
+            )
+            if entry.is_conditional:
+                stats.condition_evaluations += len(entry.pairs)
+            resolved, held = entry.resolve_with_condition(context)
             from_locality = locality_dependency(earlier.trace, trace)
             pair_verdict = max(resolved, from_locality)
             if pair_verdict > verdict:
                 verdict = pair_verdict
                 evidence = _DepEvidence(
-                    executing=earlier.invocation.operation,
+                    executing=executing,
                     entry=entry,
                     condition=held,
                     source="locality" if from_locality > resolved else "table",
                 )
             if verdict is Dependency.AD:
                 return Dependency.AD, evidence
-        shadow = self._shadow_return(shared, invocation, other_txn, skip)
+        shadow = self._shadow.shadow_return(
+            shared.name, shared, invocation, other_txn, skip
+        )
         if shadow != returned:
-            return Dependency.AD, _DepEvidence(
-                executing="*", entry=None, condition=None, source="shadow-return"
-            )
+            return Dependency.AD, _SHADOW_EVIDENCE
         return verdict, evidence
 
     def _record_dependencies(
         self,
         txn: TxnId,
-        shared: SharedObject,
-        table: CompatibilityTable,
+        registered: _RegisteredObject,
         applied: AppliedOperation,
         pre_state: AbstractState,
+        preview: _PreviewVerdicts | None,
     ) -> list[tuple[TxnId, Dependency]] | None:
         """Resolve and record dependencies against earlier active transactions.
 
         Returns the recorded (txn, dependency) pairs, or ``None`` when an
         edge would close a cycle (the caller aborts the requester).
+
+        ``preview`` carries the blocking-policy admission verdicts of the
+        same synchronous request: the preview state cannot have changed
+        (admission and execution happen back to back, with no yield in
+        between), so each verdict — and the condition-evaluation work it
+        stands for — is reused rather than recomputed.
         """
-        recorded: list[tuple[TxnId, Dependency]] = []
-        others = sorted(
-            other
-            for other in shared.active_writers(exclude=txn)
-            if self.transaction(other).is_active
+        shared, flat = registered.shared, registered.flat
+        by_txn = self._active_entries_by_txn(txn, shared, skip=applied)
+        pre_graph = (
+            preview.pre_graph
+            if preview is not None
+            else _PreGraph(shared.adt, pre_state, self.stats)
         )
-        for other_txn in others:
-            dependency, evidence = self._pair_dependency(
-                shared,
-                table,
-                applied.invocation,
-                applied.returned,
-                applied.trace,
-                pre_state,
-                other_txn,
-                skip=applied,
-            )
+        recorded: list[tuple[TxnId, Dependency]] = []
+        for other_txn in sorted(by_txn):
+            reused = preview.verdicts.get(other_txn) if preview else None
+            if reused is not None:
+                dependency, evidence, condition_evaluations = reused
+                self.stats.preview_reuses += 1
+                # Keep the seed counter exact: the seed re-evaluated the
+                # conditions here; account the work the reuse displaced.
+                self.stats.condition_evaluations += condition_evaluations
+            else:
+                dependency, evidence = self._pair_dependency(
+                    shared,
+                    flat,
+                    applied.invocation,
+                    applied.returned,
+                    applied.trace,
+                    pre_graph,
+                    by_txn[other_txn],
+                    other_txn,
+                    skip=applied,
+                )
             if dependency is Dependency.ND:
                 self.stats.nd_pairs += 1
                 continue
@@ -625,29 +782,38 @@ class TableDrivenScheduler:
     def _blocking_conflicts(
         self,
         txn: TxnId,
-        shared: SharedObject,
-        table: CompatibilityTable,
+        registered: _RegisteredObject,
         invocation: Invocation,
-    ) -> set[TxnId]:
-        """Active transactions whose operations would form an AD with ours."""
-        preview, preview_trace = shared.preview_with_trace(invocation)
+    ) -> tuple[set[TxnId], _PreviewVerdicts]:
+        """Active transactions whose operations would form an AD with ours.
+
+        Also returns every pair verdict computed along the way, keyed by
+        transaction, for the grant path to reuse.
+        """
+        shared, flat = registered.shared, registered.flat
+        preview_returned, preview_trace = shared.preview_with_trace(invocation)
         pre_state = shared.state()
-        blockers = set()
-        others = sorted(
-            other
-            for other in shared.active_writers(exclude=txn)
-            if self.transaction(other).is_active
-        )
-        for other_txn in others:
-            dependency, _evidence = self._pair_dependency(
+        by_txn = self._active_entries_by_txn(txn, shared, skip=None)
+        pre_graph = _PreGraph(shared.adt, pre_state, self.stats)
+        blockers: set[TxnId] = set()
+        verdicts: dict[TxnId, tuple[Dependency, _DepEvidence, int]] = {}
+        for other_txn in sorted(by_txn):
+            evaluations_before = self.stats.condition_evaluations
+            dependency, evidence = self._pair_dependency(
                 shared,
-                table,
+                flat,
                 invocation,
-                preview,
+                preview_returned,
                 preview_trace,
-                pre_state,
+                pre_graph,
+                by_txn[other_txn],
                 other_txn,
                 skip=None,
+            )
+            verdicts[other_txn] = (
+                dependency,
+                evidence,
+                self.stats.condition_evaluations - evaluations_before,
             )
             if dependency is Dependency.AD:
                 blockers.add(other_txn)
@@ -658,7 +824,7 @@ class TableDrivenScheduler:
                 # transaction already depends on us).  Under the blocking
                 # discipline we wait for it to resolve rather than abort.
                 blockers.add(other_txn)
-        return blockers
+        return blockers, _PreviewVerdicts(verdicts=verdicts, pre_graph=pre_graph)
 
     def _resolve_deadlock(self, start: TxnId) -> TxnId | None:
         """Break a wait-for cycle through ``start``, if there is one.
@@ -681,18 +847,29 @@ class TableDrivenScheduler:
         return victim
 
     def _wait_cycle(self, start: TxnId) -> list[TxnId] | None:
-        """Find a wait-for cycle through ``start``, as a list of members."""
-        path: list[TxnId] = []
+        """Find a wait-for cycle through ``start``, as a list of members.
 
-        def visit(node: TxnId) -> list[TxnId] | None:
-            if node in path:
+        Iterative depth-first traversal (the seed recursed, so wait-for
+        chains longer than the interpreter's recursion limit would crash
+        deadlock detection).  Visits blockers in the same order as the
+        recursive formulation, so the cycle found — and therefore the
+        victim chosen — is identical.
+        """
+        path: list[TxnId] = []
+        on_path: set[TxnId] = set()
+        #: Frame i is the pending-successor iterator whose yields become
+        #: path depth i; exhausting it pops the node at depth i - 1.
+        frames: list[Iterator[TxnId]] = [iter((start,))]
+        while frames:
+            node = next(frames[-1], None)
+            if node is None:
+                frames.pop()
+                if path:
+                    on_path.discard(path.pop())
+                continue
+            if node in on_path:
                 return path[path.index(node):]
             path.append(node)
-            for blocker in self._wait_for.get(node, set()):
-                cycle = visit(blocker)
-                if cycle is not None:
-                    return cycle
-            path.pop()
-            return None
-
-        return visit(start)
+            on_path.add(node)
+            frames.append(iter(self._wait_for.get(node, ())))
+        return None

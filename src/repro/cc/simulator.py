@@ -301,6 +301,7 @@ def simulate_with_scheduler(
 
     metrics.makespan = clock
     metrics.scheduler = scheduler.stats
+    metrics.execution_cache = scheduler.execution_cache
     if tracer:
         tracer.emit(
             RunCompleted(

@@ -12,6 +12,13 @@ Three layers, each usable on its own:
 * :mod:`repro.perf.parallel` — ``multiprocessing`` fan-out over the
   independent O(n^2) operation pairs of the table builders, with a
   sequential fallback (``jobs <= 1``) that is bit-identical.
+* :mod:`repro.perf.shadow` — the :class:`ShadowStateIndex` backing the
+  runtime scheduler's certification hot path: per-object, per-active-
+  transaction "log without that transaction" replay states, advanced
+  incrementally per grant and epoch-invalidated on abort rollback.
+* :mod:`repro.perf.flat_table` — :class:`FlatTable`, a compatibility
+  table precompiled at object-registration time into a dict-indexed
+  lookup with an unconditional-ND bitset fast path.
 
 See ``docs/PERFORMANCE.md`` for the architecture and the knobs.
 """
@@ -24,13 +31,18 @@ from repro.perf.cache import (
     execution_cache,
 )
 from repro.perf.evidence import EvidenceBase
+from repro.perf.flat_table import FlatTable
 from repro.perf.parallel import resolve_jobs, worker_pool
+from repro.perf.shadow import ShadowStateIndex, ShadowStats
 
 __all__ = [
     "DEFAULT_CACHE_MAXSIZE",
     "CacheStats",
     "ExecutionCache",
     "EvidenceBase",
+    "FlatTable",
+    "ShadowStateIndex",
+    "ShadowStats",
     "ensure_execution_cache",
     "execution_cache",
     "resolve_jobs",

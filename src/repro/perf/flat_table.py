@@ -1,0 +1,79 @@
+"""Flattened compatibility tables for the scheduler hot path.
+
+:class:`~repro.core.table.CompatibilityTable` is the right structure for
+derivation and rendering — validated access, per-cell entries, metrics —
+but its :meth:`~repro.core.table.CompatibilityTable.entry` revalidates
+both operation names with list scans on every lookup, and the scheduler
+performs one lookup per (logged operation, request) pair.
+
+:class:`FlatTable` precompiles a finished table once, at object
+registration time, into
+
+* a plain ``(invoked, executing) -> Entry`` dict (one hash hit per
+  lookup, no validation — the compile step already proved completeness),
+  and
+* an **unconditional-ND bitset**: per invoked operation, an integer whose
+  bit ``i`` is set when the cell against executing operation ``i`` is an
+  unconditional entry whose weakest dependency is ND.  Those cells are
+  full-state-space forward commutativity — the scheduler skips condition
+  contexts, locality escalation and evidence bookkeeping for them, so the
+  common no-conflict case costs two dict hits and a bit test.
+
+The compiled form is read-only and derived purely from the source table;
+:meth:`FlatTable.compile` is the only constructor.
+"""
+
+from __future__ import annotations
+
+from repro.core.dependency import Dependency
+from repro.core.entry import Entry
+from repro.core.table import CompatibilityTable
+
+__all__ = ["FlatTable"]
+
+
+class FlatTable:
+    """A read-only, dict-indexed compilation of one compatibility table."""
+
+    __slots__ = ("operations", "_op_index", "_entries", "_nd_bits")
+
+    def __init__(
+        self,
+        operations: tuple[str, ...],
+        entries: dict[tuple[str, str], Entry],
+        nd_bits: dict[str, int],
+    ) -> None:
+        self.operations = operations
+        self._op_index = {op: i for i, op in enumerate(operations)}
+        self._entries = entries
+        self._nd_bits = nd_bits
+
+    @classmethod
+    def compile(cls, table: CompatibilityTable) -> "FlatTable":
+        """Flatten ``table``; requires a complete table (every cell set)."""
+        operations = tuple(table.operations)
+        entries: dict[tuple[str, str], Entry] = {}
+        nd_bits: dict[str, int] = {}
+        for invoked in operations:
+            row_bits = 0
+            for column, executing in enumerate(operations):
+                entry = table.entry(invoked, executing)
+                entries[(invoked, executing)] = entry
+                if (
+                    not entry.is_conditional
+                    and entry.weakest() is Dependency.ND
+                ):
+                    row_bits |= 1 << column
+            nd_bits[invoked] = row_bits
+        return cls(operations, entries, nd_bits)
+
+    def entry(self, invoked: str, executing: str) -> Entry:
+        """The entry for ``invoked`` following ``executing`` (one dict hit)."""
+        return self._entries[(invoked, executing)]
+
+    def is_unconditional_nd(self, invoked: str, executing: str) -> bool:
+        """Whether the cell is an unconditional-ND (fast-path) cell."""
+        return bool(self._nd_bits[invoked] >> self._op_index[executing] & 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlatTable ops={list(self.operations)}>"

@@ -101,3 +101,68 @@ class TestRegistryExport:
         assert '# TYPE repro_txns counter' in text
         assert 'repro_txns_total{status="committed"} 2' in text
         assert "# TYPE repro_blocked_time histogram" in text
+
+
+class TestHotPathCounterExport:
+    def test_optimization_counters_export_as_scheduler_counters(self):
+        metrics = RunMetrics(
+            scheduler=SchedulerStats(
+                shadow_replays_avoided=9,
+                shadow_full_replays=2,
+                context_reuses=4,
+                preview_reuses=3,
+                nd_fast_path_hits=17,
+            )
+        )
+        counters = metrics.to_registry().to_json()["counters"]
+        assert counters["scheduler_shadow_replays_avoided"] == 9
+        assert counters["scheduler_shadow_full_replays"] == 2
+        assert counters["scheduler_context_reuses"] == 4
+        assert counters["scheduler_preview_reuses"] == 3
+        assert counters["scheduler_nd_fast_path_hits"] == 17
+
+    def test_seed_counters_slice(self):
+        stats = SchedulerStats(ad_edges=2, shadow_replays_avoided=5)
+        seed = stats.seed_counters()
+        assert seed["ad_edges"] == 2
+        assert "shadow_replays_avoided" not in seed
+        assert set(seed) == set(SchedulerStats.SEED_FIELDS)
+
+    def test_execution_cache_publishes_into_run_registry(self):
+        from repro.perf.cache import ExecutionCache
+
+        cache = ExecutionCache()
+        metrics = RunMetrics(execution_cache=cache)
+        counters = metrics.to_registry().to_json()["counters"]
+        assert "execution_cache_hits" in counters
+        assert "execution_cache_misses" in counters
+
+    def test_simulated_run_reports_cache_traffic(self):
+        from repro.adts.registry import make_adt
+        from repro.cc.simulator import SimulationConfig, simulate
+        from repro.cc.workload import WorkloadConfig, generate
+        from repro.core.methodology import derive
+
+        adt = make_adt("Account")
+        table = derive(adt).final_table
+        workload = generate(
+            adt,
+            "obj",
+            WorkloadConfig(
+                transactions=4,
+                operations_per_transaction=3,
+                operation_mix={"Deposit": 1.0},
+                seed=3,
+            ),
+        )
+        config = SimulationConfig(
+            adt=adt, table=table, object_name="obj", workload=workload
+        )
+        metrics = simulate(config)
+        assert metrics.execution_cache is not None
+        counters = metrics.to_registry().to_json()["counters"]
+        total_lookups = (
+            counters["execution_cache_hits"] + counters["execution_cache_misses"]
+        )
+        assert total_lookups > 0, "runtime traffic must flow through the cache"
+        assert counters["scheduler_shadow_full_replays"] >= 0

@@ -1,0 +1,53 @@
+"""FlatTable: the compiled form is exactly the source table, but flat."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.core.dependency import Dependency
+from repro.core.methodology import derive
+from repro.perf.flat_table import FlatTable
+
+
+@pytest.fixture(scope="module", params=["QStack", "Account", "FifoQueue"])
+def compiled(request):
+    table = derive(make_adt(request.param)).final_table
+    return table, FlatTable.compile(table)
+
+
+def test_same_operations(compiled):
+    table, flat = compiled
+    assert flat.operations == tuple(table.operations)
+
+
+def test_every_cell_is_the_source_entry(compiled):
+    table, flat = compiled
+    for invoked in table.operations:
+        for executing in table.operations:
+            assert flat.entry(invoked, executing) is table.entry(
+                invoked, executing
+            )
+
+
+def test_nd_bitset_matches_entry_predicates(compiled):
+    table, flat = compiled
+    for invoked in table.operations:
+        for executing in table.operations:
+            entry = table.entry(invoked, executing)
+            expected = (
+                not entry.is_conditional and entry.weakest() is Dependency.ND
+            )
+            assert flat.is_unconditional_nd(invoked, executing) == expected
+
+
+def test_fast_path_exists_somewhere():
+    """At least one builtin table has unconditional-ND cells, otherwise
+    the fast path is dead code."""
+    table = derive(make_adt("Account")).final_table
+    flat = FlatTable.compile(table)
+    assert any(
+        flat.is_unconditional_nd(a, b)
+        for a in table.operations
+        for b in table.operations
+    )
