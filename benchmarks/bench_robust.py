@@ -1,0 +1,68 @@
+"""Robustness-stack overhead: the guards must cost (almost) nothing.
+
+Three claims, each benchmarked on the same contended workload:
+
+* a run carrying an *empty* fault plan is bit-identical to a bare run
+  (the ``if plan:`` guards and zero-rate non-draws are the mechanism);
+* the decision log's write-ahead wrapper preserves the transcript;
+* the invariant monitor at a sparse cadence preserves the transcript.
+
+The parity assertions run inside the benchmark bodies on purpose: the
+measured time is the time of the *guarded* path, and a parity break
+fails the benchmark rather than silently timing a different run.
+"""
+
+from repro.adts.qstack import QStackSpec
+from repro.cc.harness import drive
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.simulator import SimulationConfig, simulate
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.experiments import golden
+from repro.robust import DecisionLog, FaultPlan, FaultSpec, MonitoredScheduler
+
+ADT = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+TABLE = derive(ADT).final_table
+WORKLOAD = generate(
+    ADT,
+    "shared",
+    WorkloadConfig(transactions=16, operations_per_transaction=4, seed=77),
+)
+BASELINE = drive(TableDrivenScheduler(), ADT, TABLE, WORKLOAD, "shared")
+BASELINE_METRICS = simulate(
+    SimulationConfig(adt=ADT, table=TABLE, workload=WORKLOAD)
+).summary()
+
+
+def test_empty_fault_plan_overhead(benchmark):
+    def run():
+        return simulate(
+            SimulationConfig(
+                adt=ADT,
+                table=TABLE,
+                workload=WORKLOAD,
+                fault_plan=FaultPlan(1, FaultSpec()),
+            )
+        ).summary()
+
+    assert benchmark(run) == BASELINE_METRICS
+
+
+def test_decision_log_overhead(benchmark):
+    def run():
+        scheduler = MonitoredScheduler(
+            TableDrivenScheduler(), log=DecisionLog(), check_interval=10_000
+        )
+        return drive(scheduler, ADT, TABLE, WORKLOAD, "shared")
+
+    assert benchmark(run) == BASELINE
+
+
+def test_monitor_audit_overhead(benchmark):
+    def run():
+        scheduler = MonitoredScheduler(
+            TableDrivenScheduler(), log=DecisionLog(), check_interval=16
+        )
+        return drive(scheduler, ADT, TABLE, WORKLOAD, "shared")
+
+    assert benchmark(run) == BASELINE

@@ -9,7 +9,12 @@ Commands:
 * ``graph <ADT>`` — render the object graph (Stage 1 / Figure 2).
 * ``simulate <ADT>`` — run a seeded workload under the derived table
   (``--trace out.jsonl`` records a structured event trace,
-  ``--metrics-format {json,prom}`` exports the run's metrics registry).
+  ``--metrics-format {json,prom}`` exports the run's metrics registry,
+  ``--fault-plan SEED`` injects a reproducible fault storm under the
+  decision log + invariant monitor).
+* ``chaos <ADT...>`` — chaos campaign: exhaustive crash-point sweep and
+  seeded fault storms over an ADT × policy × seed matrix, emitting a
+  byte-stable JSON report.
 * ``trace <file>`` — analyse a recorded trace: summary, per-transaction
   timeline, per-table-entry firing histogram.
 * ``tables`` — generate per-ADT compatibility-table documentation.
@@ -23,6 +28,7 @@ import sys
 
 from repro.adts.registry import builtin_names, make_adt
 from repro.core.classification import classify_all_operations
+from repro.errors import InvariantViolationError
 from repro.core.methodology import MethodologyOptions, derive
 from repro.core.profile import characterize_all
 
@@ -130,6 +136,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"cannot open trace file: {error}", file=sys.stderr)
         return 2
+    fault_plan = None
+    scheduler_wrapper = None
+    if args.fault_plan is not None:
+        from repro.robust import (
+            DecisionLog,
+            FaultPlan,
+            FaultSpec,
+            MonitoredScheduler,
+            RobustStats,
+        )
+
+        stats = RobustStats()
+        fault_plan = FaultPlan(
+            args.fault_plan,
+            FaultSpec.storm(args.fault_intensity),
+            stats=stats,
+        )
+        # Chaos runs get the full robustness stack: a decision log (so
+        # induced crashes recover) and the invariant monitor, sharing the
+        # plan's counter sink.
+        scheduler_wrapper = lambda scheduler: MonitoredScheduler(  # noqa: E731
+            scheduler,
+            log=DecisionLog(),
+            check_interval=8,
+            robust_stats=stats,
+        )
     try:
         metrics, scheduler = simulate_with_scheduler(
             SimulationConfig(
@@ -138,9 +170,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 workload=workload,
                 policy=args.policy,
                 restart_aborted=True,
+                restart_policy=args.restart_policy,
                 tracer=tracer,
+                fault_plan=fault_plan,
+                scheduler_wrapper=scheduler_wrapper,
             )
         )
+    except InvariantViolationError as error:
+        # A fault campaign can win: corruption that slips between two
+        # audits taints the decision log beyond any recovery rung.  That
+        # is a *finding*, reproducible from the same seed — report it as
+        # a failed run, not a crash.
+        print(f"unrecoverable: {error}", file=sys.stderr)
+        return 1
     finally:
         if tracer is not None:
             tracer.close()
@@ -151,6 +193,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"seed={args.seed} table={table.name}"
     )
     print(metrics.summary())
+    if fault_plan is not None:
+        stats = fault_plan.stats
+        print(
+            f"faults: injected={stats.faults_injected} "
+            f"recoveries={stats.recoveries} "
+            f"invariant_checks={stats.invariant_checks} "
+            f"degradations={stats.degradations}"
+        )
     print("serializable:", is_serializable(scheduler))
     if tracer is not None:
         print(f"trace: {args.trace} ({tracer.emitted} events)")
@@ -161,6 +211,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else:
             print(registry.render_prometheus(), end="")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.robust import FaultSpec, render_report, run_chaos
+
+    adts = {}
+    for name in args.adts:
+        adt = make_adt(name)
+        adts[name] = (adt, derive(adt).final_table)
+    report = run_chaos(
+        adts,
+        policies=tuple(args.policies),
+        seeds=tuple(args.seeds),
+        transactions=args.transactions,
+        operations=args.operations,
+        spec=FaultSpec.storm(args.intensity),
+        crash_sweep_enabled=not args.no_crash_sweep,
+    )
+    rendered = render_report(report)
+    if args.report:
+        try:
+            with open(args.report, "w", encoding="utf-8") as stream:
+                stream.write(rendered)
+        except OSError as error:
+            print(f"cannot write report: {error}", file=sys.stderr)
+            return 2
+        print(f"report: {args.report}")
+    else:
+        print(rendered, end="")
+    sweeps = [cell.get("crash_sweep") for cell in report["cells"]]
+    swept = sum(sweep["decision_points"] for sweep in sweeps if sweep)
+    print(
+        f"chaos: cells={len(report['cells'])} crash_points={swept} "
+        f"passed={report['passed']}"
+    )
+    return 0 if report["passed"] else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -304,7 +390,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-format", choices=("json", "prom"), default=None,
         help="also export the run's metrics registry (JSON or Prometheus text)",
     )
+    simulate.add_argument(
+        "--fault-plan", type=int, metavar="SEED", default=None,
+        help="inject a seeded fault storm (reproducible from the seed) and "
+             "run under the decision log + invariant monitor",
+    )
+    simulate.add_argument(
+        "--fault-intensity", type=float, default=0.05, metavar="RATE",
+        help="per-consult fault rate of the storm (default 0.05)",
+    )
+    simulate.add_argument(
+        "--restart-policy", choices=("linear", "exponential"),
+        default="linear",
+        help="backoff growth for restarted programs (default linear, "
+             "the bit-parity behaviour)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos campaign: crash-point sweep + fault storms over a matrix",
+    )
+    chaos.add_argument(
+        "adts", nargs="+", choices=builtin_names(),
+        help="ADTs to sweep (each derives its own table)",
+    )
+    chaos.add_argument(
+        "--policies", nargs="+", default=["optimistic", "blocking"],
+        choices=("optimistic", "blocking"),
+    )
+    chaos.add_argument(
+        "--seeds", nargs="+", type=int, default=[1991],
+        help="workload seeds (one cell per ADT x policy x seed)",
+    )
+    chaos.add_argument("--transactions", type=int, default=6)
+    chaos.add_argument("--operations", type=int, default=3)
+    chaos.add_argument(
+        "--intensity", type=float, default=0.05,
+        help="fault-storm per-consult rate (default 0.05)",
+    )
+    chaos.add_argument(
+        "--no-crash-sweep", action="store_true",
+        help="skip the per-decision-point crash sweep (storms only)",
+    )
+    chaos.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the byte-stable JSON report to FILE instead of stdout",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     trace = sub.add_parser(
         "trace", help="analyse a JSONL trace recorded with simulate --trace"

@@ -39,6 +39,12 @@ from repro.cc.transaction import TransactionStatus, TxnId
 from repro.cc.workload import Workload
 from repro.core.table import CompatibilityTable
 from repro.errors import SchedulerError
+from repro.obs.events import (
+    CrashInduced,
+    FaultInjected,
+    RecoveryCompleted,
+    RecoveryStarted,
+)
 from repro.spec.adt import ADTSpec, AbstractState
 
 __all__ = ["Transcript", "drive"]
@@ -98,6 +104,8 @@ def drive(
     initial_state: AbstractState | None = None,
     concurrency: int | None = None,
     max_turns: int | None = None,
+    checkpoint=None,
+    fault_plan=None,
 ) -> Transcript:
     """Run ``workload`` to completion and return the full transcript.
 
@@ -105,8 +113,17 @@ def drive(
     (default: all of them — maximum contention).  ``max_turns`` guards
     against livelock; the default allows every operation a generous number
     of blocked retries before failing loudly.
+
+    ``checkpoint(index, scheduler)`` is invoked before every *decision
+    point* (each ``request`` / ``try_commit`` / voluntary ``abort`` call,
+    numbered from 0); returning a scheduler replaces the one in use — the
+    hook the crash-point sweep uses to kill the scheduler mid-run and
+    swap in a recovered one.  ``fault_plan`` is a
+    :class:`~repro.robust.faults.FaultPlan` consulted at the named fault
+    points; both default to ``None``, leaving the driver bit-identical to
+    the fault-free harness.
     """
-    shared = scheduler.register_object(object_name, adt, table, initial_state)
+    scheduler.register_object(object_name, adt, table, initial_state)
     programs = list(workload.programs)
     concurrency = len(programs) if concurrency is None else max(1, concurrency)
     if max_turns is None:
@@ -116,12 +133,59 @@ def drive(
     resolutions: list[tuple[TxnId, str, tuple[TxnId, ...]]] = []
     live: list[_Runner] = []
     admitted = 0
+    decision_index = 0
 
     def admit() -> None:
         nonlocal admitted
         while admitted < len(programs) and len(live) < concurrency:
             live.append(_Runner(scheduler.begin(), programs[admitted]))
             admitted += 1
+
+    def at_decision_point() -> None:
+        """Run the checkpoint hook (possibly swapping the scheduler)."""
+        nonlocal scheduler, decision_index
+        if checkpoint is not None:
+            replacement = checkpoint(decision_index, scheduler)
+            if replacement is not None:
+                scheduler = replacement
+        decision_index += 1
+
+    def emit_fault(kind: str, txn: TxnId = -1, detail: str = "") -> None:
+        if scheduler.tracer:
+            scheduler.tracer.emit(
+                FaultInjected(
+                    time=scheduler.now, kind=kind, txn=txn, detail=detail
+                )
+            )
+
+    def inject_turn_faults() -> None:
+        """Between-decision faults: cache poisoning and scheduler crashes."""
+        nonlocal scheduler
+        mode = fault_plan.cache_poison()
+        if mode:
+            cache = getattr(scheduler, "execution_cache", None)
+            if cache is not None:
+                if mode == "evict":
+                    cache.chaos_evict()
+                else:
+                    cache.chaos_corrupt()
+            emit_fault("cache_poison", detail=mode)
+        if fault_plan.crash() and hasattr(scheduler, "reincarnate"):
+            emit_fault("crash")
+            log_records = len(scheduler.log)
+            tracer = scheduler.tracer
+            if tracer:
+                tracer.emit(
+                    CrashInduced(time=scheduler.now, log_records=log_records)
+                )
+                tracer.emit(
+                    RecoveryStarted(time=scheduler.now, log_records=log_records)
+                )
+            scheduler = scheduler.reincarnate()
+            if scheduler.tracer:
+                scheduler.tracer.emit(
+                    RecoveryCompleted(time=scheduler.now, replayed=log_records)
+                )
 
     admit()
     turns = 0
@@ -134,6 +198,8 @@ def drive(
                 raise SchedulerError(
                     f"harness exceeded {max_turns} turns; workload livelocked"
                 )
+            if fault_plan:
+                inject_turn_faults()
             txn = runner.txn
             status = scheduler.transaction(txn).status
             if status is not TransactionStatus.ACTIVE:
@@ -144,7 +210,22 @@ def drive(
                 live.remove(runner)
                 continue
             if runner.step < len(runner.program.steps):
+                if fault_plan and fault_plan.spurious_abort(txn):
+                    emit_fault("spurious_abort", txn=txn)
+                    extra = scheduler.abort(txn, reason="fault-injected")
+                    resolutions.append(
+                        (txn, "fault-abort", tuple(sorted(extra)))
+                    )
+                    runner.done = True
+                    live.remove(runner)
+                    continue
+                if fault_plan and fault_plan.op_failure(txn):
+                    # Transient execution failure: the step is retried on
+                    # the runner's next turn.
+                    emit_fault("op_failure", txn=txn)
+                    continue
                 step = runner.program.steps[runner.step]
+                at_decision_point()
                 decision = scheduler.request(txn, object_name, step.invocation)
                 ops.append((txn, runner.step, decision))
                 if decision.executed:
@@ -155,11 +236,17 @@ def drive(
                 # else: blocked — retry on the next turn.
                 continue
             if runner.program.voluntary_abort:
+                at_decision_point()
                 extra = scheduler.abort(txn, reason="voluntary")
                 resolutions.append((txn, "voluntary-abort", tuple(sorted(extra))))
                 runner.done = True
                 live.remove(runner)
                 continue
+            if fault_plan and fault_plan.commit_delay(txn) is not None:
+                # The attempt is postponed to the runner's next turn.
+                emit_fault("commit_delay", txn=txn)
+                continue
+            at_decision_point()
             decision = scheduler.try_commit(txn)
             if decision.committed:
                 resolutions.append((txn, "committed", ()))
@@ -185,11 +272,15 @@ def drive(
     statuses = tuple(
         (txn, scheduler.transaction(txn).status.name) for txn in range(admitted)
     )
+    # Re-fetched from the (possibly checkpoint-swapped) scheduler rather
+    # than the registration-time object: after a crash swap the live
+    # object belongs to the recovered scheduler.
+    final_state = repr(scheduler.object(object_name).state())
     return Transcript(
         op_decisions=tuple(ops),
         resolutions=tuple(resolutions),
         edges=edges,
         statuses=statuses,
-        final_state=repr(shared.state()),
+        final_state=final_state,
         seed_stats=tuple(sorted(scheduler.stats.seed_counters().items())),
     )

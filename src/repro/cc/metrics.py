@@ -25,6 +25,9 @@ class RunMetrics:
     aborted: int = 0
     #: Involuntary-abort restarts performed (restart_aborted mode).
     restarts: int = 0
+    #: Programs that hit the restart ceiling and finished aborted — the
+    #: simulator's livelock-avoidance giving up, which used to be silent.
+    restarts_exhausted: int = 0
     #: Sum over transactions of time spent blocked waiting for conflicts.
     total_blocked_time: float = 0.0
     #: Individual blocked-interval durations (feeds the histogram export).
@@ -39,6 +42,10 @@ class RunMetrics:
     #: ``execution_cache_*`` counters so cache behaviour under runtime
     #: traffic is observable alongside the scheduler counters.
     execution_cache: object | None = None
+    #: Robustness counters (:class:`repro.robust.faults.RobustStats`,
+    #: duck-typed) when the run carried a fault plan or monitor; exported
+    #: as ``robust_*`` counters.
+    robust: object | None = None
 
     @property
     def throughput(self) -> float:
@@ -67,9 +74,14 @@ class RunMetrics:
 
     def summary(self) -> str:
         """One-line report used by benches and examples."""
+        exhausted = (
+            f" restarts_exhausted={self.restarts_exhausted}"
+            if self.restarts_exhausted
+            else ""
+        )
         return (
             f"makespan={self.makespan:.2f} committed={self.committed} "
-            f"aborted={self.aborted} restarts={self.restarts} "
+            f"aborted={self.aborted} restarts={self.restarts}{exhausted} "
             f"throughput={self.throughput:.3f} "
             f"concurrency={self.effective_concurrency:.2f} "
             f"blocked={self.total_blocked_time:.2f} "
@@ -96,6 +108,12 @@ class RunMetrics:
         registry.counter("restarts", "Involuntary-abort restarts.").inc(
             self.restarts
         )
+        registry.counter(
+            "restarts_exhausted",
+            "Programs that hit the restart ceiling and finished aborted.",
+        ).inc(self.restarts_exhausted)
+        if self.robust is not None:
+            self.robust.publish(registry)
         for field_info in dataclass_fields(self.scheduler):
             registry.counter(
                 f"scheduler_{field_info.name}", "Raw scheduler counter."

@@ -547,11 +547,38 @@ class TableDrivenScheduler:
         survivors (impossible under a sound table) are aborted as well and
         included in the returned set.  ``reason`` labels the trigger in
         the emitted trace event.
+
+        Replay-invalidated collateral is processed with an explicit
+        work-list (depth-first, matching the order the former recursion
+        produced) so a deep invalidation chain cannot exhaust the Python
+        call stack.
         """
         transaction = self.transaction(txn)
         if transaction.is_aborted:
             return set()
         transaction.require_active()
+        cascade, collateral = self._abort_once(txn, reason)
+        stack = list(reversed(collateral))
+        while stack:
+            t = stack.pop()
+            cascade.add(t)
+            if self.transaction(t).is_aborted:
+                continue
+            extra, more = self._abort_once(t, "replay-invalidated")
+            cascade |= extra
+            stack.extend(reversed(more))
+        return cascade
+
+    def _abort_once(
+        self, txn: TxnId, reason: str
+    ) -> tuple[set[TxnId], list[TxnId]]:
+        """Abort one active transaction plus its AD cascade, no follow-up.
+
+        Returns ``(cascade, collateral)``: the AD-cascaded transactions
+        aborted alongside ``txn``, and the still-active transactions whose
+        logged return values the rollback replay invalidated (the caller's
+        work-list processes those).
+        """
         cascade = {
             t
             for t in self._deps.abort_cascade([txn])
@@ -576,9 +603,7 @@ class TableDrivenScheduler:
         # The rollback rewrote every object's log; every maintained
         # shadow state is stale.  Epoch-invalidate and rebuild lazily.
         self._shadow.invalidate()
-        for t in collateral:
-            cascade |= {t} | self.abort(t, reason="replay-invalidated")
-        return cascade
+        return cascade, list(collateral)
 
     # ------------------------------------------------------------------
     # Introspection for drivers
@@ -591,6 +616,31 @@ class TableDrivenScheduler:
     def dependency_graph(self) -> DependencyGraph:
         """The live inter-transaction dependency graph."""
         return self._deps
+
+    # ------------------------------------------------------------------
+    # Quarantine (repro.robust invariant monitor)
+    # ------------------------------------------------------------------
+
+    def rebuild_fast_paths(self) -> None:
+        """Drop and rebuild every derived fast-path structure.
+
+        The quarantine rung of the robustness degradation ladder: the
+        execution-cache entries are discarded (a poisoned entry cannot
+        survive), every flat table is recompiled from its authoritative
+        :class:`~repro.core.tables.CompatibilityTable`, and the shadow
+        index is replaced by a fresh one whose states rebuild lazily from
+        the (authoritative) object logs.  Nothing here touches
+        transactions, dependency edges or logs, so scheduling decisions
+        after a rebuild are exactly what they would have been had the
+        fast paths never been corrupted.
+        """
+        self.execution_cache.clear()
+        self._shadow = ShadowStateIndex(
+            cache=self.execution_cache, stats=self.stats
+        )
+        for name, registered in self._objects.items():
+            registered.flat = FlatTable.compile(registered.table)
+            self._shadow.register(name)
 
     # ------------------------------------------------------------------
     # Internals

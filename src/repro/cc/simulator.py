@@ -34,7 +34,15 @@ from repro.cc.transaction import TxnId
 from repro.cc.workload import TransactionProgram, Workload
 from repro.core.table import CompatibilityTable
 from repro.errors import SchedulerError
-from repro.obs.events import RunCompleted, RunStarted
+from repro.obs.events import (
+    CrashInduced,
+    FaultInjected,
+    RecoveryCompleted,
+    RecoveryStarted,
+    RestartsExhausted,
+    RunCompleted,
+    RunStarted,
+)
 from repro.obs.tracers import NULL_TRACER, Tracer
 from repro.spec.adt import ADTSpec, AbstractState
 
@@ -77,12 +85,28 @@ class SimulationConfig:
     max_restarts: int = 10
     #: Backoff before a restarted program re-arrives.
     restart_backoff: float = 0.5
+    #: How the backoff grows with the restart count: ``"linear"``
+    #: (``backoff * restarts``, the seed behaviour — default, preserving
+    #: bit-parity with existing transcripts) or ``"exponential"``
+    #: (``backoff * 2**(restarts-1)``, capped by ``max_restart_backoff``).
+    restart_policy: str = "linear"
+    #: Ceiling on one exponential backoff interval.
+    max_restart_backoff: float = 30.0
     #: Safety valve: abort the run if the event loop exceeds this many
     #: events (a livelock would otherwise spin forever).
     max_events: int = 1_000_000
     #: Trace-event sink threaded through the scheduler; event timestamps
     #: are sim-clock times.  ``None`` means the zero-overhead NullTracer.
     tracer: Tracer | None = None
+    #: Optional :class:`~repro.robust.faults.FaultPlan` (duck-typed, so
+    #: ``repro.cc`` stays import-independent of ``repro.robust``)
+    #: consulted at the named fault points.  ``None`` — and likewise an
+    #: all-zero plan — leaves the run bit-identical to a fault-free one.
+    fault_plan: object | None = None
+    #: Optional wrapper applied to the freshly built scheduler before the
+    #: run (e.g. ``LoggingScheduler``/``MonitoredScheduler``); crash
+    #: faults require the wrapped scheduler to expose ``reincarnate()``.
+    scheduler_wrapper: object | None = None
 
 
 @dataclass(order=True)
@@ -119,8 +143,15 @@ def simulate_with_scheduler(
 ) -> tuple[RunMetrics, TableDrivenScheduler]:
     """Like :func:`simulate`, but also return the scheduler for inspection
     (serializability verification, dependency-graph examination)."""
+    if config.restart_policy not in ("linear", "exponential"):
+        raise SchedulerError(
+            f"unknown restart policy {config.restart_policy!r}"
+        )
     tracer = config.tracer if config.tracer is not None else NULL_TRACER
     scheduler = TableDrivenScheduler(policy=config.policy, tracer=tracer)
+    if config.scheduler_wrapper is not None:
+        scheduler = config.scheduler_wrapper(scheduler)
+    plan = config.fault_plan
     if tracer:
         tracer.emit(RunStarted(time=0.0, policy=config.policy))
     if config.objects:
@@ -154,6 +185,45 @@ def simulate_with_scheduler(
             queue,
             _Event(time, next(counter), kind, index, states[index].epoch),
         )
+
+    def restart_delay(restarts: int) -> float:
+        if config.restart_policy == "exponential":
+            return min(
+                config.restart_backoff * (2 ** (restarts - 1)),
+                config.max_restart_backoff,
+            )
+        return config.restart_backoff * restarts
+
+    def emit_fault(now: float, kind: str, txn: TxnId = -1, detail: str = "") -> None:
+        if tracer:
+            tracer.emit(
+                FaultInjected(time=now, kind=kind, txn=txn, detail=detail)
+            )
+
+    def inject_event_faults(now: float) -> None:
+        """Between-event faults: cache poisoning and scheduler crashes."""
+        nonlocal scheduler
+        mode = plan.cache_poison()
+        if mode:
+            cache = getattr(scheduler, "execution_cache", None)
+            if cache is not None:
+                if mode == "evict":
+                    cache.chaos_evict()
+                else:
+                    cache.chaos_corrupt()
+            emit_fault(now, "cache_poison", detail=mode)
+        if plan.crash() and hasattr(scheduler, "reincarnate"):
+            emit_fault(now, "crash")
+            records = len(scheduler.log)
+            if tracer:
+                tracer.emit(CrashInduced(time=now, log_records=records))
+                tracer.emit(RecoveryStarted(time=now, log_records=records))
+            scheduler = scheduler.reincarnate()
+            if tracer:
+                tracer.emit(RecoveryCompleted(time=now, replayed=records))
+            stats = getattr(plan, "stats", None)
+            if stats is not None:
+                stats.recoveries += 1
 
     def wake_stalled(now: float) -> None:
         """Retry every stalled program after a resolution."""
@@ -189,22 +259,29 @@ def simulate_with_scheduler(
             # program inside the current attempt; a second resolve here
             # would double-count the restart and re-bump the epoch.
             return
-        if (
-            config.restart_aborted
-            and not state.program.voluntary_abort
-            and state.restarts < config.max_restarts
-        ):
-            state.restarts += 1
-            state.epoch += 1
-            metrics.restarts += 1
-            credit_blocked(state, now)
-            state.txn = None
-            state.next_step = 0
-            state.stalled = False
-            index = states.index(state)
-            push(now + config.restart_backoff * state.restarts, "arrive", index)
-            wake_stalled(now)
-            return
+        if config.restart_aborted and not state.program.voluntary_abort:
+            if state.restarts < config.max_restarts:
+                state.restarts += 1
+                state.epoch += 1
+                metrics.restarts += 1
+                credit_blocked(state, now)
+                state.txn = None
+                state.next_step = 0
+                state.stalled = False
+                index = states.index(state)
+                push(now + restart_delay(state.restarts), "arrive", index)
+                wake_stalled(now)
+                return
+            # The restart ceiling: the program stops being retried.  Count
+            # and trace it — a silently dropped program is a livelock
+            # symptom no one can observe.
+            metrics.restarts_exhausted += 1
+            if tracer:
+                tracer.emit(
+                    RestartsExhausted(
+                        time=now, txn=state.txn, restarts=state.restarts
+                    )
+                )
         finish(state, now, committed=False)
 
     def settle_collaterals(now: float) -> None:
@@ -226,6 +303,19 @@ def simulate_with_scheduler(
             return
         if state.next_step >= len(state.program.steps):
             attempt_commit(index, now)
+            return
+        if plan and plan.spurious_abort(state.txn):
+            emit_fault(now, "spurious_abort", txn=state.txn)
+            scheduler.abort(state.txn, reason="fault-injected")
+            credit_blocked(state, now)
+            resolve_abort(state, now)
+            settle_collaterals(now)
+            return
+        if plan and plan.op_failure(state.txn):
+            # Transient execution failure: retry the same step after the
+            # plan's retry delay.
+            emit_fault(now, "op_failure", txn=state.txn)
+            push(now + plan.spec.op_failure_retry_delay, "retry", index)
             return
         step = state.program.steps[state.next_step]
         decision = scheduler.request(state.txn, step.object_name, step.invocation)
@@ -256,6 +346,12 @@ def simulate_with_scheduler(
             finish(state, now, committed=False)
             settle_collaterals(now)
             return
+        if plan:
+            delay = plan.commit_delay(state.txn)
+            if delay is not None:
+                emit_fault(now, "commit_delay", txn=state.txn)
+                push(now + delay, "retry", index)
+                return
         decision = scheduler.try_commit(state.txn)
         # A commit-wait deadlock victim may have been aborted inside
         # try_commit regardless of the outcome; settle such programs so
@@ -283,6 +379,8 @@ def simulate_with_scheduler(
         state = states[event.program_index]
         if state.done or event.epoch != state.epoch:
             continue
+        if plan:
+            inject_event_faults(event.time)
         if event.kind == "arrive":
             scheduler.now = event.time
             state.txn = scheduler.begin()
@@ -301,7 +399,13 @@ def simulate_with_scheduler(
 
     metrics.makespan = clock
     metrics.scheduler = scheduler.stats
-    metrics.execution_cache = scheduler.execution_cache
+    # getattr: after a degraded crash recovery the live scheduler may be
+    # the reference implementation, which has no execution cache.
+    metrics.execution_cache = getattr(scheduler, "execution_cache", None)
+    if plan is not None:
+        metrics.robust = getattr(plan, "stats", None)
+    else:
+        metrics.robust = getattr(scheduler, "robust_stats", None)
     if tracer:
         tracer.emit(
             RunCompleted(

@@ -25,6 +25,8 @@ __all__ = [
     "DependencyCycleError",
     "SchedulerError",
     "WorkloadError",
+    "RecoveryError",
+    "InvariantViolationError",
     "ExperimentError",
 ]
 
@@ -133,6 +135,29 @@ class SchedulerError(TransactionError):
 
 class WorkloadError(ReproError):
     """A workload specification is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Robustness errors (repro.robust)
+# ---------------------------------------------------------------------------
+
+class RecoveryError(TransactionError):
+    """Decision-log replay diverged from the recorded outcomes.
+
+    Raised when crash recovery replays the log into a fresh scheduler and
+    a replayed decision disagrees with the one originally recorded — the
+    log is corrupt, truncated mid-record, or the scheduler is no longer
+    deterministic.
+    """
+
+
+class InvariantViolationError(TransactionError):
+    """A monitored invariant kept failing after every degradation rung.
+
+    The monitor only raises once the ladder is exhausted: fast paths were
+    rebuilt and execution fell back to the bit-parity reference scheduler,
+    and the invariant still does not hold.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -40,6 +40,13 @@ __all__ = [
     "DeadlockResolved",
     "StageTimed",
     "RunCompleted",
+    "FaultInjected",
+    "CrashInduced",
+    "RecoveryStarted",
+    "RecoveryCompleted",
+    "InvariantViolated",
+    "DegradedMode",
+    "RestartsExhausted",
     "event_from_dict",
     "event_type_names",
 ]
@@ -245,6 +252,103 @@ class RunCompleted(TraceEvent):
     committed: int = 0
     aborted: int = 0
     final_states: tuple[tuple[str, str], ...] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class FaultInjected(TraceEvent):
+    """A deterministic fault plan fired at a named fault point.
+
+    ``kind`` is the fault-point name (``spurious_abort``, ``op_failure``,
+    ``commit_delay``, ``cache_poison``, ``crash``), ``txn`` the affected
+    transaction (``-1`` for scheduler-wide faults like crashes and cache
+    poisoning) and ``detail`` a short free-form qualifier.
+    """
+
+    type: ClassVar[str] = "fault_injected"
+    kind: str = ""
+    txn: int = -1
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class CrashInduced(TraceEvent):
+    """The scheduler process was killed by the fault plan.
+
+    Everything not reconstructible from the durable decision log is lost;
+    a :class:`RecoveryStarted`/:class:`RecoveryCompleted` pair follows
+    when a decision log is attached.
+    """
+
+    type: ClassVar[str] = "crash_induced"
+    #: Decision-log records available to the recovery that follows.
+    log_records: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class RecoveryStarted(TraceEvent):
+    """Crash recovery began: the decision log is about to be replayed."""
+
+    type: ClassVar[str] = "recovery_started"
+    log_records: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class RecoveryCompleted(TraceEvent):
+    """Crash recovery finished; the rebuilt scheduler is live again.
+
+    ``replayed`` counts the decision-log records replayed and verified;
+    ``verified`` is ``False`` only when outcome verification was skipped.
+    """
+
+    type: ClassVar[str] = "recovery_completed"
+    replayed: int = 0
+    verified: bool = True
+
+
+@_register
+@dataclass(frozen=True)
+class InvariantViolated(TraceEvent):
+    """A monitored invariant failed its periodic check.
+
+    ``invariant`` names the check (``acyclicity``, ``serializability``,
+    ``shadow_freshness``); ``detail`` describes the violation.
+    """
+
+    type: ClassVar[str] = "invariant_violated"
+    invariant: str = ""
+    detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class DegradedMode(TraceEvent):
+    """The monitor fell back to bit-parity reference execution.
+
+    Emitted after fast-path quarantine failed to clear the violation;
+    ``reason`` names the invariant that kept failing.
+    """
+
+    type: ClassVar[str] = "degraded_mode"
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class RestartsExhausted(TraceEvent):
+    """A restarted program hit its restart ceiling and finished aborted.
+
+    Makes the simulator's livelock-avoidance observable: without this
+    event (and the matching ``RunMetrics.restarts_exhausted`` counter) a
+    program silently stopped being retried.
+    """
+
+    type: ClassVar[str] = "restarts_exhausted"
+    txn: int = -1
+    restarts: int = 0
 
 
 def event_type_names() -> list[str]:

@@ -124,6 +124,46 @@ class ExecutionCache:
         with self._lock:
             self._entries.clear()
 
+    # ------------------------------------------------------------------
+    # Chaos hooks (repro.robust fault injection)
+    # ------------------------------------------------------------------
+
+    def chaos_evict(self, count: int = 1) -> int:
+        """Forcibly evict up to ``count`` LRU entries; returns how many.
+
+        Fault-injection hook: models cache pressure/loss without touching
+        the LRU bound.  Evictions are counted in the ordinary eviction
+        counter so the metrics export reflects them.
+        """
+        evicted = 0
+        with self._lock:
+            while self._entries and evicted < count:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        return evicted
+
+    def chaos_corrupt(self) -> bool:
+        """Corrupt one cached entry in place; returns whether one was.
+
+        Fault-injection hook: the most recently used entry whose
+        execution actually changed state gets its ``post_state`` rolled
+        back to its ``pre_state`` — a silent wrong answer that stays
+        internally plausible, which is exactly what the invariant
+        monitor's shadow-freshness check must catch.
+        """
+        from dataclasses import replace
+
+        with self._lock:
+            for key in reversed(self._entries):
+                execution = self._entries[key]
+                if execution.post_state != execution.pre_state:
+                    self._entries[key] = replace(
+                        execution, post_state=execution.pre_state
+                    )
+                    return True
+        return False
+
     def __len__(self) -> int:
         return len(self._entries)
 

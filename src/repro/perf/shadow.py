@@ -147,6 +147,16 @@ class ShadowStateIndex:
         """The object's current invalidation epoch (for tests/debugging)."""
         return self._objects[name].epoch
 
+    def maintained(self, name: str) -> dict[int, AbstractState]:
+        """A snapshot of the maintained states: ``{txn: shadow state}``.
+
+        Audit surface for the invariant monitor's shadow-freshness check:
+        every maintained state must equal a fresh "log minus txn" replay.
+        The copy is shallow (states are immutable), so auditors cannot
+        perturb the index.
+        """
+        return dict(self._objects[name].excluding)
+
     # ------------------------------------------------------------------
     # Queries (the scheduler's certification hot path)
     # ------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Chaos campaigns: fault storms + crash sweeps over an ADT/seed matrix.
+
+The ``chaos`` CLI subcommand and the CI ``chaos-smoke`` job both bottom
+out here: :func:`run_chaos` takes a matrix of (ADT × policy × seed)
+cells and, per cell, (a) runs the exhaustive crash-point sweep
+(:func:`repro.robust.crash.crash_sweep`) and (b) drives the workload
+under a seeded fault storm with the invariant monitor attached,
+verifying the run completes with a serializable committed history.  The
+result is a plain JSON-ready report; everything feeding it is seeded
+and clock-free, so the same matrix and spec produce a **byte-identical**
+report (``render_report`` serialises with sorted keys) — chaos results
+are diffable artifacts, not flaky dashboards.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cc.harness import drive
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.serializability import is_serializable
+from repro.cc.workload import WorkloadConfig, generate
+from repro.robust.crash import crash_sweep
+from repro.robust.decision_log import DecisionLog
+from repro.robust.faults import FaultPlan, FaultSpec, RobustStats
+from repro.robust.monitor import MonitoredScheduler
+
+__all__ = ["run_chaos", "render_report"]
+
+
+def _storm_cell(
+    adt, table, workload, policy: str, seed: int, spec: FaultSpec,
+    check_interval: int,
+) -> dict:
+    """One fault-storm run under the monitor; returns its report cell."""
+    stats = RobustStats()
+    plan = FaultPlan(seed, spec, stats=stats)
+    monitored = MonitoredScheduler(
+        TableDrivenScheduler(policy=policy),
+        log=DecisionLog(),
+        check_interval=check_interval,
+        robust_stats=stats,
+    )
+    final = {"scheduler": monitored}
+
+    def remember(_index, scheduler):
+        # The fault plan may crash-swap the scheduler mid-run; the cell
+        # audits whichever instance finished the workload.
+        final["scheduler"] = scheduler
+        return None
+
+    transcript = drive(
+        monitored, adt, table, workload, checkpoint=remember, fault_plan=plan
+    )
+    survivor = final["scheduler"]
+    return {
+        "serializable": is_serializable(survivor),
+        "degraded": bool(getattr(survivor, "degraded", False)),
+        "committed": list(transcript.committed()),
+        "final_state": transcript.final_state,
+        "faults": plan.report(),
+        "robust": stats.to_dict(),
+    }
+
+
+def run_chaos(
+    adts: dict[str, tuple],
+    policies: tuple[str, ...] = ("optimistic", "blocking"),
+    seeds: tuple[int, ...] = (1991,),
+    transactions: int = 6,
+    operations: int = 3,
+    spec: FaultSpec | None = None,
+    check_interval: int = 4,
+    crash_sweep_enabled: bool = True,
+) -> dict:
+    """Run the full chaos matrix and return the JSON-ready report.
+
+    ``adts`` maps ADT name to ``(adt, table)`` — callers derive the
+    tables (the CLI via :func:`repro.core.methodology.derive`).  The
+    report's ``"passed"`` field is the CI gate: every sweep transcript
+    identical and every storm serializable.
+    """
+    spec = spec if spec is not None else FaultSpec.storm()
+    cells = []
+    passed = True
+    for adt_name in sorted(adts):
+        adt, table = adts[adt_name]
+        for policy in policies:
+            for seed in seeds:
+                workload = generate(
+                    adt,
+                    "obj",
+                    WorkloadConfig(
+                        transactions=transactions,
+                        operations_per_transaction=operations,
+                        seed=seed,
+                    ),
+                )
+                cell: dict = {"adt": adt_name, "policy": policy, "seed": seed}
+                if crash_sweep_enabled:
+                    sweep = crash_sweep(adt, table, workload, policy=policy)
+                    cell["crash_sweep"] = sweep.to_dict()
+                    passed = passed and sweep.passed
+                storm = _storm_cell(
+                    adt, table, workload, policy, seed, spec, check_interval
+                )
+                cell["fault_storm"] = storm
+                passed = passed and storm["serializable"]
+                cells.append(cell)
+    return {
+        "matrix": {
+            "adts": sorted(adts),
+            "policies": list(policies),
+            "seeds": list(seeds),
+            "transactions": transactions,
+            "operations": operations,
+        },
+        "spec": {
+            "spurious_abort_rate": spec.spurious_abort_rate,
+            "op_failure_rate": spec.op_failure_rate,
+            "commit_delay_rate": spec.commit_delay_rate,
+            "cache_poison_rate": spec.cache_poison_rate,
+            "crash_rate": spec.crash_rate,
+            "max_faults": spec.max_faults,
+            "max_crashes": spec.max_crashes,
+        },
+        "cells": cells,
+        "passed": passed,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Byte-stable serialisation of a chaos report (sorted keys)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

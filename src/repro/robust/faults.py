@@ -1,0 +1,305 @@
+"""Deterministic fault injection: seeded plans consulted at named points.
+
+The schedulers and drivers in this repository are deterministic by
+design, so failures can be too: a :class:`FaultPlan` is a pure function
+of ``(seed, spec)`` and the sequence of fault points the run consults.
+Re-running the same workload with the same plan reproduces every
+injected fault — spurious aborts, operation failures, delayed commits,
+execution-cache poisoning and scheduler crashes — byte for byte, which
+is what makes chaos reports diffable and chaos regressions bisectable.
+
+Fault points are *named*; the drivers consult the plan at exactly these
+points, in a deterministic order:
+
+``spurious_abort``
+    Before a transaction issues an operation: the transaction is aborted
+    as if an operator or an external failure detector killed it.
+``op_failure``
+    Before an operation executes: the execution fails transiently and
+    the program retries later (exercising retry paths, not atomicity).
+``commit_delay``
+    Before a commit attempt: the attempt is postponed, widening the
+    window in which other transactions conflict with a finished one.
+``cache_poison``
+    Between events: the scheduler's :class:`~repro.perf.cache.ExecutionCache`
+    is force-evicted or an entry is corrupted (the invariant monitor's
+    corruption-detection target).
+``crash``
+    Between events: the scheduler "process" dies; with a
+    :class:`~repro.robust.decision_log.DecisionLog` attached the driver
+    recovers by replay, otherwise the crash point is skipped.
+
+An all-zero :class:`FaultSpec` produces a falsy plan; every consultation
+site is guarded with ``if plan:``, so fault-free runs never draw from
+the RNG and remain bit-identical to runs without a plan at all.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass, field
+
+__all__ = ["FAULT_KINDS", "FaultRecord", "FaultSpec", "FaultPlan", "RobustStats"]
+
+#: The named fault points, in a stable order used by reports.
+FAULT_KINDS = (
+    "spurious_abort",
+    "op_failure",
+    "commit_delay",
+    "cache_poison",
+    "crash",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and caps of one fault campaign (all rates are per consult).
+
+    The spec is immutable and hashable so ``(seed, spec)`` fully
+    identifies a plan; :meth:`FaultPlan.report` embeds both.
+    """
+
+    spurious_abort_rate: float = 0.0
+    op_failure_rate: float = 0.0
+    commit_delay_rate: float = 0.0
+    cache_poison_rate: float = 0.0
+    crash_rate: float = 0.0
+    #: Sim-time delay applied to a delayed commit / failed operation retry.
+    commit_delay: float = 1.0
+    op_failure_retry_delay: float = 0.25
+    #: Hard caps: a campaign never exceeds these, whatever the rates say.
+    max_faults: int = 1_000
+    max_crashes: int = 2
+
+    def __post_init__(self) -> None:
+        for name in (
+            "spurious_abort_rate",
+            "op_failure_rate",
+            "commit_delay_rate",
+            "cache_poison_rate",
+            "crash_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether every rate is zero (the plan will never fire)."""
+        return not (
+            self.spurious_abort_rate
+            or self.op_failure_rate
+            or self.commit_delay_rate
+            or self.cache_poison_rate
+            or self.crash_rate
+        )
+
+    @classmethod
+    def storm(cls, intensity: float = 0.05) -> "FaultSpec":
+        """A balanced everything-on campaign scaled by ``intensity``."""
+        return cls(
+            spurious_abort_rate=intensity,
+            op_failure_rate=intensity,
+            commit_delay_rate=intensity,
+            cache_poison_rate=intensity / 2,
+            crash_rate=intensity / 2,
+        )
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, in injection order."""
+
+    index: int  #: 0-based injection sequence number
+    kind: str
+    txn: int = -1
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "txn": self.txn,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class RobustStats:
+    """Counters of the robustness layer, shared by plans and monitors.
+
+    One instance is threaded through the :class:`FaultPlan`, the
+    :class:`~repro.robust.monitor.MonitoredScheduler` and the recovery
+    path of a run (the :class:`~repro.cc.scheduler.SchedulerStats`
+    pattern), then exported through the metrics registry by
+    :meth:`publish` — which is what ``simulate --metrics-format`` shows.
+    """
+
+    faults_injected: int = 0
+    #: Per-kind injection counts (keys from :data:`FAULT_KINDS`).
+    faults_by_kind: dict = field(
+        default_factory=lambda: {kind: 0 for kind in FAULT_KINDS}
+    )
+    #: Crash recoveries plus fast-path rebuilds after a violation.
+    recoveries: int = 0
+    invariant_checks: int = 0
+    invariant_violations: int = 0
+    degradations: int = 0
+
+    def publish(self, registry) -> None:
+        """Export the counters into a :class:`~repro.obs.registry.MetricsRegistry`."""
+        registry.counter(
+            "robust_faults_injected", "Faults injected by the fault plan."
+        ).inc(self.faults_injected)
+        for kind in FAULT_KINDS:
+            registry.counter(
+                "robust_faults",
+                "Faults injected, by fault-point kind.",
+                labels={"kind": kind},
+            ).inc(self.faults_by_kind.get(kind, 0))
+        registry.counter(
+            "robust_recoveries",
+            "Crash recoveries and post-violation fast-path rebuilds.",
+        ).inc(self.recoveries)
+        registry.counter(
+            "robust_invariant_checks", "Invariant-monitor check rounds."
+        ).inc(self.invariant_checks)
+        registry.counter(
+            "robust_invariant_violations", "Invariant checks that failed."
+        ).inc(self.invariant_violations)
+        registry.counter(
+            "robust_degradations",
+            "Falls back to bit-parity reference execution.",
+        ).inc(self.degradations)
+
+    def to_dict(self) -> dict:
+        return {
+            "faults_injected": self.faults_injected,
+            "faults_by_kind": dict(self.faults_by_kind),
+            "recoveries": self.recoveries,
+            "invariant_checks": self.invariant_checks,
+            "invariant_violations": self.invariant_violations,
+            "degradations": self.degradations,
+        }
+
+
+class FaultPlan:
+    """A seeded, reproducible schedule of fault injections.
+
+    The plan owns a private ``random.Random(seed)``; every consult of a
+    fault point with a non-zero rate draws exactly one uniform variate,
+    so the injection schedule is a deterministic function of
+    ``(seed, spec)`` and the (deterministic) consult sequence of the run.
+    Consults of zero-rate points draw nothing, which is what keeps an
+    all-zero spec bit-identical to running without a plan.
+
+    Truthiness: a plan is falsy when its spec is empty, so hot paths can
+    guard with ``if plan:`` and pay a single branch in fault-free runs.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        spec: FaultSpec | None = None,
+        stats: RobustStats | None = None,
+    ) -> None:
+        self.seed = seed
+        self.spec = spec if spec is not None else FaultSpec.storm()
+        self.stats = stats if stats is not None else RobustStats()
+        self.records: list[FaultRecord] = []
+        self._rng = random.Random(seed)
+        self._crashes = 0
+
+    def __bool__(self) -> bool:
+        return not self.spec.is_empty
+
+    # ------------------------------------------------------------------
+    # Fault points
+    # ------------------------------------------------------------------
+
+    def spurious_abort(self, txn: int) -> bool:
+        """Should ``txn`` be spuriously aborted before its next operation?"""
+        return self._fires("spurious_abort", self.spec.spurious_abort_rate, txn)
+
+    def op_failure(self, txn: int) -> bool:
+        """Should the next operation execution fail transiently?"""
+        return self._fires("op_failure", self.spec.op_failure_rate, txn)
+
+    def commit_delay(self, txn: int) -> float | None:
+        """Delay to impose on the commit attempt, or ``None``."""
+        if self._fires(
+            "commit_delay",
+            self.spec.commit_delay_rate,
+            txn,
+            detail=f"+{self.spec.commit_delay}",
+        ):
+            return self.spec.commit_delay
+        return None
+
+    def cache_poison(self) -> str | None:
+        """Cache fault to inject now: ``"evict"``, ``"corrupt"`` or ``None``.
+
+        The mode itself is part of the seeded schedule (a second draw
+        made only when the point fires).
+        """
+        if not self._may_fire(self.spec.cache_poison_rate):
+            return None
+        mode = "evict" if self._rng.random() < 0.5 else "corrupt"
+        self._record("cache_poison", detail=mode)
+        return mode
+
+    def crash(self) -> bool:
+        """Should the scheduler crash now?  Capped by ``max_crashes``."""
+        if self._crashes >= self.spec.max_crashes:
+            return False
+        if not self._may_fire(self.spec.crash_rate):
+            return False
+        self._crashes += 1
+        self._record("crash")
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def report(self) -> dict:
+        """A JSON-ready account of the campaign (deterministic field order)."""
+        return {
+            "seed": self.seed,
+            "spec": asdict(self.spec),
+            "faults_injected": self.stats.faults_injected,
+            "faults_by_kind": dict(self.stats.faults_by_kind),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _may_fire(self, rate: float) -> bool:
+        """One seeded draw against ``rate`` (no draw for zero rates)."""
+        if rate <= 0.0:
+            return False
+        if self.stats.faults_injected >= self.spec.max_faults:
+            return False
+        return self._rng.random() < rate
+
+    def _fires(self, kind: str, rate: float, txn: int, detail: str = "") -> bool:
+        if not self._may_fire(rate):
+            return False
+        self._record(kind, txn=txn, detail=detail)
+        return True
+
+    def _record(self, kind: str, txn: int = -1, detail: str = "") -> None:
+        self.records.append(
+            FaultRecord(
+                index=self.stats.faults_injected,
+                kind=kind,
+                txn=txn,
+                detail=detail,
+            )
+        )
+        self.stats.faults_injected += 1
+        self.stats.faults_by_kind[kind] = (
+            self.stats.faults_by_kind.get(kind, 0) + 1
+        )

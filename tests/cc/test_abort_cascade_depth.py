@@ -1,0 +1,114 @@
+"""Deep replay-invalidation chains must not exhaust the call stack.
+
+Under a *sound* table every abort-dependent transaction is cascaded via
+AD edges and ``remove_transactions`` never invalidates a survivor.  The
+collateral work-list in :meth:`Scheduler.abort` exists for the unsound
+case the soundness experiments probe: a deliberately all-ND table lets
+transactions read through each other without edges, so aborting the
+root invalidates the whole chain one replay at a time.  That used to
+recurse once per chain link; these tests pin the iterative behaviour.
+"""
+
+import inspect
+import sys
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.transaction import TransactionStatus
+from repro.core.dependency import Dependency
+from repro.core.entry import Entry
+from repro.core.table import CompatibilityTable
+from repro.spec.operation import Invocation
+
+
+def all_nd_table(adt):
+    """The unsound extreme: every pair interleaves freely, no edges."""
+    operations = list(adt.operations)
+    return CompatibilityTable(
+        operations,
+        entries={
+            (invoked, executing): Entry.unconditional(Dependency.ND)
+            for invoked in operations
+            for executing in operations
+        },
+        name="all-nd",
+    )
+
+
+def build_chain(depth):
+    """txn 0 deposits 1; each later txn withdraws then redeposits it.
+
+    Every Withdraw(1) observes the single unit txn 0 deposited (each
+    link's net effect is zero), so aborting txn 0 replays every later
+    Withdraw to ``nok`` — but only one link at a time becomes aborted,
+    re-running the replay: a chain ``depth`` invalidations long.
+    """
+    adt = AccountSpec()
+    scheduler = TableDrivenScheduler()
+    scheduler.register_object("obj", adt, all_nd_table(adt))
+    root = scheduler.begin()
+    assert scheduler.request(root, "obj", Invocation("Deposit", (1,))).executed
+    links = []
+    for _ in range(depth):
+        txn = scheduler.begin()
+        decision = scheduler.request(txn, "obj", Invocation("Withdraw", (1,)))
+        assert decision.executed
+        assert scheduler.request(
+            txn, "obj", Invocation("Deposit", (1,))
+        ).executed
+        links.append(txn)
+    return scheduler, root, links
+
+
+class TestDeepCascade:
+    def test_chain_aborts_completely(self):
+        scheduler, root, links = build_chain(12)
+        cascade = scheduler.abort(root)
+        assert cascade == set(links)
+        for txn in [root, *links]:
+            assert scheduler.transaction(txn).status is TransactionStatus.ABORTED
+        assert scheduler.object("obj").state() == 0
+
+    def test_hundreds_of_links_fit_in_a_small_stack(self):
+        depth = 300
+        scheduler, root, links = build_chain(depth)
+        # Tight enough that one Python frame per chain link would blow:
+        # the former recursive abort needed O(depth) frames.
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(len(inspect.stack()) + 60)
+        try:
+            cascade = scheduler.abort(root)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert cascade == set(links)
+        assert scheduler.object("obj").state() == 0
+
+    def test_collateral_is_counted_but_not_double_aborted(self):
+        scheduler, root, links = build_chain(8)
+        before = scheduler.stats.aborts
+        scheduler.abort(root)
+        # Every chain transaction is aborted exactly once.
+        assert scheduler.stats.aborts - before == 1 + len(links)
+
+    def test_sound_table_produces_no_collateral(self):
+        adt = AccountSpec()
+        from repro.core.methodology import derive
+
+        scheduler = TableDrivenScheduler()
+        scheduler.register_object("obj", adt, derive(adt).final_table)
+        root = scheduler.begin()
+        assert scheduler.request(
+            root, "obj", Invocation("Deposit", (1,))
+        ).executed
+        reader = scheduler.begin()
+        decision = scheduler.request(reader, "obj", Invocation("Withdraw", (1,)))
+        cascade = scheduler.abort(root)
+        # Whatever the sound table decided (AD cascade or a blocked
+        # reader), nothing is ever replay-invalidated collateral: the
+        # cascade only contains transactions with a recorded AD path.
+        if decision.executed:
+            assert cascade == {reader}
+        else:
+            assert cascade == set()

@@ -1,0 +1,176 @@
+"""Decision-log recording, crash recovery by replay, and durability."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.cc.harness import drive
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.errors import RecoveryError
+from repro.robust import Decision, DecisionLog, LoggingScheduler, recover
+
+
+@pytest.fixture(scope="module")
+def adt():
+    return AccountSpec()
+
+
+@pytest.fixture(scope="module")
+def table(adt):
+    return derive(adt).final_table
+
+
+@pytest.fixture(scope="module")
+def workload(adt):
+    return generate(
+        adt,
+        "obj",
+        WorkloadConfig(
+            transactions=6, operations_per_transaction=3, seed=17,
+            abort_probability=0.2,
+        ),
+    )
+
+
+def logged_run(adt, table, workload, policy="optimistic"):
+    scheduler = LoggingScheduler(TableDrivenScheduler(policy=policy))
+    transcript = drive(scheduler, adt, table, workload)
+    return scheduler, transcript
+
+
+class TestLoggingTransparency:
+    @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+    def test_wrapper_is_invisible_to_the_harness(
+        self, adt, table, workload, policy
+    ):
+        plain = drive(
+            TableDrivenScheduler(policy=policy), adt, table, workload
+        )
+        _, logged = logged_run(adt, table, workload, policy=policy)
+        assert plain == logged
+
+    def test_every_call_is_recorded(self, adt, table, workload):
+        scheduler, transcript = logged_run(adt, table, workload)
+        kinds = [record.kind for record in scheduler.log.records]
+        assert kinds[0] == "register"
+        assert kinds.count("begin") == len(workload.programs)
+        assert kinds.count("request") == len(transcript.op_decisions)
+
+    def test_policy_captured(self, adt, table, workload):
+        scheduler, _ = logged_run(adt, table, workload, policy="blocking")
+        assert scheduler.log.policy == "blocking"
+
+
+class TestRecovery:
+    @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+    def test_replay_rebuilds_identical_state(
+        self, adt, table, workload, policy
+    ):
+        scheduler, _ = logged_run(adt, table, workload, policy=policy)
+        recovered = recover(scheduler.log)
+        assert recovered.policy == policy
+        assert (
+            recovered.object("obj").state()
+            == scheduler.object("obj").state()
+        )
+        # The full counter state is rebuilt, not approximated.
+        assert recovered.stats == scheduler.inner.stats
+        assert (
+            recovered.dependency_graph().edges()
+            == scheduler.dependency_graph().edges()
+        )
+        for txn in range(len(workload.programs)):
+            assert (
+                recovered.transaction(txn).status
+                is scheduler.transaction(txn).status
+            )
+
+    def test_divergent_log_raises_recovery_error(self, adt, table, workload):
+        scheduler, _ = logged_run(adt, table, workload)
+        log = scheduler.log
+        # Corrupt one recorded outcome: replay must refuse, not diverge
+        # silently.
+        target = next(
+            index
+            for index, record in enumerate(log.records)
+            if record.kind == "request" and record.outcome == "executed"
+        )
+        import dataclasses
+
+        log.records[target] = dataclasses.replace(
+            log.records[target], returned="ReturnValue(outcome='bogus')"
+        )
+        with pytest.raises(RecoveryError):
+            recover(log)
+
+    def test_unknown_kind_raises(self):
+        log = DecisionLog()
+        log.append(Decision(kind="meddle"))
+        with pytest.raises(RecoveryError):
+            recover(log)
+
+
+class TestDurability:
+    def test_jsonl_round_trip(self, adt, table, workload, tmp_path):
+        scheduler, _ = logged_run(adt, table, workload, policy="blocking")
+        path = tmp_path / "decisions.jsonl"
+        scheduler.log.dump_jsonl(str(path))
+
+        def resolve(_name, _adt_name, _state_repr):
+            return adt, table, adt.initial_state()
+
+        loaded = DecisionLog.load(str(path), resolve=resolve)
+        assert loaded.policy == "blocking"
+        assert loaded.records == scheduler.log.records
+        recovered = recover(loaded)
+        assert (
+            recovered.object("obj").state()
+            == scheduler.object("obj").state()
+        )
+
+    def test_streaming_attachment_replays_history(
+        self, adt, table, workload, tmp_path
+    ):
+        scheduler, _ = logged_run(adt, table, workload)
+        path = tmp_path / "late.jsonl"
+        with open(path, "w", encoding="utf-8") as stream:
+            scheduler.log.attach_jsonl(stream)
+            # Appends after attachment stream through immediately.
+            txn = scheduler.begin()
+            scheduler.abort(txn)
+        lines = path.read_text().strip().splitlines()
+        # header + all prior records + begin + abort
+        assert len(lines) == 1 + len(scheduler.log.records)
+
+    def test_load_without_resolver_refuses_replay(
+        self, adt, table, workload, tmp_path
+    ):
+        scheduler, _ = logged_run(adt, table, workload)
+        path = tmp_path / "bare.jsonl"
+        scheduler.log.dump_jsonl(str(path))
+        loaded = DecisionLog.load(str(path))
+        assert len(loaded.records) == len(scheduler.log.records)
+        with pytest.raises(RecoveryError):
+            recover(loaded)
+
+    def test_corrupt_jsonl_raises(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"kind": "begin", "txn": 0}\nnot json\n')
+        with pytest.raises(RecoveryError):
+            DecisionLog.load(str(path))
+
+
+class TestReincarnation:
+    def test_reincarnate_continues_on_the_same_log(self, adt, table):
+        scheduler = LoggingScheduler(TableDrivenScheduler())
+        scheduler.register_object("obj", adt, table)
+        t0 = scheduler.begin()
+        deposit = adt.invocations_of("Deposit")[0]
+        scheduler.request(t0, "obj", deposit)
+
+        reborn = scheduler.reincarnate()
+        assert reborn.log is scheduler.log
+        assert reborn.object("obj").state() == scheduler.object("obj").state()
+        # The recovered scheduler keeps serving the same transactions.
+        assert reborn.try_commit(t0).committed

@@ -1,0 +1,123 @@
+"""Determinism and bit-parity guarantees of the fault plan."""
+
+import json
+
+import pytest
+
+from repro.robust import FAULT_KINDS, FaultPlan, FaultSpec, RobustStats
+
+
+def consume(plan, rounds=200):
+    """A fixed consult script: what a deterministic driver would do."""
+    fired = []
+    for txn in range(rounds):
+        if plan.spurious_abort(txn):
+            fired.append(("spurious_abort", txn))
+        if plan.op_failure(txn):
+            fired.append(("op_failure", txn))
+        delay = plan.commit_delay(txn)
+        if delay is not None:
+            fired.append(("commit_delay", txn))
+        mode = plan.cache_poison()
+        if mode:
+            fired.append(("cache_poison", mode))
+        if plan.crash():
+            fired.append(("crash", txn))
+    return fired
+
+
+class TestFaultSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(spurious_abort_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(crash_rate=-0.1)
+
+    def test_empty_detection(self):
+        assert FaultSpec().is_empty
+        assert not FaultSpec.storm().is_empty
+        assert not FaultSpec(op_failure_rate=0.01).is_empty
+
+    def test_storm_scales_with_intensity(self):
+        storm = FaultSpec.storm(0.2)
+        assert storm.spurious_abort_rate == 0.2
+        assert storm.crash_rate == 0.1
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = consume(FaultPlan(42, FaultSpec.storm(0.2)))
+        b = consume(FaultPlan(42, FaultSpec.storm(0.2)))
+        assert a == b
+        assert a  # premise: the storm actually fires
+
+    def test_different_seed_different_schedule(self):
+        a = consume(FaultPlan(42, FaultSpec.storm(0.2)))
+        b = consume(FaultPlan(43, FaultSpec.storm(0.2)))
+        assert a != b
+
+    def test_report_byte_identical_across_runs(self):
+        plan_a = FaultPlan(7, FaultSpec.storm(0.1))
+        plan_b = FaultPlan(7, FaultSpec.storm(0.1))
+        consume(plan_a)
+        consume(plan_b)
+        assert json.dumps(plan_a.report(), sort_keys=True) == json.dumps(
+            plan_b.report(), sort_keys=True
+        )
+
+    def test_report_embeds_seed_and_spec(self):
+        plan = FaultPlan(9, FaultSpec.storm(0.1))
+        consume(plan)
+        report = plan.report()
+        assert report["seed"] == 9
+        assert report["spec"]["spurious_abort_rate"] == 0.1
+        assert report["faults_injected"] == len(report["records"])
+
+
+class TestBitParityGuard:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan(1, FaultSpec())
+        assert FaultPlan(1, FaultSpec.storm())
+
+    def test_zero_rate_points_never_fire_and_never_draw(self):
+        plan = FaultPlan(1, FaultSpec())
+        before = plan._rng.getstate()
+        assert consume(plan) == []
+        # Bit-parity foundation: an all-zero spec draws nothing from the
+        # RNG, so guarded call sites can consult it freely.
+        assert plan._rng.getstate() == before
+        assert plan.stats.faults_injected == 0
+
+    def test_max_faults_caps_the_campaign(self):
+        spec = FaultSpec(spurious_abort_rate=1.0, max_faults=5)
+        plan = FaultPlan(3, spec)
+        fired = [plan.spurious_abort(txn) for txn in range(20)]
+        assert sum(fired) == 5
+        assert plan.stats.faults_injected == 5
+
+    def test_max_crashes_caps_crash_events(self):
+        plan = FaultPlan(3, FaultSpec(crash_rate=1.0, max_crashes=2))
+        assert [plan.crash() for _ in range(6)].count(True) == 2
+
+
+class TestRobustStats:
+    def test_counters_by_kind_track_records(self):
+        plan = FaultPlan(11, FaultSpec.storm(0.3))
+        consume(plan)
+        stats = plan.stats
+        assert stats.faults_injected == sum(stats.faults_by_kind.values())
+        assert set(stats.faults_by_kind) == set(FAULT_KINDS)
+
+    def test_publish_exports_robust_counters(self):
+        from repro.obs.registry import MetricsRegistry
+
+        stats = RobustStats(
+            faults_injected=4, recoveries=2, invariant_checks=9,
+            invariant_violations=1, degradations=1,
+        )
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        rendered = registry.render_json()
+        assert '"robust_faults_injected": 4' in rendered
+        assert '"robust_recoveries": 2' in rendered
+        assert '"robust_degradations": 1' in rendered

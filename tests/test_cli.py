@@ -170,3 +170,66 @@ class TestObservabilityCommands:
             build_parser().parse_args(
                 ["trace", "x.jsonl", "--entries", "--timeline", "1"]
             )
+
+
+class TestRobustCommands:
+    def test_simulate_with_fault_plan(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "6", "--seed", "3",
+            "--fault-plan", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults: injected=" in out
+        assert "serializable: True" in out
+
+    def test_fault_plan_counters_reach_metrics_json(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "6", "--seed", "3",
+            "--fault-plan", "7", "--metrics-format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"robust_faults_injected"' in out
+        assert '"robust_invariant_checks"' in out
+
+    def test_simulate_fault_plan_is_reproducible(self, capsys):
+        argv = [
+            "simulate", "Account", "--transactions", "6", "--seed", "3",
+            "--fault-plan", "11",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_simulate_restart_policy_flag(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "5", "--seed", "3",
+            "--restart-policy", "exponential",
+        ]) == 0
+        assert "serializable: True" in capsys.readouterr().out
+
+    def test_chaos_smoke(self, capsys):
+        assert main([
+            "chaos", "Account", "--policies", "optimistic",
+            "--seeds", "3", "--transactions", "4", "--operations", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"passed": true' in out
+        assert "chaos: cells=1" in out
+        assert "passed=True" in out
+
+    def test_chaos_report_file_is_byte_stable(self, tmp_path, capsys):
+        def run(path):
+            assert main([
+                "chaos", "Account", "--policies", "optimistic",
+                "--seeds", "3", "--transactions", "4", "--operations", "2",
+                "--report", str(path),
+            ]) == 0
+            capsys.readouterr()
+            return path.read_bytes()
+
+        assert run(tmp_path / "a.json") == run(tmp_path / "b.json")
+
+    def test_chaos_unknown_adt_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "BTree"])

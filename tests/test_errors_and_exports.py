@@ -47,6 +47,7 @@ class TestPublicSurface:
         import repro.cc
         import repro.core
         import repro.graph
+        import repro.robust
         import repro.semantics
         import repro.spec
 
@@ -55,6 +56,7 @@ class TestPublicSurface:
             repro.cc,
             repro.core,
             repro.graph,
+            repro.robust,
             repro.semantics,
             repro.spec,
         ):
