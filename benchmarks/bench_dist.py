@@ -1,0 +1,159 @@
+"""Distribution-layer overhead: one shard must be the bare scheduler.
+
+The headline parity claim of ``repro.dist``: a single-shard cluster —
+whole protocol stack engaged (simulated bus, coordinator, one-phase
+commit, decision log) — produces a transcript **equal** to driving the
+bare scheduler directly.  The benchmark times the cluster path and the
+parity assertion runs inside the benchmark body on purpose: a parity
+break fails the benchmark rather than silently timing a different run.
+
+The second benchmark times the genuinely distributed path (two shards,
+2PC with dependency piggybacking) and asserts the global audit instead
+— there is no single-scheduler transcript to compare against, but the
+stitched history must stay serializable with the AD/CD contract intact.
+
+Run as a script to record the baseline (the ``BENCH_*.json`` pattern)::
+
+    PYTHONPATH=src python benchmarks/bench_dist.py --out BENCH_dist.json
+
+Exit status is non-zero when one-shard parity breaks or the two-shard
+audit fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.adts.qstack import QStackSpec  # noqa: E402
+from repro.cc.harness import drive  # noqa: E402
+from repro.cc.scheduler import TableDrivenScheduler  # noqa: E402
+from repro.cc.workload import WorkloadConfig, generate  # noqa: E402
+from repro.core.methodology import derive  # noqa: E402
+from repro.dist import Cluster, audit_global  # noqa: E402
+from repro.experiments import golden  # noqa: E402
+
+ADT = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+TABLE = derive(ADT).final_table
+WORKLOAD = generate(
+    ADT,
+    "obj",
+    WorkloadConfig(transactions=16, operations_per_transaction=4, seed=77),
+)
+BASELINE = drive(TableDrivenScheduler(), ADT, TABLE, WORKLOAD, "obj")
+
+
+def one_shard_run():
+    cluster = Cluster(ADT, TABLE, shards=1)
+    return cluster.run(WORKLOAD, seed=77).to_harness()
+
+
+def two_shard_run():
+    cluster = Cluster(ADT, TABLE, shards=2)
+    cluster.run(WORKLOAD, seed=77)
+    return audit_global(cluster)
+
+
+def test_one_shard_bus_parity(benchmark):
+    assert benchmark(one_shard_run) == BASELINE
+
+
+def test_two_shard_protocol_overhead(benchmark):
+    audit = benchmark(two_shard_run)
+    assert audit.passed
+
+
+# ----------------------------------------------------------------------
+# Baseline writer (the BENCH_*.json pattern)
+# ----------------------------------------------------------------------
+
+
+def _best_of(run, rounds: int):
+    best = None
+    value = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        value = run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def measure_dist(rounds: int = 3) -> dict:
+    """The BENCH_dist.json payload: bare vs one-shard vs two-shard."""
+    bare_seconds, bare = _best_of(
+        lambda: drive(TableDrivenScheduler(), ADT, TABLE, WORKLOAD, "obj"),
+        rounds,
+    )
+    one_seconds, one = _best_of(one_shard_run, rounds)
+    two_seconds, audit = _best_of(two_shard_run, rounds)
+    return {
+        "benchmark": "dist_overhead",
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": {
+            "one_shard_parity": {
+                "adt": "QStack",
+                "transactions": 16,
+                "parity": one == bare,
+                "bare_seconds": round(bare_seconds, 6),
+                "cluster_seconds": round(one_seconds, 6),
+                "overhead_ratio": round(one_seconds / bare_seconds, 3)
+                if bare_seconds
+                else None,
+            },
+            "two_shard_protocol": {
+                "adt": "QStack",
+                "transactions": 16,
+                "audit_passed": audit.passed,
+                "serializable": audit.serializable,
+                "in_doubt": list(audit.in_doubt),
+                "cluster_seconds": round(two_seconds, 6),
+            },
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_dist.json",
+        help="where to write the baseline JSON (default: BENCH_dist.json)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="timing rounds per configuration; best-of wins (default 3)",
+    )
+    args = parser.parse_args(argv)
+    payload = measure_dist(rounds=args.rounds)
+    Path(args.out).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    results = payload["results"]
+    failures = []
+    if not results["one_shard_parity"]["parity"]:
+        failures.append("one-shard cluster transcript diverged from bare run")
+    if not results["two_shard_protocol"]["audit_passed"]:
+        failures.append("two-shard global audit failed")
+    print(f"baseline: {args.out}")
+    print(
+        "one-shard parity={parity} overhead={overhead_ratio}x".format(
+            **results["one_shard_parity"]
+        )
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ import sys
 
 from repro.adts.registry import builtin_names, make_adt
 from repro.core.classification import classify_all_operations
-from repro.errors import InvariantViolationError
+from repro.errors import InvariantViolationError, RecoveryError
 from repro.core.methodology import MethodologyOptions, derive
 from repro.core.profile import characterize_all
 
@@ -122,6 +122,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     adt = make_adt(args.adt)
     result = derive(adt)
     table = result.final_table
+    if args.shards is not None:
+        return _simulate_distributed(args, adt, table)
     workload = generate(
         adt,
         "shared",
@@ -176,11 +178,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 scheduler_wrapper=scheduler_wrapper,
             )
         )
-    except InvariantViolationError as error:
+    except (InvariantViolationError, RecoveryError) as error:
         # A fault campaign can win: corruption that slips between two
-        # audits taints the decision log beyond any recovery rung.  That
-        # is a *finding*, reproducible from the same seed — report it as
-        # a failed run, not a crash.
+        # audits taints the decision log beyond any recovery rung — the
+        # monitor raises on a failed degraded replay, and a crash fault
+        # landing on the tainted log surfaces the same taint as a
+        # recovery divergence.  That is a *finding*, reproducible from
+        # the same seed — report it as a failed run, not a crash.
         print(f"unrecoverable: {error}", file=sys.stderr)
         return 1
     finally:
@@ -213,6 +217,92 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _simulate_distributed(args: argparse.Namespace, adt, table) -> int:
+    """``simulate --shards N``: the workload over a sharded cluster."""
+    from repro.cc.workload import WorkloadConfig, generate
+    from repro.dist import Cluster, audit_global
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracers import JsonlTracer
+
+    workload = generate(
+        adt,
+        "shared",
+        WorkloadConfig(
+            transactions=args.transactions,
+            operations_per_transaction=args.operations,
+            seed=args.seed,
+        ),
+    )
+    try:
+        tracer = JsonlTracer(args.trace) if args.trace else None
+    except OSError as error:
+        print(f"cannot open trace file: {error}", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.robust import FaultPlan, FaultSpec, RobustStats
+
+        fault_plan = FaultPlan(
+            args.fault_plan,
+            FaultSpec.dist_storm(args.fault_intensity),
+            stats=RobustStats(),
+        )
+    from repro.obs.tracers import NULL_TRACER
+
+    cluster = Cluster(
+        adt,
+        table,
+        shards=args.shards,
+        policy=args.policy,
+        fault_plan=fault_plan,
+        tracer=tracer if tracer is not None else NULL_TRACER,
+    )
+    try:
+        transcript = cluster.run(workload, seed=args.seed)
+    except (InvariantViolationError, RecoveryError) as error:
+        print(f"unrecoverable: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if tracer is not None:
+            tracer.close()
+    audit = audit_global(cluster)
+    committed = [g for g, status in transcript.statuses if status == "COMMITTED"]
+    print(
+        f"run: adt={args.adt} policy={args.policy} shards={args.shards} "
+        f"transactions={args.transactions} operations={args.operations} "
+        f"seed={args.seed} table={table.name}"
+    )
+    print(
+        f"distributed: committed={len(committed)}/{len(transcript.statuses)} "
+        f"messages={cluster.stats.messages_sent} "
+        f"one_phase={cluster.stats.one_phase_commits} "
+        f"prepares={cluster.stats.prepares_sent} "
+        f"crashes={cluster.stats.node_crashes}"
+    )
+    if fault_plan is not None:
+        stats = fault_plan.stats
+        print(
+            f"faults: injected={stats.faults_injected} "
+            f"dropped={cluster.stats.messages_dropped} "
+            f"partitions={cluster.stats.partitions_opened}"
+        )
+    print(
+        "audit: passed={} serializable={} in_doubt={}".format(
+            audit.passed, audit.serializable, list(audit.in_doubt)
+        )
+    )
+    if tracer is not None:
+        print(f"trace: {args.trace} ({tracer.emitted} events)")
+    if args.metrics_format:
+        registry = MetricsRegistry()
+        cluster.stats.publish(registry)
+        if args.metrics_format == "json":
+            print(registry.render_json())
+        else:
+            print(registry.render_prometheus(), end="")
+    return 0 if audit.passed else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.robust import FaultSpec, render_report, run_chaos
 
@@ -228,6 +318,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         operations=args.operations,
         spec=FaultSpec.storm(args.intensity),
         crash_sweep_enabled=not args.no_crash_sweep,
+        distributed=args.dist,
+        shard_counts=tuple(args.shards),
     )
     rendered = render_report(report)
     if args.report:
@@ -242,10 +334,19 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(rendered, end="")
     sweeps = [cell.get("crash_sweep") for cell in report["cells"]]
     swept = sum(sweep["decision_points"] for sweep in sweeps if sweep)
-    print(
+    summary = (
         f"chaos: cells={len(report['cells'])} crash_points={swept} "
         f"passed={report['passed']}"
     )
+    if args.dist:
+        dist = report["distributed"]
+        dist_swept = sum(
+            sweep["points_reached"] for sweep in dist.get("crash_sweeps", ())
+        )
+        summary += (
+            f" dist_cells={len(dist['cells'])} dist_crash_points={dist_swept}"
+        )
+    print(summary)
     return 0 if report["passed"] else 1
 
 
@@ -405,6 +506,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="backoff growth for restarted programs (default linear, "
              "the bit-parity behaviour)",
     )
+    simulate.add_argument(
+        "--shards", type=int, metavar="N", default=None,
+        help="run the workload over an N-shard simulated cluster "
+             "(one scheduler per node, dependency-aware 2PC, global "
+             "serializability audit); with --fault-plan the storm is the "
+             "distributed mix (message faults + node crashes)",
+    )
     simulate.set_defaults(func=_cmd_simulate)
 
     chaos = sub.add_parser(
@@ -436,6 +544,15 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--report", metavar="FILE", default=None,
         help="write the byte-stable JSON report to FILE instead of stdout",
+    )
+    chaos.add_argument(
+        "--dist", action="store_true",
+        help="also run the distributed campaign: message storms over "
+             "sharded clusters plus the protocol crash-point sweep",
+    )
+    chaos.add_argument(
+        "--shards", nargs="+", type=int, default=[1, 2], metavar="N",
+        help="shard counts of the distributed campaign (default: 1 2)",
     )
     chaos.set_defaults(func=_cmd_chaos)
 

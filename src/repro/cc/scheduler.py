@@ -617,6 +617,23 @@ class TableDrivenScheduler:
         """The live inter-transaction dependency graph."""
         return self._deps
 
+    def dependency_sets(self, txn: TxnId) -> tuple[frozenset, frozenset]:
+        """``(abort-dependency, commit-dependency)`` predecessor sets of ``txn``.
+
+        The 2PC piggybacking hook (:mod:`repro.dist`): a participant ships
+        these with its PREPARE vote, and may only vote yes once every
+        predecessor in either set has resolved locally — which is what
+        carries the paper's AD/CD commit-ordering across nodes.
+        """
+        ad: set[TxnId] = set()
+        cd: set[TxnId] = set()
+        for earlier, dependency in self._deps.predecessors(txn).items():
+            if dependency is Dependency.AD:
+                ad.add(earlier)
+            else:
+                cd.add(earlier)
+        return frozenset(ad), frozenset(cd)
+
     # ------------------------------------------------------------------
     # Quarantine (repro.robust invariant monitor)
     # ------------------------------------------------------------------

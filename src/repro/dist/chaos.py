@@ -1,0 +1,184 @@
+"""Distributed chaos campaigns: message storms over a sharded matrix.
+
+The distributed analogue of :func:`repro.robust.chaos.run_chaos`: the
+matrix is **ADT × shard count × fault mix × seed**, and each cell runs
+one full cluster under a seeded :class:`~repro.robust.faults.FaultPlan`
+whose message-level fault points batter the bus (drops, duplicates,
+reorders, delays, partitions — plus node crashes in the ``dist`` mix),
+then audits the stitched global history with
+:func:`repro.dist.audit.audit_global`.
+
+Everything is seeded and clock-free, so the report is **byte-stable**:
+the same matrix and mixes produce the identical JSON byte-for-byte
+(asserted by the CI ``dist-chaos-smoke`` job, which runs the campaign
+twice and compares).  Each cell embeds a SHA-256 digest of the full
+transcript repr, so even sub-field drift between two runs is loud.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+from repro.cc.workload import WorkloadConfig, generate
+from repro.robust.faults import FaultPlan, FaultSpec, RobustStats
+
+from repro.dist.audit import audit_global
+from repro.dist.cluster import Cluster
+from repro.dist.crash import dist_crash_sweep
+
+__all__ = ["DEFAULT_MIXES", "run_dist_chaos"]
+
+
+def DEFAULT_MIXES() -> dict[str, FaultSpec | None]:
+    """The standard fault mixes: fault-free, message-only, and full.
+
+    A factory (not a constant) so every campaign gets fresh spec
+    instances; ``None`` means no fault plan at all — the control column
+    that must match an empty-plan run bit-for-bit.
+    """
+    return {
+        "baseline": None,
+        "messages": FaultSpec.message_storm(),
+        "dist": FaultSpec.dist_storm(),
+    }
+
+
+def _digest(transcript) -> str:
+    return hashlib.sha256(repr(transcript).encode("utf-8")).hexdigest()
+
+
+def _spec_dict(spec: FaultSpec | None) -> dict | None:
+    return None if spec is None else dataclasses.asdict(spec)
+
+
+def run_dist_chaos(
+    adts: dict[str, tuple],
+    shard_counts: tuple[int, ...] = (1, 2),
+    seeds: tuple[int, ...] = (1991,),
+    mixes: dict[str, FaultSpec | None] | None = None,
+    policy: str = "optimistic",
+    transactions: int = 6,
+    operations: int = 3,
+    crash_sweep_enabled: bool = False,
+) -> dict:
+    """Run the distributed chaos matrix; returns the JSON-ready report.
+
+    ``adts`` maps ADT name to ``(adt, table)``.  The report's
+    ``"passed"`` field is the CI gate: every cell's stitched history
+    serializable, AD/CD contract intact, and nothing left in doubt.
+    ``crash_sweep_enabled`` additionally runs the exhaustive
+    :func:`~repro.dist.crash.dist_crash_sweep` per (ADT, shard count)
+    and folds its verdict in.
+    """
+    mixes = DEFAULT_MIXES() if mixes is None else mixes
+    cells = []
+    sweeps = []
+    passed = True
+    for adt_name in sorted(adts):
+        adt, table = adts[adt_name]
+        for shards in shard_counts:
+            if crash_sweep_enabled:
+                sweep = dist_crash_sweep(
+                    adt,
+                    table,
+                    generate(
+                        adt,
+                        "obj",
+                        WorkloadConfig(
+                            transactions=transactions,
+                            operations_per_transaction=operations,
+                            seed=seeds[0],
+                        ),
+                    ),
+                    shards=shards,
+                    policy=policy,
+                    seed=seeds[0],
+                )
+                passed = passed and sweep.passed
+                sweeps.append(
+                    {
+                        "adt": adt_name,
+                        "shards": shards,
+                        "points_reached": sweep.points_reached,
+                        "passed": sweep.passed,
+                        "failures": [
+                            {
+                                "index": f.index,
+                                "actor": f.actor,
+                                "label": f.label,
+                                "violations": list(f.audit.violations),
+                            }
+                            for f in sweep.failures()
+                        ],
+                    }
+                )
+            for mix_name in sorted(mixes):
+                spec = mixes[mix_name]
+                for seed in seeds:
+                    workload = generate(
+                        adt,
+                        "obj",
+                        WorkloadConfig(
+                            transactions=transactions,
+                            operations_per_transaction=operations,
+                            seed=seed,
+                        ),
+                    )
+                    robust_stats = RobustStats()
+                    plan = (
+                        None
+                        if spec is None
+                        else FaultPlan(seed, spec, stats=robust_stats)
+                    )
+                    cluster = Cluster(
+                        adt, table, shards=shards, policy=policy,
+                        fault_plan=plan,
+                    )
+                    transcript = cluster.run(workload, seed=seed)
+                    audit = audit_global(cluster)
+                    passed = passed and audit.passed
+                    cells.append(
+                        {
+                            "adt": adt_name,
+                            "shards": shards,
+                            "mix": mix_name,
+                            "seed": seed,
+                            "digest": _digest(transcript),
+                            "committed": [
+                                gtxn
+                                for gtxn, status in transcript.statuses
+                                if status == "COMMITTED"
+                            ],
+                            "final_states": [
+                                list(pair) for pair in transcript.final_states
+                            ],
+                            "audit": {
+                                "passed": audit.passed,
+                                "serializable": audit.serializable,
+                                "ad_cd_ok": audit.ad_cd_ok,
+                                "in_doubt": list(audit.in_doubt),
+                                "violations": list(audit.violations),
+                            },
+                            "faults": None if plan is None else plan.report(),
+                            "dist": dict(transcript.dist_stats),
+                        }
+                    )
+    report = {
+        "matrix": {
+            "adts": sorted(adts),
+            "shard_counts": list(shard_counts),
+            "mixes": {
+                name: _spec_dict(mixes[name]) for name in sorted(mixes)
+            },
+            "seeds": list(seeds),
+            "policy": policy,
+            "transactions": transactions,
+            "operations": operations,
+        },
+        "cells": cells,
+        "passed": passed,
+    }
+    if crash_sweep_enabled:
+        report["crash_sweeps"] = sweeps
+    return report

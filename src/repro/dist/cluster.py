@@ -1,0 +1,688 @@
+"""The deterministic closed-loop driver of a sharded cluster.
+
+This is :func:`repro.cc.harness.drive` lifted over the bus: each shard's
+objects live on one :class:`~repro.dist.node.ParticipantNode`, the
+driver plays every transaction program round-robin (one action per live
+transaction per round, admission in program order), and every scheduler
+interaction travels through the :class:`~repro.dist.bus.SimBus` as a
+coordinator RPC.  The observable outcome is a :class:`DistTranscript`,
+the distributed analogue of :class:`~repro.cc.harness.Transcript` — and
+for a one-shard cluster the two are *identical*: a zero-latency
+fault-free bus plus the one-phase commit optimization make the single
+node's scheduler see the exact same call sequence as the bare harness
+(:meth:`DistTranscript.to_harness` converts; the parity is asserted by
+``benchmarks/bench_dist.py`` and the dist test suite).
+
+Turn discipline:
+
+* Turn boundaries (once per round) revive crashed endpoints — nodes
+  recover from their durable logs and resolve in-doubt transactions with
+  the termination protocol — flush unacknowledged decisions, and consult
+  the fault plan's crash point (round-robin victim over the coordinator
+  and the nodes).
+* A coordinator crash (:class:`~repro.dist.bus.SimCrash` escaping a
+  protocol crash point) loses the turn: volatile 2PC state dies, the
+  coordinator restarts from its decision log, and the runner retries on
+  its next turn.
+* Cross-node wait cycles — invisible to every local scheduler — are
+  detected on the coordinator's global wait graph, fed by blocked-op and
+  commit-wait outcomes; the youngest cycle member is aborted, matching
+  the local victim rule.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from repro.cc.harness import Transcript
+from repro.cc.scheduler import OpDecision
+from repro.cc.transaction import OperationRecord
+from repro.cc.workload import Workload
+from repro.errors import SchedulerError
+from repro.obs.events import FaultInjected, NodeCrashed, NodeRecovered
+from repro.obs.tracers import NULL_TRACER
+
+from repro.dist.audit import stitch_edges
+from repro.dist.bus import SimBus, SimCrash
+from repro.dist.coordinator import Coordinator
+from repro.dist.node import ParticipantNode
+from repro.dist.stats import DistStats
+
+__all__ = ["Cluster", "DistTranscript", "run_distributed", "shard_workload"]
+
+
+def shard_workload(
+    workload: Workload, shard_names, seed: int = 0
+) -> tuple[tuple[str, ...], ...]:
+    """Per-program, per-step shard (object) assignments.
+
+    One shard → every step runs there (the degenerate assignment the
+    one-shard parity rests on); several shards → a seeded uniform choice
+    per step, stable across runs and processes (string seeding).
+    """
+    shard_names = list(shard_names)
+    if len(shard_names) == 1:
+        only = shard_names[0]
+        return tuple(
+            tuple(only for _ in program.steps) for program in workload.programs
+        )
+    rng = random.Random(f"shard:{seed}")
+    return tuple(
+        tuple(
+            shard_names[rng.randrange(len(shard_names))]
+            for _ in program.steps
+        )
+        for program in workload.programs
+    )
+
+
+@dataclass(frozen=True)
+class DistTranscript:
+    """The complete observable outcome of one distributed run.
+
+    Field-for-field the shape of :class:`~repro.cc.harness.Transcript`
+    with the per-shard final states and the distributed-layer counters
+    added; every field is hashable/comparable, so determinism is a
+    single ``==`` between two same-``(seed, FaultPlan)`` runs.
+    """
+
+    shards: int
+    #: (gtxn, step index, decision) per answered operation attempt.
+    op_decisions: tuple
+    #: (gtxn, kind, detail); the harness kinds plus nothing new — 2PC
+    #: aborts surface as ``must-abort``, cascades as ``observed-abort``.
+    resolutions: tuple
+    #: Stitched global dependency edges: ((later, earlier), name), sorted.
+    edges: tuple
+    #: (gtxn, status name) for every admitted transaction.
+    statuses: tuple
+    #: (object name, repr of final state) per shard, in shard order.
+    final_states: tuple
+    #: Scheduler seed counters summed across all nodes, sorted by name.
+    seed_stats: tuple
+    #: The distributed-layer counters (:meth:`DistStats.as_tuple`).
+    dist_stats: tuple
+
+    def to_harness(self) -> Transcript:
+        """The equivalent harness transcript (one-shard clusters only)."""
+        if self.shards != 1:
+            raise ValueError(
+                f"only a 1-shard transcript converts; this one has "
+                f"{self.shards} shards"
+            )
+        return Transcript(
+            op_decisions=self.op_decisions,
+            resolutions=self.resolutions,
+            edges=self.edges,
+            statuses=self.statuses,
+            final_state=self.final_states[0][1],
+            seed_stats=self.seed_stats,
+        )
+
+
+class _GRunner:
+    """Progress of one global transaction program through the cluster."""
+
+    __slots__ = (
+        "gtxn",
+        "program",
+        "shards",
+        "step",
+        "done",
+        "externally_aborted",
+        "participants",
+        "op_counts",
+        "pending_abort",
+    )
+
+    def __init__(self, gtxn: int, program, shards: tuple[str, ...]) -> None:
+        self.gtxn = gtxn
+        self.program = program
+        self.shards = shards  # per-step shard assignment
+        self.step = 0
+        self.done = False
+        self.externally_aborted = False
+        self.participants: set[str] = set()
+        self.op_counts: dict[str, int] = {}  # node -> executed ops there
+        self.pending_abort: tuple[str, str] | None = None  # (kind, reason)
+
+
+class Cluster:
+    """A sharded cluster: N participant nodes, one coordinator, one bus."""
+
+    def __init__(
+        self,
+        adt,
+        table,
+        shards: int = 1,
+        policy: str = "optimistic",
+        fault_plan=None,
+        tracer=NULL_TRACER,
+        crash_schedule=None,
+        initial_state=None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.adt = adt
+        self.table = table
+        self.policy = policy
+        self.plan = fault_plan
+        self.tracer = tracer
+        self.crash_schedule = crash_schedule
+        self.stats = DistStats()
+        self.bus = SimBus(plan=fault_plan, stats=self.stats, tracer=tracer)
+        self.coordinator = Coordinator(tracer=tracer, stats=self.stats)
+        self.coordinator.bus = self.bus
+        self.coordinator.crash_hook = self._crash_point
+        self.bus.register_endpoint(self.coordinator.name, self.coordinator.handle)
+        # One shard → the harness's default object name, for parity.
+        self.shard_names = (
+            ["obj"] if shards == 1 else [f"shard{i}" for i in range(shards)]
+        )
+        self.nodes: list[ParticipantNode] = []
+        self.owner: dict[str, str] = {}
+        for index, shard in enumerate(self.shard_names):
+            node = ParticipantNode(
+                f"node{index}", policy=policy, tracer=tracer, stats=self.stats
+            )
+            node.bus = self.bus
+            node.crash_hook = self._crash_point
+            self.bus.register_endpoint(node.name, node.handle)
+            node.register_object(shard, adt, table, initial_state)
+            self.nodes.append(node)
+            self.owner[shard] = node.name
+        self._node_by_name = {node.name: node for node in self.nodes}
+        self.bus.partition_links = [
+            frozenset((self.coordinator.name, node.name)) for node in self.nodes
+        ]
+        self._victims = itertools.cycle(
+            [self.coordinator.name] + [node.name for node in self.nodes]
+        )
+        # Post-run state the global audit stitches over.
+        self.gstatus: dict[int, str] = {}
+        self.grecords: dict[int, list[OperationRecord]] = {}
+        self.gstamps: dict[int, int] = {}
+        self.admitted = 0
+        self.transcript: DistTranscript | None = None
+
+    # ------------------------------------------------------------------
+    # Crash machinery
+    # ------------------------------------------------------------------
+
+    def _log_records(self, actor: str) -> int:
+        if actor == self.coordinator.name:
+            return len(self.coordinator.log)
+        return len(self._node_by_name[actor].log)
+
+    def _crash_point(self, actor: str, label: str) -> None:
+        """Hook run at every named protocol step; may kill ``actor``."""
+        if self.crash_schedule is None:
+            return
+        if self.crash_schedule.fire(actor, label):
+            if self.tracer:
+                self.tracer.emit(
+                    NodeCrashed(
+                        time=self.bus.now,
+                        node=actor,
+                        log_records=self._log_records(actor),
+                    )
+                )
+            raise SimCrash(actor)
+
+    def _coordinator_crashed(self) -> None:
+        """Restart the coordinator from its log (volatile 2PC state dies)."""
+        self.stats.node_crashes += 1
+        self.coordinator.recover()
+        self.stats.coordinator_recoveries += 1
+        if self.tracer:
+            self.tracer.emit(
+                NodeRecovered(
+                    time=self.bus.now,
+                    node=self.coordinator.name,
+                    replayed=len(self.coordinator.log),
+                )
+            )
+
+    def _induce_crash(self, victim: str) -> None:
+        """A fault-plan crash: kill ``victim`` at a turn boundary."""
+        if self.tracer:
+            self.tracer.emit(
+                NodeCrashed(
+                    time=self.bus.now,
+                    node=victim,
+                    log_records=self._log_records(victim),
+                )
+            )
+        self.stats.node_crashes += 1
+        if victim == self.coordinator.name:
+            # The driver embeds the coordinator, so its restart is
+            # immediate; the damage is the lost volatile state.
+            self.coordinator.recover()
+            self.stats.coordinator_recoveries += 1
+            if self.tracer:
+                self.tracer.emit(
+                    NodeRecovered(
+                        time=self.bus.now,
+                        node=victim,
+                        replayed=len(self.coordinator.log),
+                    )
+                )
+        else:
+            # Nodes stay unreachable for the rest of the round and are
+            # revived from their logs at the next turn boundary.
+            self.bus.crash(victim)
+
+    def _revive_down(self, mark_aborted) -> None:
+        for actor in sorted(self.bus.down()):
+            self.bus.revive(actor)
+            if actor == self.coordinator.name:
+                self.coordinator.recover()
+                self.stats.coordinator_recoveries += 1
+                if self.tracer:
+                    self.tracer.emit(
+                        NodeRecovered(
+                            time=self.bus.now,
+                            node=actor,
+                            replayed=len(self.coordinator.log),
+                        )
+                    )
+                continue
+            node = self._node_by_name[actor]
+            replayed = node.recover()
+            self.stats.node_recoveries += 1
+            in_doubt = node.in_doubt()
+            if self.tracer:
+                self.tracer.emit(
+                    NodeRecovered(
+                        time=self.bus.now,
+                        node=actor,
+                        replayed=replayed,
+                        in_doubt=len(in_doubt),
+                    )
+                )
+            self._terminate(node, in_doubt, mark_aborted)
+
+    def _terminate(self, node, in_doubt, mark_aborted) -> None:
+        """Termination protocol: ask the coordinator about in-doubt gtxns."""
+        for gtxn in in_doubt:
+            reply = self.bus.rpc(node.name, self.coordinator.name, "query", gtxn)
+            if reply is None:
+                continue  # still in doubt; retried at the next boundary
+            try:
+                result = node.apply_decision(gtxn, reply.payload["decision"])
+            except SimCrash as crash:
+                self.stats.node_crashes += 1
+                self.bus.crash(crash.actor)
+                return
+            mark_aborted(result.get("others_aborted", ()))
+
+    # ------------------------------------------------------------------
+    # The drive loop
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Workload,
+        seed: int = 0,
+        concurrency: int | None = None,
+        max_turns: int | None = None,
+    ) -> DistTranscript:
+        """Run ``workload`` to completion; the distributed ``drive``."""
+        programs = list(workload.programs)
+        assignments = shard_workload(workload, self.shard_names, seed)
+        concurrency = (
+            len(programs) if concurrency is None else max(1, concurrency)
+        )
+        if max_turns is None:
+            max_turns = 1000 * max(1, workload.total_operations())
+        coordinator = self.coordinator
+        plan = self.plan
+
+        ops: list = []
+        resolutions: list = []
+        live: list[_GRunner] = []
+        runner_of: dict[int, _GRunner] = {}
+        admitted = 0
+        stamps = itertools.count()
+        sequence = itertools.count()
+
+        def admit() -> None:
+            nonlocal admitted
+            while admitted < len(programs) and len(live) < concurrency:
+                runner = _GRunner(
+                    admitted, programs[admitted], assignments[admitted]
+                )
+                live.append(runner)
+                runner_of[admitted] = runner
+                admitted += 1
+
+        def mark_aborted(gtxns) -> None:
+            for gtxn in gtxns:
+                victim = runner_of.get(gtxn)
+                if victim is not None and not victim.done:
+                    victim.externally_aborted = True
+
+        def emit_fault(kind: str, gtxn: int = -1, detail: str = "") -> None:
+            if self.tracer:
+                self.tracer.emit(
+                    FaultInjected(
+                        time=self.bus.now, kind=kind, txn=gtxn, detail=detail
+                    )
+                )
+
+        def finish(runner: _GRunner, status: str) -> None:
+            runner.done = True
+            self.gstatus[runner.gtxn] = status
+            coordinator.clear_waiting(runner.gtxn)
+            live.remove(runner)
+
+        def attempt_abort(runner: _GRunner, reason: str):
+            """One abort attempt; ``None`` means a node was unreachable."""
+            if not runner.participants:
+                return ()
+            others = coordinator.do_abort(
+                runner.gtxn, sorted(runner.participants), reason=reason
+            )
+            if others is None:
+                return None
+            mark_aborted(others)
+            return others
+
+        def break_deadlock() -> None:
+            victim_gtxn = coordinator.find_deadlock_victim()
+            if victim_gtxn is None:
+                return
+            victim = runner_of.get(victim_gtxn)
+            if victim is None or victim.done:
+                coordinator.clear_waiting(victim_gtxn)
+                return
+            others = attempt_abort(victim, "global-deadlock")
+            if others is None:
+                return  # unreachable; the cycle is re-found later
+            self.stats.global_deadlocks += 1
+            coordinator.clear_waiting(victim_gtxn)
+            victim.externally_aborted = True
+
+        def turn_boundary() -> None:
+            self._revive_down(mark_aborted)
+            coordinator.flush_unacked()
+
+        admit()
+        turns = 0
+        while live:
+            turn_boundary()
+            for runner in list(live):
+                turns += 1
+                if turns > max_turns:
+                    raise SchedulerError(
+                        f"cluster exceeded {max_turns} turns; "
+                        f"workload livelocked"
+                    )
+                gtxn = runner.gtxn
+                if plan and plan.crash():
+                    # A fault-plan crash: the victim rotates round-robin
+                    # over the coordinator and the nodes; crashed nodes
+                    # stay unreachable until the next turn boundary.
+                    emit_fault("crash")
+                    self._induce_crash(next(self._victims))
+                try:
+                    if runner.externally_aborted:
+                        # Aborted from outside its own turn: a cascade, a
+                        # deadlock victim, or a 2PC abort seen elsewhere.
+                        # The abort is known from ONE node's report; the
+                        # transaction's other legs must be taken down too
+                        # (idempotent: dead legs ack without a scheduler
+                        # call, so a one-shard run stays bit-identical to
+                        # the harness, which makes no call here either).
+                        others = attempt_abort(runner, "cascade")
+                        if others is None:
+                            continue  # a leg was unreachable; retry
+                        resolutions.append((gtxn, "observed-abort", ()))
+                        finish(runner, "ABORTED")
+                        continue
+                    if runner.pending_abort is not None:
+                        kind, reason = runner.pending_abort
+                        others = attempt_abort(runner, reason)
+                        if others is None:
+                            continue  # retry on the next turn
+                        if kind:  # "" = an own-abort already recorded
+                            resolutions.append((gtxn, kind, tuple(others)))
+                        finish(runner, "ABORTED")
+                        continue
+                    if runner.step < len(runner.program.steps):
+                        if plan and plan.spurious_abort(gtxn):
+                            emit_fault("spurious_abort", gtxn=gtxn)
+                            runner.pending_abort = (
+                                "fault-abort", "fault-injected",
+                            )
+                            others = attempt_abort(runner, "fault-injected")
+                            if others is not None:
+                                resolutions.append(
+                                    (gtxn, "fault-abort", tuple(others))
+                                )
+                                finish(runner, "ABORTED")
+                            continue
+                        if plan and plan.op_failure(gtxn):
+                            emit_fault("op_failure", gtxn=gtxn)
+                            continue  # transient: retried next turn
+                        self._op_turn(
+                            runner, ops, sequence, finish, attempt_abort,
+                            mark_aborted, break_deadlock,
+                        )
+                        continue
+                    if runner.program.voluntary_abort:
+                        runner.pending_abort = ("voluntary-abort", "voluntary")
+                        others = attempt_abort(runner, "voluntary")
+                        if others is None:
+                            continue
+                        resolutions.append(
+                            (gtxn, "voluntary-abort", tuple(others))
+                        )
+                        finish(runner, "ABORTED")
+                        continue
+                    if plan and plan.commit_delay(gtxn) is not None:
+                        emit_fault("commit_delay", gtxn=gtxn)
+                        continue
+                    self._commit_turn(
+                        runner,
+                        resolutions,
+                        stamps,
+                        finish,
+                        mark_aborted,
+                        break_deadlock,
+                    )
+                except SimCrash:
+                    # The coordinator died mid-protocol: the action is
+                    # lost and retried on the runner's next turn.
+                    self._coordinator_crashed()
+            admit()
+        self._finalize(mark_aborted)
+
+        self.admitted = admitted
+        edge_map = stitch_edges(self)
+        edges = tuple(
+            sorted((pair, dep.name) for pair, dep in edge_map.items())
+        )
+        statuses = tuple(
+            (gtxn, self.gstatus.get(gtxn, "ABORTED"))
+            for gtxn in range(admitted)
+        )
+        final_states = tuple(
+            (shard, repr(self._shard_object(shard).state()))
+            for shard in self.shard_names
+        )
+        totals: dict[str, int] = {}
+        for node in self.nodes:
+            for name, value in node.sched.stats.seed_counters().items():
+                totals[name] = totals.get(name, 0) + value
+        self.transcript = DistTranscript(
+            shards=len(self.nodes),
+            op_decisions=tuple(ops),
+            resolutions=tuple(resolutions),
+            edges=edges,
+            statuses=statuses,
+            final_states=final_states,
+            seed_stats=tuple(sorted(totals.items())),
+            dist_stats=self.stats.as_tuple(),
+        )
+        return self.transcript
+
+    def _shard_object(self, shard: str):
+        return self._node_by_name[self.owner[shard]].sched.object(shard)
+
+    def _op_turn(
+        self, runner, ops, sequence, finish, attempt_abort,
+        mark_aborted, break_deadlock,
+    ) -> None:
+        """Forward the runner's next operation and absorb the outcome."""
+        gtxn = runner.gtxn
+        step = runner.program.steps[runner.step]
+        shard = runner.shards[runner.step]
+        node_name = self.owner[shard]
+        outcome = self.coordinator.do_operation(
+            gtxn,
+            node_name,
+            {
+                "op_seq": runner.op_counts.get(node_name, 0),
+                "object_name": shard,
+                "invocation": step.invocation,
+            },
+        )
+        if outcome.status == "unreachable":
+            return  # no decision was observed; retried next turn
+        runner.participants.add(node_name)
+        mark_aborted(outcome.others_aborted)
+        decision = OpDecision(
+            executed=outcome.status == "executed",
+            returned=outcome.returned,
+            blocked_on=frozenset(outcome.blocked_on),
+            aborted=outcome.status == "aborted",
+            dependencies=outcome.dependencies,
+        )
+        ops.append((gtxn, runner.step, decision))
+        if decision.executed:
+            runner.op_counts[node_name] = (
+                runner.op_counts.get(node_name, 0) + 1
+            )
+            self.grecords.setdefault(gtxn, []).append(
+                OperationRecord(
+                    object_name=shard,
+                    invocation=step.invocation,
+                    returned=outcome.returned,
+                    sequence=next(sequence),
+                )
+            )
+            runner.step += 1
+            self.coordinator.clear_waiting(gtxn)
+        elif decision.aborted:
+            # An own-turn abort is recorded in the op decision alone —
+            # the harness writes no resolution line for it either.  The
+            # other legs must still be taken down (idempotent: on the
+            # originating node the dead leg acks without a scheduler
+            # call, so one-shard parity is untouched).
+            others = attempt_abort(runner, "cascade")
+            if others is None:
+                runner.pending_abort = ("", "cascade")
+            else:
+                finish(runner, "ABORTED")
+        else:
+            self.coordinator.note_waiting(gtxn, outcome.blocked_on)
+            break_deadlock()
+
+    def _commit_turn(
+        self, runner, resolutions, stamps, finish, mark_aborted, break_deadlock
+    ) -> None:
+        gtxn = runner.gtxn
+        if not runner.participants:
+            # A stepless program: nothing anywhere to prepare — the
+            # trivial commit, decided locally by the driver.
+            resolutions.append((gtxn, "committed", ()))
+            self.gstamps[gtxn] = next(stamps)
+            finish(runner, "COMMITTED")
+            return
+        outcome = self.coordinator.do_commit(
+            gtxn, sorted(runner.participants)
+        )
+        if outcome.status == "unreachable":
+            return
+        mark_aborted(outcome.others_aborted)
+        if outcome.status == "committed":
+            resolutions.append((gtxn, "committed", ()))
+            self.gstamps[gtxn] = next(stamps)
+            finish(runner, "COMMITTED")
+        elif outcome.status == "aborted":
+            resolutions.append((gtxn, "must-abort", ()))
+            finish(runner, "ABORTED")
+        else:  # waiting
+            resolutions.append(
+                (gtxn, "commit-waiting", tuple(sorted(outcome.waiting_on)))
+            )
+            self.coordinator.note_waiting(gtxn, outcome.waiting_on)
+            break_deadlock()
+
+    def _finalize(self, mark_aborted) -> None:
+        """Settle the tail: unacked decisions, in-doubt and orphan legs."""
+        for _ in range(2 * (len(self.nodes) + 2)):
+            self._revive_down(mark_aborted)
+            self.coordinator.flush_unacked()
+            dirty = False
+            for node in self.nodes:
+                if node.name in self.bus.down():
+                    dirty = True
+                    continue
+                in_doubt = node.in_doubt()
+                if in_doubt:
+                    dirty = True
+                    self._terminate(node, in_doubt, mark_aborted)
+                for gtxn in node.unresolved():
+                    status = self.gstatus.get(gtxn)
+                    if status is None:
+                        continue
+                    dirty = True
+                    decision = "commit" if status == "COMMITTED" else "abort"
+                    reply = self.bus.rpc(
+                        self.coordinator.name,
+                        node.name,
+                        "decide",
+                        gtxn,
+                        {"decision": decision},
+                    )
+                    if reply is not None:
+                        mark_aborted(
+                            reply.payload.get("others_aborted", ())
+                        )
+            if not dirty and not self.bus.down():
+                if not self.coordinator.volatile.unacked:
+                    return
+
+
+def run_distributed(
+    adt,
+    table,
+    workload: Workload,
+    shards: int = 1,
+    policy: str = "optimistic",
+    seed: int = 0,
+    fault_plan=None,
+    tracer=NULL_TRACER,
+    crash_schedule=None,
+    initial_state=None,
+    concurrency: int | None = None,
+    max_turns: int | None = None,
+) -> DistTranscript:
+    """Build a cluster, run ``workload``, return the transcript."""
+    cluster = Cluster(
+        adt,
+        table,
+        shards=shards,
+        policy=policy,
+        fault_plan=fault_plan,
+        tracer=tracer,
+        crash_schedule=crash_schedule,
+        initial_state=initial_state,
+    )
+    return cluster.run(
+        workload, seed=seed, concurrency=concurrency, max_turns=max_turns
+    )

@@ -1,0 +1,381 @@
+"""Presumed-abort two-phase commit with dependency piggybacking.
+
+The coordinator drives the commit of every global transaction:
+
+* **One participant** → the one-phase optimization: a direct
+  ``commit-one`` RPC whose outcome maps one-to-one onto the scheduler's
+  own commit decision.  This is what keeps a one-shard cluster
+  transcript-identical to the bare harness.
+* **Several participants** → PREPARE each (in sorted node order).  A
+  participant votes ``yes`` only once every transaction its local leg is
+  commit-dependent on has resolved, shipping the AD/CD predecessor gtxn
+  sets in the vote (the paper's Section 2.1 dependencies, carried across
+  nodes); ``wait`` defers the whole attempt to the next turn (the
+  distributed analogue of the scheduler's commit-wait); ``no`` or an RPC
+  timeout aborts.  All yes → the decision is **durably logged before any
+  COMMIT is sent** (``2pc-commit`` in the coordinator's
+  :class:`~repro.robust.decision_log.DecisionLog`); presumed abort means
+  abort decisions are never logged — a recovering coordinator answers
+  in-doubt queries with abort for any transaction missing from its log.
+
+Cross-node commit-wait cycles (gtxn A waits on B at one node while B
+waits on A at another — invisible to either local scheduler) are broken
+by the coordinator's global wait graph: ``note_waiting`` records each
+wait outcome, :meth:`Coordinator.find_deadlock_victim` finds a cycle and
+nominates the youngest member, matching the local schedulers' victim
+rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.events import TwoPCDecided
+from repro.obs.tracers import NULL_TRACER
+from repro.robust.decision_log import Decision, DecisionLog
+
+from repro.dist.stats import DistStats
+
+__all__ = ["CommitOutcome", "Coordinator", "OpOutcome"]
+
+
+@dataclass(frozen=True)
+class OpOutcome:
+    """Outcome of one forwarded operation request."""
+
+    status: str  #: ``executed`` / ``blocked`` / ``aborted`` / ``unreachable``
+    returned: object = None
+    blocked_on: tuple = ()
+    dependencies: tuple = ()
+    others_aborted: tuple = ()
+
+
+@dataclass(frozen=True)
+class CommitOutcome:
+    """Outcome of one commit attempt for a global transaction."""
+
+    status: str  #: ``committed``/``waiting``/``aborted``/``unreachable``
+    waiting_on: tuple = ()
+    others_aborted: tuple = ()
+    one_phase: bool = False
+    #: Participants whose COMMIT notification is still undelivered.
+    unacked: tuple = ()
+
+
+@dataclass
+class _Volatile:
+    """Coordinator state lost in a crash and rebuilt from the log."""
+
+    waits: dict = field(default_factory=dict)
+    #: gtxn -> (decision, set of unnotified participants)
+    unacked: dict = field(default_factory=dict)
+
+
+class Coordinator:
+    """The presumed-abort 2PC coordinator (and termination-query server)."""
+
+    def __init__(
+        self,
+        name: str = "coord",
+        tracer=NULL_TRACER,
+        stats: DistStats | None = None,
+    ) -> None:
+        self.name = name
+        self.tracer = tracer
+        self.stats = stats if stats is not None else DistStats()
+        self.log = DecisionLog()
+        self.log.policy = "2pc"
+        self.bus = None  # wired by the cluster
+        self.crash_hook = None
+        self.committed: set[int] = set()
+        self.volatile = _Volatile()
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def _crash_point(self, label: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(self.name, label)
+
+    def handle(self, message) -> None:
+        """The termination-protocol server: answer in-doubt queries.
+
+        Presumed abort in one line: a decision the log does not carry is
+        an abort.
+        """
+        if message.kind != "query":
+            return
+        self.stats.indoubt_queries += 1
+        decision = "commit" if message.gtxn in self.committed else "abort"
+        self.bus.send(
+            self.name,
+            message.src,
+            "query-reply",
+            message.gtxn,
+            {"decision": decision},
+            request_id=message.request_id,
+        )
+
+    def recover(self) -> None:
+        """Rebuild after a crash: volatile state dies, the log survives."""
+        self.volatile = _Volatile()
+        self.committed = {
+            json.loads(record.extra)["gtxn"]
+            for record in self.log.records
+            if record.kind == "2pc-commit"
+        }
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def do_operation(self, gtxn: int, node: str, payload: dict) -> OpOutcome:
+        """Forward one operation to its shard's owner node."""
+        reply = self.bus.rpc(self.name, node, "op", gtxn, payload)
+        if reply is None:
+            return OpOutcome(status="unreachable")
+        data = reply.payload
+        if data["outcome"] == "unexpected":
+            return OpOutcome(status="unreachable")
+        return OpOutcome(
+            status=data["outcome"],
+            returned=data.get("returned"),
+            blocked_on=tuple(data.get("blocked_on", ())),
+            dependencies=tuple(data.get("dependencies", ())),
+            others_aborted=tuple(data.get("others_aborted", ())),
+        )
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+
+    def do_commit(self, gtxn: int, participants: list[str]) -> CommitOutcome:
+        """One commit attempt; ``waiting``/``unreachable`` retry next turn."""
+        participants = sorted(participants)
+        if gtxn in self.committed:
+            # A crash-recovered (or partially notified) logged decision:
+            # skip straight to notification, idempotently.
+            return self._notify_commit(gtxn, participants, one_phase=False)
+        if len(participants) == 1:
+            return self._one_phase(gtxn, participants[0])
+        waiting: set[int] = set()
+        voted_no = False
+        unreachable = False
+        others: set[int] = set()
+        for node in participants:
+            self.stats.prepares_sent += 1
+            self._crash_point("prepare:pre-send")
+            reply = self.bus.rpc(self.name, node, "prepare", gtxn, {})
+            self._crash_point("prepare:post-send")
+            if reply is None:
+                unreachable = True
+                break
+            vote = reply.payload["vote"]
+            if vote == "yes":
+                continue
+            if vote == "wait":
+                waiting.update(reply.payload.get("waiting_on", ()))
+            else:
+                voted_no = True
+                others.update(reply.payload.get("others_aborted", ()))
+            break
+        if not (waiting or voted_no or unreachable):
+            # Unanimous yes: log the commit durably *before* any COMMIT
+            # message exists anywhere (the presumed-abort write rule).
+            self._crash_point("decision:pre-log")
+            self.log.append(
+                Decision(
+                    kind="2pc-commit",
+                    txn=gtxn,
+                    extra=json.dumps(
+                        {"gtxn": gtxn, "participants": participants}
+                    ),
+                )
+            )
+            self.committed.add(gtxn)
+            self._crash_point("decision:post-log")
+            self.stats.decisions_commit += 1
+            if self.tracer:
+                self.tracer.emit(
+                    TwoPCDecided(
+                        time=self.bus.now, gtxn=gtxn, decision="commit",
+                        participants=tuple(participants),
+                    )
+                )
+            return self._notify_commit(gtxn, participants, one_phase=False)
+        if waiting and not (voted_no or unreachable):
+            return CommitOutcome(status="waiting", waiting_on=tuple(sorted(waiting)))
+        # A no vote or an unreachable participant: presumed abort — no
+        # durable record, notify whoever is reachable, queries resolve
+        # the rest.
+        self.stats.decisions_abort += 1
+        if self.tracer:
+            self.tracer.emit(
+                TwoPCDecided(
+                    time=self.bus.now, gtxn=gtxn, decision="abort",
+                    participants=tuple(participants),
+                )
+            )
+        notified_others = self._notify_abort(gtxn, participants)
+        return CommitOutcome(
+            status="aborted",
+            others_aborted=tuple(sorted(others | set(notified_others))),
+        )
+
+    def _one_phase(self, gtxn: int, node: str) -> CommitOutcome:
+        reply = self.bus.rpc(self.name, node, "commit-one", gtxn, {})
+        if reply is None:
+            return CommitOutcome(status="unreachable")
+        data = reply.payload
+        outcome = data["outcome"]
+        if outcome == "committed":
+            self.stats.one_phase_commits += 1
+            if self.tracer:
+                self.tracer.emit(
+                    TwoPCDecided(
+                        time=self.bus.now, gtxn=gtxn, decision="commit",
+                        participants=(node,), one_phase=True,
+                    )
+                )
+            return CommitOutcome(
+                status="committed",
+                others_aborted=tuple(data.get("others_aborted", ())),
+                one_phase=True,
+            )
+        if outcome == "waiting":
+            return CommitOutcome(
+                status="waiting",
+                waiting_on=tuple(data.get("waiting_on", ())),
+                one_phase=True,
+            )
+        return CommitOutcome(
+            status="aborted",
+            others_aborted=tuple(data.get("others_aborted", ())),
+            one_phase=True,
+        )
+
+    def _notify_commit(
+        self, gtxn: int, participants: list[str], one_phase: bool
+    ) -> CommitOutcome:
+        others: set[int] = set()
+        pending = set(self.volatile.unacked.get(gtxn, ("", set()))[1])
+        targets = sorted(pending) if pending else participants
+        unacked: set[str] = set()
+        for node in targets:
+            self._crash_point("decide:pre-send")
+            reply = self.bus.rpc(
+                self.name, node, "decide", gtxn, {"decision": "commit"}
+            )
+            self._crash_point("decide:post-send")
+            if reply is None:
+                unacked.add(node)
+            else:
+                others.update(reply.payload.get("others_aborted", ()))
+        if unacked:
+            self.volatile.unacked[gtxn] = ("commit", unacked)
+        else:
+            self.volatile.unacked.pop(gtxn, None)
+        return CommitOutcome(
+            status="committed",
+            others_aborted=tuple(sorted(others)),
+            one_phase=one_phase,
+            unacked=tuple(sorted(unacked)),
+        )
+
+    def _notify_abort(self, gtxn: int, participants: list[str]) -> tuple:
+        others: set[int] = set()
+        unacked: set[str] = set()
+        for node in sorted(participants):
+            reply = self.bus.rpc(
+                self.name, node, "decide", gtxn, {"decision": "abort"}
+            )
+            if reply is None:
+                unacked.add(node)
+            else:
+                others.update(reply.payload.get("others_aborted", ()))
+        if unacked:
+            self.volatile.unacked[gtxn] = ("abort", unacked)
+        return tuple(sorted(others))
+
+    def do_abort(
+        self, gtxn: int, participants: list[str], reason: str = "requested"
+    ) -> tuple | None:
+        """Abort ``gtxn`` on every participant; ``None`` = retry needed."""
+        others: set[int] = set()
+        complete = True
+        for node in sorted(participants):
+            reply = self.bus.rpc(
+                self.name, node, "abort", gtxn, {"reason": reason}
+            )
+            if reply is None:
+                complete = False
+            else:
+                others.update(reply.payload.get("others_aborted", ()))
+        if not complete:
+            return None
+        return tuple(sorted(others))
+
+    def flush_unacked(self) -> None:
+        """Re-deliver decisions whose notification was lost (turn boundary)."""
+        for gtxn in sorted(self.volatile.unacked):
+            decision, nodes = self.volatile.unacked[gtxn]
+            remaining: set[str] = set()
+            for node in sorted(nodes):
+                reply = self.bus.rpc(
+                    self.name, node, "decide", gtxn, {"decision": decision}
+                )
+                if reply is None:
+                    remaining.add(node)
+            if remaining:
+                self.volatile.unacked[gtxn] = (decision, remaining)
+            else:
+                del self.volatile.unacked[gtxn]
+
+    # ------------------------------------------------------------------
+    # Global wait graph
+    # ------------------------------------------------------------------
+
+    def note_waiting(self, gtxn: int, waiting_on) -> None:
+        self.volatile.waits[gtxn] = set(waiting_on)
+
+    def clear_waiting(self, gtxn: int) -> None:
+        self.volatile.waits.pop(gtxn, None)
+
+    def find_deadlock_victim(self) -> int | None:
+        """Youngest member of a wait cycle, or ``None``.
+
+        Only currently-waiting transactions can be cycle members (a wait
+        on a transaction that is making progress is not a deadlock), so
+        the search runs over the wait map alone — iteratively, matching
+        the schedulers' O(1)-stack discipline.
+        """
+        waits = self.volatile.waits
+        color: dict[int, int] = {}
+        for root in sorted(waits):
+            if color.get(root):
+                continue
+            stack: list[tuple[int, list]] = [
+                (root, sorted(w for w in waits[root] if w in waits))
+            ]
+            color[root] = 1
+            path = [root]
+            while stack:
+                txn, successors = stack[-1]
+                if successors:
+                    nxt = successors.pop(0)
+                    if color.get(nxt) == 1:
+                        cycle = path[path.index(nxt):]
+                        return max(cycle)
+                    if not color.get(nxt):
+                        color[nxt] = 1
+                        path.append(nxt)
+                        stack.append(
+                            (nxt, sorted(w for w in waits[nxt] if w in waits))
+                        )
+                else:
+                    color[txn] = 2
+                    path.pop()
+                    stack.pop()
+        return None

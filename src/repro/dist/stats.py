@@ -1,0 +1,61 @@
+"""Counters of the distributed layer, exported as ``dist_*`` metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["DistStats"]
+
+
+@dataclass
+class DistStats:
+    """Counters shared by the bus, the nodes and the coordinator.
+
+    One instance is threaded through a whole cluster (the
+    :class:`~repro.cc.scheduler.SchedulerStats` pattern) and exported
+    through the metrics registry by :meth:`publish` as ``dist_*``
+    counters — what ``simulate --shards N --metrics-format ...`` shows.
+    """
+
+    # -- bus ----------------------------------------------------------
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    messages_reordered: int = 0
+    partitions_opened: int = 0
+    partition_drops: int = 0
+    stale_replies: int = 0
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    # -- commit protocol ----------------------------------------------
+    one_phase_commits: int = 0
+    prepares_sent: int = 0
+    votes_yes: int = 0
+    votes_wait: int = 0
+    votes_no: int = 0
+    decisions_commit: int = 0
+    decisions_abort: int = 0
+    indoubt_queries: int = 0
+    global_deadlocks: int = 0
+    # -- crash/recovery -----------------------------------------------
+    node_crashes: int = 0
+    node_recoveries: int = 0
+    coordinator_recoveries: int = 0
+    orphans_aborted: int = 0
+
+    def publish(self, registry) -> None:
+        """Export every counter into a metrics registry as ``dist_<name>``."""
+        for spec in fields(self):
+            registry.counter(
+                f"dist_{spec.name}",
+                f"Distributed layer: {spec.name.replace('_', ' ')}.",
+            ).inc(getattr(self, spec.name))
+
+    def to_dict(self) -> dict:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    def as_tuple(self) -> tuple[tuple[str, int], ...]:
+        """Sorted ``(name, value)`` pairs (transcript-embeddable form)."""
+        return tuple(sorted(self.to_dict().items()))

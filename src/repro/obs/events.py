@@ -47,6 +47,13 @@ __all__ = [
     "InvariantViolated",
     "DegradedMode",
     "RestartsExhausted",
+    "MessageSent",
+    "MessageDropped",
+    "PartitionOpened",
+    "TwoPCVoted",
+    "TwoPCDecided",
+    "NodeCrashed",
+    "NodeRecovered",
     "event_from_dict",
     "event_type_names",
 ]
@@ -349,6 +356,108 @@ class RestartsExhausted(TraceEvent):
     type: ClassVar[str] = "restarts_exhausted"
     txn: int = -1
     restarts: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class MessageSent(TraceEvent):
+    """The distributed bus accepted a message for delivery.
+
+    ``kind`` is the protocol message kind (``op``, ``prepare``, ``vote``,
+    ``decide`` …); ``deliver_at`` the scheduled sim-time delivery.
+    """
+
+    type: ClassVar[str] = "message_sent"
+    src: str = ""
+    dst: str = ""
+    kind: str = ""
+    gtxn: int = -1
+    deliver_at: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class MessageDropped(TraceEvent):
+    """A bus message was lost: a fault, a partition, or a dead endpoint."""
+
+    type: ClassVar[str] = "message_dropped"
+    src: str = ""
+    dst: str = ""
+    kind: str = ""
+    gtxn: int = -1
+    #: ``fault`` (msg_drop fired), ``partition``, or ``endpoint-down``.
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class PartitionOpened(TraceEvent):
+    """A bidirectional network partition opened between two endpoints."""
+
+    type: ClassVar[str] = "partition_opened"
+    a: str = ""
+    b: str = ""
+    heals_at: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class TwoPCVoted(TraceEvent):
+    """A participant answered a PREPARE.
+
+    ``vote`` is ``yes`` (with the shipped AD/CD predecessor gtxn sets in
+    ``ad``/``cd``), ``wait`` (an unresolved commit-dependency holds the
+    vote back) or ``no``.
+    """
+
+    type: ClassVar[str] = "twopc_voted"
+    node: str = ""
+    gtxn: int = -1
+    vote: str = ""
+    ad: tuple = ()
+    cd: tuple = ()
+
+
+@_register
+@dataclass(frozen=True)
+class TwoPCDecided(TraceEvent):
+    """The coordinator reached a global decision for a transaction.
+
+    ``decision`` is ``commit`` (durably logged before any COMMIT is sent
+    — presumed abort means only commits are logged) or ``abort``;
+    ``participants`` the nodes the decision is shipped to.
+    """
+
+    type: ClassVar[str] = "twopc_decided"
+    gtxn: int = -1
+    decision: str = ""
+    participants: tuple = ()
+    one_phase: bool = False
+
+
+@_register
+@dataclass(frozen=True)
+class NodeCrashed(TraceEvent):
+    """A simulated node (or the coordinator) lost its volatile state."""
+
+    type: ClassVar[str] = "node_crashed"
+    node: str = ""
+    log_records: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class NodeRecovered(TraceEvent):
+    """A crashed node finished log replay and in-doubt resolution.
+
+    ``in_doubt`` counts the prepared-but-undecided transactions the
+    termination protocol had to resolve with the coordinator.
+    """
+
+    type: ClassVar[str] = "node_recovered"
+    node: str = ""
+    replayed: int = 0
+    in_doubt: int = 0
 
 
 def event_type_names() -> list[str]:

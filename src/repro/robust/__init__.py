@@ -30,6 +30,7 @@ from repro.robust.decision_log import (
 )
 from repro.robust.faults import (
     FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
     FaultPlan,
     FaultRecord,
     FaultSpec,
@@ -40,6 +41,7 @@ from repro.robust.monitor import INVARIANTS, MonitoredScheduler
 __all__ = [
     "FAULT_KINDS",
     "INVARIANTS",
+    "MESSAGE_FAULT_KINDS",
     "CrashPointResult",
     "CrashSweepResult",
     "Decision",

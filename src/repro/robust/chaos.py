@@ -72,6 +72,8 @@ def run_chaos(
     spec: FaultSpec | None = None,
     check_interval: int = 4,
     crash_sweep_enabled: bool = True,
+    distributed: bool = False,
+    shard_counts: tuple[int, ...] = (1, 2),
 ) -> dict:
     """Run the full chaos matrix and return the JSON-ready report.
 
@@ -79,6 +81,12 @@ def run_chaos(
     tables (the CLI via :func:`repro.core.methodology.derive`).  The
     report's ``"passed"`` field is the CI gate: every sweep transcript
     identical and every storm serializable.
+
+    ``distributed=True`` additionally runs the sharded campaign
+    (:func:`repro.dist.chaos.run_dist_chaos`) over ``shard_counts`` —
+    message storms over the simulated bus plus the distributed
+    crash-point sweep — and embeds its report under ``"distributed"``,
+    folding its verdict into ``"passed"``.
     """
     spec = spec if spec is not None else FaultSpec.storm()
     cells = []
@@ -107,7 +115,22 @@ def run_chaos(
                 cell["fault_storm"] = storm
                 passed = passed and storm["serializable"]
                 cells.append(cell)
-    return {
+    dist_report = None
+    if distributed:
+        # Imported lazily: repro.dist builds on this module's siblings.
+        from repro.dist.chaos import run_dist_chaos
+
+        dist_report = run_dist_chaos(
+            adts,
+            shard_counts=shard_counts,
+            seeds=seeds,
+            policy=policies[0],
+            transactions=transactions,
+            operations=operations,
+            crash_sweep_enabled=crash_sweep_enabled,
+        )
+        passed = passed and dist_report["passed"]
+    report = {
         "matrix": {
             "adts": sorted(adts),
             "policies": list(policies),
@@ -127,6 +150,10 @@ def run_chaos(
         "cells": cells,
         "passed": passed,
     }
+    if dist_report is not None:
+        report["distributed"] = dist_report
+        report["matrix"]["shard_counts"] = list(shard_counts)
+    return report
 
 
 def render_report(report: dict) -> str:

@@ -35,6 +35,8 @@ from __future__ import annotations
 
 import ast
 import json
+import os
+import tempfile
 from dataclasses import dataclass, field
 from typing import IO, Callable
 
@@ -55,9 +57,11 @@ class Decision:
     """One appended record: a completed scheduler call and its outcome.
 
     ``kind`` is one of ``register``, ``begin``, ``request``, ``commit``,
-    ``abort``.  Only the fields meaningful for the kind are populated;
-    everything is a JSON-friendly primitive so a record serialises to one
-    JSONL line via :meth:`to_dict`.
+    ``abort`` — or a ``2pc-``-prefixed protocol kind appended by the
+    distributed layer (:mod:`repro.dist`), which scheduler replay skips.
+    Only the fields meaningful for the kind are populated; everything is
+    a JSON-friendly primitive so a record serialises to one JSONL line
+    via :meth:`to_dict`.
     """
 
     kind: str
@@ -73,13 +77,16 @@ class Decision:
     returned: str = ""
     reason: str = ""
     adt: str = ""
+    #: JSON payload of a ``2pc-`` protocol record (gtxn mapping, shipped
+    #: dependency sets, logged decisions); empty for scheduler records.
+    extra: str = ""
 
     def to_dict(self) -> dict:
         payload = {"kind": self.kind}
         if self.txn >= 0:
             payload["txn"] = self.txn
         for name in ("object_name", "operation", "outcome", "returned",
-                     "reason", "adt"):
+                     "reason", "adt", "extra"):
             value = getattr(self, name)
             if value:
                 payload[name] = value
@@ -100,6 +107,7 @@ class Decision:
             returned=payload.get("returned", ""),
             reason=payload.get("reason", ""),
             adt=payload.get("adt", ""),
+            extra=payload.get("extra", ""),
         )
 
 
@@ -125,6 +133,8 @@ class DecisionLog:
     def __init__(self, stream: IO[str] | None = None) -> None:
         self.records: list[Decision] = []
         self.policy: str = ""
+        #: Torn final lines tolerated by :meth:`load` (crash mid-append).
+        self.torn_tail_records: int = 0
         self._sources: dict[str, _RegisteredSource] = {}
         self._stream: IO[str] | None = stream
 
@@ -184,13 +194,33 @@ class DecisionLog:
         stream.flush()
 
     def dump_jsonl(self, path: str) -> None:
-        """Write the complete log to ``path`` (header + one line per record)."""
-        with open(path, "w", encoding="utf-8") as stream:
-            previous, self._stream = self._stream, None
+        """Atomically write the complete log to ``path``.
+
+        The header and records are written to a temp file in the target
+        directory, flushed and fsynced, then moved into place with
+        ``os.replace`` — so a crash mid-dump leaves either the previous
+        durable copy or the new one, never a half-written file.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                previous, self._stream = self._stream, None
+                try:
+                    self.attach_jsonl(stream)
+                finally:
+                    self._stream = previous
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_path, path)
+        except BaseException:
             try:
-                self.attach_jsonl(stream)
-            finally:
-                self._stream = previous
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(
@@ -205,31 +235,47 @@ class DecisionLog:
         live objects a JSONL file cannot carry.  Without a resolver the
         log still loads for inspection, but :func:`recover` will refuse to
         replay registrations.
+
+        A torn tail — a final line that is not valid JSON **and** is not
+        newline-terminated, the signature of a crash mid-append — is
+        tolerated: the partial record is discarded and counted in
+        ``torn_tail_records``.  A non-JSON line anywhere else (including
+        a newline-terminated garbage tail) still raises
+        :class:`~repro.errors.RecoveryError`: that is corruption, not a
+        torn append.
         """
         log = cls()
         with open(path, "r", encoding="utf-8") as stream:
-            for number, line in enumerate(stream, start=1):
-                text = line.strip()
-                if not text:
-                    continue
-                try:
-                    payload = json.loads(text)
-                except json.JSONDecodeError as error:
-                    raise RecoveryError(
-                        f"decision log line {number} is not JSON: {error}"
-                    ) from None
-                if payload.get("kind") == "header":
-                    log.policy = payload.get("policy", "")
-                    continue
-                decision = Decision.from_dict(payload)
-                log.records.append(decision)
-                if decision.kind == "register" and resolve is not None:
-                    adt, table, initial = resolve(
-                        decision.object_name, decision.adt, decision.returned
-                    )
-                    log._sources[decision.object_name] = _RegisteredSource(
-                        adt=adt, table=table, initial_state=initial
-                    )
+            text = stream.read()
+        terminated = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                payload = json.loads(stripped)
+            except json.JSONDecodeError as error:
+                if number == len(lines) and not terminated:
+                    log.torn_tail_records += 1
+                    break
+                raise RecoveryError(
+                    f"decision log line {number} is not JSON: {error}"
+                ) from None
+            if payload.get("kind") == "header":
+                log.policy = payload.get("policy", "")
+                continue
+            decision = Decision.from_dict(payload)
+            log.records.append(decision)
+            if decision.kind == "register" and resolve is not None:
+                adt, table, initial = resolve(
+                    decision.object_name, decision.adt, decision.returned
+                )
+                log._sources[decision.object_name] = _RegisteredSource(
+                    adt=adt, table=table, initial_state=initial
+                )
         return log
 
 
@@ -396,6 +442,12 @@ def replay_into(scheduler, log: DecisionLog, verify: bool = True):
                 )
         elif record.kind == "abort":
             scheduler.abort(record.txn, reason=record.reason)
+        elif record.kind.startswith("2pc-"):
+            # Commit-protocol records of the distributed layer: they carry
+            # no scheduler call, so scheduler replay skips them.  The
+            # distributed recovery path re-reads them itself to rebuild
+            # gtxn mappings and in-doubt state (see repro.dist.node).
+            continue
         else:
             raise RecoveryError(
                 f"replay record {index}: unknown decision kind {record.kind!r}"

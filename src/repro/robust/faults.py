@@ -29,9 +29,26 @@ points, in a deterministic order:
     :class:`~repro.robust.decision_log.DecisionLog` attached the driver
     recovers by replay, otherwise the crash point is skipped.
 
-An all-zero :class:`FaultSpec` produces a falsy plan; every consultation
-site is guarded with ``if plan:``, so fault-free runs never draw from
-the RNG and remain bit-identical to runs without a plan at all.
+The distributed layer (:mod:`repro.dist`) adds *message-level* fault
+points, consulted by the :class:`~repro.dist.bus.SimBus` per sent
+message:
+
+``msg_drop`` / ``msg_duplicate`` / ``msg_delay`` / ``msg_reorder``
+    The message is silently dropped, enqueued twice, delayed by a
+    bounded seeded amount, or jittered past later sends (reordered).
+``partition``
+    A bidirectional network partition opens between the coordinator and
+    a seeded-chosen node for ``partition_duration`` sim-time units;
+    messages crossing it in either direction are dropped until it heals.
+
+Every fault point owns a **private RNG stream** seeded as
+``f"{seed}:{kind}"``, so consulting one point never perturbs another:
+adding message faults to a spec leaves the five scheduler-level streams
+byte-identical (the PR 4 determinism contract), and an all-zero rate
+draws nothing at all.  An all-zero :class:`FaultSpec` produces a falsy
+plan; every consultation site is guarded with ``if plan:``, so
+fault-free runs never draw from any RNG and remain bit-identical to
+runs without a plan at all.
 """
 
 from __future__ import annotations
@@ -39,15 +56,31 @@ from __future__ import annotations
 import random
 from dataclasses import asdict, dataclass, field
 
-__all__ = ["FAULT_KINDS", "FaultRecord", "FaultSpec", "FaultPlan", "RobustStats"]
+__all__ = [
+    "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
+    "FaultRecord",
+    "FaultSpec",
+    "FaultPlan",
+    "RobustStats",
+]
 
-#: The named fault points, in a stable order used by reports.
+#: The named scheduler-level fault points, in a stable order used by reports.
 FAULT_KINDS = (
     "spurious_abort",
     "op_failure",
     "commit_delay",
     "cache_poison",
     "crash",
+)
+
+#: The named message-level fault points consulted by the SimBus.
+MESSAGE_FAULT_KINDS = (
+    "msg_drop",
+    "msg_duplicate",
+    "msg_delay",
+    "msg_reorder",
+    "partition",
 )
 
 
@@ -64,12 +97,25 @@ class FaultSpec:
     commit_delay_rate: float = 0.0
     cache_poison_rate: float = 0.0
     crash_rate: float = 0.0
+    #: Message-level rates, consulted by the SimBus per sent message.
+    msg_drop_rate: float = 0.0
+    msg_duplicate_rate: float = 0.0
+    msg_delay_rate: float = 0.0
+    msg_reorder_rate: float = 0.0
+    partition_rate: float = 0.0
     #: Sim-time delay applied to a delayed commit / failed operation retry.
     commit_delay: float = 1.0
     op_failure_retry_delay: float = 0.25
+    #: Bound of the seeded extra latency of a delayed message.
+    msg_delay_max: float = 2.0
+    #: Bound of the seeded jitter that reorders a message past later sends.
+    msg_reorder_window: float = 0.5
+    #: Sim-time a partition stays open before healing.
+    partition_duration: float = 5.0
     #: Hard caps: a campaign never exceeds these, whatever the rates say.
     max_faults: int = 1_000
     max_crashes: int = 2
+    max_partitions: int = 4
 
     def __post_init__(self) -> None:
         for name in (
@@ -78,6 +124,11 @@ class FaultSpec:
             "commit_delay_rate",
             "cache_poison_rate",
             "crash_rate",
+            "msg_drop_rate",
+            "msg_duplicate_rate",
+            "msg_delay_rate",
+            "msg_reorder_rate",
+            "partition_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -92,6 +143,18 @@ class FaultSpec:
             or self.commit_delay_rate
             or self.cache_poison_rate
             or self.crash_rate
+            or self.has_message_faults
+        )
+
+    @property
+    def has_message_faults(self) -> bool:
+        """Whether any message-level rate is non-zero (bus consults pay off)."""
+        return bool(
+            self.msg_drop_rate
+            or self.msg_duplicate_rate
+            or self.msg_delay_rate
+            or self.msg_reorder_rate
+            or self.partition_rate
         )
 
     @classmethod
@@ -102,6 +165,29 @@ class FaultSpec:
             op_failure_rate=intensity,
             commit_delay_rate=intensity,
             cache_poison_rate=intensity / 2,
+            crash_rate=intensity / 2,
+        )
+
+    @classmethod
+    def message_storm(cls, intensity: float = 0.05) -> "FaultSpec":
+        """A message-level-only campaign scaled by ``intensity``."""
+        return cls(
+            msg_drop_rate=intensity,
+            msg_duplicate_rate=intensity,
+            msg_delay_rate=intensity,
+            msg_reorder_rate=intensity,
+            partition_rate=intensity / 4,
+        )
+
+    @classmethod
+    def dist_storm(cls, intensity: float = 0.05) -> "FaultSpec":
+        """Message faults plus node crashes: the distributed chaos mix."""
+        return cls(
+            msg_drop_rate=intensity,
+            msg_duplicate_rate=intensity,
+            msg_delay_rate=intensity,
+            msg_reorder_rate=intensity,
+            partition_rate=intensity / 4,
             crash_rate=intensity / 2,
         )
 
@@ -151,7 +237,7 @@ class RobustStats:
         registry.counter(
             "robust_faults_injected", "Faults injected by the fault plan."
         ).inc(self.faults_injected)
-        for kind in FAULT_KINDS:
+        for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS:
             registry.counter(
                 "robust_faults",
                 "Faults injected, by fault-point kind.",
@@ -186,12 +272,17 @@ class RobustStats:
 class FaultPlan:
     """A seeded, reproducible schedule of fault injections.
 
-    The plan owns a private ``random.Random(seed)``; every consult of a
-    fault point with a non-zero rate draws exactly one uniform variate,
-    so the injection schedule is a deterministic function of
-    ``(seed, spec)`` and the (deterministic) consult sequence of the run.
-    Consults of zero-rate points draw nothing, which is what keeps an
-    all-zero spec bit-identical to running without a plan.
+    Every fault point owns a private ``random.Random(f"{seed}:{kind}")``
+    stream (string seeds hash through SHA-512, so streams are stable
+    across processes and Python versions); a consult of a point with a
+    non-zero rate draws exactly one uniform variate *from that point's
+    stream*, so the injection schedule is a deterministic function of
+    ``(seed, spec)`` and the (deterministic) consult sequence of the run
+    — and consulting one point never perturbs another.  That per-point
+    isolation is what lets the distributed bus add message-level
+    consults without changing where the five scheduler-level points
+    fire.  Consults of zero-rate points draw nothing, which is what
+    keeps an all-zero spec bit-identical to running without a plan.
 
     Truthiness: a plan is falsy when its spec is empty, so hot paths can
     guard with ``if plan:`` and pay a single branch in fault-free runs.
@@ -207,8 +298,12 @@ class FaultPlan:
         self.spec = spec if spec is not None else FaultSpec.storm()
         self.stats = stats if stats is not None else RobustStats()
         self.records: list[FaultRecord] = []
-        self._rng = random.Random(seed)
+        self._streams = {
+            kind: random.Random(f"{seed}:{kind}")
+            for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS
+        }
         self._crashes = 0
+        self._partitions = 0
 
     def __bool__(self) -> bool:
         return not self.spec.is_empty
@@ -239,12 +334,12 @@ class FaultPlan:
     def cache_poison(self) -> str | None:
         """Cache fault to inject now: ``"evict"``, ``"corrupt"`` or ``None``.
 
-        The mode itself is part of the seeded schedule (a second draw
-        made only when the point fires).
+        The mode itself is part of the seeded schedule (a second draw,
+        from the point's own stream, made only when the point fires).
         """
-        if not self._may_fire(self.spec.cache_poison_rate):
+        if not self._may_fire("cache_poison", self.spec.cache_poison_rate):
             return None
-        mode = "evict" if self._rng.random() < 0.5 else "corrupt"
+        mode = "evict" if self._streams["cache_poison"].random() < 0.5 else "corrupt"
         self._record("cache_poison", detail=mode)
         return mode
 
@@ -252,11 +347,66 @@ class FaultPlan:
         """Should the scheduler crash now?  Capped by ``max_crashes``."""
         if self._crashes >= self.spec.max_crashes:
             return False
-        if not self._may_fire(self.spec.crash_rate):
+        if not self._may_fire("crash", self.spec.crash_rate):
             return False
         self._crashes += 1
         self._record("crash")
         return True
+
+    # ------------------------------------------------------------------
+    # Message-level fault points (consulted by the SimBus per send)
+    # ------------------------------------------------------------------
+
+    def msg_drop(self, detail: str = "") -> bool:
+        """Should this message be silently dropped?"""
+        return self._fires("msg_drop", self.spec.msg_drop_rate, -1, detail)
+
+    def msg_duplicate(self, detail: str = "") -> bool:
+        """Should this message be delivered twice?"""
+        return self._fires(
+            "msg_duplicate", self.spec.msg_duplicate_rate, -1, detail
+        )
+
+    def msg_delay(self, detail: str = "") -> float | None:
+        """Extra bounded latency for this message, or ``None``.
+
+        The amount is a second seeded draw from the point's own stream,
+        made only when the point fires, scaled by ``msg_delay_max``.
+        """
+        if not self._may_fire("msg_delay", self.spec.msg_delay_rate):
+            return None
+        delay = self._streams["msg_delay"].random() * self.spec.msg_delay_max
+        self._record("msg_delay", detail=f"{detail}+{delay:.6f}".strip("+"))
+        return delay
+
+    def msg_reorder(self, detail: str = "") -> float | None:
+        """Jitter that pushes this message past later sends, or ``None``."""
+        if not self._may_fire("msg_reorder", self.spec.msg_reorder_rate):
+            return None
+        jitter = (
+            self._streams["msg_reorder"].random() * self.spec.msg_reorder_window
+        )
+        self._record("msg_reorder", detail=f"{detail}+{jitter:.6f}".strip("+"))
+        return jitter
+
+    def partition(self, choices: int) -> tuple[int, float] | None:
+        """Open a partition now?  ``(seeded choice, duration)`` or ``None``.
+
+        ``choices`` is the number of candidate links; the pick is a
+        second draw from the point's own stream.  Capped by
+        ``max_partitions``.
+        """
+        if choices <= 0 or self._partitions >= self.spec.max_partitions:
+            return None
+        if not self._may_fire("partition", self.spec.partition_rate):
+            return None
+        pick = min(
+            int(self._streams["partition"].random() * choices), choices - 1
+        )
+        self._partitions += 1
+        duration = self.spec.partition_duration
+        self._record("partition", detail=f"link={pick} duration={duration}")
+        return pick, duration
 
     # ------------------------------------------------------------------
     # Reporting
@@ -276,16 +426,17 @@ class FaultPlan:
     # Internals
     # ------------------------------------------------------------------
 
-    def _may_fire(self, rate: float) -> bool:
-        """One seeded draw against ``rate`` (no draw for zero rates)."""
+    def _may_fire(self, kind: str, rate: float) -> bool:
+        """One draw from ``kind``'s stream against ``rate`` (no draw for
+        zero rates, so untouched points stay byte-identical)."""
         if rate <= 0.0:
             return False
         if self.stats.faults_injected >= self.spec.max_faults:
             return False
-        return self._rng.random() < rate
+        return self._streams[kind].random() < rate
 
     def _fires(self, kind: str, rate: float, txn: int, detail: str = "") -> bool:
-        if not self._may_fire(rate):
+        if not self._may_fire(kind, rate):
             return False
         self._record(kind, txn=txn, detail=detail)
         return True

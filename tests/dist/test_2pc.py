@@ -1,0 +1,178 @@
+"""Protocol-level 2PC behaviour: votes, piggybacking, presumed abort,
+idempotent handlers, and the durable decision records."""
+
+import json
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.dist import Cluster, Coordinator, ParticipantNode, SimBus
+
+
+@pytest.fixture(scope="module")
+def adt():
+    return AccountSpec()
+
+
+@pytest.fixture(scope="module")
+def table(adt):
+    return derive(adt).final_table
+
+
+@pytest.fixture()
+def rig(adt, table):
+    """One participant node behind a fault-free bus, driven directly."""
+    bus = SimBus()
+    node = ParticipantNode("node0")
+    node.bus = bus
+    node.register_object("obj", adt, table)
+    bus.register_endpoint("node0", node.handle)
+
+    def rpc(kind, gtxn, payload=None):
+        reply = bus.rpc("tester", "node0", kind, gtxn, payload or {})
+        assert reply is not None
+        return reply.payload
+
+    return node, rpc
+
+
+def op_payload(adt, operation, op_seq=0):
+    return {
+        "op_seq": op_seq,
+        "object_name": "obj",
+        "invocation": adt.invocations_of(operation)[0],
+    }
+
+
+class TestVotes:
+    def test_wait_while_dependency_unresolved_then_yes_with_deps(
+        self, adt, rig
+    ):
+        node, rpc = rig
+        # Deposit then Withdraw: the withdrawing transaction is
+        # abort-dependent on the depositor (it observed the new balance).
+        assert rpc("op", 0, op_payload(adt, "Deposit"))["outcome"] == "executed"
+        assert rpc("op", 1, op_payload(adt, "Withdraw"))["outcome"] == "executed"
+        vote = rpc("prepare", 1)
+        # The piggybacking rule: no yes vote while a predecessor this
+        # transaction is commit-dependent on is still unresolved.
+        assert vote["vote"] == "wait"
+        assert tuple(vote["waiting_on"]) == (0,)
+
+        assert rpc("prepare", 0)["vote"] == "yes"
+        assert rpc("decide", 0, {"decision": "commit"})["outcome"] == "ack"
+        vote = rpc("prepare", 1)
+        assert vote["vote"] == "yes"
+        assert tuple(vote["ad"]) == (0,)  # the shipped dependency set
+        # The yes vote is durable before it is sent.
+        prepared = [
+            json.loads(r.extra)
+            for r in node.log.records
+            if r.kind == "2pc-prepared"
+        ]
+        assert {"gtxn": 1, "ad": [0], "cd": []} in prepared
+
+    def test_no_after_ad_predecessor_aborted(self, adt, rig):
+        node, rpc = rig
+        rpc("op", 0, op_payload(adt, "Deposit"))
+        rpc("op", 1, op_payload(adt, "Withdraw"))
+        assert rpc("decide", 0, {"decision": "abort"})["outcome"] == "ack"
+        # The cascade rule carried into the vote: an aborted AD
+        # predecessor forces a no vote (after the local abort).
+        assert rpc("prepare", 1)["vote"] == "no"
+        assert node.stats.votes_no == 1
+
+    def test_revote_is_served_from_the_prepared_cache(self, adt, rig):
+        node, rpc = rig
+        rpc("op", 0, op_payload(adt, "Deposit"))
+        first = rpc("prepare", 0)
+        again = rpc("prepare", 0)
+        assert first["vote"] == again["vote"] == "yes"
+        # Exactly one durable prepared record despite two votes.
+        kinds = [r.kind for r in node.log.records]
+        assert kinds.count("2pc-prepared") == 1
+
+
+class TestIdempotency:
+    def test_duplicate_operation_answers_from_the_durable_record(
+        self, adt, rig
+    ):
+        node, rpc = rig
+        first = rpc("op", 0, op_payload(adt, "Deposit", op_seq=0))
+        dup = rpc("op", 0, op_payload(adt, "Deposit", op_seq=0))
+        assert dup["outcome"] == "executed"
+        assert dup["duplicate"] is True
+        assert dup["returned"] == first["returned"]
+        # Re-execution never happened: one operation record.
+        ltxn = node.ltxn_of[0]
+        assert len(node.sched.transaction(ltxn).records) == 1
+
+    def test_decide_on_resolved_transaction_acks_without_touching(
+        self, adt, rig
+    ):
+        node, rpc = rig
+        rpc("op", 0, op_payload(adt, "Deposit"))
+        rpc("prepare", 0)
+        assert rpc("decide", 0, {"decision": "commit"})["outcome"] == "ack"
+        records_before = len(node.log.records)
+        assert rpc("decide", 0, {"decision": "commit"})["outcome"] == "ack"
+        assert len(node.log.records) == records_before
+
+
+class TestPresumedAbort:
+    def test_unknown_transaction_queries_answer_abort(self):
+        bus = SimBus()
+        coordinator = Coordinator()
+        coordinator.bus = bus
+        bus.register_endpoint("coord", coordinator.handle)
+        reply = bus.rpc("node0", "coord", "query", 99)
+        assert reply.payload["decision"] == "abort"
+        assert coordinator.stats.indoubt_queries == 1
+
+    def test_only_commits_are_durably_logged(self, adt, table):
+        workload = generate(
+            adt,
+            "obj",
+            WorkloadConfig(
+                transactions=6, operations_per_transaction=3, seed=23,
+                abort_probability=0.15,
+            ),
+        )
+        cluster = Cluster(adt, table, shards=2)
+        transcript = cluster.run(workload, seed=23)
+        kinds = {r.kind for r in cluster.coordinator.log.records}
+        assert kinds <= {"2pc-commit"}  # presumed abort: no abort records
+        logged = {
+            json.loads(r.extra)["gtxn"]
+            for r in cluster.coordinator.log.records
+        }
+        committed = {
+            gtxn for gtxn, status in transcript.statuses
+            if status == "COMMITTED"
+        }
+        # Every logged decision is a commit of a real committed txn; the
+        # difference is the one-phase fast path (no log entry needed).
+        assert logged <= committed
+        assert cluster.stats.decisions_commit + cluster.stats.one_phase_commits == len(committed)
+
+    def test_dependency_sets_piggyback_on_prepare_votes(self, adt, table):
+        workload = generate(
+            adt,
+            "obj",
+            WorkloadConfig(
+                transactions=6, operations_per_transaction=3, seed=23,
+                abort_probability=0.15,
+            ),
+        )
+        cluster = Cluster(adt, table, shards=2)
+        cluster.run(workload, seed=23)
+        shipped = [
+            json.loads(r.extra)
+            for node in cluster.nodes
+            for r in node.log.records
+            if r.kind == "2pc-prepared"
+        ]
+        assert shipped, "no prepared votes in a multi-shard run"
+        assert any(vote["ad"] or vote["cd"] for vote in shipped)

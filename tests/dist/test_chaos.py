@@ -1,0 +1,131 @@
+"""Distributed chaos: storm determinism, byte-stable reports, audits."""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.dist import Cluster, audit_global, run_dist_chaos
+from repro.experiments import golden
+from repro.robust import FaultPlan, FaultSpec
+from repro.robust.chaos import render_report, run_chaos
+
+
+@pytest.fixture(scope="module")
+def adts():
+    account = AccountSpec()
+    qstack = QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+    return {
+        "Account": (account, derive(account).final_table),
+        "QStack": (qstack, derive(qstack).final_table),
+    }
+
+
+def workload_for(adt, seed):
+    return generate(
+        adt,
+        "obj",
+        WorkloadConfig(
+            transactions=5, operations_per_transaction=3, seed=seed,
+            abort_probability=0.15,
+        ),
+    )
+
+
+class TestStormDeterminism:
+    def test_same_seed_same_plan_same_transcript(self, adts):
+        adt, table = adts["Account"]
+        transcripts = []
+        for _ in range(2):
+            cluster = Cluster(
+                adt, table, shards=2,
+                fault_plan=FaultPlan(9, FaultSpec.message_storm(0.1)),
+            )
+            transcripts.append(cluster.run(workload_for(adt, 9), seed=9))
+        assert transcripts[0] == transcripts[1]
+
+    def test_empty_message_plan_is_bit_identical_to_no_plan(self, adts):
+        adt, table = adts["QStack"]
+        bare = Cluster(adt, table, shards=2)
+        bare_transcript = bare.run(workload_for(adt, 7), seed=7)
+        guarded = Cluster(
+            adt, table, shards=2, fault_plan=FaultPlan(7, FaultSpec())
+        )
+        assert guarded.run(workload_for(adt, 7), seed=7) == bare_transcript
+
+    def test_dist_storm_exercises_crashes_and_still_audits(self, adts):
+        adt, table = adts["Account"]
+        crashed = 0
+        for seed in (3, 13, 29):
+            cluster = Cluster(
+                adt, table, shards=2,
+                fault_plan=FaultPlan(seed, FaultSpec.dist_storm(0.3)),
+            )
+            cluster.run(workload_for(adt, seed), seed=seed)
+            crashed += cluster.stats.node_crashes
+            audit = audit_global(cluster)
+            assert audit.passed, audit.violations
+            assert cluster.stats.node_recoveries + \
+                cluster.stats.coordinator_recoveries >= \
+                min(cluster.stats.node_crashes, 1)
+        assert crashed > 0, "the dist storm never exercised a crash"
+
+    def test_storm_audits_pass_across_the_matrix(self, adts):
+        for name in adts:
+            adt, table = adts[name]
+            for shards in (2, 3):
+                cluster = Cluster(
+                    adt, table, shards=shards,
+                    fault_plan=FaultPlan(11, FaultSpec.message_storm(0.08)),
+                )
+                cluster.run(workload_for(adt, 11), seed=11)
+                audit = audit_global(cluster)
+                assert audit.passed, (name, shards, audit.violations)
+
+
+class TestDistChaosReport:
+    def test_report_is_byte_stable(self, adts):
+        reports = [
+            render_report(
+                run_dist_chaos(
+                    adts, shard_counts=(1, 2), seeds=(7,),
+                    transactions=4, operations=3,
+                )
+            )
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+    def test_campaign_passes_and_covers_the_matrix(self, adts):
+        report = run_dist_chaos(
+            adts, shard_counts=(1, 2), seeds=(7, 23),
+            transactions=4, operations=3, crash_sweep_enabled=True,
+        )
+        assert report["passed"], [
+            cell for cell in report["cells"] if not cell["audit"]["passed"]
+        ]
+        # 2 ADTs x 2 shard counts x 3 mixes x 2 seeds
+        assert len(report["cells"]) == 24
+        assert all(s["passed"] for s in report["crash_sweeps"])
+        baseline = [c for c in report["cells"] if c["mix"] == "baseline"]
+        assert all(cell["faults"] is None for cell in baseline)
+
+    def test_run_chaos_embeds_the_distributed_campaign(self, adts):
+        report = run_chaos(
+            {"Account": adts["Account"]},
+            policies=("optimistic",),
+            seeds=(7,),
+            transactions=4,
+            operations=3,
+            crash_sweep_enabled=False,
+            distributed=True,
+            shard_counts=(1, 2),
+        )
+        assert report["matrix"]["shard_counts"] == [1, 2]
+        dist = report["distributed"]
+        assert dist["matrix"]["policy"] == "optimistic"
+        assert report["passed"] == (
+            all(c["fault_storm"]["serializable"] for c in report["cells"])
+            and dist["passed"]
+        )

@@ -1,0 +1,93 @@
+"""One-shard cluster runs are transcript-identical to the bare harness.
+
+The distribution layer's headline contract: with one shard, the whole
+protocol stack — simulated bus, coordinator, one-phase commit, decision
+logs — is an *identity transform* on the run.  ``to_harness()`` converts
+the distributed transcript into the harness's ``Transcript`` and the
+comparison is full structural equality: per-operation decisions,
+resolutions, dependency edges, statuses, final state and seed counters.
+"""
+
+import pytest
+
+from repro.adts.account import AccountSpec
+from repro.adts.qstack import QStackSpec
+from repro.cc.harness import drive
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.dist import run_distributed, shard_workload
+from repro.experiments import golden
+
+
+def make_adt(name):
+    if name == "Account":
+        return AccountSpec()
+    return QStackSpec(operations=golden.QSTACK_WORKED_OPERATIONS)
+
+
+@pytest.fixture(scope="module", params=["Account", "QStack"])
+def fixture(request):
+    adt = make_adt(request.param)
+    return adt, derive(adt).final_table
+
+
+def workload_for(adt, seed):
+    return generate(
+        adt,
+        "obj",
+        WorkloadConfig(
+            transactions=6, operations_per_transaction=3, seed=seed,
+            abort_probability=0.15,
+        ),
+    )
+
+
+class TestOneShardParity:
+    @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+    @pytest.mark.parametrize("seed", [7, 11, 23, 47])
+    def test_transcript_identical_to_bare_scheduler(
+        self, fixture, policy, seed
+    ):
+        adt, table = fixture
+        workload = workload_for(adt, seed)
+        baseline = drive(
+            TableDrivenScheduler(policy=policy), adt, table, workload, "obj"
+        )
+        transcript = run_distributed(
+            adt, table, workload, shards=1, policy=policy, seed=seed
+        )
+        assert transcript.to_harness() == baseline
+
+    def test_to_harness_refuses_multi_shard(self, fixture):
+        adt, table = fixture
+        transcript = run_distributed(
+            adt, table, workload_for(adt, 7), shards=2, seed=7
+        )
+        with pytest.raises(ValueError):
+            transcript.to_harness()
+
+
+class TestShardWorkload:
+    def test_single_shard_is_degenerate(self, fixture):
+        adt, _table = fixture
+        workload = workload_for(adt, 7)
+        assignment = shard_workload(workload, ["obj"], seed=7)
+        assert len(assignment) == len(workload.programs)
+        assert all(
+            shard == "obj" for program in assignment for shard in program
+        )
+
+    def test_assignment_is_seeded(self, fixture):
+        adt, _table = fixture
+        workload = workload_for(adt, 7)
+        names = ["shard0", "shard1"]
+
+        def assignment(seed):
+            return shard_workload(workload, names, seed=seed)
+
+        assert assignment(7) == assignment(7)
+        assert assignment(7) != assignment(8)
+        assert {
+            name for program in assignment(7) for name in program
+        } <= set(names)

@@ -160,6 +160,126 @@ class TestDurability:
         with pytest.raises(RecoveryError):
             DecisionLog.load(str(path))
 
+    def test_dump_is_atomic_and_leaves_no_temp_files(
+        self, adt, table, workload, tmp_path
+    ):
+        scheduler, _ = logged_run(adt, table, workload)
+        path = tmp_path / "decisions.jsonl"
+        # Pre-existing durable copy: a dump must replace it atomically.
+        path.write_text("stale previous dump\n")
+        scheduler.log.dump_jsonl(str(path))
+        assert [p.name for p in tmp_path.iterdir()] == ["decisions.jsonl"]
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert "stale" not in text
+
+    def test_dump_failure_keeps_the_previous_durable_copy(self, tmp_path):
+        log = DecisionLog()
+        log.append(Decision(kind="begin", txn=0))
+        path = tmp_path / "decisions.jsonl"
+        path.write_text("previous durable copy\n")
+        # Sabotage serialisation mid-dump: the temp file must be cleaned
+        # up and the previous durable copy left untouched.
+        log.records.append(object())  # no .to_dict() -> AttributeError
+        with pytest.raises(AttributeError):
+            log.dump_jsonl(str(path))
+        assert path.read_text() == "previous durable copy\n"
+        assert [p.name for p in tmp_path.iterdir()] == ["decisions.jsonl"]
+
+
+class TestTornTailTolerance:
+    def dumped(self, adt, table, workload, tmp_path):
+        scheduler, _ = logged_run(adt, table, workload)
+        path = tmp_path / "decisions.jsonl"
+        scheduler.log.dump_jsonl(str(path))
+        return scheduler.log, path, path.read_bytes()
+
+    def test_truncation_at_every_byte_of_the_last_record(
+        self, adt, table, workload, tmp_path
+    ):
+        log, path, raw = self.dumped(adt, table, workload, tmp_path)
+        total = len(log.records)
+        last_line_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        # Every cut inside the final record (the crash-mid-append
+        # signature: partial line, no trailing newline) must load with
+        # the tail discarded and counted — never raise.
+        for cut in range(last_line_start + 1, len(raw) - 1):
+            path.write_bytes(raw[:cut])
+            loaded = DecisionLog.load(str(path))
+            assert loaded.torn_tail_records == 1, f"cut at byte {cut}"
+            assert len(loaded.records) == total - 1
+            assert loaded.records == log.records[:-1]
+
+    def test_truncation_at_the_record_boundary_is_clean(
+        self, adt, table, workload, tmp_path
+    ):
+        log, path, raw = self.dumped(adt, table, workload, tmp_path)
+        last_line_start = raw.rstrip(b"\n").rfind(b"\n") + 1
+        # Cut exactly at the boundary: the file ends with the previous
+        # record's newline — nothing is torn.
+        path.write_bytes(raw[:last_line_start])
+        loaded = DecisionLog.load(str(path))
+        assert loaded.torn_tail_records == 0
+        assert loaded.records == log.records[:-1]
+
+    def test_missing_final_newline_alone_is_not_a_torn_tail(
+        self, adt, table, workload, tmp_path
+    ):
+        log, path, raw = self.dumped(adt, table, workload, tmp_path)
+        path.write_bytes(raw[:-1])  # complete record, newline lost
+        loaded = DecisionLog.load(str(path))
+        assert loaded.torn_tail_records == 0
+        assert loaded.records == log.records
+
+    def test_corruption_before_the_tail_still_raises(
+        self, adt, table, workload, tmp_path
+    ):
+        _log, path, raw = self.dumped(adt, table, workload, tmp_path)
+        lines = raw.split(b"\n")
+        lines[2] = b"garbage mid-log"
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(RecoveryError):
+            DecisionLog.load(str(path))
+
+    def test_newline_terminated_garbage_tail_still_raises(
+        self, adt, table, workload, tmp_path
+    ):
+        _log, path, raw = self.dumped(adt, table, workload, tmp_path)
+        path.write_bytes(raw + b"garbage\n")
+        with pytest.raises(RecoveryError):
+            DecisionLog.load(str(path))
+
+
+class TestProtocolRecords:
+    def test_extra_field_round_trips_through_jsonl(self, tmp_path):
+        import json as json_module
+
+        log = DecisionLog()
+        extra = json_module.dumps({"gtxn": 3, "ad": [1], "cd": [2]})
+        log.append(Decision(kind="2pc-prepared", txn=0, extra=extra))
+        path = tmp_path / "protocol.jsonl"
+        log.dump_jsonl(str(path))
+        loaded = DecisionLog.load(str(path))
+        assert loaded.records == log.records
+        assert json_module.loads(loaded.records[0].extra)["gtxn"] == 3
+
+    def test_protocol_records_are_skipped_by_scheduler_replay(
+        self, adt, table, workload
+    ):
+        scheduler, _ = logged_run(adt, table, workload)
+        plain = recover(scheduler.log)
+        scheduler.log.append(
+            Decision(kind="2pc-attach", txn=0, extra='{"gtxn": 0}')
+        )
+        scheduler.log.append(
+            Decision(kind="2pc-commit", txn=0, extra='{"gtxn": 0}')
+        )
+        recovered = recover(scheduler.log)
+        assert (
+            recovered.object("obj").state() == plain.object("obj").state()
+        )
+        assert recovered.stats == plain.stats
+
 
 class TestReincarnation:
     def test_reincarnate_continues_on_the_same_log(self, adt, table):

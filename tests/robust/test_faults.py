@@ -81,11 +81,11 @@ class TestBitParityGuard:
 
     def test_zero_rate_points_never_fire_and_never_draw(self):
         plan = FaultPlan(1, FaultSpec())
-        before = plan._rng.getstate()
+        before = {k: rng.getstate() for k, rng in plan._streams.items()}
         assert consume(plan) == []
-        # Bit-parity foundation: an all-zero spec draws nothing from the
-        # RNG, so guarded call sites can consult it freely.
-        assert plan._rng.getstate() == before
+        # Bit-parity foundation: an all-zero spec draws nothing from any
+        # per-point RNG stream, so guarded call sites can consult it freely.
+        assert {k: rng.getstate() for k, rng in plan._streams.items()} == before
         assert plan.stats.faults_injected == 0
 
     def test_max_faults_caps_the_campaign(self):
@@ -98,6 +98,72 @@ class TestBitParityGuard:
     def test_max_crashes_caps_crash_events(self):
         plan = FaultPlan(3, FaultSpec(crash_rate=1.0, max_crashes=2))
         assert [plan.crash() for _ in range(6)].count(True) == 2
+
+
+class TestStreamIndependence:
+    def test_message_faults_leave_scheduler_streams_byte_identical(self):
+        """The PR 4 determinism contract extended to messages: adding
+        message-level fault points to a spec (and consulting them) must
+        not perturb the five scheduler-level per-point RNG streams."""
+        import dataclasses
+
+        base = FaultSpec.storm(0.1)
+        extended = dataclasses.replace(
+            base,
+            msg_drop_rate=0.2,
+            msg_duplicate_rate=0.2,
+            msg_delay_rate=0.2,
+            msg_reorder_rate=0.2,
+            partition_rate=0.1,
+        )
+        plain = FaultPlan(42, base)
+        noisy = FaultPlan(42, extended)
+
+        plain_fired = []
+        noisy_fired = []
+        for txn in range(100):
+            # Identical scheduler-level consult script on both plans...
+            for plan, fired in ((plain, plain_fired), (noisy, noisy_fired)):
+                fired.append(
+                    (
+                        plan.spurious_abort(txn),
+                        plan.op_failure(txn),
+                        plan.commit_delay(txn),
+                        plan.cache_poison(),
+                        plan.crash(),
+                    )
+                )
+            # ...interleaved with message-level consults on one of them
+            # (what the SimBus does between scheduler turns).
+            noisy.msg_drop("a->b:op")
+            noisy.msg_duplicate("a->b:op")
+            noisy.msg_delay("a->b:op")
+            noisy.msg_reorder("a->b:op")
+            noisy.partition(2)
+        assert plain_fired == noisy_fired
+        for kind in FAULT_KINDS:
+            assert (
+                plain._streams[kind].getstate()
+                == noisy._streams[kind].getstate()
+            ), f"stream {kind!r} perturbed by message-fault consults"
+
+    def test_message_points_have_private_streams(self):
+        from repro.robust import MESSAGE_FAULT_KINDS
+
+        plan = FaultPlan(1, FaultSpec.message_storm(0.5))
+        before = {k: plan._streams[k].getstate() for k in FAULT_KINDS}
+        for _ in range(50):
+            plan.msg_drop()
+            plan.msg_duplicate()
+            plan.msg_delay()
+            plan.msg_reorder()
+            plan.partition(3)
+        # Scheduler streams untouched; every consulted message stream
+        # advanced.
+        assert {k: plan._streams[k].getstate() for k in FAULT_KINDS} == before
+        fired_kinds = {record.kind for record in plan.records}
+        assert fired_kinds <= set(MESSAGE_FAULT_KINDS)
+        assert plan.stats.faults_injected > 0
 
 
 class TestRobustStats:

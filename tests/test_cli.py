@@ -176,7 +176,7 @@ class TestRobustCommands:
     def test_simulate_with_fault_plan(self, capsys):
         assert main([
             "simulate", "Account", "--transactions", "6", "--seed", "3",
-            "--fault-plan", "7",
+            "--fault-plan", "2",
         ]) == 0
         out = capsys.readouterr().out
         assert "faults: injected=" in out
@@ -185,7 +185,7 @@ class TestRobustCommands:
     def test_fault_plan_counters_reach_metrics_json(self, capsys):
         assert main([
             "simulate", "Account", "--transactions", "6", "--seed", "3",
-            "--fault-plan", "7", "--metrics-format", "json",
+            "--fault-plan", "2", "--metrics-format", "json",
         ]) == 0
         out = capsys.readouterr().out
         assert '"robust_faults_injected"' in out
@@ -233,3 +233,56 @@ class TestRobustCommands:
     def test_chaos_unknown_adt_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["chaos", "BTree"])
+
+    def test_unrecoverable_recovery_divergence_exits_cleanly(self, capsys):
+        # Plan 5 at seed 3 poisons a decision that gets logged, then a
+        # crash fault forces recovery replay over the tainted log.  The
+        # resulting divergence must surface as a reported finding, not a
+        # traceback.
+        assert main([
+            "simulate", "Account", "--seed", "3", "--fault-plan", "5",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "unrecoverable:" in captured.err
+
+
+class TestDistCommands:
+    def test_simulate_with_shards_audits_globally(self, capsys):
+        assert main([
+            "simulate", "Account", "--shards", "2", "--transactions", "5",
+            "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shards=2" in out
+        assert "distributed: committed=" in out
+        assert "audit: passed=True" in out
+
+    def test_simulate_shards_output_is_reproducible(self, capsys):
+        argv = [
+            "simulate", "Account", "--shards", "2", "--transactions", "5",
+            "--seed", "9", "--fault-plan", "9", "--fault-intensity", "0.2",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "faults: injected=" in first
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_simulate_shards_metrics_json(self, capsys):
+        assert main([
+            "simulate", "Account", "--shards", "2", "--transactions", "5",
+            "--seed", "7", "--metrics-format", "json",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"dist_messages_sent"' in out
+        assert '"dist_prepares_sent"' in out
+
+    def test_chaos_dist_flag_extends_the_campaign(self, capsys):
+        assert main([
+            "chaos", "Account", "--policies", "optimistic",
+            "--seeds", "7", "--transactions", "4", "--operations", "2",
+            "--dist", "--shards", "1", "2", "--no-crash-sweep",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert '"distributed"' in out
+        assert "dist_cells=6" in out
