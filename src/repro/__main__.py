@@ -17,6 +17,9 @@ Commands:
   byte-stable JSON report.
 * ``trace <file>`` — analyse a recorded trace: summary, per-transaction
   timeline, per-table-entry firing histogram.
+* ``report <file>`` — observability dashboard from a recorded trace:
+  cross-node span trees with critical paths, per-object latency
+  quantiles, conflict heatmap.
 * ``tables`` — generate per-ADT compatibility-table documentation.
 * ``experiments [ids...]`` — run the paper-reproduction experiments.
 """
@@ -197,6 +200,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"seed={args.seed} table={table.name}"
     )
     print(metrics.summary())
+    print(metrics.latency_summary())
     if fault_plan is not None:
         stats = fault_plan.stats
         print(
@@ -278,6 +282,16 @@ def _simulate_distributed(args: argparse.Namespace, adt, table) -> int:
         f"one_phase={cluster.stats.one_phase_commits} "
         f"prepares={cluster.stats.prepares_sent} "
         f"crashes={cluster.stats.node_crashes}"
+    )
+    e2e = cluster.latency.merged("e2e")
+    rpc_bits = " ".join(
+        f"{key}:p50={histogram.p50:.2f}/p99={histogram.p99:.2f}"
+        for metric, key, histogram in cluster.latency.rows()
+        if metric == "rpc"
+    )
+    print(
+        f"latency: e2e {e2e.summary()}"
+        + (f" | rpc {rpc_bits}" if rpc_bits else "")
     )
     if fault_plan is not None:
         stats = fault_plan.stats
@@ -392,6 +406,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         from repro.obs.analysis import serializable_from_trace
 
         print("serializable (from trace):", serializable_from_trace(events))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.analysis import render_dashboard
+    from repro.obs.tracers import read_trace
+
+    try:
+        events = read_trace(args.file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 2
+    print(render_dashboard(events, top=args.top, window=args.window), end="")
     return 0
 
 
@@ -578,6 +605,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-verify serializability from the trace alone (summary mode)",
     )
     trace.set_defaults(func=_cmd_trace)
+
+    report = sub.add_parser(
+        "report",
+        help="observability dashboard from a JSONL trace: span trees, "
+             "latency quantiles, conflict heatmap",
+    )
+    report.add_argument("file", help="path to the .jsonl trace")
+    report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="number of slowest transactions to show (default 10)",
+    )
+    report.add_argument(
+        "--window", type=int, default=32, metavar="W",
+        help="conflict-profile window size in requests (default 32)",
+    )
+    report.set_defaults(func=_cmd_report)
 
     tables = sub.add_parser(
         "tables", help="generate per-ADT compatibility-table docs"

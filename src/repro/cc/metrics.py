@@ -46,6 +46,17 @@ class RunMetrics:
     #: duck-typed) when the run carried a fault plan or monitor; exported
     #: as ``robust_*`` counters.
     robust: object | None = None
+    #: End-to-end latencies (commit time - arrival time) of committed
+    #: transactions, in arrival order — feeds the latency histogram.
+    txn_latencies: list[float] = field(default_factory=list)
+    #: Individual commit-wait interval durations (time spent between a
+    #: program's last operation finishing and its commit being granted).
+    commit_wait_durations: list[float] = field(default_factory=list)
+    #: Sum of the commit-wait intervals above.
+    total_commit_wait_time: float = 0.0
+    #: Per-object :class:`repro.obs.conflict.ConflictProfile` snapshots
+    #: taken at the end of the run, when the scheduler tracks them.
+    conflict_profiles: dict = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -88,6 +99,32 @@ class RunMetrics:
             f"(AD={self.scheduler.ad_edges} CD={self.scheduler.cd_edges} "
             f"ND={self.scheduler.nd_pairs})"
         )
+
+    def latency_summary(self) -> str:
+        """One-line latency footer: e2e quantiles plus a phase breakdown.
+
+        The quantiles come from the log2-bucketed histogram (so they match
+        what ``repro report`` prints from a trace); the phase percentages
+        split total transaction time into service, blocked, and
+        commit-wait shares.
+        """
+        from repro.obs.latency import histogram_of
+
+        histogram = histogram_of(self.txn_latencies)
+        busy = (
+            self.total_service_time
+            + self.total_blocked_time
+            + self.total_commit_wait_time
+        )
+        if busy > 0:
+            phases = (
+                f"service={100.0 * self.total_service_time / busy:.0f}% "
+                f"blocked={100.0 * self.total_blocked_time / busy:.0f}% "
+                f"commit_wait={100.0 * self.total_commit_wait_time / busy:.0f}%"
+            )
+        else:
+            phases = "service=0% blocked=0% commit_wait=0%"
+        return f"latency: {histogram.summary()} | phases: {phases}"
 
     def to_registry(self, registry=None):
         """Export the run into a :class:`repro.obs.registry.MetricsRegistry`.
@@ -142,4 +179,40 @@ class RunMetrics:
         )
         for duration in self.blocked_durations:
             blocked.observe(duration)
+        if self.txn_latencies:
+            from repro.obs.latency import histogram_of
+
+            recorder_histogram = histogram_of(self.txn_latencies)
+            target = registry.histogram(
+                "txn_latency",
+                bounds=tuple(
+                    bound
+                    for bound, _count in recorder_histogram.bucket_counts()
+                ) or (1.0,),
+                help="End-to-end committed-transaction latencies.",
+            )
+            for duration in self.txn_latencies:
+                target.observe(duration)
+        registry.gauge(
+            "total_commit_wait_time",
+            "Sum of commit-wait interval durations.",
+        ).set(self.total_commit_wait_time)
+        for name, profile in sorted(self.conflict_profiles.items()):
+            labels = {"object": name}
+            registry.counter(
+                "conflict_requests", "Operation requests per object.",
+                labels=labels,
+            ).inc(profile.total.requests)
+            registry.counter(
+                "conflict_blocks", "Blocked operations per object.",
+                labels=labels,
+            ).inc(profile.total.blocks)
+            registry.counter(
+                "conflict_aborts", "Aborts attributed per object.",
+                labels=labels,
+            ).inc(profile.total.aborts)
+            registry.gauge(
+                "conflict_rate", "Recent-window block rate per object.",
+                labels=labels,
+            ).set(profile.conflict_rate)
         return registry

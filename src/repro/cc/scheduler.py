@@ -96,6 +96,7 @@ from repro.obs.events import (
     TxnBegun,
     TxnCommitted,
 )
+from repro.obs.conflict import ConflictProfile, ObjectConflictTracker
 from repro.obs.tracers import NULL_TRACER, Tracer
 from repro.perf.cache import ExecutionCache
 from repro.perf.flat_table import FlatTable
@@ -276,6 +277,11 @@ class TableDrivenScheduler:
         #: clock (the discrete-event simulator) keep it current.
         self.now: float = 0.0
         self.stats = SchedulerStats()
+        #: Windowed per-object conflict telemetry (see
+        #: :mod:`repro.obs.conflict`); always on — the hooks are integer
+        #: increments — and never part of transcript/seed parity.
+        self.conflict_window: int = 64
+        self._conflict: dict[str, ObjectConflictTracker] = {}
         #: Memo for every scheduler-side ``execute_invocation`` (shadow
         #: replays and shadow-state maintenance).  Joins an installed
         #: process-wide cache when one is active, else owns a private one
@@ -318,6 +324,9 @@ class TableDrivenScheduler:
         shared = SharedObject(name, adt, initial_state)
         self._objects[name] = _RegisteredObject(
             shared=shared, table=table, flat=FlatTable.compile(table)
+        )
+        self._conflict[name] = ObjectConflictTracker(
+            object_name=name, window_size=self.conflict_window
         )
         self._shadow.register(name)
         if self.tracer:
@@ -386,6 +395,8 @@ class TableDrivenScheduler:
             transaction.require_active()
             registered = self._required(object_name)
             shared = registered.shared
+            conflict = self._conflict[object_name]
+            conflict.note_request()
             if self.tracer:
                 self.tracer.emit(
                     OpRequested(
@@ -403,6 +414,7 @@ class TableDrivenScheduler:
                 )
                 if blockers:
                     self.stats.operations_blocked += 1
+                    conflict.note_block()
                     if txn not in self._wait_for:
                         self.stats.blocked_time_events += 1
                     self._wait_for[txn] = set(blockers)
@@ -448,6 +460,7 @@ class TableDrivenScheduler:
         # the entry it is certifying.
         self._shadow.note_execute(object_name, shared, applied)
         self.stats.operations_executed += 1
+        self._conflict[object_name].note_grant()
         self._sequence += 1
         transaction.record(
             OperationRecord(
@@ -588,6 +601,14 @@ class TableDrivenScheduler:
         for t in all_aborting:
             self._txns[t].status = TransactionStatus.ABORTED
             self._wait_for.pop(t, None)
+            # Conflict telemetry: attribute the abort to the last object
+            # the transaction touched (the same heuristic the offline
+            # trace reconstruction uses).
+            records = self._txns[t].records
+            if records:
+                tracker = self._conflict.get(records[-1].object_name)
+                if tracker is not None:
+                    tracker.note_abort()
         self.stats.aborts += len(all_aborting)
         self.stats.cascaded_aborts += len(cascade)
         if self.tracer:
@@ -616,6 +637,17 @@ class TableDrivenScheduler:
     def dependency_graph(self) -> DependencyGraph:
         """The live inter-transaction dependency graph."""
         return self._deps
+
+    def conflict_profiles(self) -> dict[str, "ConflictProfile"]:
+        """Per-object windowed conflict profiles, keyed by object name.
+
+        The published signal an adaptive blocking/optimistic/queued
+        policy consumes (ROADMAP item 1); see :mod:`repro.obs.conflict`.
+        """
+        return {
+            name: self._conflict[name].profile()
+            for name in sorted(self._conflict)
+        }
 
     def dependency_sets(self, txn: TxnId) -> tuple[frozenset, frozenset]:
         """``(abort-dependency, commit-dependency)`` predecessor sets of ``txn``.
@@ -790,6 +822,8 @@ class TableDrivenScheduler:
         stands for — is reused rather than recomputed.
         """
         shared, flat = registered.shared, registered.flat
+        conflict = self._conflict[shared.name]
+        nd_fast_before = self.stats.nd_fast_path_hits
         by_txn = self._active_entries_by_txn(txn, shared, skip=applied)
         pre_graph = (
             preview.pre_graph
@@ -819,6 +853,7 @@ class TableDrivenScheduler:
                 )
             if dependency is Dependency.ND:
                 self.stats.nd_pairs += 1
+                conflict.note_dep("ND")
                 continue
             try:
                 self._deps.add(txn, other_txn, dependency)
@@ -828,6 +863,7 @@ class TableDrivenScheduler:
                 self.stats.ad_edges += 1
             else:
                 self.stats.cd_edges += 1
+            conflict.note_dep(dependency.name)
             if self.tracer:
                 self.tracer.emit(
                     DependencyRecorded(
@@ -844,6 +880,7 @@ class TableDrivenScheduler:
                     )
                 )
             recorded.append((other_txn, dependency))
+        conflict.add_nd_fast(self.stats.nd_fast_path_hits - nd_fast_before)
         return recorded
 
     def _blocking_conflicts(
@@ -858,6 +895,7 @@ class TableDrivenScheduler:
         transaction, for the grant path to reuse.
         """
         shared, flat = registered.shared, registered.flat
+        nd_fast_before = self.stats.nd_fast_path_hits
         preview_returned, preview_trace = shared.preview_with_trace(invocation)
         pre_state = shared.state()
         by_txn = self._active_entries_by_txn(txn, shared, skip=None)
@@ -891,6 +929,9 @@ class TableDrivenScheduler:
                 # transaction already depends on us).  Under the blocking
                 # discipline we wait for it to resolve rather than abort.
                 blockers.add(other_txn)
+        self._conflict[shared.name].add_nd_fast(
+            self.stats.nd_fast_path_hits - nd_fast_before
+        )
         return blockers, _PreviewVerdicts(verdicts=verdicts, pre_graph=pre_graph)
 
     def _resolve_deadlock(self, start: TxnId) -> TxnId | None:

@@ -126,6 +126,7 @@ class _ProgramState:
     txn: TxnId | None = None
     next_step: int = 0
     blocked_since: float | None = None
+    commit_wait_since: float | None = None
     stalled: bool = False  # waiting for some resolution to retry
     done: bool = False
     restarts: int = 0
@@ -240,14 +241,24 @@ def simulate_with_scheduler(
             metrics.blocked_durations.append(duration)
             state.blocked_since = None
 
+    def credit_commit_wait(state: _ProgramState, now: float) -> None:
+        """Close an open commit-wait interval and account its duration."""
+        if state.commit_wait_since is not None:
+            duration = now - state.commit_wait_since
+            metrics.total_commit_wait_time += duration
+            metrics.commit_wait_durations.append(duration)
+            state.commit_wait_since = None
+
     def finish(state: _ProgramState, now: float, committed: bool) -> None:
         if state.done:
             return
         state.done = True
         credit_blocked(state, now)
+        credit_commit_wait(state, now)
         if committed:
             metrics.committed += 1
             metrics.total_response_time += now - state.program.arrival
+            metrics.txn_latencies.append(now - state.program.arrival)
         else:
             metrics.aborted += 1
         wake_stalled(now)
@@ -265,6 +276,7 @@ def simulate_with_scheduler(
                 state.epoch += 1
                 metrics.restarts += 1
                 credit_blocked(state, now)
+                credit_commit_wait(state, now)
                 state.txn = None
                 state.next_step = 0
                 state.stalled = False
@@ -350,6 +362,8 @@ def simulate_with_scheduler(
             delay = plan.commit_delay(state.txn)
             if delay is not None:
                 emit_fault(now, "commit_delay", txn=state.txn)
+                if state.commit_wait_since is None:
+                    state.commit_wait_since = now
                 push(now + delay, "retry", index)
                 return
         decision = scheduler.try_commit(state.txn)
@@ -362,6 +376,8 @@ def simulate_with_scheduler(
         elif decision.must_abort:
             resolve_abort(state, now)
         else:
+            if state.commit_wait_since is None:
+                state.commit_wait_since = now
             state.stalled = True
 
     for index, state in enumerate(states):
@@ -402,6 +418,11 @@ def simulate_with_scheduler(
     # getattr: after a degraded crash recovery the live scheduler may be
     # the reference implementation, which has no execution cache.
     metrics.execution_cache = getattr(scheduler, "execution_cache", None)
+    # getattr for the same reason: the reference scheduler used after a
+    # degraded recovery tracks no conflict profiles.
+    profiles = getattr(scheduler, "conflict_profiles", None)
+    if callable(profiles):
+        metrics.conflict_profiles = profiles()
     if plan is not None:
         metrics.robust = getattr(plan, "stats", None)
     else:

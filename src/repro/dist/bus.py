@@ -40,6 +40,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.obs.events import MessageDropped, MessageSent, PartitionOpened
+from repro.obs.spans import _NO_CONTEXT, SpanEmitter
 from repro.obs.tracers import NULL_TRACER
 
 from repro.dist.stats import DistStats
@@ -67,6 +68,9 @@ class Message:
     payload: dict = field(default_factory=dict)
     deliver_at: float = 0.0
     seq: int = 0
+    #: Causal-tracing context ``(trace_id, span_id)`` of the sender's
+    #: span; observability only — protocol logic never reads it.
+    span: tuple = _NO_CONTEXT
 
 
 class SimBus:
@@ -90,6 +94,9 @@ class SimBus:
         self.retries = retries
         self.backoff_cap = backoff_cap
         self.now: float = 0.0
+        #: Optional always-on RPC round-trip hook: ``latency(kind, dt)``.
+        self.latency = None
+        self._spans = SpanEmitter("bus", tracer, clock=lambda: self.now)
         self._queue: list[tuple[float, int, Message]] = []
         self._handlers: dict[str, object] = {}
         self._down: set[str] = set()
@@ -134,6 +141,7 @@ class SimBus:
         gtxn: int = -1,
         payload: dict | None = None,
         request_id: str = "",
+        span: tuple = _NO_CONTEXT,
     ) -> None:
         """Enqueue one message, consulting the message fault points."""
         detail = f"{src}->{dst}:{kind}"
@@ -186,6 +194,7 @@ class SimBus:
             payload=payload if payload is not None else {},
             deliver_at=deliver_at,
             seq=next(self._seq),
+            span=span,
         )
         heapq.heappush(self._queue, (message.deliver_at, message.seq, message))
         self.stats.messages_sent += 1
@@ -207,6 +216,7 @@ class SimBus:
                 payload=message.payload,
                 deliver_at=deliver_at,
                 seq=next(self._seq),
+                span=span,
             )
             heapq.heappush(self._queue, (twin.deliver_at, twin.seq, twin))
 
@@ -234,26 +244,43 @@ class SimBus:
         payload: dict | None = None,
         timeout: float | None = None,
         retries: int | None = None,
+        span: tuple = _NO_CONTEXT,
     ) -> Message | None:
         """Synchronous request/reply with timeout and capped backoff.
 
         Every attempt reuses the same ``request_id`` (receivers dedupe on
         it); the per-attempt deadline grows exponentially up to
         ``backoff_cap``.  Returns the reply message, or ``None`` after
-        the final attempt timed out.
+        the final attempt timed out.  ``span`` (a causal-tracing context)
+        rides in every attempt's envelope; retried attempts additionally
+        record an ``rpc-retry`` child span.
         """
         timeout = self.timeout if timeout is None else timeout
         retries = self.retries if retries is None else retries
         request_id = f"{caller}#{next(self._requests)}"
+        started = self.now
         for attempt in range(retries + 1):
+            retry_span = None
             if attempt:
                 self.stats.rpc_retries += 1
-            self.send(caller, dst, kind, gtxn, payload, request_id=request_id)
+                retry_span = self._spans.child(
+                    span, "rpc-retry", gtxn, detail=f"{dst}:{kind}"
+                )
+            self.send(
+                caller, dst, kind, gtxn, payload,
+                request_id=request_id, span=span,
+            )
             wait = min(timeout * (2 ** attempt), self.backoff_cap)
             reply = self._pump(caller, request_id, self.now + wait)
+            if retry_span is not None:
+                retry_span.finish("ok" if reply is not None else "timeout")
             if reply is not None:
+                if self.latency is not None:
+                    self.latency(kind, self.now - started)
                 return reply
         self.stats.rpc_timeouts += 1
+        if self.latency is not None:
+            self.latency(f"{kind}-timeout", self.now - started)
         return None
 
     def _pump(

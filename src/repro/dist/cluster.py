@@ -42,6 +42,8 @@ from repro.cc.transaction import OperationRecord
 from repro.cc.workload import Workload
 from repro.errors import SchedulerError
 from repro.obs.events import FaultInjected, NodeCrashed, NodeRecovered
+from repro.obs.latency import LatencyRecorder
+from repro.obs.spans import _NO_CONTEXT, SpanEmitter, trace_id_for
 from repro.obs.tracers import NULL_TRACER
 
 from repro.dist.audit import stitch_edges
@@ -135,6 +137,7 @@ class _GRunner:
         "participants",
         "op_counts",
         "pending_abort",
+        "admitted_at",
     )
 
     def __init__(self, gtxn: int, program, shards: tuple[str, ...]) -> None:
@@ -147,6 +150,7 @@ class _GRunner:
         self.participants: set[str] = set()
         self.op_counts: dict[str, int] = {}  # node -> executed ops there
         self.pending_abort: tuple[str, str] | None = None  # (kind, reason)
+        self.admitted_at = 0.0  # bus sim-time at admission (e2e latency)
 
 
 class Cluster:
@@ -173,6 +177,16 @@ class Cluster:
         self.crash_schedule = crash_schedule
         self.stats = DistStats()
         self.bus = SimBus(plan=fault_plan, stats=self.stats, tracer=tracer)
+        #: Always-on sim-time latency histograms (end-to-end txn latency
+        #: and per-kind RPC round-trips); tracer-independent, never part
+        #: of the transcript.
+        self.latency = LatencyRecorder()
+        self.bus.latency = (
+            lambda kind, value: self.latency.observe("rpc", kind, value)
+        )
+        self._spans = SpanEmitter("driver", tracer, clock=lambda: self.bus.now)
+        self._root_span: dict[int, object] = {}
+        self._root_ctx: dict[int, tuple] = {}
         self.coordinator = Coordinator(tracer=tracer, stats=self.stats)
         self.coordinator.bus = self.bus
         self.coordinator.crash_hook = self._crash_point
@@ -290,32 +304,50 @@ class Cluster:
                     )
                 continue
             node = self._node_by_name[actor]
-            replayed = node.recover()
-            self.stats.node_recoveries += 1
-            in_doubt = node.in_doubt()
-            if self.tracer:
-                self.tracer.emit(
-                    NodeRecovered(
-                        time=self.bus.now,
-                        node=actor,
-                        replayed=replayed,
-                        in_doubt=len(in_doubt),
+            recovery_span = self._spans.start(
+                f"node:{actor}", "recovery", detail=actor
+            )
+            try:
+                replayed = node.recover()
+                self.stats.node_recoveries += 1
+                in_doubt = node.in_doubt()
+                if self.tracer:
+                    self.tracer.emit(
+                        NodeRecovered(
+                            time=self.bus.now,
+                            node=actor,
+                            replayed=replayed,
+                            in_doubt=len(in_doubt),
+                        )
                     )
-                )
-            self._terminate(node, in_doubt, mark_aborted)
+                self._terminate(node, in_doubt, mark_aborted)
+            finally:
+                recovery_span.finish("ok")
 
     def _terminate(self, node, in_doubt, mark_aborted) -> None:
         """Termination protocol: ask the coordinator about in-doubt gtxns."""
         for gtxn in in_doubt:
-            reply = self.bus.rpc(node.name, self.coordinator.name, "query", gtxn)
+            term_span = self._spans.child(
+                self._root_ctx.get(gtxn, _NO_CONTEXT),
+                "termination", gtxn, detail=node.name,
+            )
+            reply = self.bus.rpc(
+                node.name, self.coordinator.name, "query", gtxn,
+                span=term_span.context,
+            )
             if reply is None:
+                term_span.finish("timeout")
                 continue  # still in doubt; retried at the next boundary
             try:
-                result = node.apply_decision(gtxn, reply.payload["decision"])
+                result = node.apply_decision(
+                    gtxn, reply.payload["decision"], span=term_span.context
+                )
             except SimCrash as crash:
+                term_span.finish("crashed")
                 self.stats.node_crashes += 1
                 self.bus.crash(crash.actor)
                 return
+            term_span.finish(reply.payload["decision"])
             mark_aborted(result.get("others_aborted", ()))
 
     # ------------------------------------------------------------------
@@ -354,6 +386,12 @@ class Cluster:
                 runner = _GRunner(
                     admitted, programs[admitted], assignments[admitted]
                 )
+                runner.admitted_at = self.bus.now
+                root = self._spans.start(
+                    trace_id_for(admitted), "txn", admitted
+                )
+                self._root_span[admitted] = root
+                self._root_ctx[admitted] = root.context
                 live.append(runner)
                 runner_of[admitted] = runner
                 admitted += 1
@@ -377,13 +415,22 @@ class Cluster:
             self.gstatus[runner.gtxn] = status
             coordinator.clear_waiting(runner.gtxn)
             live.remove(runner)
+            self.latency.observe(
+                "e2e",
+                "committed" if status == "COMMITTED" else "aborted",
+                self.bus.now - runner.admitted_at,
+            )
+            root = self._root_span.pop(runner.gtxn, None)
+            if root is not None:
+                root.finish(status)
 
         def attempt_abort(runner: _GRunner, reason: str):
             """One abort attempt; ``None`` means a node was unreachable."""
             if not runner.participants:
                 return ()
             others = coordinator.do_abort(
-                runner.gtxn, sorted(runner.participants), reason=reason
+                runner.gtxn, sorted(runner.participants), reason=reason,
+                span=self._root_ctx.get(runner.gtxn, _NO_CONTEXT),
             )
             if others is None:
                 return None
@@ -549,6 +596,7 @@ class Cluster:
                 "object_name": shard,
                 "invocation": step.invocation,
             },
+            span=self._root_ctx.get(gtxn, _NO_CONTEXT),
         )
         if outcome.status == "unreachable":
             return  # no decision was observed; retried next turn
@@ -603,7 +651,8 @@ class Cluster:
             finish(runner, "COMMITTED")
             return
         outcome = self.coordinator.do_commit(
-            gtxn, sorted(runner.participants)
+            gtxn, sorted(runner.participants),
+            span=self._root_ctx.get(gtxn, _NO_CONTEXT),
         )
         if outcome.status == "unreachable":
             return

@@ -32,6 +32,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.obs.events import TwoPCDecided
+from repro.obs.spans import _NO_CONTEXT, SpanEmitter
 from repro.obs.tracers import NULL_TRACER
 from repro.robust.decision_log import Decision, DecisionLog
 
@@ -88,8 +89,12 @@ class Coordinator:
         self.log.policy = "2pc"
         self.bus = None  # wired by the cluster
         self.crash_hook = None
+        self._spans = SpanEmitter(name, tracer, clock=self._now)
         self.committed: set[int] = set()
         self.volatile = _Volatile()
+
+    def _now(self) -> float:
+        return self.bus.now if self.bus is not None else 0.0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -131,14 +136,22 @@ class Coordinator:
     # Operations
     # ------------------------------------------------------------------
 
-    def do_operation(self, gtxn: int, node: str, payload: dict) -> OpOutcome:
+    def do_operation(
+        self, gtxn: int, node: str, payload: dict, span: tuple = _NO_CONTEXT
+    ) -> OpOutcome:
         """Forward one operation to its shard's owner node."""
-        reply = self.bus.rpc(self.name, node, "op", gtxn, payload)
+        op_span = self._spans.child(span, "op", gtxn, detail=node)
+        reply = self.bus.rpc(
+            self.name, node, "op", gtxn, payload, span=op_span.context
+        )
         if reply is None:
+            op_span.finish("unreachable")
             return OpOutcome(status="unreachable")
         data = reply.payload
         if data["outcome"] == "unexpected":
+            op_span.finish("unreachable")
             return OpOutcome(status="unreachable")
+        op_span.finish(data["outcome"])
         return OpOutcome(
             status=data["outcome"],
             returned=data.get("returned"),
@@ -151,28 +164,56 @@ class Coordinator:
     # Commit / abort
     # ------------------------------------------------------------------
 
-    def do_commit(self, gtxn: int, participants: list[str]) -> CommitOutcome:
+    def do_commit(
+        self, gtxn: int, participants: list[str], span: tuple = _NO_CONTEXT
+    ) -> CommitOutcome:
         """One commit attempt; ``waiting``/``unreachable`` retry next turn."""
+        commit_span = self._spans.child(span, "commit", gtxn)
+        status = "crashed"
+        try:
+            outcome = self._commit_attempt(
+                gtxn, participants, commit_span.context
+            )
+            status = outcome.status
+            return outcome
+        finally:
+            # Crash points below raise SimCrash through here; the span
+            # still closes, so crashed attempts never orphan children.
+            commit_span.finish(status)
+
+    def _commit_attempt(
+        self, gtxn: int, participants: list[str], ctx: tuple
+    ) -> CommitOutcome:
         participants = sorted(participants)
         if gtxn in self.committed:
             # A crash-recovered (or partially notified) logged decision:
             # skip straight to notification, idempotently.
-            return self._notify_commit(gtxn, participants, one_phase=False)
+            return self._notify_commit(
+                gtxn, participants, one_phase=False, ctx=ctx
+            )
         if len(participants) == 1:
-            return self._one_phase(gtxn, participants[0])
+            return self._one_phase(gtxn, participants[0], ctx)
         waiting: set[int] = set()
         voted_no = False
         unreachable = False
         others: set[int] = set()
         for node in participants:
             self.stats.prepares_sent += 1
-            self._crash_point("prepare:pre-send")
-            reply = self.bus.rpc(self.name, node, "prepare", gtxn, {})
-            self._crash_point("prepare:post-send")
+            prepare_span = self._spans.child(ctx, "prepare", gtxn, detail=node)
+            vote = "crashed"
+            try:
+                self._crash_point("prepare:pre-send")
+                reply = self.bus.rpc(
+                    self.name, node, "prepare", gtxn, {},
+                    span=prepare_span.context,
+                )
+                self._crash_point("prepare:post-send")
+                vote = reply.payload["vote"] if reply is not None else "timeout"
+            finally:
+                prepare_span.finish(vote)
             if reply is None:
                 unreachable = True
                 break
-            vote = reply.payload["vote"]
             if vote == "yes":
                 continue
             if vote == "wait":
@@ -204,7 +245,9 @@ class Coordinator:
                         participants=tuple(participants),
                     )
                 )
-            return self._notify_commit(gtxn, participants, one_phase=False)
+            return self._notify_commit(
+                gtxn, participants, one_phase=False, ctx=ctx
+            )
         if waiting and not (voted_no or unreachable):
             return CommitOutcome(status="waiting", waiting_on=tuple(sorted(waiting)))
         # A no vote or an unreachable participant: presumed abort — no
@@ -218,14 +261,22 @@ class Coordinator:
                     participants=tuple(participants),
                 )
             )
-        notified_others = self._notify_abort(gtxn, participants)
+        notified_others = self._notify_abort(gtxn, participants, ctx=ctx)
         return CommitOutcome(
             status="aborted",
             others_aborted=tuple(sorted(others | set(notified_others))),
         )
 
-    def _one_phase(self, gtxn: int, node: str) -> CommitOutcome:
-        reply = self.bus.rpc(self.name, node, "commit-one", gtxn, {})
+    def _one_phase(
+        self, gtxn: int, node: str, ctx: tuple = _NO_CONTEXT
+    ) -> CommitOutcome:
+        span = self._spans.child(ctx, "commit-one", gtxn, detail=node)
+        reply = self.bus.rpc(
+            self.name, node, "commit-one", gtxn, {}, span=span.context
+        )
+        span.finish(
+            reply.payload["outcome"] if reply is not None else "timeout"
+        )
         if reply is None:
             return CommitOutcome(status="unreachable")
         data = reply.payload
@@ -257,18 +308,29 @@ class Coordinator:
         )
 
     def _notify_commit(
-        self, gtxn: int, participants: list[str], one_phase: bool
+        self,
+        gtxn: int,
+        participants: list[str],
+        one_phase: bool,
+        ctx: tuple = _NO_CONTEXT,
     ) -> CommitOutcome:
         others: set[int] = set()
         pending = set(self.volatile.unacked.get(gtxn, ("", set()))[1])
         targets = sorted(pending) if pending else participants
         unacked: set[str] = set()
         for node in targets:
-            self._crash_point("decide:pre-send")
-            reply = self.bus.rpc(
-                self.name, node, "decide", gtxn, {"decision": "commit"}
-            )
-            self._crash_point("decide:post-send")
+            decide_span = self._spans.child(ctx, "decide", gtxn, detail=node)
+            status = "crashed"
+            try:
+                self._crash_point("decide:pre-send")
+                reply = self.bus.rpc(
+                    self.name, node, "decide", gtxn, {"decision": "commit"},
+                    span=decide_span.context,
+                )
+                self._crash_point("decide:post-send")
+                status = "ack" if reply is not None else "timeout"
+            finally:
+                decide_span.finish(status)
             if reply is None:
                 unacked.add(node)
             else:
@@ -284,13 +346,18 @@ class Coordinator:
             unacked=tuple(sorted(unacked)),
         )
 
-    def _notify_abort(self, gtxn: int, participants: list[str]) -> tuple:
+    def _notify_abort(
+        self, gtxn: int, participants: list[str], ctx: tuple = _NO_CONTEXT
+    ) -> tuple:
         others: set[int] = set()
         unacked: set[str] = set()
         for node in sorted(participants):
+            decide_span = self._spans.child(ctx, "decide", gtxn, detail=node)
             reply = self.bus.rpc(
-                self.name, node, "decide", gtxn, {"decision": "abort"}
+                self.name, node, "decide", gtxn, {"decision": "abort"},
+                span=decide_span.context,
             )
+            decide_span.finish("ack" if reply is not None else "timeout")
             if reply is None:
                 unacked.add(node)
             else:
@@ -300,19 +367,26 @@ class Coordinator:
         return tuple(sorted(others))
 
     def do_abort(
-        self, gtxn: int, participants: list[str], reason: str = "requested"
+        self,
+        gtxn: int,
+        participants: list[str],
+        reason: str = "requested",
+        span: tuple = _NO_CONTEXT,
     ) -> tuple | None:
         """Abort ``gtxn`` on every participant; ``None`` = retry needed."""
+        abort_span = self._spans.child(span, "abort", gtxn, detail=reason)
         others: set[int] = set()
         complete = True
         for node in sorted(participants):
             reply = self.bus.rpc(
-                self.name, node, "abort", gtxn, {"reason": reason}
+                self.name, node, "abort", gtxn, {"reason": reason},
+                span=abort_span.context,
             )
             if reply is None:
                 complete = False
             else:
                 others.update(reply.payload.get("others_aborted", ()))
+        abort_span.finish("ok" if complete else "partial")
         if not complete:
             return None
         return tuple(sorted(others))

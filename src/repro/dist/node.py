@@ -39,6 +39,7 @@ from repro.cc.scheduler import TableDrivenScheduler
 from repro.cc.transaction import TransactionStatus
 from repro.errors import SchedulerError
 from repro.obs.events import TwoPCVoted
+from repro.obs.spans import _NO_CONTEXT, SpanEmitter
 from repro.obs.tracers import NULL_TRACER
 from repro.robust.decision_log import Decision, DecisionLog, LoggingScheduler
 
@@ -67,10 +68,14 @@ class ParticipantNode:
         self.bus = None  # wired by the cluster
         #: ``cluster.crash_point`` hook; ``None`` disables crash points.
         self.crash_hook = None
+        self._spans = SpanEmitter(name, tracer, clock=self._now)
         self.ltxn_of: dict[int, int] = {}
         self.gtxn_of: dict[int, int] = {}
         #: gtxn -> {"ad": [...], "cd": [...], "decided": ""|"commit"|"abort"}
         self.prepared: dict[int, dict] = {}
+
+    def _now(self) -> float:
+        return self.bus.now if self.bus is not None else 0.0
 
     # ------------------------------------------------------------------
     # Wiring
@@ -118,6 +123,11 @@ class ParticipantNode:
 
     def handle(self, message) -> None:
         """Dispatch one bus message and send the reply."""
+        # Scheduler events carry the node's logical clock; slave it to the
+        # bus sim-clock so one run's trace is monotone per node.  The
+        # scheduler never branches on `now` (it only stamps events), so
+        # this cannot perturb decisions.
+        self.sched.now = self.bus.now
         handlers = {
             "op": self._handle_op,
             "commit-one": self._handle_commit_one,
@@ -164,17 +174,29 @@ class ParticipantNode:
                 "duplicate": True,
             }
         before = self.sched.active_transactions()
-        self._crash_point("op:pre-apply")
-        decision = self.sched.request(
-            ltxn, message.payload["object_name"], message.payload["invocation"]
+        # Span only on this fresh path — the dedupe path above answers
+        # from the durable record, so duplicated messages never produce
+        # extra scheduler spans.
+        span = self._spans.child(
+            message.span, "sched.op", gtxn,
+            detail=message.payload["object_name"],
         )
-        self._crash_point("op:post-apply")
-        if decision.executed:
-            outcome = "executed"
-        elif decision.aborted:
-            outcome = "aborted"
-        else:
-            outcome = "blocked"
+        outcome = "crashed"
+        try:
+            self._crash_point("op:pre-apply")
+            decision = self.sched.request(
+                ltxn, message.payload["object_name"],
+                message.payload["invocation"],
+            )
+            self._crash_point("op:post-apply")
+            if decision.executed:
+                outcome = "executed"
+            elif decision.aborted:
+                outcome = "aborted"
+            else:
+                outcome = "blocked"
+        finally:
+            span.finish(outcome)
         return {
             "outcome": outcome,
             "returned": decision.returned,
@@ -196,15 +218,20 @@ class ParticipantNode:
         if txn.is_aborted:
             return {"outcome": "must-abort", "others_aborted": ()}
         before = self.sched.active_transactions()
-        self._crash_point("commit:pre-apply")
-        decision = self.sched.try_commit(ltxn)
-        self._crash_point("commit:post-apply")
-        if decision.committed:
-            outcome = "committed"
-        elif decision.must_abort:
-            outcome = "must-abort"
-        else:
-            outcome = "waiting"
+        span = self._spans.child(message.span, "sched.commit", message.gtxn)
+        outcome = "crashed"
+        try:
+            self._crash_point("commit:pre-apply")
+            decision = self.sched.try_commit(ltxn)
+            self._crash_point("commit:post-apply")
+            if decision.committed:
+                outcome = "committed"
+            elif decision.must_abort:
+                outcome = "must-abort"
+            else:
+                outcome = "waiting"
+        finally:
+            span.finish(outcome)
         return {
             "outcome": outcome,
             "waiting_on": self._gmap(decision.waiting_on),
@@ -216,10 +243,20 @@ class ParticipantNode:
         ltxn = self._map(gtxn, create=True)
         entry = self.prepared.get(gtxn)
         if entry is not None:
-            # Idempotent re-vote from the durable prepared cache.
+            # Idempotent re-vote from the durable prepared cache (no
+            # span: duplicated PREPAREs do no fresh work).
             return self._vote(
                 gtxn, "yes", ad=tuple(entry["ad"]), cd=tuple(entry["cd"])
             )
+        span = self._spans.child(message.span, "sched.prepare", gtxn)
+        reply = None
+        try:
+            reply = self._prepare_fresh(gtxn, ltxn)
+            return reply
+        finally:
+            span.finish(reply["vote"] if reply is not None else "crashed")
+
+    def _prepare_fresh(self, gtxn: int, ltxn: int) -> dict:
         txn = self.sched.transaction(ltxn)
         if txn.is_aborted:
             return self._vote(gtxn, "no")
@@ -288,27 +325,44 @@ class ParticipantNode:
         }
 
     def _handle_decide(self, message) -> dict:
-        return self.apply_decision(message.gtxn, message.payload["decision"])
+        return self.apply_decision(
+            message.gtxn, message.payload["decision"], span=message.span
+        )
 
-    def apply_decision(self, gtxn: int, decision: str) -> dict:
+    def apply_decision(
+        self, gtxn: int, decision: str, span: tuple = _NO_CONTEXT
+    ) -> dict:
         """Apply a global decision (from a DECIDE or a termination query)."""
+        if self.bus is not None:
+            self.sched.now = self.bus.now
         ltxn = self._map(gtxn)
         others: tuple[int, ...] = ()
         if ltxn is not None:
             txn = self.sched.transaction(ltxn)
             if txn.is_active:
                 before = self.sched.active_transactions()
-                self._crash_point("decide:pre-apply")
-                if decision == "commit":
-                    outcome = self.sched.try_commit(ltxn)
-                    if not outcome.committed:
-                        raise SchedulerError(
-                            f"node {self.name}: global commit of gtxn {gtxn} "
-                            f"could not commit locally (txn {ltxn})"
-                        )
-                else:
-                    self.sched.abort(ltxn, reason="2pc-abort")
-                self._crash_point("decide:post-apply")
+                # Fresh application only; an already-decided (duplicated
+                # DECIDE) transaction acks above without a span.
+                apply_span = self._spans.child(
+                    span, "sched.decide", gtxn, detail=decision
+                )
+                status = "crashed"
+                try:
+                    self._crash_point("decide:pre-apply")
+                    if decision == "commit":
+                        outcome = self.sched.try_commit(ltxn)
+                        if not outcome.committed:
+                            raise SchedulerError(
+                                f"node {self.name}: global commit of gtxn "
+                                f"{gtxn} could not commit locally "
+                                f"(txn {ltxn})"
+                            )
+                    else:
+                        self.sched.abort(ltxn, reason="2pc-abort")
+                    self._crash_point("decide:post-apply")
+                    status = decision
+                finally:
+                    apply_span.finish(status)
                 others = self._others_aborted(before, ltxn)
         entry = self.prepared.get(gtxn)
         if entry is not None and not entry["decided"]:
@@ -331,11 +385,17 @@ class ParticipantNode:
         if not txn.is_active:
             return {"outcome": "aborted", "others_aborted": ()}
         before = self.sched.active_transactions()
-        self._crash_point("abort:pre-apply")
-        self.sched.abort(
-            ltxn, reason=message.payload.get("reason", "requested")
-        )
-        self._crash_point("abort:post-apply")
+        span = self._spans.child(message.span, "sched.abort", message.gtxn)
+        status = "crashed"
+        try:
+            self._crash_point("abort:pre-apply")
+            self.sched.abort(
+                ltxn, reason=message.payload.get("reason", "requested")
+            )
+            self._crash_point("abort:post-apply")
+            status = "aborted"
+        finally:
+            span.finish(status)
         return {
             "outcome": "aborted",
             "others_aborted": self._others_aborted(before, ltxn),
@@ -379,6 +439,8 @@ class ParticipantNode:
         """
         replayed = len(self.log.records)
         self.sched = self.sched.reincarnate()
+        if self.bus is not None:
+            self.sched.now = self.bus.now
         self.ltxn_of = {}
         self.gtxn_of = {}
         self.prepared = {}

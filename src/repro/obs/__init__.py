@@ -20,9 +20,16 @@ from repro.obs.analysis import (
     firing_histogram,
     parse_literal,
     registry_from_trace,
+    render_dashboard,
     serializable_from_trace,
     summarize,
     transaction_timeline,
+)
+from repro.obs.conflict import (
+    ConflictProfile,
+    ConflictWindow,
+    ObjectConflictTracker,
+    profiles_from_trace,
 )
 from repro.obs.events import (
     CascadeAborted,
@@ -35,6 +42,7 @@ from repro.obs.events import (
     OpRequested,
     RunCompleted,
     RunStarted,
+    SpanRecorded,
     StageTimed,
     TraceEvent,
     TxnAborted,
@@ -42,8 +50,20 @@ from repro.obs.events import (
     TxnCommitted,
     event_from_dict,
 )
+from repro.obs.latency import LatencyRecorder, latency_from_trace
+from repro.obs.latency import Histogram as LatencyHistogram
 from repro.obs.profiling import DerivationProfile, StageProfile, StageProfiler
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanEmitter,
+    SpanForest,
+    SpanNode,
+    build_span_trees,
+    critical_path,
+    render_critical_path,
+    trace_id_for,
+)
 from repro.obs.tracers import (
     NULL_TRACER,
     JsonlTracer,
@@ -69,6 +89,7 @@ __all__ = [
     "CascadeAborted",
     "DeadlockResolved",
     "StageTimed",
+    "SpanRecorded",
     "RunCompleted",
     "event_from_dict",
     # tracers
@@ -97,4 +118,23 @@ __all__ = [
     "find_serialization_from_trace",
     "serializable_from_trace",
     "registry_from_trace",
+    "render_dashboard",
+    # spans
+    "NULL_SPAN",
+    "SpanEmitter",
+    "SpanForest",
+    "SpanNode",
+    "build_span_trees",
+    "critical_path",
+    "render_critical_path",
+    "trace_id_for",
+    # latency
+    "LatencyHistogram",
+    "LatencyRecorder",
+    "latency_from_trace",
+    # conflict
+    "ConflictProfile",
+    "ConflictWindow",
+    "ObjectConflictTracker",
+    "profiles_from_trace",
 ]

@@ -57,6 +57,7 @@ __all__ = [
     "find_serialization_from_trace",
     "serializable_from_trace",
     "registry_from_trace",
+    "render_dashboard",
 ]
 
 
@@ -447,3 +448,135 @@ def registry_from_trace(events: Sequence[TraceEvent], registry=None):
             if txn in blocked_since:
                 blocked.observe(event.time - blocked_since.pop(txn))
     return registry
+
+
+# ---------------------------------------------------------------------------
+# Dashboard (the `report` CLI)
+# ---------------------------------------------------------------------------
+
+def _slow_txns_from_spans(forest, top: int) -> list[str]:
+    """Top-``top`` slowest transactions with their critical paths."""
+    from repro.obs.spans import render_critical_path
+
+    rows = []
+    for gtxn, roots in forest.roots_by_gtxn().items():
+        for root in roots:
+            rows.append((root.duration, gtxn, root))
+    rows.sort(key=lambda row: (-row[0], row[1], row[2].event.span_id))
+    lines = []
+    for duration, gtxn, root in rows[:top]:
+        lines.append(
+            f"  gtxn={gtxn:<4} {root.event.status:<10} {duration:8.2f}  "
+            f"{render_critical_path(root)}"
+        )
+    return lines
+
+
+def _slow_txns_from_events(events: Sequence[TraceEvent], top: int) -> list[str]:
+    """Span-less fallback: TxnBegun -> resolution durations."""
+    begun: dict[int, float] = {}
+    rows: list[tuple[float, int, str]] = []
+    for event in events:
+        if isinstance(event, TxnBegun):
+            begun[event.txn] = event.time
+        elif isinstance(event, (TxnCommitted, TxnAborted)):
+            if event.txn in begun:
+                status = (
+                    "COMMITTED" if isinstance(event, TxnCommitted) else "ABORTED"
+                )
+                rows.append((event.time - begun.pop(event.txn), event.txn, status))
+    rows.sort(key=lambda row: (-row[0], row[1]))
+    return [
+        f"  txn={txn:<4} {status:<10} {duration:8.2f}"
+        for duration, txn, status in rows[:top]
+    ]
+
+
+def render_dashboard(
+    events: Sequence[TraceEvent], top: int = 10, window: int = 32
+) -> str:
+    """The deterministic text dashboard behind ``repro ... report``.
+
+    Sections: trace summary, slowest transactions with critical paths
+    (span-based when the trace has spans, event-based otherwise),
+    per-object latency, per-node span latency, and the per-object
+    conflict profile with a contention heatmap.  Formatting is fixed
+    (``%.2f``, sorted keys), so identical traces render byte-identical
+    dashboards.
+    """
+    from repro.obs.conflict import profiles_from_trace
+    from repro.obs.latency import latency_from_trace
+    from repro.obs.spans import build_span_trees
+
+    summary = summarize(events)
+    recorder = latency_from_trace(events)
+    forest = build_span_trees(events)
+    profiles = profiles_from_trace(events, window=window)
+
+    lines = ["== trace summary ==", summary.render(top=5)]
+
+    lines.append("")
+    lines.append(f"== slowest transactions (top {top}) ==")
+    slow = (
+        _slow_txns_from_spans(forest, top)
+        if forest.trees
+        else _slow_txns_from_events(events, top)
+    )
+    lines.extend(slow or ["  (no resolved transactions)"])
+    if forest.orphans or forest.duplicates:
+        lines.append(
+            f"  !! span anomalies: orphans={len(forest.orphans)} "
+            f"duplicates={len(forest.duplicates)}"
+        )
+
+    lines.append("")
+    lines.append("== per-object latency ==")
+    object_rows = [
+        (metric, key, histogram)
+        for metric, key, histogram in recorder.rows()
+        if metric in ("op_grant", "blocked")
+    ]
+    if object_rows:
+        lines.append(f"  {'metric':<10} {'object':<16} summary")
+        for metric, key, histogram in object_rows:
+            lines.append(f"  {metric:<10} {key:<16} {histogram.summary()}")
+    else:
+        lines.append("  (no operation latency recorded)")
+    e2e = recorder.merged("txn")
+    if e2e.count:
+        lines.append(f"  end-to-end txn: {e2e.summary()}")
+
+    span_rows = [
+        (metric, key, histogram)
+        for metric, key, histogram in recorder.rows()
+        if metric.startswith("span.")
+    ]
+    if span_rows:
+        lines.append("")
+        lines.append("== per-node span latency ==")
+        lines.append(f"  {'span':<16} {'node':<14} summary")
+        for metric, key, histogram in span_rows:
+            lines.append(
+                f"  {metric[len('span.'):]:<16} {key:<14} {histogram.summary()}"
+            )
+
+    lines.append("")
+    lines.append(f"== conflict profile (window={window}) ==")
+    if profiles:
+        lines.append(
+            f"  {'object':<16} {'req':>6} {'grant':>6} {'block':>6} "
+            f"{'abort':>6} {'rate':>6}  mode"
+        )
+        for name, profile in profiles.items():
+            total = profile.total
+            lines.append(
+                f"  {name:<16} {total.requests:>6} {total.grants:>6} "
+                f"{total.blocks:>6} {total.aborts:>6} "
+                f"{profile.conflict_rate:>6.2f}  {profile.recommend()}"
+            )
+        heat = "".join(profile.heat_char() for profile in profiles.values())
+        lines.append(f"  heatmap [{heat}]  ({' '.join(profiles)})")
+    else:
+        lines.append("  (no operations traced)")
+
+    return "\n".join(lines) + "\n"

@@ -21,6 +21,7 @@ decision, not only in post-hoc aggregates.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, fields
 from typing import Any, ClassVar
 
@@ -54,6 +55,7 @@ __all__ = [
     "TwoPCDecided",
     "NodeCrashed",
     "NodeRecovered",
+    "SpanRecorded",
     "event_from_dict",
     "event_type_names",
 ]
@@ -70,10 +72,20 @@ class TraceEvent:
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation: ``{"type": ..., **fields}``."""
-        payload: dict[str, Any] = {"type": self.type}
-        for field in fields(self):
-            payload[field.name] = getattr(self, field.name)
-        return payload
+        cls = type(self)
+        keys = cls.__dict__.get("_dict_keys")
+        if keys is None:
+            # Cache the key tuple and a C-level attribute reader per
+            # subclass; dataclasses.fields re-derives its metadata on
+            # every call, which dominates hot tracing.
+            names = tuple(field.name for field in fields(self))
+            keys = ("type",) + names
+            cls._dict_keys = keys
+            cls._dict_values = operator.attrgetter(*names)
+        values = cls._dict_values(self)
+        if len(keys) == 2:  # attrgetter of one name returns a bare value
+            values = (values,)
+        return dict(zip(keys, (self.type,) + values))
 
 
 _EVENT_TYPES: dict[str, type[TraceEvent]] = {}
@@ -458,6 +470,33 @@ class NodeRecovered(TraceEvent):
     node: str = ""
     replayed: int = 0
     in_doubt: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class SpanRecorded(TraceEvent):
+    """One closed causal-tracing span (see :mod:`repro.obs.spans`).
+
+    Spans are emitted once, at close: ``start``/``end`` bound the
+    interval in sim-time (``time`` equals ``end``), ``trace_id`` groups
+    every span of one global transaction (``g<gtxn>``), and
+    ``parent_span_id`` stitches the cross-node tree — an empty parent
+    marks a root.  ``node`` is the emitting actor (``driver``, ``coord``,
+    ``node0``…); ``detail`` qualifies the span (for 2PC phase spans, the
+    participant the RPC targeted).
+    """
+
+    type: ClassVar[str] = "span"
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""
+    name: str = ""
+    node: str = ""
+    gtxn: int = -1
+    start: float = 0.0
+    end: float = 0.0
+    status: str = "ok"
+    detail: str = ""
 
 
 def event_type_names() -> list[str]:

@@ -1,0 +1,292 @@
+"""Sim-time latency histograms: mergeable log₂ buckets with quantiles.
+
+The serving-layer roadmap needs "p99 latency and which phase dominates
+it" from every run, cheaply.  :class:`Histogram` is the classic
+HdrHistogram-lite answer sized for sim-time: fixed power-of-two buckets
+(one per octave, exponents ``MIN_EXP``..``MAX_EXP``, plus a dedicated
+zero bucket), O(1) observation with no allocation, exact ``count`` /
+``sum`` / ``min`` / ``max``, and mergeability by plain bucket addition —
+so per-object and per-node histograms roll up into cluster totals
+without storing samples.
+
+Quantile error bound: a reported quantile is the upper bound of the
+bucket containing the rank (clamped to the observed maximum), so it
+overestimates by at most one octave — a factor of 2.  Sim-time latencies
+span many decades (0 for same-tick grants, tens of units under fault
+storms), which is exactly the regime log bucketing is built for.
+
+:class:`LatencyRecorder` is a keyed bag of histograms — ``(metric,
+key)`` pairs like ``("op_grant", "shard0")`` — with deterministic
+iteration and registry export; :func:`latency_from_trace` fills one from
+a recorded JSONL trace: operation grant latency and blocked time per
+object, commit-wait, 2PC phase round-trips per span, and end-to-end
+transaction latency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.obs.events import (
+    CommitWaited,
+    OpBlocked,
+    OpGranted,
+    OpRequested,
+    SpanRecorded,
+    TraceEvent,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+)
+
+__all__ = [
+    "Histogram",
+    "LatencyRecorder",
+    "POW2_BOUNDS",
+    "latency_from_trace",
+]
+
+#: Smallest and largest bucket exponents: buckets cover (2^(k-1), 2^k].
+MIN_EXP = -20
+MAX_EXP = 20
+
+#: The finite bucket upper bounds, for registry-histogram export.
+POW2_BOUNDS = tuple(float(2.0 ** exp) for exp in range(MIN_EXP, MAX_EXP + 1))
+
+
+def _bucket_exponent(value: float) -> int:
+    """Exponent ``k`` with ``2^(k-1) < value <= 2^k``, clamped to range.
+
+    Uses ``math.frexp`` (``value = m * 2^e`` with ``0.5 <= m < 1``) so
+    exact powers of two land in their own bucket without float-log
+    imprecision.
+    """
+    mantissa, exponent = math.frexp(value)
+    k = exponent - 1 if mantissa == 0.5 else exponent
+    return min(max(k, MIN_EXP), MAX_EXP)
+
+
+class Histogram:
+    """A mergeable fixed-bucket log₂ latency histogram."""
+
+    __slots__ = ("zeros", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.zeros = 0
+        self.buckets = [0] * (MAX_EXP - MIN_EXP + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one latency; negative values clamp to the zero bucket."""
+        if value < 0.0:
+            value = 0.0
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0.0:
+            self.zeros += 1
+        else:
+            self.buckets[_bucket_exponent(value) - MIN_EXP] += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other`` into this histogram (bucketwise addition)."""
+        self.zeros += other.zeros
+        for index, count in enumerate(other.buckets):
+            self.buckets[index] += count
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile, accurate to one log₂ bucket (≤ 2×).
+
+        Returns the upper bound of the bucket holding the ceil-rank
+        observation, clamped to the exact observed maximum (so
+        ``quantile(1.0) == max``).  Empty histograms report ``0.0``.
+        """
+        if not self.count:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        running = self.zeros
+        for index, count in enumerate(self.buckets):
+            running += count
+            if rank <= running:
+                return min(float(2.0 ** (MIN_EXP + index)), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p90(self) -> float:
+        return self.quantile(0.90)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Non-empty ``(upper bound, count)`` buckets, ascending."""
+        pairs = [(0.0, self.zeros)] if self.zeros else []
+        pairs.extend(
+            (float(2.0 ** (MIN_EXP + index)), count)
+            for index, count in enumerate(self.buckets)
+            if count
+        )
+        return pairs
+
+    def summary(self) -> str:
+        """``p50=… p90=… p99=… max=… (n=…)`` — the footer building block."""
+        return (
+            f"p50={self.p50:.2f} p90={self.p90:.2f} p99={self.p99:.2f} "
+            f"max={self.max:.2f} (n={self.count})"
+        )
+
+
+class LatencyRecorder:
+    """Histograms keyed by ``(metric, key)``, deterministic to iterate."""
+
+    def __init__(self) -> None:
+        self._histograms: dict[tuple[str, str], Histogram] = {}
+
+    def observe(self, metric: str, key: str, value: float) -> None:
+        histogram = self._histograms.get((metric, key))
+        if histogram is None:
+            histogram = self._histograms[(metric, key)] = Histogram()
+        histogram.observe(value)
+
+    def get(self, metric: str, key: str) -> Histogram | None:
+        return self._histograms.get((metric, key))
+
+    def merged(self, metric: str) -> Histogram:
+        """All keys of one metric folded into a single histogram."""
+        total = Histogram()
+        for (name, _key), histogram in self._histograms.items():
+            if name == metric:
+                total.merge(histogram)
+        return total
+
+    def metrics(self) -> list[str]:
+        return sorted({metric for metric, _ in self._histograms})
+
+    def rows(self) -> list[tuple[str, str, Histogram]]:
+        """Every ``(metric, key, histogram)``, sorted for stable output."""
+        return [
+            (metric, key, self._histograms[(metric, key)])
+            for metric, key in sorted(self._histograms)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def publish(self, registry, prefix: str = "latency") -> None:
+        """Export into a :class:`~repro.obs.registry.MetricsRegistry`.
+
+        Each ``(metric, key)`` becomes a registry histogram over the
+        power-of-two bounds (populated via
+        :meth:`~repro.obs.registry.Histogram.accumulate`, preserving the
+        exact sum), ready for JSON or Prometheus rendering.
+        """
+        for metric, key, histogram in self.rows():
+            target = registry.histogram(
+                f"{prefix}_{metric}",
+                bounds=POW2_BOUNDS,
+                help=f"Sim-time {metric} latency (log2 buckets).",
+                labels={"key": key},
+            )
+            for bound, count in histogram.bucket_counts():
+                target.accumulate(bound, count)
+            # accumulate() summed bucket bounds; restore the exact sum.
+            target.sum = histogram.sum
+
+
+def latency_from_trace(events: Sequence[TraceEvent]) -> LatencyRecorder:
+    """Latency histograms reconstructed from one trace.
+
+    * ``op_grant`` per object — first ``OpRequested`` of a step to its
+      ``OpGranted`` (requests are serialized per transaction, so the
+      pending-request map needs one slot per txn);
+    * ``blocked`` per object — ``OpBlocked`` to the next grant or abort;
+    * ``commit_wait`` — ``CommitWaited`` to commit/abort;
+    * ``span.<name>`` per node — every recorded span's duration (2PC
+      phases, scheduler intervals, retries, recovery);
+    * ``txn`` — end-to-end latency per committed transaction: from root
+      ``txn`` spans when the trace has spans (node-safe in distributed
+      traces, where local txn ids collide), else ``TxnBegun`` →
+      ``TxnCommitted``.
+    """
+    recorder = LatencyRecorder()
+    pending_request: dict[int, tuple[float, str]] = {}
+    blocked_since: dict[int, tuple[float, str]] = {}
+    commit_wait_since: dict[int, float] = {}
+    begun_at: dict[int, float] = {}
+    saw_spans = False
+    for event in events:
+        if isinstance(event, SpanRecorded):
+            saw_spans = True
+            duration = event.end - event.start
+            recorder.observe(f"span.{event.name}", event.node, duration)
+            if event.name == "txn" and event.status == "COMMITTED":
+                recorder.observe("txn", "committed", duration)
+        elif isinstance(event, OpRequested):
+            pending_request.setdefault(
+                event.txn, (event.time, event.object_name)
+            )
+        elif isinstance(event, OpGranted):
+            pending = pending_request.pop(event.txn, None)
+            if pending is not None:
+                recorder.observe(
+                    "op_grant", pending[1], event.time - pending[0]
+                )
+            blocked = blocked_since.pop(event.txn, None)
+            if blocked is not None:
+                recorder.observe("blocked", blocked[1], event.time - blocked[0])
+        elif isinstance(event, OpBlocked):
+            blocked_since.setdefault(
+                event.txn, (event.time, event.object_name)
+            )
+        elif isinstance(event, CommitWaited):
+            commit_wait_since.setdefault(event.txn, event.time)
+        elif isinstance(event, TxnBegun):
+            begun_at[event.txn] = event.time
+        elif isinstance(event, TxnCommitted):
+            waited = commit_wait_since.pop(event.txn, None)
+            if waited is not None:
+                recorder.observe("commit_wait", "all", event.time - waited)
+            if not saw_spans and event.txn in begun_at:
+                recorder.observe(
+                    "txn", "committed", event.time - begun_at[event.txn]
+                )
+        elif isinstance(event, TxnAborted):
+            pending_request.pop(event.txn, None)
+            waited = commit_wait_since.pop(event.txn, None)
+            if waited is not None:
+                recorder.observe("commit_wait", "all", event.time - waited)
+            blocked = blocked_since.pop(event.txn, None)
+            if blocked is not None:
+                recorder.observe("blocked", blocked[1], event.time - blocked[0])
+    return recorder
+
+
+def histogram_of(values: Iterable[float]) -> Histogram:
+    """Convenience: a histogram over an iterable of samples."""
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    return histogram

@@ -113,6 +113,21 @@ class Histogram:
                 return
         self._counts[-1] += 1
 
+    def accumulate(self, value: float, count: int) -> None:
+        """Record ``count`` observations of ``value`` in one step.
+
+        Bulk bridge for pre-bucketed sources (e.g. the log₂ latency
+        histograms): ``sum`` accrues ``value * count``, which callers
+        holding an exact sum may overwrite afterwards.
+        """
+        self.sum += value * count
+        self.count += count
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[index] += count
+                return
+        self._counts[-1] += count
+
     def bucket_counts(self) -> dict[float, int]:
         """Cumulative counts keyed by upper bound (``inf`` for the tail)."""
         cumulative: dict[float, int] = {}

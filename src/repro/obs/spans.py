@@ -1,0 +1,295 @@
+"""Causal tracing: span contexts, emission, and cross-node stitching.
+
+The distributed stack answers "which node/phase dominated this
+transaction's latency" with classic span-based tracing scaled down to the
+simulator:
+
+* every global transaction owns one **trace** (``trace_id = g<gtxn>``)
+  whose root ``txn`` span the cluster driver opens at admission and
+  closes at resolution;
+* protocol phases — each operation forward, each 2PC commit attempt with
+  its per-participant ``prepare``/``decide`` legs, aborts, RPC retries,
+  post-crash termination queries — are child spans, their parentage
+  carried across the bus inside the message envelope
+  (:class:`repro.dist.bus.Message` ``span`` field);
+* participant nodes open ``sched.*`` child spans around the local
+  scheduler work a delivered message triggers.
+
+Spans are emitted as single :class:`~repro.obs.events.SpanRecorded`
+events at close (start/end both recorded), so a JSONL trace needs no
+begin/end pairing and a crashed span can still be closed from a
+``finally``.  Span ids are ``<actor>:<n>`` with a per-emitter counter —
+deterministic for a seeded run and collision-free across actors.
+
+The zero-overhead contract holds: with the falsy
+:class:`~repro.obs.tracers.NullTracer` every ``start``/``child`` call
+returns the shared :data:`NULL_SPAN` without minting an id or touching
+the clock, and instrumented code never branches on tracing elsewhere.
+
+:func:`build_span_trees` reconstructs the per-trace span forest from a
+trace (tolerating duplicates and orphans, which it reports instead of
+mis-parenting), and :func:`critical_path` walks a tree along its
+longest-duration children — the per-transaction answer the ``report``
+CLI prints.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.obs.events import SpanRecorded, TraceEvent
+
+__all__ = [
+    "NULL_SPAN",
+    "SpanEmitter",
+    "SpanNode",
+    "SpanForest",
+    "build_span_trees",
+    "critical_path",
+    "render_critical_path",
+    "trace_id_for",
+]
+
+#: The empty span context: no trace, no parent.
+_NO_CONTEXT: tuple[str, str] = ("", "")
+
+
+def trace_id_for(gtxn: int) -> str:
+    """The trace id of one global transaction."""
+    return f"g{gtxn}"
+
+
+class _NullSpan:
+    """The span of an untraced run: context-less, finish is a no-op."""
+
+    __slots__ = ()
+
+    context: tuple[str, str] = _NO_CONTEXT
+
+    def finish(self, status: str = "ok") -> None:
+        pass
+
+
+#: Shared do-nothing span (the null emitter path allocates nothing).
+NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """A started span; :meth:`finish` emits the ``SpanRecorded`` event."""
+
+    __slots__ = (
+        "_emitter", "trace_id", "span_id", "parent", "name", "gtxn",
+        "detail", "start",
+    )
+
+    def __init__(
+        self,
+        emitter: "SpanEmitter",
+        trace_id: str,
+        span_id: str,
+        parent: str,
+        name: str,
+        gtxn: int,
+        detail: str,
+        start: float,
+    ) -> None:
+        self._emitter = emitter
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent = parent
+        self.name = name
+        self.gtxn = gtxn
+        self.detail = detail
+        self.start = start
+
+    @property
+    def context(self) -> tuple[str, str]:
+        """``(trace_id, span_id)`` — what travels in message envelopes."""
+        return (self.trace_id, self.span_id)
+
+    def finish(self, status: str = "ok") -> None:
+        emitter = self._emitter
+        end = emitter.clock()
+        emitter.tracer.emit(
+            SpanRecorded(
+                time=end,
+                trace_id=self.trace_id,
+                span_id=self.span_id,
+                parent_span_id=self.parent,
+                name=self.name,
+                node=emitter.actor,
+                gtxn=self.gtxn,
+                start=self.start,
+                end=end,
+                status=status,
+                detail=self.detail,
+            )
+        )
+
+
+class SpanEmitter:
+    """Mints deterministic span ids for one actor and emits closed spans.
+
+    ``clock`` is a zero-argument callable returning the actor's current
+    sim-time (``bus.now`` in the cluster).  With a falsy tracer both
+    constructors return :data:`NULL_SPAN` and the id counter never
+    advances, so traced and untraced runs differ only in emitted events.
+    """
+
+    __slots__ = ("actor", "tracer", "clock", "_ids")
+
+    def __init__(self, actor: str, tracer, clock: Callable[[], float]) -> None:
+        self.actor = actor
+        self.tracer = tracer
+        self.clock = clock
+        self._ids = itertools.count()
+
+    def start(self, trace_id: str, name: str, gtxn: int = -1, detail: str = ""):
+        """Open a root span of ``trace_id`` (no parent)."""
+        if not self.tracer:
+            return NULL_SPAN
+        return _OpenSpan(
+            self,
+            trace_id,
+            f"{self.actor}:{next(self._ids)}",
+            "",
+            name,
+            gtxn,
+            detail,
+            self.clock(),
+        )
+
+    def child(
+        self,
+        context: tuple[str, str],
+        name: str,
+        gtxn: int = -1,
+        detail: str = "",
+    ):
+        """Open a span under ``context`` (a ``(trace_id, span_id)`` pair).
+
+        An empty context — from an untraced sender — yields
+        :data:`NULL_SPAN`, so parentage never crosses a tracing boundary.
+        """
+        if not self.tracer or not context[0]:
+            return NULL_SPAN
+        return _OpenSpan(
+            self,
+            context[0],
+            f"{self.actor}:{next(self._ids)}",
+            context[1],
+            name,
+            gtxn,
+            detail,
+            self.clock(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Stitching
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpanNode:
+    """One span in a reconstructed tree."""
+
+    event: SpanRecorded
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.event.end - self.event.start
+
+    @property
+    def self_time(self) -> float:
+        """Duration not covered by child spans (clamped at zero)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """This node and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class SpanForest:
+    """Every span tree of a trace, keyed by trace id.
+
+    ``orphans`` are spans whose recorded parent never appears in the
+    trace; ``duplicates`` are spans whose id was already taken.  Both are
+    surfaced (not silently grafted) so the transparency property tests
+    can assert their absence.
+    """
+
+    trees: dict[str, list[SpanNode]] = field(default_factory=dict)
+    orphans: list[SpanRecorded] = field(default_factory=list)
+    duplicates: list[SpanRecorded] = field(default_factory=list)
+
+    def roots_by_gtxn(self) -> dict[int, list[SpanNode]]:
+        """Root spans of transaction traces, keyed by gtxn."""
+        result: dict[int, list[SpanNode]] = {}
+        for roots in self.trees.values():
+            for root in roots:
+                if root.event.gtxn >= 0:
+                    result.setdefault(root.event.gtxn, []).append(root)
+        return result
+
+
+def build_span_trees(events: Sequence[TraceEvent]) -> SpanForest:
+    """Reconstruct the span forest from a trace's ``SpanRecorded`` events."""
+    forest = SpanForest()
+    nodes: dict[str, SpanNode] = {}
+    spans: list[SpanRecorded] = []
+    for event in events:
+        if not isinstance(event, SpanRecorded):
+            continue
+        if event.span_id in nodes:
+            forest.duplicates.append(event)
+            continue
+        nodes[event.span_id] = SpanNode(event=event)
+        spans.append(event)
+    for event in spans:
+        node = nodes[event.span_id]
+        if not event.parent_span_id:
+            forest.trees.setdefault(event.trace_id, []).append(node)
+        elif event.parent_span_id in nodes:
+            nodes[event.parent_span_id].children.append(node)
+        else:
+            forest.orphans.append(event)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: (n.event.start, n.event.span_id))
+    for roots in forest.trees.values():
+        roots.sort(key=lambda n: (n.event.start, n.event.span_id))
+    return forest
+
+
+def critical_path(root: SpanNode) -> list[SpanNode]:
+    """Root-to-leaf path descending into the longest-duration child.
+
+    Ties break on earliest start then span id, so the path — and
+    everything rendered from it — is deterministic for a given trace.
+    """
+    path = [root]
+    node = root
+    while node.children:
+        node = max(
+            node.children,
+            key=lambda n: (n.duration, -n.event.start),
+        )
+        # max() keeps the first of equal keys; children are already
+        # sorted by (start, span_id), so ties resolve deterministically.
+        path.append(node)
+    return path
+
+
+def render_critical_path(root: SpanNode) -> str:
+    """One-line rendering of a tree's critical path."""
+    parts = []
+    for node in critical_path(root):
+        event = node.event
+        where = event.node + (f"->{event.detail}" if event.detail else "")
+        parts.append(f"{event.name}[{where}] {node.duration:.2f}")
+    return " > ".join(parts)

@@ -14,6 +14,9 @@ trace``.
 from __future__ import annotations
 
 import json
+import math
+from dataclasses import fields
+from json.encoder import encode_basestring
 from typing import IO, Iterable, Protocol, runtime_checkable
 
 from repro.obs.events import TraceEvent, event_from_dict
@@ -78,6 +81,87 @@ class RecordingTracer:
         return True  # even when empty: emissions must not be skipped
 
 
+def _json_fragment(value: object) -> str | None:
+    """JSON for one non-scalar field value, or ``None`` to punt to json.
+
+    Handles tuples/lists of fast-serializable items with ``json.dumps``'s
+    default separators; anything else (dicts, sets, non-finite floats)
+    falls back to the stock encoder for the whole event.
+    """
+    cls = value.__class__
+    if cls is tuple or cls is list:
+        parts = []
+        for item in value:
+            icls = item.__class__
+            if icls is str:
+                parts.append(encode_basestring(item))
+            elif icls is int:
+                parts.append(int.__repr__(item))
+            elif icls is float and math.isfinite(item):
+                parts.append(float.__repr__(item))
+            elif icls is bool:
+                parts.append("true" if item else "false")
+            elif item is None:
+                parts.append("null")
+            else:
+                inner = _json_fragment(item)
+                if inner is None:
+                    return None
+                parts.append(inner)
+        return "[" + ", ".join(parts) + "]"
+    return None
+
+
+def _fast_line(event: TraceEvent) -> str | None:
+    """One event as a JSON line, byte-identical to ``json.dumps`` of
+    ``event.to_dict()`` — or ``None`` when a field needs the stock
+    encoder.
+
+    Serializing through per-class cached key fragments and direct scalar
+    formatting skips the dict build and the encoder's generic dispatch,
+    which together dominate the tracing hot path.  ``json`` renders
+    finite floats via ``float.__repr__``, ints via their repr, and
+    strings via ``encode_basestring`` (C-accelerated), so the bytes
+    match exactly; non-finite floats and exotic field types punt.
+    """
+    cls = type(event)
+    meta = cls.__dict__.get("_jsonl_meta")
+    if meta is None:
+        names = tuple(field.name for field in fields(event))
+        prefix = '{"type": ' + encode_basestring(cls.type)
+        keys = tuple(
+            ", " + encode_basestring(name) + ": " for name in names
+        )
+        meta = (prefix, tuple(zip(names, keys)))
+        cls._jsonl_meta = meta
+    prefix, pairs = meta
+    parts = [prefix]
+    append = parts.append
+    for name, key in pairs:
+        value = getattr(event, name)
+        vcls = value.__class__
+        if vcls is str:
+            fragment = encode_basestring(value)
+        elif vcls is float:
+            if not math.isfinite(value):
+                return None
+            fragment = float.__repr__(value)
+        elif vcls is int:
+            fragment = int.__repr__(value)
+        elif vcls is bool:
+            fragment = "true" if value else "false"
+        elif value is None:
+            fragment = "null"
+        else:
+            fragment = _json_fragment(value)
+            if fragment is None:
+                return None
+        append(key)
+        append(fragment)
+    append("}")
+    return "".join(parts)
+
+
 class JsonlTracer:
     """Streams events to a JSON-lines file (one ``to_dict`` per line)."""
 
@@ -90,9 +174,16 @@ class JsonlTracer:
             self._owns_stream = False
         self.emitted = 0
 
+    #: One shared C-accelerated encoder for the fallback path:
+    #: ``json.dumps(ensure_ascii=False)`` constructs a fresh
+    #: ``JSONEncoder`` per call.  Bytes are identical either way.
+    _encode = json.JSONEncoder(ensure_ascii=False).encode
+
     def emit(self, event: TraceEvent) -> None:
-        json.dump(event.to_dict(), self._stream, ensure_ascii=False)
-        self._stream.write("\n")
+        line = _fast_line(event)
+        if line is None:
+            line = self._encode(event.to_dict())
+        self._stream.write(line + "\n")
         self.emitted += 1
 
     def close(self) -> None:

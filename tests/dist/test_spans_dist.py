@@ -1,0 +1,121 @@
+"""Cross-node span trees reconstructed from a 2-shard chaos trace.
+
+The acceptance bar for causal tracing: from a single JSONL trace of a
+two-shard chaos run, the stitcher rebuilds a *complete* span forest —
+every committed global transaction has exactly one root ``txn`` span,
+2PC ``prepare``/``decide`` legs appear as children of their ``commit``
+attempt with correct parentage, and message duplication/reorder faults
+produce no orphan or duplicate spans (idempotent dedup paths emit none).
+"""
+
+import io
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.dist import Cluster
+from repro.obs.events import SpanRecorded
+from repro.obs.spans import build_span_trees, critical_path, trace_id_for
+from repro.obs.tracers import JsonlTracer, read_trace
+from repro.robust import FaultPlan, FaultSpec
+
+CHAOS = FaultSpec(
+    msg_delay_rate=0.1,
+    msg_duplicate_rate=0.15,
+    msg_reorder_rate=0.15,
+)
+
+
+@pytest.fixture(scope="module")
+def traced():
+    """One seeded 2-shard chaos run: (transcript, events, spans)."""
+    adt = make_adt("Account")
+    table = derive(adt).final_table
+    workload = generate(
+        adt,
+        "shared",
+        WorkloadConfig(transactions=12, operations_per_transaction=6, seed=9),
+    )
+    buffer = io.StringIO()
+    tracer = JsonlTracer(buffer)
+    cluster = Cluster(
+        adt,
+        table,
+        shards=2,
+        policy="blocking",
+        fault_plan=FaultPlan(21, spec=CHAOS),
+        tracer=tracer,
+    )
+    transcript = cluster.run(workload, seed=9)
+    tracer.close()
+    events = read_trace(io.StringIO(buffer.getvalue()))
+    spans = [event for event in events if isinstance(event, SpanRecorded)]
+    return transcript, events, spans
+
+
+class TestSpanForestCompleteness:
+    def test_no_orphans_or_duplicates_under_chaos(self, traced):
+        _transcript, events, _spans = traced
+        forest = build_span_trees(events)
+        assert forest.orphans == []
+        assert forest.duplicates == []
+
+    def test_every_committed_gtxn_has_exactly_one_root_txn_span(self, traced):
+        transcript, events, _spans = traced
+        committed = [
+            gtxn for gtxn, status in transcript.statuses
+            if status == "COMMITTED"
+        ]
+        assert committed, "seed must commit at least one transaction"
+        roots = build_span_trees(events).roots_by_gtxn()
+        for gtxn in committed:
+            assert len(roots.get(gtxn, [])) == 1, gtxn
+            root = roots[gtxn][0]
+            assert root.event.name == "txn"
+            assert root.event.node == "driver"
+            assert root.event.trace_id == trace_id_for(gtxn)
+            assert root.event.status == "COMMITTED"
+
+    def test_2pc_legs_are_children_of_their_commit_attempt(self, traced):
+        _transcript, _events, spans = traced
+        by_id = {span.span_id: span for span in spans}
+        legs = [
+            span for span in spans
+            if span.name in ("prepare", "decide", "commit-one")
+        ]
+        assert legs, "chaos run never reached 2PC"
+        for leg in legs:
+            parent = by_id[leg.parent_span_id]
+            assert parent.name == "commit"
+            assert parent.trace_id == leg.trace_id
+            assert parent.gtxn == leg.gtxn
+
+    def test_commit_spans_hang_off_the_root(self, traced):
+        _transcript, _events, spans = traced
+        by_id = {span.span_id: span for span in spans}
+        commits = [span for span in spans if span.name == "commit"]
+        assert commits
+        for commit in commits:
+            assert by_id[commit.parent_span_id].name == "txn"
+
+    def test_critical_path_starts_at_the_root_txn(self, traced):
+        transcript, events, _spans = traced
+        roots = build_span_trees(events).roots_by_gtxn()
+        committed = [
+            gtxn for gtxn, status in transcript.statuses
+            if status == "COMMITTED"
+        ]
+        for gtxn in committed:
+            path = critical_path(roots[gtxn][0])
+            assert path[0].event.name == "txn"
+            # Durations along the path never exceed the root's.
+            durations = [node.duration for node in path]
+            assert durations == sorted(durations, reverse=True)
+
+    def test_span_ids_are_per_actor_unique(self, traced):
+        _transcript, _events, spans = traced
+        ids = [span.span_id for span in spans]
+        assert len(ids) == len(set(ids))
+        assert all(span.span_id.startswith(span.node + ":") for span in spans)

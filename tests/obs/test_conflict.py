@@ -1,0 +1,106 @@
+"""Unit tests for per-object windowed conflict telemetry."""
+
+from repro.obs.conflict import (
+    ConflictProfile,
+    ConflictWindow,
+    ObjectConflictTracker,
+    profiles_from_trace,
+)
+from repro.obs.events import OpBlocked, OpGranted, OpRequested, TxnAborted
+
+
+def profile_with(requests=0, blocks=0, aborts=0):
+    total = ConflictWindow(requests=requests, blocks=blocks, aborts=aborts)
+    return ConflictProfile(
+        object_name="obj", window_size=64, windows_sealed=0,
+        total=total, recent=ConflictWindow(),
+    )
+
+
+class TestObjectConflictTracker:
+    def test_windows_seal_every_window_size_requests(self):
+        tracker = ObjectConflictTracker("obj", window_size=2)
+        tracker.note_request()
+        tracker.note_block()
+        assert tracker.windows_sealed == 0
+        assert tracker.profile().recent == ConflictWindow()  # none sealed yet
+        tracker.note_request()
+        assert tracker.windows_sealed == 1
+        recent = tracker.profile().recent
+        assert (recent.requests, recent.blocks) == (2, 1)
+        # The new current window starts empty; totals keep accumulating.
+        tracker.note_request()
+        profile = tracker.profile()
+        assert profile.total.requests == 3
+        assert profile.recent.requests == 2
+
+    def test_dependency_mix_counters(self):
+        tracker = ObjectConflictTracker("obj")
+        tracker.note_dep("AD")
+        tracker.note_dep("CD")
+        tracker.note_dep("CD")
+        tracker.note_dep("ND")
+        tracker.add_nd_fast(3)
+        tracker.add_nd_fast(0)  # zero deltas are free
+        total = tracker.profile().total
+        assert (total.ad_edges, total.cd_edges, total.nd_pairs) == (1, 2, 1)
+        assert total.nd_fast_path == 3
+
+    def test_rates_guard_against_zero_requests(self):
+        profile = ObjectConflictTracker("obj").profile()
+        assert profile.conflict_rate == 0.0
+        assert profile.abort_rate == 0.0
+
+
+class TestRecommend:
+    def test_low_conflict_goes_optimistic(self):
+        assert profile_with(requests=100, blocks=10).recommend() == "optimistic"
+
+    def test_high_abort_share_goes_queued(self):
+        profile = profile_with(requests=100, blocks=40, aborts=30)
+        assert profile.recommend() == "queued"
+
+    def test_contended_but_stable_stays_blocking(self):
+        profile = profile_with(requests=100, blocks=40, aborts=10)
+        assert profile.recommend() == "blocking"
+
+    def test_heat_char_scales_with_conflict_rate(self):
+        cold = profile_with(requests=100, blocks=0)
+        hot = profile_with(requests=100, blocks=100)
+        assert cold.heat_char() == " "
+        assert hot.heat_char() == "@"
+
+    def test_to_dict_is_json_ready(self):
+        payload = profile_with(requests=10, blocks=2, aborts=1).to_dict()
+        assert payload["object"] == "obj"
+        assert payload["conflict_rate"] == 0.2
+        assert payload["recommendation"] == "blocking"
+
+
+class TestProfilesFromTrace:
+    def test_counts_and_abort_attribution(self):
+        events = [
+            OpRequested(time=0.0, txn=1, object_name="a", operation="Push"),
+            OpGranted(time=0.0, txn=1, object_name="a", operation="Push"),
+            OpRequested(time=1.0, txn=2, object_name="a", operation="Pop"),
+            OpBlocked(time=1.0, txn=2, object_name="a", blocked_on=(1,)),
+            OpRequested(time=2.0, txn=1, object_name="b", operation="Push"),
+            OpGranted(time=2.0, txn=1, object_name="b", operation="Push"),
+            # txn 1 last touched "b": its abort lands there, not on "a".
+            TxnAborted(time=3.0, txn=1, reason="requested"),
+        ]
+        profiles = profiles_from_trace(events, window=4)
+        assert sorted(profiles) == ["a", "b"]
+        assert profiles["a"].total.requests == 2
+        assert profiles["a"].total.blocks == 1
+        assert profiles["a"].total.aborts == 0
+        assert profiles["b"].total.aborts == 1
+
+    def test_window_parameter_reaches_trackers(self):
+        events = [
+            OpRequested(time=float(i), txn=i, object_name="a", operation="Op")
+            for i in range(4)
+        ]
+        profiles = profiles_from_trace(events, window=2)
+        assert profiles["a"].window_size == 2
+        assert profiles["a"].windows_sealed == 2

@@ -1,0 +1,72 @@
+"""The compiled JSONL serializer must be byte-identical to ``json.dumps``.
+
+``JsonlTracer`` writes events through :func:`repro.obs.tracers._fast_line`
+(per-class cached key fragments, direct scalar formatting) and only falls
+back to the stock encoder for values the fast path punts on.  Trace
+byte-stability — which CI ``cmp``-s — rests on the two paths producing
+identical bytes, so this is pinned for every registered event class and
+for the value shapes that exercise each branch.
+"""
+
+import io
+import json
+import math
+
+from repro.obs.events import (
+    _EVENT_TYPES,
+    DependencyRecorded,
+    MessageSent,
+    OpBlocked,
+    StageTimed,
+)
+from repro.obs.tracers import JsonlTracer, _fast_line, read_trace
+
+
+def reference_line(event):
+    return json.dumps(event.to_dict(), ensure_ascii=False)
+
+
+class TestFastLineByteIdentity:
+    def test_every_registered_event_class_with_defaults(self):
+        for cls in _EVENT_TYPES.values():
+            event = cls(time=0.5)
+            line = _fast_line(event)
+            assert line is not None, cls
+            assert line == reference_line(event), cls
+
+    def test_strings_needing_escapes(self):
+        event = DependencyRecorded(
+            time=1.25,
+            entry='(CD, x_out = "nok"); \\ backslash',
+            condition="line\nbreak\ttab",
+            invoked="Pusché",  # non-ASCII survives ensure_ascii=False
+        )
+        assert _fast_line(event) == reference_line(event)
+
+    def test_int_float_bool_none_and_tuples(self):
+        event = OpBlocked(
+            time=0.30000000000000004,  # repr round-trip, not str rounding
+            txn=-7,
+            blocked_on=(1, 2, 30),
+        )
+        assert _fast_line(event) == reference_line(event)
+        outcome_none = MessageSent(time=2.0, gtxn=10 ** 12, deliver_at=1e-9)
+        assert _fast_line(outcome_none) == reference_line(outcome_none)
+
+    def test_empty_and_nested_tuples(self):
+        event = OpBlocked(time=0.0, blocked_on=())
+        assert _fast_line(event) == reference_line(event)
+
+    def test_non_finite_floats_punt_to_the_stock_encoder(self):
+        assert _fast_line(StageTimed(time=0.0, seconds=math.inf)) is None
+        assert _fast_line(StageTimed(time=0.0, seconds=math.nan)) is None
+
+    def test_tracer_output_round_trips_through_read_trace(self):
+        buffer = io.StringIO()
+        tracer = JsonlTracer(buffer)
+        events = [cls(time=0.5) for cls in _EVENT_TYPES.values()]
+        for event in events:
+            tracer.emit(event)
+        tracer.close()
+        assert tracer.emitted == len(events)
+        assert read_trace(io.StringIO(buffer.getvalue())) == events

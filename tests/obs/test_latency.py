@@ -1,0 +1,181 @@
+"""Unit tests for the log₂ latency histograms and the trace extractor."""
+
+import math
+
+from repro.obs.events import (
+    CommitWaited,
+    OpBlocked,
+    OpGranted,
+    OpRequested,
+    SpanRecorded,
+    TxnAborted,
+    TxnBegun,
+    TxnCommitted,
+)
+from repro.obs.latency import (
+    MAX_EXP,
+    MIN_EXP,
+    POW2_BOUNDS,
+    Histogram,
+    LatencyRecorder,
+    histogram_of,
+    latency_from_trace,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestHistogram:
+    def test_exact_stats(self):
+        histogram = histogram_of([0.0, 1.0, 3.0, 8.0])
+        assert histogram.count == 4
+        assert histogram.sum == 12.0
+        assert histogram.min == 0.0
+        assert histogram.max == 8.0
+        assert histogram.mean == 3.0
+
+    def test_empty(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.quantile(0.99) == 0.0
+
+    def test_powers_of_two_get_their_own_bucket(self):
+        # Buckets cover (2^(k-1), 2^k]: an exact power of two must not
+        # spill into the next octave (frexp, not float log).
+        histogram = Histogram()
+        histogram.observe(2.0)
+        assert histogram.bucket_counts() == [(2.0, 1)]
+        histogram.observe(2.0000001)
+        assert histogram.bucket_counts() == [(2.0, 1), (4.0, 1)]
+
+    def test_zero_bucket_is_dedicated(self):
+        histogram = histogram_of([0.0, 0.0, 5.0])
+        assert histogram.zeros == 2
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_negative_values_clamp_to_zero(self):
+        histogram = histogram_of([-3.0])
+        assert histogram.zeros == 1
+        assert histogram.min == 0.0
+
+    def test_quantile_error_is_at_most_one_octave(self):
+        values = [0.3, 1.7, 2.9, 5.2, 11.8, 40.0, 97.5]
+        histogram = histogram_of(values)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = sorted(values)[max(0, math.ceil(q * len(values)) - 1)]
+            reported = histogram.quantile(q)
+            assert exact <= reported <= 2.0 * exact
+
+    def test_quantile_one_is_exact_max(self):
+        histogram = histogram_of([0.3, 5.2, 97.5])
+        assert histogram.quantile(1.0) == 97.5
+        assert histogram.p99 == 97.5  # rank 3 bucket, clamped to max
+
+    def test_out_of_range_values_clamp_to_edge_buckets(self):
+        histogram = histogram_of([2.0 ** (MIN_EXP - 5), 2.0 ** (MAX_EXP + 5)])
+        bounds = [bound for bound, _count in histogram.bucket_counts()]
+        assert bounds == [2.0 ** MIN_EXP, 2.0 ** MAX_EXP]
+
+    def test_merge_equals_combined_observation(self):
+        first = histogram_of([0.0, 1.0, 7.0])
+        second = histogram_of([2.5, 64.0])
+        combined = histogram_of([0.0, 1.0, 7.0, 2.5, 64.0])
+        first.merge(second)
+        assert first.bucket_counts() == combined.bucket_counts()
+        assert first.count == combined.count
+        assert first.sum == combined.sum
+        assert first.min == combined.min
+        assert first.max == combined.max
+
+    def test_summary_format(self):
+        summary = histogram_of([1.0, 2.0]).summary()
+        assert summary.startswith("p50=")
+        assert summary.endswith("(n=2)")
+
+
+class TestLatencyRecorder:
+    def test_keyed_observation_and_rows_are_sorted(self):
+        recorder = LatencyRecorder()
+        recorder.observe("op_grant", "shard1", 1.0)
+        recorder.observe("op_grant", "shard0", 2.0)
+        recorder.observe("blocked", "shard0", 3.0)
+        assert [(metric, key) for metric, key, _ in recorder.rows()] == [
+            ("blocked", "shard0"),
+            ("op_grant", "shard0"),
+            ("op_grant", "shard1"),
+        ]
+        assert recorder.metrics() == ["blocked", "op_grant"]
+        assert len(recorder) == 3
+        assert recorder.get("op_grant", "shard1").max == 1.0
+        assert recorder.get("op_grant", "missing") is None
+
+    def test_merged_folds_all_keys_of_one_metric(self):
+        recorder = LatencyRecorder()
+        recorder.observe("rpc", "prepare", 1.0)
+        recorder.observe("rpc", "decide", 3.0)
+        recorder.observe("e2e", "all", 100.0)
+        merged = recorder.merged("rpc")
+        assert merged.count == 2
+        assert merged.max == 3.0
+
+    def test_publish_exports_pow2_histograms(self):
+        recorder = LatencyRecorder()
+        recorder.observe("op_grant", "obj", 0.0)
+        recorder.observe("op_grant", "obj", 3.0)
+        registry = MetricsRegistry()
+        recorder.publish(registry)
+        exported = registry.histogram(
+            "latency_op_grant", bounds=POW2_BOUNDS, labels={"key": "obj"}
+        )
+        assert exported.count == 2
+        assert exported.sum == 3.0  # exact sum restored, not bucket bounds
+
+
+class TestLatencyFromTrace:
+    def test_grant_blocked_and_commit_wait(self):
+        events = [
+            TxnBegun(time=0.0, txn=1),
+            OpRequested(time=0.0, txn=1, object_name="obj", operation="Push"),
+            OpBlocked(time=0.0, txn=1, object_name="obj", blocked_on=(2,)),
+            OpGranted(time=4.0, txn=1, object_name="obj", operation="Push"),
+            CommitWaited(time=4.0, txn=1),
+            TxnCommitted(time=6.0, txn=1, commit_sequence=1),
+        ]
+        recorder = latency_from_trace(events)
+        assert recorder.get("op_grant", "obj").max == 4.0
+        assert recorder.get("blocked", "obj").max == 4.0
+        assert recorder.get("commit_wait", "all").max == 2.0
+        assert recorder.get("txn", "committed").max == 6.0
+
+    def test_abort_closes_open_intervals(self):
+        events = [
+            OpRequested(time=1.0, txn=1, object_name="obj", operation="Push"),
+            OpBlocked(time=1.0, txn=1, object_name="obj", blocked_on=(2,)),
+            TxnAborted(time=5.0, txn=1, reason="deadlock"),
+        ]
+        recorder = latency_from_trace(events)
+        assert recorder.get("blocked", "obj").max == 4.0
+        assert recorder.get("op_grant", "obj") is None  # never granted
+
+    def test_spans_take_over_end_to_end_latency(self):
+        # With spans in the trace, e2e latency comes from root txn spans
+        # (node-safe in distributed traces), not TxnBegun/TxnCommitted.
+        events = [
+            TxnBegun(time=0.0, txn=1),
+            SpanRecorded(
+                time=1.0, trace_id="g1", span_id="node0:0",
+                parent_span_id="driver:0", name="sched.op", node="node0",
+                gtxn=1, start=0.5, end=1.0,
+            ),
+            TxnCommitted(time=9.0, txn=1, commit_sequence=1),
+            SpanRecorded(
+                time=9.0, trace_id="g1", span_id="driver:0",
+                parent_span_id="", name="txn", node="driver", gtxn=1,
+                start=0.0, end=9.0, status="COMMITTED",
+            ),
+        ]
+        recorder = latency_from_trace(events)
+        txn = recorder.get("txn", "committed")
+        assert txn.count == 1  # from the root span, not TxnBegun/Committed
+        assert txn.max == 9.0
+        assert recorder.get("span.sched.op", "node0").max == 0.5

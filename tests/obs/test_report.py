@@ -1,0 +1,84 @@
+"""The ``repro report`` dashboard: deterministic, complete, trace-driven."""
+
+import io
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.dist import Cluster
+from repro.obs.analysis import render_dashboard
+from repro.obs.tracers import JsonlTracer, read_trace
+from repro.robust import FaultPlan, FaultSpec
+
+CHAOS = FaultSpec(
+    msg_drop_rate=0.02,
+    msg_delay_rate=0.05,
+    msg_duplicate_rate=0.05,
+    msg_reorder_rate=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def fixture():
+    adt = make_adt("Account")
+    return adt, derive(adt).final_table
+
+
+def traced_chaos_run(fixture, seed=5):
+    adt, table = fixture
+    workload = generate(
+        adt,
+        "shared",
+        WorkloadConfig(transactions=10, operations_per_transaction=5, seed=seed),
+    )
+    buffer = io.StringIO()
+    tracer = JsonlTracer(buffer)
+    cluster = Cluster(
+        adt,
+        table,
+        shards=2,
+        policy="blocking",
+        fault_plan=FaultPlan(3, spec=CHAOS),
+        tracer=tracer,
+    )
+    cluster.run(workload, seed=seed)
+    tracer.close()
+    return read_trace(io.StringIO(buffer.getvalue()))
+
+
+class TestRenderDashboard:
+    def test_sections_present(self, fixture):
+        events = traced_chaos_run(fixture)
+        dashboard = render_dashboard(events)
+        for header in (
+            "== trace summary ==",
+            "== slowest transactions",
+            "== per-object latency ==",
+            "== per-node span latency ==",
+            "== conflict profile",
+        ):
+            assert header in dashboard
+        assert "txn[driver]" in dashboard  # critical paths are rendered
+        assert "heatmap" in dashboard
+
+    def test_byte_stable_across_identical_runs(self, fixture):
+        first = render_dashboard(traced_chaos_run(fixture))
+        second = render_dashboard(traced_chaos_run(fixture))
+        assert first == second
+
+    def test_top_bounds_the_slow_transaction_list(self, fixture):
+        events = traced_chaos_run(fixture)
+        dashboard = render_dashboard(events, top=2)
+        section = dashboard.split("== slowest transactions")[1]
+        section = section.split("\n==")[0]
+        assert section.count("gtxn=") == 2
+
+    def test_window_reaches_the_conflict_section(self, fixture):
+        events = traced_chaos_run(fixture)
+        assert "(window=8)" in render_dashboard(events, window=8)
+
+    def test_dashboard_from_untraced_event_list_is_graceful(self):
+        dashboard = render_dashboard([])
+        assert "== trace summary ==" in dashboard

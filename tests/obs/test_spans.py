@@ -1,0 +1,157 @@
+"""Unit tests for span emission, stitching, and critical paths."""
+
+from repro.obs.events import SpanRecorded
+from repro.obs.spans import (
+    NULL_SPAN,
+    SpanEmitter,
+    SpanForest,
+    build_span_trees,
+    critical_path,
+    render_critical_path,
+    trace_id_for,
+)
+from repro.obs.tracers import NULL_TRACER, RecordingTracer
+
+
+def span(
+    span_id,
+    parent="",
+    trace="g1",
+    name="txn",
+    node="driver",
+    gtxn=1,
+    start=0.0,
+    end=1.0,
+    detail="",
+):
+    return SpanRecorded(
+        time=end, trace_id=trace, span_id=span_id, parent_span_id=parent,
+        name=name, node=node, gtxn=gtxn, start=start, end=end, detail=detail,
+    )
+
+
+class TestSpanEmitter:
+    def test_emits_one_event_at_finish(self):
+        tracer = RecordingTracer()
+        clock = iter([3.0, 7.5])
+        emitter = SpanEmitter("coord", tracer, clock=lambda: next(clock))
+        opened = emitter.start(trace_id_for(4), "commit", gtxn=4, detail="d")
+        assert tracer.events == []  # nothing until close
+        opened.finish("ok")
+        [event] = tracer.events
+        assert event == SpanRecorded(
+            time=7.5, trace_id="g4", span_id="coord:0", parent_span_id="",
+            name="commit", node="coord", gtxn=4, start=3.0, end=7.5,
+            status="ok", detail="d",
+        )
+
+    def test_child_inherits_trace_and_parent(self):
+        tracer = RecordingTracer()
+        emitter = SpanEmitter("coord", tracer, clock=lambda: 0.0)
+        parent = emitter.start("g1", "txn", gtxn=1)
+        child = emitter.child(parent.context, "prepare", gtxn=1)
+        child.finish()
+        parent.finish()
+        prepare, txn = tracer.events
+        assert prepare.trace_id == "g1"
+        assert prepare.parent_span_id == txn.span_id
+        assert (txn.span_id, prepare.span_id) == ("coord:0", "coord:1")
+
+    def test_crashed_status_propagates(self):
+        tracer = RecordingTracer()
+        emitter = SpanEmitter("node0", tracer, clock=lambda: 0.0)
+        emitter.start("g1", "op").finish("crashed")
+        assert tracer.events[0].status == "crashed"
+
+    def test_null_tracer_yields_the_shared_null_span(self):
+        emitter = SpanEmitter("coord", NULL_TRACER, clock=lambda: 0.0)
+        opened = emitter.start("g1", "txn")
+        assert opened is NULL_SPAN
+        assert emitter.child(opened.context, "op") is NULL_SPAN
+        opened.finish("anything")  # a no-op, not an error
+
+    def test_empty_context_never_gets_a_parent(self):
+        # A message from an untraced sender must not fabricate parentage.
+        emitter = SpanEmitter("node0", RecordingTracer(), clock=lambda: 0.0)
+        assert emitter.child(("", ""), "sched.op") is NULL_SPAN
+
+    def test_null_path_does_not_advance_the_id_counter(self):
+        tracer = RecordingTracer()
+        emitter = SpanEmitter("coord", tracer, clock=lambda: 0.0)
+        emitter.tracer = NULL_TRACER
+        emitter.start("g1", "txn")
+        emitter.tracer = tracer
+        emitter.start("g1", "txn").finish()
+        assert tracer.events[0].span_id == "coord:0"
+
+
+class TestBuildSpanTrees:
+    def test_stitches_parentage_across_actors(self):
+        events = [
+            span("driver:0"),
+            span("coord:0", parent="driver:0", name="op", node="coord"),
+            span("node0:0", parent="coord:0", name="sched.op", node="node0"),
+        ]
+        forest = build_span_trees(events)
+        assert forest.orphans == [] and forest.duplicates == []
+        [root] = forest.trees["g1"]
+        names = [node.event.name for node in root.walk()]
+        assert names == ["txn", "op", "sched.op"]
+
+    def test_orphans_are_reported_not_grafted(self):
+        forest = build_span_trees([span("coord:0", parent="ghost:9")])
+        assert forest.trees == {}
+        assert [event.span_id for event in forest.orphans] == ["coord:0"]
+
+    def test_duplicates_are_reported_once(self):
+        forest = build_span_trees([span("driver:0"), span("driver:0")])
+        assert len(forest.trees["g1"]) == 1
+        assert [event.span_id for event in forest.duplicates] == ["driver:0"]
+
+    def test_roots_by_gtxn_skips_non_transaction_traces(self):
+        forest = build_span_trees([
+            span("driver:0", gtxn=3),
+            span("bus:0", trace="recovery", gtxn=-1, name="recovery"),
+        ])
+        assert set(forest.roots_by_gtxn()) == {3}
+
+    def test_non_span_events_are_ignored(self):
+        assert build_span_trees([object()]) == SpanForest()
+
+
+class TestCriticalPath:
+    def test_follows_the_longest_child(self):
+        events = [
+            span("driver:0", start=0.0, end=10.0),
+            span("coord:0", parent="driver:0", name="op", start=0.0, end=2.0),
+            span("coord:1", parent="driver:0", name="commit", node="coord",
+                 start=2.0, end=9.0, detail="node0"),
+            span("node0:0", parent="coord:1", name="sched.commit",
+                 node="node0", start=3.0, end=4.0),
+        ]
+        [root] = build_span_trees(events).trees["g1"]
+        names = [node.event.name for node in critical_path(root)]
+        assert names == ["txn", "commit", "sched.commit"]
+        rendered = render_critical_path(root)
+        assert rendered == (
+            "txn[driver] 10.00 > commit[coord->node0] 7.00 "
+            "> sched.commit[node0] 1.00"
+        )
+
+    def test_duration_tie_breaks_on_earliest_start(self):
+        events = [
+            span("driver:0", start=0.0, end=10.0),
+            span("coord:1", parent="driver:0", name="late", start=5.0, end=8.0),
+            span("coord:0", parent="driver:0", name="early", start=1.0, end=4.0),
+        ]
+        [root] = build_span_trees(events).trees["g1"]
+        assert [n.event.name for n in critical_path(root)] == ["txn", "early"]
+
+    def test_self_time_subtracts_children(self):
+        events = [
+            span("driver:0", start=0.0, end=10.0),
+            span("coord:0", parent="driver:0", name="op", start=0.0, end=4.0),
+        ]
+        [root] = build_span_trees(events).trees["g1"]
+        assert root.self_time == 6.0
+        assert root.children[0].self_time == 4.0

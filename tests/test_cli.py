@@ -286,3 +286,70 @@ class TestDistCommands:
         out = capsys.readouterr().out
         assert '"distributed"' in out
         assert "dist_cells=6" in out
+
+
+class TestObservabilityCommands:
+    def test_simulate_prints_latency_footer(self, capsys):
+        assert main([
+            "simulate", "Account", "--transactions", "5", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "latency: p50=" in out
+        assert "phases: service=" in out
+        assert "commit_wait=" in out
+
+    def test_simulate_shards_prints_e2e_and_rpc_latency(self, capsys):
+        assert main([
+            "simulate", "Account", "--shards", "2", "--transactions", "5",
+            "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "latency: e2e p50=" in out
+        assert "rpc " in out and ":p50=" in out
+
+    @pytest.fixture()
+    def dist_trace_file(self, tmp_path):
+        path = tmp_path / "dist.jsonl"
+        assert main([
+            "simulate", "Account", "--shards", "2", "--transactions", "8",
+            "--seed", "7", "--fault-plan", "3", "--trace", str(path),
+        ]) == 0
+        return str(path)
+
+    def test_report_renders_the_dashboard(self, dist_trace_file, capsys):
+        assert main(["report", dist_trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "== trace summary ==" in out
+        assert "== slowest transactions" in out
+        assert "== per-object latency ==" in out
+        assert "== per-node span latency ==" in out
+        assert "== conflict profile" in out
+        assert "txn[driver]" in out  # critical paths are rendered
+
+    def test_report_is_byte_stable(self, dist_trace_file, capsys):
+        assert main(["report", dist_trace_file]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", dist_trace_file]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_report_top_and_window_flags(self, dist_trace_file, capsys):
+        assert main([
+            "report", dist_trace_file, "--top", "2", "--window", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(top 2)" in out
+        assert "(window=8)" in out
+
+    def test_report_missing_file_exits_2(self, capsys):
+        assert main(["report", "/nonexistent/trace.jsonl"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_report_single_node_trace_works_too(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main([
+            "simulate", "QStack", "--transactions", "6", "--seed", "7",
+            "--trace", str(path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(path)]) == 0
+        assert "== trace summary ==" in capsys.readouterr().out
