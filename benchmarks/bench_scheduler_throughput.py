@@ -50,7 +50,13 @@ from repro.core.methodology import derive as derive_table  # noqa: E402
 #: certification runs against the full set of active peers).  The other
 #: configs cover the blocking policy and a conflict-heavy mix; they are
 #: parity-checked but not speed-thresholded (aborts keep their histories
-#: short, so the seed's replay cost never dominates).
+#: short, so the seed's replay cost never dominates).  ``qstack_mixed``
+#: runs blocking with bounded concurrency: under optimistic full
+#: concurrency the mix is a guaranteed all-abort storm (committed: 0 —
+#: every run certified against a dozen conflicting peers), which made
+#: the config measure nothing; ``check_thresholds`` now fails any
+#: config that commits nothing, so a silently dead workload breaks CI
+#: instead of shipping a meaningless number.
 CONFIGS: dict[str, dict] = {
     "account_contention": {
         "adt": "Account",
@@ -82,7 +88,8 @@ CONFIGS: dict[str, dict] = {
             abort_probability=0.1,
             seed=1991,
         ),
-        "policy": "optimistic",
+        "policy": "blocking",
+        "concurrency": 2,
         "enforce": False,
     },
 }
@@ -110,13 +117,20 @@ def measure_scheduler(
         table = derive_table(adt).final_table
         workload = generate(adt, "obj", spec["workload"])
         policy = spec["policy"]
+        concurrency = spec.get("concurrency")
 
         reference_seconds, reference = _best_of(
-            lambda: drive(ReferenceScheduler(policy=policy), adt, table, workload),
+            lambda: drive(
+                ReferenceScheduler(policy=policy), adt, table, workload,
+                concurrency=concurrency,
+            ),
             rounds,
         )
         optimized_seconds, optimized = _best_of(
-            lambda: drive(TableDrivenScheduler(policy=policy), adt, table, workload),
+            lambda: drive(
+                TableDrivenScheduler(policy=policy), adt, table, workload,
+                concurrency=concurrency,
+            ),
             rounds,
         )
         counters = dict(optimized.seed_stats)
@@ -125,6 +139,7 @@ def measure_scheduler(
         results[name] = {
             "adt": spec["adt"],
             "policy": policy,
+            "concurrency": concurrency,
             "transactions": spec["workload"].transactions,
             "operations_requested": workload.total_operations(),
             "operations_executed": executed,
@@ -164,6 +179,11 @@ def check_thresholds(payload: dict, min_speedup: float) -> list[str]:
         if not entry["parity"]:
             failures.append(
                 f"{name}: optimized and reference transcripts differ"
+            )
+        if entry["committed"] <= 0:
+            failures.append(
+                f"{name}: nothing committed — the workload is silently "
+                f"dead and measures nothing"
             )
         if (
             entry["enforce_speedup"]

@@ -73,10 +73,38 @@ def _obs_metrics(payload: dict) -> dict:
     return metrics
 
 
+def _serving_metrics(payload: dict) -> dict:
+    results = payload["results"]
+    metrics: dict[str, float | bool] = {}
+    for config, entry in results.items():
+        for flag in ("parity", "serializable", "audit_passed"):
+            if flag in entry:
+                metrics[f"{config}.{flag}"] = entry[flag]
+        # Serving throughput is *sim-time* goodput — deterministic from
+        # the seed, so unlike wall-clock it transfers across machines
+        # and the tolerance only absorbs intentional behaviour changes.
+        if "sim_throughput" in entry:
+            metrics[f"{config}.sim_throughput"] = entry["sim_throughput"]
+    serial = results.get("account_serial", {}).get("sim_throughput")
+    batched = results.get("account_batched", {}).get("sim_throughput")
+    if serial and batched:
+        metrics["batch_speedup"] = batched / serial
+    adaptive = results.get("qstack_adaptive", {}).get("sim_throughput")
+    statics = [
+        entry["sim_throughput"]
+        for config, entry in results.items()
+        if config.startswith("qstack_static_")
+    ]
+    if adaptive and statics:
+        metrics["adaptive_over_best_static"] = adaptive / max(statics)
+    return metrics
+
+
 _EXTRACTORS = {
     "pipeline": _pipeline_metrics,
     "scheduler_throughput": _scheduler_metrics,
     "obs": _obs_metrics,
+    "serving": _serving_metrics,
 }
 
 

@@ -261,13 +261,19 @@ class _RegisteredObject:
 class TableDrivenScheduler:
     """Scheduler over shared objects, driven by compatibility tables."""
 
+    #: The disciplines an object can run under: the paper's two plus the
+    #: serialize-everything fallback the adaptive serving layer switches
+    #: churn-heavy objects into.
+    POLICIES = ("optimistic", "blocking", "queued")
+
     def __init__(
         self,
         policy: str = "optimistic",
         tracer: Tracer | None = None,
         execution_cache: ExecutionCache | None = None,
+        conflict_thresholds=None,
     ) -> None:
-        if policy not in ("optimistic", "blocking"):
+        if policy not in self.POLICIES:
             raise SchedulerError(f"unknown policy {policy!r}")
         self.policy = policy
         #: Falsy NullTracer by default: emissions are guarded with
@@ -281,7 +287,17 @@ class TableDrivenScheduler:
         #: :mod:`repro.obs.conflict`); always on — the hooks are integer
         #: increments — and never part of transcript/seed parity.
         self.conflict_window: int = 64
+        #: Recommendation cutoffs stamped onto every object's tracker
+        #: (``None`` keeps the documented defaults).
+        self.conflict_thresholds = conflict_thresholds
         self._conflict: dict[str, ObjectConflictTracker] = {}
+        #: Per-object policy overrides (adaptive serving layer); objects
+        #: without an entry follow the scheduler-wide ``policy``.
+        self._object_policy: dict[str, str] = {}
+        #: ``listener(txn, status)`` callbacks fired whenever a
+        #: transaction resolves (``"committed"`` / ``"aborted"``) — the
+        #: serving loop's ready-callback hook.  Empty list = zero cost.
+        self._resolution_listeners: list = []
         #: Memo for every scheduler-side ``execute_invocation`` (shadow
         #: replays and shadow-state maintenance).  Joins an installed
         #: process-wide cache when one is active, else owns a private one
@@ -325,9 +341,16 @@ class TableDrivenScheduler:
         self._objects[name] = _RegisteredObject(
             shared=shared, table=table, flat=FlatTable.compile(table)
         )
-        self._conflict[name] = ObjectConflictTracker(
-            object_name=name, window_size=self.conflict_window
-        )
+        if self.conflict_thresholds is not None:
+            self._conflict[name] = ObjectConflictTracker(
+                object_name=name,
+                window_size=self.conflict_window,
+                thresholds=self.conflict_thresholds,
+            )
+        else:
+            self._conflict[name] = ObjectConflictTracker(
+                object_name=name, window_size=self.conflict_window
+            )
         self._shadow.register(name)
         if self.tracer:
             self.tracer.emit(
@@ -408,10 +431,15 @@ class TableDrivenScheduler:
                     )
                 )
 
-            if self.policy == "blocking":
-                blockers, preview = self._blocking_conflicts(
-                    txn, registered, invocation
-                )
+            mode = self._object_policy.get(object_name, self.policy)
+            if mode != "optimistic":
+                if mode == "blocking":
+                    blockers, preview = self._blocking_conflicts(
+                        txn, registered, invocation
+                    )
+                else:  # queued: serialize behind every active holder
+                    blockers = self._queued_conflicts(txn, shared)
+                    preview = None
                 if blockers:
                     self.stats.operations_blocked += 1
                     conflict.note_block()
@@ -550,6 +578,9 @@ class TableDrivenScheduler:
                         time=self.now, txn=txn, commit_sequence=self._commit_counter
                     )
                 )
+            if self._resolution_listeners:
+                for listener in self._resolution_listeners:
+                    listener(txn, "committed")
             return CommitDecision(committed=True)
 
     def abort(self, txn: TxnId, reason: str = "requested") -> set[TxnId]:
@@ -611,6 +642,10 @@ class TableDrivenScheduler:
                     tracker.note_abort()
         self.stats.aborts += len(all_aborting)
         self.stats.cascaded_aborts += len(cascade)
+        if self._resolution_listeners:
+            for t in sorted(all_aborting):
+                for listener in self._resolution_listeners:
+                    listener(t, "aborted")
         if self.tracer:
             self.tracer.emit(TxnAborted(time=self.now, txn=txn, reason=reason))
             for t in sorted(cascade):
@@ -648,6 +683,58 @@ class TableDrivenScheduler:
             name: self._conflict[name].profile()
             for name in sorted(self._conflict)
         }
+
+    def object_policy(self, name: str) -> str:
+        """The discipline ``name`` currently runs under."""
+        self._required(name)
+        return self._object_policy.get(name, self.policy)
+
+    def set_object_policy(self, name: str, policy: str) -> None:
+        """Switch one object's discipline at a safe epoch boundary.
+
+        Only legal while no active transaction has executed operations
+        on the object: every decision already taken on it belongs to a
+        resolved transaction, so the switch cannot retroactively change
+        a dependency verdict and serializability is preserved (the
+        adaptive property suite drives this across policies and seeds).
+        """
+        if policy not in self.POLICIES:
+            raise SchedulerError(f"unknown policy {policy!r}")
+        self._required(name)
+        active = self.object_active_txns(name)
+        if active:
+            raise SchedulerError(
+                f"cannot switch {name!r} to {policy!r}: transactions "
+                f"{sorted(active)} are still active on it"
+            )
+        if policy == self.policy:
+            self._object_policy.pop(name, None)
+        else:
+            self._object_policy[name] = policy
+
+    def object_active_txns(self, name: str) -> set[TxnId]:
+        """Active transactions with executed operations on ``name``.
+
+        Empty exactly when the object is at a safe policy-switch
+        boundary (see :meth:`set_object_policy`).
+        """
+        shared = self._required(name).shared
+        return {
+            entry.txn
+            for entry in shared.log()
+            if self._txns[entry.txn].is_active
+        }
+
+    def add_resolution_listener(self, listener) -> None:
+        """Register ``listener(txn, status)`` for transaction resolutions.
+
+        Fired once per transaction, with ``status`` ``"committed"`` or
+        ``"aborted"`` — including cascade and deadlock victims resolved
+        outside their own call, which is what lets a serving loop drain
+        blocked work via callbacks instead of busy-retry.  With no
+        listeners registered the scheduler takes no extra branches.
+        """
+        self._resolution_listeners.append(listener)
 
     def dependency_sets(self, txn: TxnId) -> tuple[frozenset, frozenset]:
         """``(abort-dependency, commit-dependency)`` predecessor sets of ``txn``.
@@ -933,6 +1020,24 @@ class TableDrivenScheduler:
             self.stats.nd_fast_path_hits - nd_fast_before
         )
         return blockers, _PreviewVerdicts(verdicts=verdicts, pre_graph=pre_graph)
+
+    def _queued_conflicts(self, txn: TxnId, shared: SharedObject) -> set[TxnId]:
+        """Every other *active* transaction holding operations on the object.
+
+        The queued discipline serializes an object outright: a request
+        waits until it is the only active transaction with executed
+        operations there, regardless of what the compatibility table
+        would allow.  No table entries are consulted and no preview is
+        computed — once admitted, the requester records dependencies
+        against an empty peer set, so queued access can never create an
+        edge (or a cycle) on the object.  Wait-for bookkeeping and
+        deadlock detection are shared with the blocking discipline.
+        """
+        return {
+            other
+            for other in shared.active_writers(txn)
+            if self._txns[other].is_active
+        }
 
     def _resolve_deadlock(self, start: TxnId) -> TxnId | None:
         """Break a wait-for cycle through ``start``, if there is one.

@@ -37,7 +37,7 @@ import random
 from dataclasses import dataclass
 
 from repro.cc.harness import Transcript
-from repro.cc.scheduler import OpDecision
+from repro.cc.scheduler import CommitDecision, OpDecision
 from repro.cc.transaction import OperationRecord
 from repro.cc.workload import Workload
 from repro.errors import SchedulerError
@@ -52,7 +52,13 @@ from repro.dist.coordinator import Coordinator
 from repro.dist.node import ParticipantNode
 from repro.dist.stats import DistStats
 
-__all__ = ["Cluster", "DistTranscript", "run_distributed", "shard_workload"]
+__all__ = [
+    "Cluster",
+    "ClusterFrontend",
+    "DistTranscript",
+    "run_distributed",
+    "shard_workload",
+]
 
 
 def shard_workload(
@@ -735,3 +741,220 @@ def run_distributed(
     return cluster.run(
         workload, seed=seed, concurrency=concurrency, max_turns=max_turns
     )
+
+
+class _FrontTxn:
+    """Per-transaction 2PC bookkeeping held by the frontend."""
+
+    __slots__ = ("participants", "op_counts", "admitted_at")
+
+    def __init__(self, admitted_at: float) -> None:
+        self.participants: set[str] = set()
+        self.op_counts: dict[str, int] = {}
+        self.admitted_at = admitted_at
+
+
+class ClusterFrontend:
+    """Per-call 2PC submission over a fault-free cluster.
+
+    :meth:`Cluster.run` owns the scripted round-robin drive (and all
+    fault handling); this is the *serving* door — the
+    :class:`~repro.serve.loop.ServingLoop` begins, requests, and commits
+    transactions one call at a time, in whatever order its batching
+    produces, and the frontend keeps the coordinator bookkeeping the
+    drive loop would have kept:
+
+    * participants and per-node operation sequence numbers per gtxn;
+    * the coordinator's global wait graph (``note_waiting`` /
+      ``clear_waiting``) with the youngest-victim cycle break after
+      every blocked or waiting outcome;
+    * **eager settlement** of externally aborted transactions — when an
+      outcome reports ``others_aborted``, every reported gtxn has its
+      remaining legs taken down immediately (a worklist, since those
+      aborts can cascade further), so callers learn of the abort
+      through their resolution listener instead of a stale status;
+    * ``cluster.gstatus`` / ``grecords`` / ``gstamps`` / ``admitted``,
+      so :func:`~repro.dist.audit.audit_global` certifies a served run
+      exactly as it certifies a driven one;
+    * root spans and the cluster's e2e latency histogram per gtxn.
+
+    Fault plans and crash schedules are the drive loop's domain: the
+    frontend refuses a cluster configured with either, which is what
+    makes every RPC outcome reliably reachable here.
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        if cluster.plan is not None or cluster.crash_schedule is not None:
+            raise SchedulerError(
+                "ClusterFrontend serves fault-free clusters only; "
+                "fault plans belong to Cluster.run"
+            )
+        self.cluster = cluster
+        self._txn: dict[int, _FrontTxn] = {}
+        self._status: dict[int, str] = {}
+        self._listeners: list = []
+        self._stamps = itertools.count()
+        self._sequence = itertools.count()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def begin(self) -> int:
+        cluster = self.cluster
+        gtxn = cluster.admitted
+        cluster.admitted += 1
+        root = cluster._spans.start(trace_id_for(gtxn), "txn", gtxn)
+        cluster._root_span[gtxn] = root
+        cluster._root_ctx[gtxn] = root.context
+        self._txn[gtxn] = _FrontTxn(admitted_at=cluster.bus.now)
+        self._status[gtxn] = "ACTIVE"
+        return gtxn
+
+    def status(self, gtxn: int) -> str:
+        return self._status[gtxn]
+
+    def add_resolution_listener(self, listener) -> None:
+        """``listener(gtxn, "committed" | "aborted")`` on every settlement."""
+        self._listeners.append(listener)
+
+    def request(self, gtxn: int, object_name: str, invocation) -> OpDecision:
+        cluster = self.cluster
+        state = self._txn[gtxn]
+        node_name = cluster.owner[object_name]
+        outcome = cluster.coordinator.do_operation(
+            gtxn,
+            node_name,
+            {
+                "op_seq": state.op_counts.get(node_name, 0),
+                "object_name": object_name,
+                "invocation": invocation,
+            },
+            span=cluster._root_ctx.get(gtxn, _NO_CONTEXT),
+        )
+        if outcome.status == "unreachable":
+            raise SchedulerError(
+                f"unreachable node {node_name} on a fault-free bus"
+            )
+        state.participants.add(node_name)
+        self._mark_aborted(outcome.others_aborted)
+        decision = OpDecision(
+            executed=outcome.status == "executed",
+            returned=outcome.returned,
+            blocked_on=frozenset(outcome.blocked_on),
+            aborted=outcome.status == "aborted",
+            dependencies=outcome.dependencies,
+        )
+        if decision.executed:
+            state.op_counts[node_name] = state.op_counts.get(node_name, 0) + 1
+            cluster.grecords.setdefault(gtxn, []).append(
+                OperationRecord(
+                    object_name=object_name,
+                    invocation=invocation,
+                    returned=outcome.returned,
+                    sequence=next(self._sequence),
+                )
+            )
+            cluster.coordinator.clear_waiting(gtxn)
+        elif decision.aborted:
+            others = self._finish_abort(gtxn, "cascade")
+            self._mark_aborted(others)
+        else:
+            cluster.coordinator.note_waiting(gtxn, outcome.blocked_on)
+            self._break_deadlock()
+        return decision
+
+    def try_commit(self, gtxn: int) -> CommitDecision:
+        cluster = self.cluster
+        state = self._txn[gtxn]
+        if not state.participants:
+            # A stepless transaction: nothing anywhere to prepare.
+            cluster.gstamps[gtxn] = next(self._stamps)
+            self._settle(gtxn, "COMMITTED")
+            return CommitDecision(committed=True)
+        outcome = cluster.coordinator.do_commit(
+            gtxn,
+            sorted(state.participants),
+            span=cluster._root_ctx.get(gtxn, _NO_CONTEXT),
+        )
+        if outcome.status == "unreachable":
+            raise SchedulerError("unreachable participant on a fault-free bus")
+        self._mark_aborted(outcome.others_aborted)
+        if outcome.status == "committed":
+            cluster.gstamps[gtxn] = next(self._stamps)
+            self._settle(gtxn, "COMMITTED")
+            return CommitDecision(committed=True)
+        if outcome.status == "aborted":
+            self._settle(gtxn, "ABORTED")
+            return CommitDecision(committed=False, must_abort=True)
+        cluster.coordinator.note_waiting(gtxn, outcome.waiting_on)
+        self._break_deadlock()
+        return CommitDecision(
+            committed=False, waiting_on=frozenset(outcome.waiting_on)
+        )
+
+    def abort(self, gtxn: int, reason: str = "voluntary") -> tuple:
+        others = self._finish_abort(gtxn, reason)
+        self._mark_aborted(others)
+        return others
+
+    # -- settlement ----------------------------------------------------
+
+    def _finish_abort(self, gtxn: int, reason: str) -> tuple:
+        """Take down every leg of ``gtxn`` and settle it; returns cascades."""
+        state = self._txn[gtxn]
+        if state.participants:
+            others = self.cluster.coordinator.do_abort(
+                gtxn,
+                sorted(state.participants),
+                reason=reason,
+                span=self.cluster._root_ctx.get(gtxn, _NO_CONTEXT),
+            )
+            if others is None:
+                raise SchedulerError(
+                    "incomplete abort on a fault-free bus"
+                )
+        else:
+            others = ()
+        self._settle(gtxn, "ABORTED")
+        return others
+
+    def _settle(self, gtxn: int, status: str) -> None:
+        cluster = self.cluster
+        self._status[gtxn] = status
+        cluster.gstatus[gtxn] = status
+        cluster.coordinator.clear_waiting(gtxn)
+        state = self._txn[gtxn]
+        cluster.latency.observe(
+            "e2e",
+            "committed" if status == "COMMITTED" else "aborted",
+            cluster.bus.now - state.admitted_at,
+        )
+        root = cluster._root_span.pop(gtxn, None)
+        if root is not None:
+            root.finish(status)
+        outcome = "committed" if status == "COMMITTED" else "aborted"
+        for listener in list(self._listeners):
+            listener(gtxn, outcome)
+
+    def _mark_aborted(self, gtxns) -> None:
+        """Eagerly settle externally aborted transactions (worklist)."""
+        worklist = [g for g in gtxns if self._status.get(g) == "ACTIVE"]
+        while worklist:
+            gtxn = worklist.pop(0)
+            if self._status.get(gtxn) != "ACTIVE":
+                continue
+            others = self._finish_abort(gtxn, "cascade")
+            worklist.extend(
+                g for g in others if self._status.get(g) == "ACTIVE"
+            )
+
+    def _break_deadlock(self) -> None:
+        coordinator = self.cluster.coordinator
+        victim = coordinator.find_deadlock_victim()
+        if victim is None:
+            return
+        if self._status.get(victim) != "ACTIVE":
+            coordinator.clear_waiting(victim)
+            return
+        self.cluster.stats.global_deadlocks += 1
+        others = self._finish_abort(victim, "global-deadlock")
+        self._mark_aborted(others)

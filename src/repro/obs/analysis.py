@@ -492,6 +492,132 @@ def _slow_txns_from_events(events: Sequence[TraceEvent], top: int) -> list[str]:
     ]
 
 
+def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
+    """The serving-layer rows: throughput, phases, policy timeline.
+
+    Rendered only when the trace carries serving events.  Request
+    completions come from ``TxnCommitted``/``TxnAborted`` when the trace
+    has no spans (bare-scheduler serving) and from root ``txn`` spans
+    otherwise (cluster serving, where local txn ids must not be mistaken
+    for gtxns).  Formatting is fixed, so identical traces render
+    byte-identical sections.
+    """
+    from repro.obs.events import (
+        CascadeAborted,
+        CommitWaited,
+        PolicySwitched,
+        RequestAdmitted,
+        RequestArrived,
+        SpanRecorded,
+        TxnAborted,
+        TxnCommitted,
+    )
+    from repro.obs.latency import Histogram
+
+    arrivals: dict[int, RequestArrived] = {}
+    admissions: dict[int, RequestAdmitted] = {}
+    request_of: dict[int, int] = {}
+    first_wait: dict[int, float] = {}
+    switches: list[PolicySwitched] = []
+    local_resolutions: dict[int, tuple[float, str]] = {}
+    span_resolutions: dict[int, tuple[float, str]] = {}
+    for event in events:
+        if isinstance(event, RequestArrived):
+            arrivals.setdefault(event.request_id, event)
+        elif isinstance(event, RequestAdmitted):
+            # Last admission wins: under at-least-once serving a retried
+            # request is re-admitted as a fresh transaction, and the
+            # final attempt's outcome is the request's outcome.
+            admissions[event.request_id] = event
+            request_of.setdefault(event.txn, event.request_id)
+        elif isinstance(event, CommitWaited):
+            first_wait.setdefault(event.txn, event.time)
+        elif isinstance(event, PolicySwitched):
+            switches.append(event)
+        elif isinstance(event, (TxnCommitted, TxnAborted, CascadeAborted)):
+            outcome = "committed" if isinstance(event, TxnCommitted) else "aborted"
+            local_resolutions.setdefault(event.txn, (event.time, outcome))
+        elif isinstance(event, SpanRecorded):
+            if event.name == "txn" and not event.parent_span_id:
+                outcome = (
+                    "committed" if event.status == "COMMITTED" else "aborted"
+                )
+                span_resolutions.setdefault(event.gtxn, (event.end, outcome))
+    if not arrivals and not switches:
+        return []
+    resolutions = span_resolutions if span_resolutions else local_resolutions
+
+    phases = {
+        name: {"committed": Histogram(), "aborted": Histogram()}
+        for name in ("queue_wait", "service", "commit_wait", "e2e")
+    }
+    committed = aborted = 0
+    committed_ops = 0
+    first_arrival: float | None = None
+    last_finish: float | None = None
+    for request_id, admitted in sorted(admissions.items()):
+        arrived = arrivals.get(request_id)
+        if arrived is None:
+            continue
+        if first_arrival is None or arrived.time < first_arrival:
+            first_arrival = arrived.time
+        resolution = resolutions.get(admitted.txn)
+        if resolution is None:
+            continue
+        finish, outcome = resolution
+        if outcome == "committed":
+            committed += 1
+            committed_ops += arrived.operations
+        else:
+            aborted += 1
+        if last_finish is None or finish > last_finish:
+            last_finish = finish
+        phases["queue_wait"][outcome].observe(admitted.time - arrived.time)
+        phases["service"][outcome].observe(finish - admitted.time)
+        phases["e2e"][outcome].observe(finish - arrived.time)
+        waited = first_wait.get(admitted.txn)
+        if waited is not None:
+            phases["commit_wait"][outcome].observe(finish - waited)
+
+    lines = ["== serving =="]
+    duration = (
+        last_finish - first_arrival
+        if first_arrival is not None and last_finish is not None
+        else 0.0
+    )
+    lines.append(
+        f"  requests: arrived={len(arrivals)} admitted={len(admissions)} "
+        f"committed={committed} aborted={aborted}"
+    )
+    if duration > 0:
+        lines.append(
+            f"  sustained throughput: {committed_ops / duration:.2f} "
+            f"committed ops/time ({committed_ops} ops over {duration:.2f})"
+        )
+    rows = [
+        (phase, outcome, histogram)
+        for phase in ("queue_wait", "service", "commit_wait", "e2e")
+        for outcome, histogram in sorted(phases[phase].items())
+        if histogram.count
+    ]
+    if rows:
+        lines.append(f"  {'phase':<12} {'outcome':<10} summary")
+        for phase, outcome, histogram in rows:
+            lines.append(f"  {phase:<12} {outcome:<10} {histogram.summary()}")
+    if switches:
+        lines.append("  policy switches:")
+        for event in switches:
+            lines.append(
+                f"    t={event.time:8.2f} {event.object_name:<16} "
+                f"{event.old:>10} -> {event.new:<10} "
+                f"(conflict={event.conflict_rate:.2f} "
+                f"abort={event.abort_rate:.2f} {event.reason})"
+            )
+    else:
+        lines.append("  policy switches: (none)")
+    return lines
+
+
 def render_dashboard(
     events: Sequence[TraceEvent], top: int = 10, window: int = 32
 ) -> str:
@@ -499,8 +625,10 @@ def render_dashboard(
 
     Sections: trace summary, slowest transactions with critical paths
     (span-based when the trace has spans, event-based otherwise),
-    per-object latency, per-node span latency, and the per-object
-    conflict profile with a contention heatmap.  Formatting is fixed
+    per-object latency, per-node span latency, the serving layer
+    (throughput, per-phase latency, policy-switch timeline — only when
+    the trace carries serving events), and the per-object conflict
+    profile with a contention heatmap.  Formatting is fixed
     (``%.2f``, sorted keys), so identical traces render byte-identical
     dashboards.
     """
@@ -559,6 +687,11 @@ def render_dashboard(
             lines.append(
                 f"  {metric[len('span.'):]:<16} {key:<14} {histogram.summary()}"
             )
+
+    serving = _serving_section(events)
+    if serving:
+        lines.append("")
+        lines.extend(serving)
 
     lines.append("")
     lines.append(f"== conflict profile (window={window}) ==")

@@ -20,10 +20,14 @@ requests the window is sealed and a fresh one starts, so a
 recent sealed window — the recency signal a policy switch wants.
 
 ``recommend()`` maps a profile onto the blocking/optimistic/queued
-triple the adaptive policy will choose between: low conflict rate →
-optimistic, high abort share → queued (serialize rather than churn),
-otherwise blocking.  The thresholds are deliberately simple and
-documented; the adaptive PR can tune them.
+triple the adaptive policy chooses between: high abort share → queued
+(contention is resolving by churn; serialize rather than keep paying
+aborts), low conflict rate → optimistic, otherwise blocking.  The abort
+check runs first because an optimistic object never *blocks* — its
+conflict rate stays zero while aborts pile up, and that is exactly the
+situation the queued recommendation exists for.  The cutoffs live in
+:class:`RecommendThresholds` and are constructor-configurable; the
+defaults (0.15 / 0.25) are the documented PR 6 values.
 
 :func:`profiles_from_trace` rebuilds profiles offline from a recorded
 trace (for the ``report`` CLI), attributing aborts to the last object
@@ -48,6 +52,7 @@ __all__ = [
     "ConflictWindow",
     "ConflictProfile",
     "ObjectConflictTracker",
+    "RecommendThresholds",
     "profiles_from_trace",
 ]
 
@@ -80,6 +85,27 @@ class ConflictWindow:
 
 
 @dataclass(frozen=True)
+class RecommendThresholds:
+    """Cutoffs :meth:`ConflictProfile.recommend` decides against.
+
+    * ``queued_abort_above`` — abort rate beyond which contention is
+      resolving by churn and the object should serialize (``queued``);
+    * ``optimistic_below`` — conflict rate under which validate-at-commit
+      wins (``optimistic``).
+
+    The defaults are the documented PR 6 values; the adaptive controller
+    and tests construct tuned instances without touching them.
+    """
+
+    optimistic_below: float = 0.15
+    queued_abort_above: float = 0.25
+
+
+#: The default cutoffs, shared so profiles compare equal across sources.
+DEFAULT_THRESHOLDS = RecommendThresholds()
+
+
+@dataclass(frozen=True)
 class ConflictProfile:
     """The published per-object conflict signal.
 
@@ -93,6 +119,7 @@ class ConflictProfile:
     windows_sealed: int
     total: ConflictWindow
     recent: ConflictWindow
+    thresholds: RecommendThresholds = DEFAULT_THRESHOLDS
 
     @property
     def conflict_rate(self) -> float:
@@ -111,16 +138,19 @@ class ConflictProfile:
     def recommend(self) -> str:
         """Suggested concurrency-control mode for this object.
 
-        * conflict rate < 0.15 → ``optimistic`` (conflicts are rare
-          enough that validate-at-commit wins);
-        * abort rate > 0.25 → ``queued`` (contention is resolving by
-          churn; serialize instead);
+        * abort rate > ``queued_abort_above`` → ``queued`` (contention
+          is resolving by churn; serialize instead) — checked first, so
+          an optimistic object whose conflicts surface only as aborts
+          (it never blocks, so its conflict rate stays zero) still gets
+          the serialize recommendation;
+        * conflict rate < ``optimistic_below`` → ``optimistic``
+          (conflicts are rare enough that validate-at-commit wins);
         * otherwise → ``blocking`` (the table-driven default).
         """
-        if self.conflict_rate < 0.15:
-            return "optimistic"
-        if self.abort_rate > 0.25:
+        if self.abort_rate > self.thresholds.queued_abort_above:
             return "queued"
+        if self.conflict_rate < self.thresholds.optimistic_below:
+            return "optimistic"
         return "blocking"
 
     def heat_char(self) -> str:
@@ -163,6 +193,7 @@ class ObjectConflictTracker:
     total: ConflictWindow = field(default_factory=ConflictWindow)
     current: ConflictWindow = field(default_factory=ConflictWindow)
     recent: ConflictWindow = field(default_factory=ConflictWindow)
+    thresholds: RecommendThresholds = DEFAULT_THRESHOLDS
 
     def _seal_if_full(self) -> None:
         if self.current.requests >= self.window_size:
@@ -210,11 +241,14 @@ class ObjectConflictTracker:
             windows_sealed=self.windows_sealed,
             total=self.total,
             recent=self.recent,
+            thresholds=self.thresholds,
         )
 
 
 def profiles_from_trace(
-    events: Sequence[TraceEvent], window: int = 32
+    events: Sequence[TraceEvent],
+    window: int = 32,
+    thresholds: RecommendThresholds = DEFAULT_THRESHOLDS,
 ) -> dict[str, ConflictProfile]:
     """Rebuild per-object conflict profiles from a recorded trace.
 
@@ -230,7 +264,7 @@ def profiles_from_trace(
         existing = trackers.get(name)
         if existing is None:
             existing = trackers[name] = ObjectConflictTracker(
-                object_name=name, window_size=window
+                object_name=name, window_size=window, thresholds=thresholds
             )
         return existing
 

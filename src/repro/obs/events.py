@@ -56,6 +56,9 @@ __all__ = [
     "NodeCrashed",
     "NodeRecovered",
     "SpanRecorded",
+    "RequestArrived",
+    "RequestAdmitted",
+    "PolicySwitched",
     "event_from_dict",
     "event_type_names",
 ]
@@ -497,6 +500,53 @@ class SpanRecorded(TraceEvent):
     end: float = 0.0
     status: str = "ok"
     detail: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class RequestArrived(TraceEvent):
+    """A serving-layer request entered the front-end queue.
+
+    ``time`` is the request's generated arrival (open loop) or issue
+    time (closed loop); admission may happen later when the in-flight
+    cap is full — the gap is the request's queue-wait phase.
+    """
+
+    type: ClassVar[str] = "request_arrived"
+    request_id: int = -1
+    session: int = -1
+    object_name: str = ""
+    operations: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class RequestAdmitted(TraceEvent):
+    """A queued request was admitted: a transaction now runs it."""
+
+    type: ClassVar[str] = "request_admitted"
+    request_id: int = -1
+    txn: int = -1
+
+
+@_register
+@dataclass(frozen=True)
+class PolicySwitched(TraceEvent):
+    """The adaptive controller changed one object's concurrency policy.
+
+    Emitted at the safe epoch boundary where the switch was applied (no
+    active transaction had executed on the object).  ``conflict_rate``
+    and ``abort_rate`` are the lifetime rates that drove the decision;
+    ``reason`` names the recommendation source.
+    """
+
+    type: ClassVar[str] = "policy_switched"
+    object_name: str = ""
+    old: str = ""
+    new: str = ""
+    conflict_rate: float = 0.0
+    abort_rate: float = 0.0
+    reason: str = "recommendation"
 
 
 def event_type_names() -> list[str]:

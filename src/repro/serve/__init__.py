@@ -1,0 +1,46 @@
+"""repro.serve: a batched, adaptive serving front-end.
+
+The serving layer turns the one-transaction-at-a-time harness into a
+high-throughput front door over the table-driven scheduler (PR 2) and
+the sharded cluster (PR 5):
+
+* :mod:`repro.serve.workload` — seeded session populations: open /
+  closed loops, Zipfian hot keys, diurnal bursts; byte-stable streams.
+* :mod:`repro.serve.backend` — one protocol over the bare scheduler and
+  the cluster's 2PC front-end.
+* :mod:`repro.serve.loop` — the event-driven batched engine: many
+  in-flight transactions per tick, ready-callback wakeups instead of
+  busy-retry, per-phase latency recording.
+* :mod:`repro.serve.adaptive` — per-object policy switching driven by
+  PR 6 conflict telemetry, applied at safe epoch boundaries.
+"""
+
+from repro.serve.adaptive import AdaptiveController, PolicySwitch
+from repro.serve.backend import ClusterBackend, SchedulerBackend
+from repro.serve.loop import ServeResult, ServingLoop, serve
+from repro.serve.workload import (
+    BurstEnvelope,
+    Request,
+    ServeConfig,
+    ServeWorkload,
+    from_cc_workload,
+    generate,
+    zipf_weights,
+)
+
+__all__ = [
+    "AdaptiveController",
+    "PolicySwitch",
+    "ClusterBackend",
+    "SchedulerBackend",
+    "ServeResult",
+    "ServingLoop",
+    "serve",
+    "BurstEnvelope",
+    "Request",
+    "ServeConfig",
+    "ServeWorkload",
+    "from_cc_workload",
+    "generate",
+    "zipf_weights",
+]

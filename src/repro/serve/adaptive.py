@@ -1,0 +1,123 @@
+"""Adaptive per-object policy switching from live conflict telemetry.
+
+The controller closes the loop the PR 6 telemetry opened: every
+``check_every`` serving ticks it reads each object's
+:class:`~repro.obs.conflict.ConflictProfile` and compares
+``recommend()`` against the object's current discipline.  A switch is
+*proposed* only after hysteresis clears:
+
+* the same recommendation must repeat for ``confirm`` consecutive
+  checks (one noisy window cannot flap the policy), and
+* at least ``min_dwell`` checks must have passed since the object's
+  last switch (a fresh switch gets time to show up in the rates before
+  it can be reverted).
+
+Proposals are *applied by the serving loop*, not here: the loop parks
+newly admitted requests targeting the object (in-flight holders run to
+completion) and flips the policy at the first **safe epoch boundary** —
+no active transaction with executed operations on the object — which
+:meth:`~repro.cc.scheduler.TableDrivenScheduler.set_object_policy`
+enforces.  Every applied switch is recorded as a :class:`PolicySwitch`
+and trace-evented as
+:class:`~repro.obs.events.PolicySwitched`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PolicySwitch", "AdaptiveController"]
+
+
+@dataclass(frozen=True)
+class PolicySwitch:
+    """One applied policy switch (the dashboard's timeline row)."""
+
+    time: float
+    object_name: str
+    old: str
+    new: str
+    conflict_rate: float
+    abort_rate: float
+    reason: str = "recommendation"
+
+
+@dataclass(frozen=True)
+class _Proposal:
+    """A confirmed recommendation waiting for its safe boundary."""
+
+    object_name: str
+    new_policy: str
+    conflict_rate: float
+    abort_rate: float
+    reason: str
+
+
+class AdaptiveController:
+    """Hysteretic policy recommendations over windowed conflict rates."""
+
+    def __init__(
+        self,
+        check_every: int = 8,
+        confirm: int = 2,
+        min_dwell: int = 4,
+        min_requests: int = 8,
+    ) -> None:
+        if check_every < 1 or confirm < 1 or min_dwell < 0:
+            raise ValueError("controller cadence parameters must be positive")
+        self.check_every = check_every
+        self.confirm = confirm
+        self.min_dwell = min_dwell
+        #: Objects with fewer lifetime requests than this are left alone
+        #: — their rates are noise.
+        self.min_requests = min_requests
+        self._ticks = 0
+        self._checks = 0
+        self._streak: dict[str, tuple[str, int]] = {}
+        self._last_switch_check: dict[str, int] = {}
+
+    def step(self, backend, pending: set[str]) -> list[_Proposal]:
+        """One serving tick; returns newly confirmed proposals.
+
+        ``pending`` names objects whose earlier proposal is still
+        waiting for a safe boundary — they are skipped (no re-proposal,
+        no streak churn) until the loop applies or drops them.
+        """
+        self._ticks += 1
+        if self._ticks % self.check_every:
+            return []
+        self._checks += 1
+        proposals: list[_Proposal] = []
+        for name, profile in backend.conflict_profiles().items():
+            if name in pending:
+                continue
+            if profile.total.requests < self.min_requests:
+                continue
+            current = backend.object_policy(name)
+            recommended = profile.recommend()
+            if recommended == current:
+                self._streak.pop(name, None)
+                continue
+            last, count = self._streak.get(name, (None, 0))
+            count = count + 1 if recommended == last else 1
+            self._streak[name] = (recommended, count)
+            if count < self.confirm:
+                continue
+            since = self._checks - self._last_switch_check.get(name, -self.min_dwell)
+            if since < self.min_dwell:
+                continue
+            proposals.append(
+                _Proposal(
+                    object_name=name,
+                    new_policy=recommended,
+                    conflict_rate=profile.conflict_rate,
+                    abort_rate=profile.abort_rate,
+                    reason="recommendation",
+                )
+            )
+        return proposals
+
+    def applied(self, object_name: str) -> None:
+        """The loop applied a proposal; reset the object's hysteresis."""
+        self._streak.pop(object_name, None)
+        self._last_switch_check[object_name] = self._checks

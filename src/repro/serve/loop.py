@@ -1,0 +1,642 @@
+"""The batched, event-driven serving engine.
+
+Two retry disciplines share one engine:
+
+* ``retry="ready"`` (the default, the performance path): an event-driven
+  loop that multiplexes up to ``max_inflight`` transactions, dispatching
+  **one action per runnable transaction per tick** — so admitted
+  concurrency is actually exercised — and parking blocked or
+  commit-waiting transactions until a **ready callback** (the
+  scheduler's resolution listener) wakes them.  No busy-retry: a blocked
+  operation is re-issued exactly once, after every transaction it waited
+  on has resolved.
+* ``retry="poll"`` (the compatibility path): a call-for-call replica of
+  :func:`repro.cc.harness.drive` — snapshot round-robin, blocked
+  operations re-request every turn, admission in program order — so the
+  serving loop over one object produces a bit-identical
+  :class:`~repro.cc.harness.Transcript`, which the parity suite asserts.
+
+Either way the loop runs on its own deterministic sim clock (``tick``
+units per round), records per-request latency phases (end-to-end,
+queue-wait, service, commit-wait) into a PR 6
+:class:`~repro.obs.latency.LatencyRecorder`, and emits
+:class:`~repro.obs.events.RequestArrived` /
+:class:`~repro.obs.events.RequestAdmitted` trace events the dashboard's
+serving section consumes.
+
+Adaptive switching: an attached
+:class:`~repro.serve.adaptive.AdaptiveController` proposes per-object
+policy changes; the loop *parks* not-yet-admitted requests touching a
+proposed object (in-flight holders run to completion), applies the
+switch at the first safe epoch boundary — no active transaction on the
+object — and then releases the parked requests under the new policy.
+Throughput is reported in **sim-time** (committed operations per tick
+unit): deterministic, machine-independent, and exactly what batching
+improves — one tick serves up to ``max_inflight`` operations instead of
+one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+
+from repro.cc.harness import Transcript
+from repro.errors import SchedulerError
+from repro.obs.events import PolicySwitched, RequestAdmitted, RequestArrived
+from repro.obs.latency import LatencyRecorder
+from repro.serve.adaptive import PolicySwitch
+from repro.serve.workload import Request, ServeWorkload
+
+__all__ = ["ServeResult", "ServingLoop", "serve"]
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """The observable outcome of one serving run."""
+
+    requests: int
+    committed: int
+    aborted: int
+    #: Operations executed by transactions that went on to commit (the
+    #: goodput numerator; an aborted request's work is lost).
+    goodput_ops: int
+    #: Operation requests issued, including blocked retries.
+    ops_issued: int
+    #: Sim-time of the last completion (the throughput denominator).
+    sim_duration: float
+    wall_seconds: float
+    ticks: int
+    #: Safety-net wakeups of every waiter after a zero-progress tick
+    #: (0 in a correct run: cycles resolve inside the scheduler).
+    forced_wakes: int
+    #: Re-admissions of scheduler-aborted requests (``retry_aborts``).
+    retries: int
+    policy_switches: tuple[PolicySwitch, ...]
+    latency: LatencyRecorder
+    #: drive()-shaped transcript (poll mode over one object), else None.
+    transcript: Transcript | None = None
+
+    def goodput_per_time(self) -> float:
+        """Committed operations per sim-time unit."""
+        return self.goodput_ops / self.sim_duration if self.sim_duration else 0.0
+
+    def committed_per_time(self) -> float:
+        """Committed requests per sim-time unit."""
+        return self.committed / self.sim_duration if self.sim_duration else 0.0
+
+
+class _Runner:
+    """One in-flight request: its transaction and progress."""
+
+    __slots__ = (
+        "request",
+        "txn",
+        "step",
+        "arrival",
+        "admitted_at",
+        "first_commit_wait",
+        "waiting",
+        "queued",
+        "done",
+    )
+
+    def __init__(self, request: Request, txn: int, arrival: float, now: float):
+        self.request = request
+        self.txn = txn
+        self.step = 0
+        self.arrival = arrival
+        self.admitted_at = now
+        self.first_commit_wait: float | None = None
+        self.waiting: set[int] = set()
+        self.queued = False
+        self.done = False
+
+
+@dataclass
+class _PendingSwitch:
+    object_name: str
+    new_policy: str
+    conflict_rate: float
+    abort_rate: float
+    reason: str
+    parked: list = field(default_factory=list)
+
+
+class ServingLoop:
+    """Batched front-end over a serving backend (scheduler or cluster)."""
+
+    def __init__(
+        self,
+        backend,
+        workload: ServeWorkload,
+        *,
+        max_inflight: int = 32,
+        batch_size: int | None = None,
+        tick: float = 1.0,
+        retry: str = "ready",
+        retry_aborts: bool = False,
+        max_retries: int = 8,
+        controller=None,
+        recorder: LatencyRecorder | None = None,
+        max_ticks: int | None = None,
+    ) -> None:
+        if retry not in ("ready", "poll"):
+            raise SchedulerError(f"unknown retry discipline {retry!r}")
+        if retry_aborts and retry == "poll":
+            raise SchedulerError("retry_aborts needs the ready loop")
+        if max_inflight < 1:
+            raise SchedulerError("max_inflight must be at least 1")
+        self.backend = backend
+        self.workload = workload
+        self.max_inflight = max_inflight
+        self.batch_size = batch_size if batch_size is not None else max_inflight
+        self.tick = tick
+        self.retry = retry
+        #: At-least-once serving: a request aborted by the scheduler
+        #: (certification, cascade, deadlock victim) re-enters the
+        #: admission queue as a fresh transaction, with a deterministic
+        #: linear backoff (attempt × tick) that staggers lockstep retry
+        #: collisions.  After ``max_retries`` failed re-admissions the
+        #: request is shed (counted aborted) — the bound that keeps an
+        #: optimistic retry storm from livelocking the loop.  Voluntary
+        #: aborts are intentional and never retried.
+        self.retry_aborts = retry_aborts
+        self.max_retries = max_retries
+        self.controller = controller
+        self.recorder = recorder if recorder is not None else LatencyRecorder()
+        self.max_ticks = (
+            max_ticks
+            if max_ticks is not None
+            else 1000 * max(1, workload.total_operations())
+        )
+        self.switches: list[PolicySwitch] = []
+        self._pending_switch: dict[str, _PendingSwitch] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServeResult:
+        started = time.perf_counter()
+        if self.retry == "poll":
+            result = self._run_poll()
+        else:
+            result = self._run_ready()
+        wall = time.perf_counter() - started
+        return ServeResult(
+            requests=result["requests"],
+            committed=result["committed"],
+            aborted=result["aborted"],
+            goodput_ops=result["goodput_ops"],
+            ops_issued=result["ops_issued"],
+            sim_duration=result["sim_duration"],
+            wall_seconds=wall,
+            ticks=result["ticks"],
+            forced_wakes=result.get("forced_wakes", 0),
+            retries=result.get("retries", 0),
+            policy_switches=tuple(self.switches),
+            latency=self.recorder,
+            transcript=result.get("transcript"),
+        )
+
+    # ------------------------------------------------------------------
+    # Shared bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_arrival(self, request: Request, available: float) -> None:
+        self.backend.emit(
+            RequestArrived(
+                time=available,
+                request_id=request.request_id,
+                session=request.session,
+                object_name=request.primary_object(),
+                operations=len(request.steps),
+            )
+        )
+
+    def _note_admission(self, request: Request, txn: int, now: float) -> None:
+        self.backend.emit(
+            RequestAdmitted(time=now, request_id=request.request_id, txn=txn)
+        )
+
+    def _finish_latency(self, runner: _Runner, outcome: str, now: float) -> None:
+        observe = self.recorder.observe
+        observe("serve.e2e", outcome, now - runner.arrival)
+        observe("serve.queue_wait", outcome, runner.admitted_at - runner.arrival)
+        observe("serve.service", outcome, now - runner.admitted_at)
+        if runner.first_commit_wait is not None:
+            observe(
+                "serve.commit_wait", outcome, now - runner.first_commit_wait
+            )
+
+    # ------------------------------------------------------------------
+    # Poll mode: the drive() replica
+    # ------------------------------------------------------------------
+
+    def _run_poll(self) -> dict:
+        """Snapshot round-robin with busy-retry, exactly like ``drive``.
+
+        Arrival times are ignored (admission in request order, as the
+        harness admits programs); with one registered object the
+        recorded transcript is bit-identical to the one
+        :func:`repro.cc.harness.drive` produces for the same workload,
+        scheduler and concurrency bound.
+        """
+        backend = self.backend
+        requests = self.workload.requests
+        ops: list = []
+        resolutions: list = []
+        live: list[_Runner] = []
+        admitted = 0
+        now = 0.0
+        ticks = 0
+        committed = aborted = goodput = issued = 0
+        last_finish = 0.0
+
+        def admit() -> None:
+            nonlocal admitted
+            while admitted < len(requests) and len(live) < self.max_inflight:
+                request = requests[admitted]
+                self._note_arrival(request, request.arrival)
+                txn = backend.begin()
+                self._note_admission(request, txn, now)
+                live.append(_Runner(request, txn, request.arrival, now))
+                admitted += 1
+
+        def finish(runner: _Runner, outcome: str) -> None:
+            nonlocal committed, aborted, goodput, last_finish
+            runner.done = True
+            live.remove(runner)
+            if outcome == "committed":
+                committed += 1
+                goodput += len(runner.request.steps)
+            else:
+                aborted += 1
+            last_finish = now
+            self._finish_latency(runner, outcome, now)
+
+        admit()
+        turns = 0
+        while live:
+            for runner in list(live):
+                turns += 1
+                if turns > self.max_ticks:
+                    raise SchedulerError(
+                        f"serving loop exceeded {self.max_ticks} turns; "
+                        f"workload livelocked"
+                    )
+                txn = runner.txn
+                if backend.status(txn) != "ACTIVE":
+                    resolutions.append((txn, "observed-abort", ()))
+                    finish(runner, "aborted")
+                    continue
+                if runner.step < len(runner.request.steps):
+                    step = runner.request.steps[runner.step]
+                    decision = backend.request(
+                        txn, step.object_name, step.invocation
+                    )
+                    issued += 1
+                    ops.append((txn, runner.step, decision))
+                    if decision.executed:
+                        runner.step += 1
+                    elif decision.aborted:
+                        finish(runner, "aborted")
+                    # else: blocked — retry on the next turn.
+                    continue
+                if runner.request.voluntary_abort:
+                    extra = backend.abort(txn, reason="voluntary")
+                    resolutions.append(
+                        (txn, "voluntary-abort", tuple(sorted(extra)))
+                    )
+                    finish(runner, "aborted")
+                    continue
+                decision = backend.try_commit(txn)
+                if decision.committed:
+                    resolutions.append((txn, "committed", ()))
+                    finish(runner, "committed")
+                elif decision.must_abort:
+                    resolutions.append((txn, "must-abort", ()))
+                    finish(runner, "aborted")
+                else:
+                    resolutions.append(
+                        (txn, "commit-waiting", tuple(sorted(decision.waiting_on)))
+                    )
+            admit()
+            now += self.tick
+            ticks += 1
+            backend.set_now(now)
+
+        transcript = None
+        if (
+            len(self.workload.object_names) == 1
+            and getattr(backend, "kind", "") == "scheduler"
+        ):
+            edges, statuses, final_state, seed_stats = backend.transcript_tail(
+                admitted, self.workload.object_names[0]
+            )
+            transcript = Transcript(
+                op_decisions=tuple(ops),
+                resolutions=tuple(resolutions),
+                edges=edges,
+                statuses=statuses,
+                final_state=final_state,
+                seed_stats=seed_stats,
+            )
+        return {
+            "requests": admitted,
+            "committed": committed,
+            "aborted": aborted,
+            "goodput_ops": goodput,
+            "ops_issued": issued,
+            "sim_duration": last_finish,
+            "ticks": ticks,
+            "transcript": transcript,
+        }
+
+    # ------------------------------------------------------------------
+    # Ready mode: event-driven with resolution callbacks
+    # ------------------------------------------------------------------
+
+    def _run_ready(self) -> dict:
+        backend = self.backend
+        closed = self.workload.mode == "closed"
+        #: (available_time, request_id, request) — the admission queue.
+        pending: list[tuple[float, int, Request]] = []
+        #: Closed loop: each session's remaining requests, in order.
+        session_next: dict[int, list[Request]] = {}
+        if closed:
+            for request in self.workload.requests:
+                session_next.setdefault(request.session, []).append(request)
+            for session, queue in sorted(session_next.items()):
+                first = queue.pop(0)
+                heapq.heappush(pending, (0.0, first.request_id, first))
+                self._note_arrival(first, 0.0)
+        else:
+            for request in self.workload.requests:
+                heapq.heappush(
+                    pending, (request.arrival, request.request_id, request)
+                )
+                self._note_arrival(request, request.arrival)
+
+        inflight: dict[int, _Runner] = {}
+        runnable: list[_Runner] = []
+        #: txn -> runners whose retry waits on its resolution.
+        waiters: dict[int, list[_Runner]] = {}
+        now = 0.0
+        ticks = 0
+        forced_wakes = 0
+        resolved_events = 0
+        committed = aborted = goodput = issued = retries = 0
+        attempts: dict[int, int] = {}
+        last_finish = 0.0
+
+        def wake(runner: _Runner) -> None:
+            if not runner.queued and not runner.done:
+                runner.queued = True
+                runnable.append(runner)
+
+        def on_resolution(txn: int, status: str) -> None:
+            nonlocal resolved_events
+            resolved_events += 1
+            runner = inflight.get(txn)
+            if runner is not None and not runner.done and status == "aborted":
+                # Externally aborted (cascade / deadlock victim): wake it
+                # so its next action observes the abort and settles.
+                runner.waiting.clear()
+                wake(runner)
+            for waiter in waiters.pop(txn, ()):
+                waiter.waiting.discard(txn)
+                if not waiter.waiting:
+                    wake(waiter)
+
+        backend.add_resolution_listener(on_resolution)
+
+        def wait_on(runner: _Runner, blockers) -> None:
+            live = set()
+            for blocker in sorted(blockers):
+                if backend.status(blocker) == "ACTIVE":
+                    live.add(blocker)
+                    waiters.setdefault(blocker, []).append(runner)
+            if live:
+                runner.waiting = live
+            else:
+                # Every blocker resolved before registration (or the set
+                # was empty): retry on the next tick.
+                wake(runner)
+
+        def finish(runner: _Runner, outcome: str) -> None:
+            nonlocal committed, aborted, goodput, last_finish, retries
+            runner.done = True
+            runner.waiting.clear()
+            inflight.pop(runner.txn, None)
+            self._finish_latency(runner, outcome, now)
+            if outcome == "committed":
+                committed += 1
+                goodput += len(runner.request.steps)
+            elif (
+                self.retry_aborts
+                and not runner.request.voluntary_abort
+                and attempts.get(runner.request.request_id, 0)
+                < self.max_retries
+            ):
+                # At-least-once: back into the admission queue as a
+                # fresh transaction (its think-time was already spent),
+                # staggered by a linear per-attempt backoff.
+                attempt = attempts.get(runner.request.request_id, 0) + 1
+                attempts[runner.request.request_id] = attempt
+                retries += 1
+                heapq.heappush(
+                    pending,
+                    (
+                        now + attempt * self.tick,
+                        runner.request.request_id,
+                        runner.request,
+                    ),
+                )
+                return
+            else:
+                aborted += 1
+            last_finish = now
+            if closed:
+                queue = session_next.get(runner.request.session)
+                if queue:
+                    nxt = queue.pop(0)
+                    available = now + nxt.think_time
+                    heapq.heappush(pending, (available, nxt.request_id, nxt))
+                    self._note_arrival(nxt, available)
+
+        def act(runner: _Runner) -> None:
+            nonlocal issued
+            txn = runner.txn
+            if backend.status(txn) != "ACTIVE":
+                finish(runner, "aborted")
+                return
+            request = runner.request
+            if runner.step < len(request.steps):
+                step = request.steps[runner.step]
+                decision = backend.request(txn, step.object_name, step.invocation)
+                issued += 1
+                if decision.executed:
+                    runner.step += 1
+                    wake(runner)
+                elif decision.aborted:
+                    finish(runner, "aborted")
+                else:
+                    wait_on(runner, decision.blocked_on)
+                return
+            if request.voluntary_abort:
+                backend.abort(txn, reason="voluntary")
+                finish(runner, "aborted")
+                return
+            decision = backend.try_commit(txn)
+            if decision.committed:
+                finish(runner, "committed")
+            elif decision.must_abort:
+                finish(runner, "aborted")
+            else:
+                if runner.first_commit_wait is None:
+                    runner.first_commit_wait = now
+                wait_on(runner, decision.waiting_on)
+
+        def parked_objects(request: Request) -> bool:
+            return any(
+                step.object_name in self._pending_switch
+                for step in request.steps
+            )
+
+        def admit_due() -> bool:
+            admitted_now = 0
+            while (
+                pending
+                and pending[0][0] <= now
+                and len(inflight) < self.max_inflight
+                and admitted_now < self.batch_size
+            ):
+                available, rid, request = heapq.heappop(pending)
+                if self._pending_switch and parked_objects(request):
+                    # A policy switch is draining one of this request's
+                    # objects: hold it back until the switch applies.
+                    for name in {step.object_name for step in request.steps}:
+                        if name in self._pending_switch:
+                            self._pending_switch[name].parked.append(
+                                (available, rid, request)
+                            )
+                            break
+                    continue
+                txn = backend.begin()
+                self._note_admission(request, txn, now)
+                runner = _Runner(request, txn, available, now)
+                inflight[txn] = runner
+                wake(runner)
+                admitted_now += 1
+            return admitted_now > 0
+
+        def apply_ready_switches() -> None:
+            for name in list(self._pending_switch):
+                if backend.object_active_txns(name):
+                    continue
+                pending_switch = self._pending_switch.pop(name)
+                old = backend.object_policy(name)
+                backend.set_object_policy(name, pending_switch.new_policy)
+                switch = PolicySwitch(
+                    time=now,
+                    object_name=name,
+                    old=old,
+                    new=pending_switch.new_policy,
+                    conflict_rate=pending_switch.conflict_rate,
+                    abort_rate=pending_switch.abort_rate,
+                    reason=pending_switch.reason,
+                )
+                self.switches.append(switch)
+                backend.emit(
+                    PolicySwitched(
+                        time=now,
+                        object_name=name,
+                        old=old,
+                        new=pending_switch.new_policy,
+                        conflict_rate=pending_switch.conflict_rate,
+                        abort_rate=pending_switch.abort_rate,
+                        reason=pending_switch.reason,
+                    )
+                )
+                if self.controller is not None:
+                    self.controller.applied(name)
+                for entry in pending_switch.parked:
+                    # Back into the admission queue (other pending
+                    # switches may park it again on pop).
+                    heapq.heappush(pending, entry)
+
+        last_forced_resolutions = -1
+        while inflight or pending or self._pending_switch:
+            backend.set_now(now)
+            progressed = admit_due()
+            batch = [runner for runner in runnable if not runner.done]
+            runnable.clear()
+            for runner in batch:
+                runner.queued = False
+            for runner in batch:
+                if not runner.done:
+                    act(runner)
+            progressed = progressed or bool(batch)
+            if self.controller is not None:
+                for proposal in self.controller.step(
+                    backend, set(self._pending_switch)
+                ):
+                    self._pending_switch[proposal.object_name] = _PendingSwitch(
+                        object_name=proposal.object_name,
+                        new_policy=proposal.new_policy,
+                        conflict_rate=proposal.conflict_rate,
+                        abort_rate=proposal.abort_rate,
+                        reason=proposal.reason,
+                    )
+            if self._pending_switch:
+                apply_ready_switches()
+            ticks += 1
+            if ticks > self.max_ticks:
+                raise SchedulerError(
+                    f"serving loop exceeded {self.max_ticks} ticks; "
+                    f"workload livelocked"
+                )
+            if progressed:
+                now += self.tick
+                last_forced_resolutions = -1
+            elif pending and (len(inflight) < self.max_inflight or not inflight):
+                # Idle until the next arrival.
+                now = max(now + self.tick, pending[0][0])
+            elif inflight:
+                # Nothing runnable and nothing due: every in-flight
+                # transaction is waiting.  Cycles are broken inside the
+                # scheduler, so this should resolve via callbacks; the
+                # forced wake is the deterministic safety net (and the
+                # livelock tripwire when even that makes no progress).
+                if resolved_events == last_forced_resolutions:
+                    raise SchedulerError(
+                        "serving loop stalled: no runnable work and a "
+                        "forced wake made no progress"
+                    )
+                last_forced_resolutions = resolved_events
+                forced_wakes += 1
+                for runner in list(inflight.values()):
+                    runner.waiting.clear()
+                    wake(runner)
+                now += self.tick
+            else:
+                now += self.tick
+        return {
+            "requests": committed + aborted,
+            "committed": committed,
+            "aborted": aborted,
+            "goodput_ops": goodput,
+            "ops_issued": issued,
+            "sim_duration": last_finish,
+            "ticks": ticks,
+            "forced_wakes": forced_wakes,
+            "retries": retries,
+        }
+
+
+def serve(backend, workload: ServeWorkload, **options) -> ServeResult:
+    """Build a :class:`ServingLoop` and run it (the one-call front door)."""
+    return ServingLoop(backend, workload, **options).run()

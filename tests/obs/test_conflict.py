@@ -1,9 +1,11 @@
 """Unit tests for per-object windowed conflict telemetry."""
 
 from repro.obs.conflict import (
+    DEFAULT_THRESHOLDS,
     ConflictProfile,
     ConflictWindow,
     ObjectConflictTracker,
+    RecommendThresholds,
     profiles_from_trace,
 )
 from repro.obs.events import OpBlocked, OpGranted, OpRequested, TxnAborted
@@ -104,3 +106,52 @@ class TestProfilesFromTrace:
         profiles = profiles_from_trace(events, window=2)
         assert profiles["a"].window_size == 2
         assert profiles["a"].windows_sealed == 2
+
+
+class TestRecommendThresholds:
+    """recommend() cutoffs are constructor-configurable; defaults frozen."""
+
+    def test_defaults_are_the_documented_values(self):
+        assert DEFAULT_THRESHOLDS == RecommendThresholds(
+            optimistic_below=0.15, queued_abort_above=0.25
+        )
+        # A default-constructed profile decides against exactly these.
+        assert profile_with(requests=100, blocks=14).recommend() == "optimistic"
+        assert profile_with(requests=100, blocks=15).recommend() == "blocking"
+        assert profile_with(requests=100, aborts=26).recommend() == "queued"
+
+    def test_custom_cutoffs_move_the_decision_boundaries(self):
+        lenient = RecommendThresholds(
+            optimistic_below=0.2, queued_abort_above=0.5
+        )
+        total = ConflictWindow(requests=100, blocks=10, aborts=30)
+        default_profile = ConflictProfile(
+            object_name="obj", window_size=64, windows_sealed=0,
+            total=total, recent=ConflictWindow(),
+        )
+        lenient_profile = ConflictProfile(
+            object_name="obj", window_size=64, windows_sealed=0,
+            total=total, recent=ConflictWindow(), thresholds=lenient,
+        )
+        # Same counters, different verdicts: only the cutoffs moved.
+        assert default_profile.recommend() == "queued"
+        assert lenient_profile.recommend() == "optimistic"
+
+    def test_tracker_threads_thresholds_into_profiles(self):
+        tracker = ObjectConflictTracker(
+            "obj", thresholds=RecommendThresholds(optimistic_below=0.0)
+        )
+        tracker.note_request()
+        profile = tracker.profile()
+        assert profile.thresholds.optimistic_below == 0.0
+        assert profile.recommend() == "blocking"  # 0.0 rate is not < 0.0
+
+    def test_profiles_from_trace_threads_thresholds(self):
+        events = [
+            OpRequested(time=0.0, txn=1, object_name="a", operation="Op"),
+            OpGranted(time=0.0, txn=1, object_name="a", operation="Op"),
+        ]
+        lenient = RecommendThresholds(optimistic_below=0.9)
+        profiles = profiles_from_trace(events, thresholds=lenient)
+        assert profiles["a"].thresholds == lenient
+        assert profiles["a"].recommend() == "optimistic"

@@ -1,0 +1,230 @@
+"""Adaptive policy switching preserves serializability, with hysteresis.
+
+Two layers of guarantees:
+
+* **Safety** — every served history stays serializable no matter when
+  the controller flips an object's discipline, because switches only
+  land at safe epoch boundaries (no active transaction has executed
+  operations on the object).  Driven across two ADTs, one and four
+  shards, and ten seeds with an aggressive controller so switches
+  actually happen mid-run; scheduler runs are checked with
+  :func:`~repro.cc.serializability.is_serializable`, cluster runs with
+  :func:`~repro.dist.audit.audit_global`.
+* **Hysteresis** — the controller itself confirms a recommendation over
+  consecutive checks, respects the post-switch dwell, and skips cold
+  or pending objects (unit-tested against stub profiles).
+"""
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.serializability import is_serializable
+from repro.core.methodology import derive
+from repro.dist.audit import audit_global
+from repro.dist.cluster import Cluster, ClusterFrontend
+from repro.errors import SchedulerError
+from repro.obs.conflict import ConflictProfile, ConflictWindow
+from repro.serve import (
+    AdaptiveController,
+    ClusterBackend,
+    SchedulerBackend,
+    ServeConfig,
+    ServingLoop,
+    generate,
+)
+
+SEEDS = [1, 2, 7, 11, 23, 47, 101, 1991, 2024, 31337]
+
+#: Aggressive cadence so small test runs actually switch policies.
+def eager_controller():
+    return AdaptiveController(
+        check_every=2, confirm=1, min_dwell=1, min_requests=4
+    )
+
+
+@pytest.fixture(scope="module", params=["Account", "QStack"])
+def fixture(request):
+    adt = make_adt(request.param)
+    return adt, derive(adt).final_table
+
+
+def serve_config(seed):
+    return ServeConfig(
+        sessions=4,
+        requests_per_session=4,
+        operations_per_request=2,
+        mode="open",
+        mean_interarrival=0.3,
+        objects=2,
+        zipf_s=1.0,
+        seed=seed,
+    )
+
+
+class TestSwitchingSafety:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_scheduler_history_stays_serializable(self, fixture, seed):
+        adt, table = fixture
+        scheduler = TableDrivenScheduler(policy="optimistic")
+        backend = SchedulerBackend(scheduler)
+        workload = generate(adt, serve_config(seed))
+        for name in workload.object_names:
+            backend.register_object(name, adt, table)
+        result = ServingLoop(
+            backend, workload, max_inflight=6, controller=eager_controller()
+        ).run()
+        assert result.committed > 0
+        assert is_serializable(scheduler)
+
+    def test_switches_actually_happen_across_the_sweep(self, fixture):
+        adt, table = fixture
+        switches = 0
+        for seed in SEEDS:
+            scheduler = TableDrivenScheduler(policy="optimistic")
+            backend = SchedulerBackend(scheduler)
+            workload = generate(adt, serve_config(seed))
+            for name in workload.object_names:
+                backend.register_object(name, adt, table)
+            result = ServingLoop(
+                backend, workload, max_inflight=6,
+                controller=eager_controller(),
+            ).run()
+            switches += len(result.policy_switches)
+            assert is_serializable(scheduler)
+        assert switches > 0
+
+    @pytest.mark.parametrize("shards", [1, 4])
+    @pytest.mark.parametrize("seed", SEEDS[:5])
+    def test_cluster_runs_pass_the_global_audit(self, fixture, shards, seed):
+        adt, table = fixture
+        cluster = Cluster(adt, table, shards=shards, policy="optimistic")
+        backend = ClusterBackend(ClusterFrontend(cluster))
+        config = ServeConfig(
+            sessions=4,
+            requests_per_session=3,
+            operations_per_request=2,
+            mode="closed",
+            objects=shards,
+            zipf_s=0.5,
+            seed=seed,
+        )
+        workload = generate(
+            adt, config, object_names=tuple(cluster.shard_names)
+        )
+        result = ServingLoop(
+            backend, workload, max_inflight=6, controller=eager_controller()
+        ).run()
+        assert result.committed > 0
+        assert audit_global(cluster).passed
+
+
+class TestSafeBoundary:
+    def test_switch_refused_while_transactions_hold_the_object(self, fixture):
+        adt, table = fixture
+        scheduler = TableDrivenScheduler(policy="blocking")
+        scheduler.register_object("obj", adt, table)
+        operation = adt.operation_names()[0]
+        invocation = adt.invocations_of(operation)[0]
+        txn = scheduler.begin()
+        decision = scheduler.request(txn, "obj", invocation)
+        assert decision.executed
+        with pytest.raises(SchedulerError):
+            scheduler.set_object_policy("obj", "queued")
+        scheduler.try_commit(txn)
+        scheduler.set_object_policy("obj", "queued")
+        assert scheduler.object_policy("obj") == "queued"
+
+    def test_queued_discipline_stays_serializable(self, fixture):
+        adt, table = fixture
+        scheduler = TableDrivenScheduler(policy="queued")
+        backend = SchedulerBackend(scheduler)
+        workload = generate(adt, serve_config(1991))
+        for name in workload.object_names:
+            backend.register_object(name, adt, table)
+        result = ServingLoop(backend, workload, max_inflight=6).run()
+        assert result.committed > 0
+        assert result.forced_wakes == 0
+        assert is_serializable(scheduler)
+
+
+def profile(name, *, requests=32, blocks=0, aborts=0):
+    window = ConflictWindow(requests=requests, blocks=blocks, aborts=aborts)
+    return ConflictProfile(
+        object_name=name,
+        window_size=32,
+        windows_sealed=1,
+        total=window,
+        recent=window,
+    )
+
+
+class StubBackend:
+    """Just enough backend for controller unit tests."""
+
+    def __init__(self, profiles, policies):
+        self.profiles = profiles
+        self.policies = policies
+
+    def conflict_profiles(self):
+        return self.profiles
+
+    def object_policy(self, name):
+        return self.policies[name]
+
+
+class TestHysteresis:
+    def test_confirm_requires_consecutive_checks(self):
+        controller = AdaptiveController(
+            check_every=1, confirm=2, min_dwell=0, min_requests=8
+        )
+        backend = StubBackend(
+            {"obj": profile("obj", aborts=16)}, {"obj": "optimistic"}
+        )
+        assert controller.step(backend, set()) == []
+        proposals = controller.step(backend, set())
+        assert [p.new_policy for p in proposals] == ["queued"]
+
+    def test_dwell_blocks_immediate_reversal(self):
+        controller = AdaptiveController(
+            check_every=1, confirm=1, min_dwell=3, min_requests=8
+        )
+        hot = StubBackend(
+            {"obj": profile("obj", aborts=16)}, {"obj": "optimistic"}
+        )
+        assert controller.step(hot, set())
+        controller.applied("obj")
+        cold = StubBackend({"obj": profile("obj")}, {"obj": "queued"})
+        assert controller.step(cold, set()) == []
+        assert controller.step(cold, set()) == []
+        assert controller.step(cold, set())
+
+    def test_cold_objects_are_left_alone(self):
+        controller = AdaptiveController(
+            check_every=1, confirm=1, min_dwell=0, min_requests=8
+        )
+        backend = StubBackend(
+            {"obj": profile("obj", requests=4, aborts=4)},
+            {"obj": "optimistic"},
+        )
+        assert controller.step(backend, set()) == []
+
+    def test_pending_objects_are_skipped(self):
+        controller = AdaptiveController(
+            check_every=1, confirm=1, min_dwell=0, min_requests=8
+        )
+        backend = StubBackend(
+            {"obj": profile("obj", aborts=16)}, {"obj": "optimistic"}
+        )
+        assert controller.step(backend, {"obj"}) == []
+
+    def test_check_every_gates_the_cadence(self):
+        controller = AdaptiveController(
+            check_every=3, confirm=1, min_dwell=0, min_requests=8
+        )
+        backend = StubBackend(
+            {"obj": profile("obj", aborts=16)}, {"obj": "optimistic"}
+        )
+        assert controller.step(backend, set()) == []
+        assert controller.step(backend, set()) == []
+        assert controller.step(backend, set())

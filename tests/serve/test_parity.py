@@ -1,0 +1,90 @@
+"""Poll-mode serving is transcript-identical to the harness driver.
+
+The serving loop's correctness anchor: with ``retry="poll"`` over a
+single-object workload lifted from the harness generator, the loop must
+make exactly the calls :func:`repro.cc.harness.drive` makes — same
+admission order, same round-robin, same observed-abort handling — and
+the resulting :class:`~repro.cc.harness.Transcript` (per-operation
+decisions, resolutions, dependency edges, statuses, final state and
+seed counters) is compared by full structural equality.  A ``batching``
+of 1 (``max_inflight=1``) is the strict single-request front-end; wider
+batching must still match ``drive`` at the same concurrency.
+"""
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.cc.harness import drive
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+from repro.serve import SchedulerBackend, ServingLoop, from_cc_workload
+
+SEEDS = [1, 2, 7, 11, 23, 47, 101, 1991, 2024, 31337]
+
+
+@pytest.fixture(scope="module", params=["Account", "QStack"])
+def fixture(request):
+    adt = make_adt(request.param)
+    return adt, derive(adt).final_table
+
+
+def workload_for(adt, seed):
+    return generate(
+        adt,
+        "obj",
+        WorkloadConfig(
+            transactions=8,
+            operations_per_transaction=3,
+            abort_probability=0.15,
+            seed=seed,
+        ),
+    )
+
+
+def serve_poll(adt, table, workload, policy, max_inflight):
+    backend = SchedulerBackend(TableDrivenScheduler(policy=policy))
+    backend.register_object("obj", adt, table)
+    loop = ServingLoop(
+        backend,
+        from_cc_workload(workload),
+        max_inflight=max_inflight,
+        retry="poll",
+    )
+    return loop.run()
+
+
+class TestPollParity:
+    @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_single_request_front_end_matches_drive(
+        self, fixture, policy, seed
+    ):
+        adt, table = fixture
+        workload = workload_for(adt, seed)
+        reference = drive(
+            TableDrivenScheduler(policy=policy), adt, table, workload,
+            concurrency=1,
+        )
+        result = serve_poll(adt, table, workload, policy, max_inflight=1)
+        assert result.transcript is not None
+        assert result.transcript == reference
+
+    @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_front_end_matches_drive(self, fixture, policy, seed):
+        adt, table = fixture
+        workload = workload_for(adt, seed)
+        reference = drive(
+            TableDrivenScheduler(policy=policy), adt, table, workload,
+            concurrency=4,
+        )
+        result = serve_poll(adt, table, workload, policy, max_inflight=4)
+        assert result.transcript == reference
+
+    def test_committed_counts_match_transcript(self, fixture):
+        adt, table = fixture
+        workload = workload_for(adt, 7)
+        result = serve_poll(adt, table, workload, "blocking", max_inflight=4)
+        assert result.committed == len(result.transcript.committed())
+        assert result.committed + result.aborted == result.requests
