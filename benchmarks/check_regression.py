@@ -5,10 +5,14 @@ baseline JSON files (``BENCH_pipeline.json``, ``BENCH_scheduler.json``)
 and fails when a *relative* metric regressed by more than the tolerance.
 
 Only machine-independent ratios are compared — the cached-vs-uncached
-pipeline speedup and the optimized-vs-reference scheduler speedup —
-never absolute seconds: CI runners differ from the machines that wrote
-the baselines, but a speedup is a ratio of two runs on the *same*
-machine, so it transfers.  Boolean parity flags must simply stay true.
+pipeline speedup, the optimized-vs-reference scheduler speedup and the
+compiled-vs-optimized scheduler speedup — never absolute seconds: CI
+runners differ from the machines that wrote the baselines, but a
+speedup is a ratio of two runs on the *same* machine, so it transfers.
+Boolean parity flags (including ``compiled_parity``) must simply stay
+true, and every config present in a baseline must still be present in
+the fresh payload — a config that silently disappears from the results
+dict is a failure, not a pass-by-omission.
 
 Very large speedups (a 120x optimized-vs-reference scheduler ratio)
 jitter by tens of percent run to run, so values are clamped to
@@ -55,10 +59,19 @@ def _scheduler_metrics(payload: dict) -> dict:
     metrics: dict[str, float | bool] = {}
     for config, entry in payload["results"].items():
         metrics[f"{config}.parity"] = entry["parity"]
+        if "compiled_parity" in entry:
+            metrics[f"{config}.compiled_parity"] = entry["compiled_parity"]
         # Only configs the writer itself holds to a speedup bar are
         # regression-gated; the rest are parity-only by design.
         if entry.get("enforce_speedup") and entry["speedup"] is not None:
             metrics[f"{config}.speedup"] = entry["speedup"]
+        if (
+            entry.get("enforce_compiled")
+            and entry.get("optimized_vs_compiled") is not None
+        ):
+            metrics[f"{config}.optimized_vs_compiled"] = entry[
+                "optimized_vs_compiled"
+            ]
     return metrics
 
 
@@ -123,6 +136,14 @@ def compare(
         return [f"unknown benchmark kind {kind!r}"]
     fresh_metrics = extractor(fresh)
     failures = []
+    # A config present in the baseline must still be measured: a rename
+    # or a dropped entry must fail loudly, never pass by omission.
+    fresh_results = fresh.get("results", {})
+    for config in baseline.get("results", {}):
+        if config not in fresh_results:
+            failures.append(
+                f"{kind}:{config}: config missing from fresh results"
+            )
     for name, base_value in extractor(baseline).items():
         fresh_value = fresh_metrics.get(name)
         if fresh_value is None:

@@ -55,6 +55,28 @@ O(active × log × replay) as in the seed (kept verbatim in
   :class:`~repro.perf.cache.ExecutionCache`, so the
   ``execution_cache_*`` metrics reflect runtime traffic too.
 
+On top of those, ``compiled=True`` (the default) engages the
+registration-time compilation layer (:mod:`repro.perf.codegen`):
+
+* each table is additionally compiled to a
+  :class:`~repro.perf.codegen.ConflictMatrix` — flat integer arrays over
+  dense operation ids, so pair verdicts index a ``bytes`` matrix instead
+  of hashing operation-name strings;
+* the per-request log scan is replaced by an **incremental peer index**
+  (per object: active transaction -> its log entries, their op ids, and
+  an OR-ed op-id bitmask), appended on every grant, pruned on commit,
+  and epoch-invalidated with the shadow index on abort rollback; a peer
+  transaction whose bitmask is all-unconditional-ND against the
+  requested operation settles in one integer test;
+* a missed execution runs an ``exec``-generated per-operation executor
+  (:func:`~repro.perf.codegen.compiled_execute` as the private cache's
+  miss handler) instead of the generic ``execute_uncached`` dispatch,
+  and the shadow index keeps a transition memo in front of the cache.
+
+``compiled=False`` keeps the PR 3 pure-Python structures as the
+reference; ``tests/property/test_compiled_parity.py`` holds the two
+bit-identical across every builtin ADT, policy and seed.
+
 The decision stream, dependency edges, final states and seed counters are
 bit-identical to the reference — enforced by
 ``tests/property/test_scheduler_parity.py`` and the
@@ -99,6 +121,7 @@ from repro.obs.events import (
 from repro.obs.conflict import ConflictProfile, ObjectConflictTracker
 from repro.obs.tracers import NULL_TRACER, Tracer
 from repro.perf.cache import ExecutionCache
+from repro.perf.codegen import ConflictMatrix, compiled_execute
 from repro.perf.flat_table import FlatTable
 from repro.perf.shadow import ShadowStateIndex
 from repro.spec.adt import ADTSpec, AbstractState, active_execution_cache
@@ -162,6 +185,10 @@ class SchedulerStats:
     #: Pair checks settled by the flattened table's unconditional-ND
     #: bitset without building a condition context.
     nd_fast_path_hits: int = 0
+    #: Shadow state transitions served by the compiled transition memo
+    #: (``compiled=True`` only), skipping the execution cache's lock and
+    #: key hashing; see :mod:`repro.perf.shadow`.
+    compiled_memo_hits: int = 0
 
     #: The counters the seed scheduler also maintains; parity with
     #: :class:`repro.cc.reference.ReferenceScheduler` is asserted on
@@ -256,6 +283,42 @@ class _RegisteredObject:
     shared: SharedObject
     table: CompatibilityTable
     flat: FlatTable
+    #: Integer-id compilation of ``table`` (``compiled=True`` only).
+    matrix: ConflictMatrix | None = None
+
+
+class _TxnEntries:
+    """One active peer transaction's logged operations, in log order.
+
+    ``ids`` carries the matrix op id of each entry and ``mask`` their OR
+    — so a whole peer transaction can be tested against the requested
+    operation's unconditional-ND row in one integer operation.
+    """
+
+    __slots__ = ("entries", "ids", "mask")
+
+    def __init__(self) -> None:
+        self.entries: list[AppliedOperation] = []
+        self.ids: list[int] = []
+        self.mask = 0
+
+
+class _PeerIndex:
+    """Incrementally maintained active-peer entries of one shared object.
+
+    Replaces the compiled scheduler's per-request log scan: appended on
+    every grant, pruned when a transaction commits, and marked stale when
+    an abort rewrites the log wholesale (the entries are replaced by
+    fresh :class:`~repro.cc.objects.AppliedOperation` objects with new
+    traces, so the index must rebuild from the authoritative log — the
+    same epoch discipline the shadow index uses).
+    """
+
+    __slots__ = ("stale", "by_txn")
+
+    def __init__(self) -> None:
+        self.stale = True
+        self.by_txn: dict[TxnId, _TxnEntries] = {}
 
 
 class TableDrivenScheduler:
@@ -272,10 +335,17 @@ class TableDrivenScheduler:
         tracer: Tracer | None = None,
         execution_cache: ExecutionCache | None = None,
         conflict_thresholds=None,
+        compiled: bool = True,
     ) -> None:
         if policy not in self.POLICIES:
             raise SchedulerError(f"unknown policy {policy!r}")
         self.policy = policy
+        #: Registration-time compilation (:mod:`repro.perf.codegen`):
+        #: integer conflict matrices, the incremental peer index, codegen
+        #: executors and the shadow transition memo.  ``False`` selects
+        #: the PR 3 pure-Python reference structures — bit-identical
+        #: transcripts either way (``tests/property/test_compiled_parity``).
+        self.compiled = compiled
         #: Falsy NullTracer by default: emissions are guarded with
         #: ``if self.tracer:`` so untraced runs never build an event.
         self.tracer: Tracer = tracer if tracer is not None else NULL_TRACER
@@ -303,17 +373,28 @@ class TableDrivenScheduler:
         #: process-wide cache when one is active, else owns a private one
         #: — the ``ensure_execution_cache`` idiom, held for the
         #: scheduler's lifetime.
+        #: A privately owned cache runs the compiled executors on miss;
+        #: an installed or caller-supplied cache is joined as-is (its
+        #: miss handler is shared state this scheduler must not mutate —
+        #: the values are bit-identical either way).
         self.execution_cache: ExecutionCache = (
             execution_cache
             if execution_cache is not None
-            else (active_execution_cache() or ExecutionCache())
+            else (
+                active_execution_cache()
+                or ExecutionCache(
+                    executor=compiled_execute if compiled else None
+                )
+            )
         )
         self._objects: dict[str, _RegisteredObject] = {}
+        #: Per-object incremental peer index (``compiled=True`` only).
+        self._peers: dict[str, _PeerIndex] = {}
         self._txns: dict[TxnId, Transaction] = {}
         self._deps = DependencyGraph()
         self._wait_for: dict[TxnId, set[TxnId]] = {}
         self._shadow = ShadowStateIndex(
-            cache=self.execution_cache, stats=self.stats
+            cache=self.execution_cache, stats=self.stats, compiled=compiled
         )
         self._next_txn: TxnId = 0
         self._sequence = 0
@@ -333,14 +414,21 @@ class TableDrivenScheduler:
         """Attach a shared object and the table governing it.
 
         The table is flattened once, here, into the dict-indexed
-        :class:`~repro.perf.flat_table.FlatTable` the hot path reads.
+        :class:`~repro.perf.flat_table.FlatTable` the hot path reads —
+        and, when the scheduler runs compiled, additionally into the
+        integer-id :class:`~repro.perf.codegen.ConflictMatrix`.
         """
         if name in self._objects:
             raise SchedulerError(f"object {name!r} already registered")
         shared = SharedObject(name, adt, initial_state)
         self._objects[name] = _RegisteredObject(
-            shared=shared, table=table, flat=FlatTable.compile(table)
+            shared=shared,
+            table=table,
+            flat=FlatTable.compile(table),
+            matrix=ConflictMatrix.compile(table) if self.compiled else None,
         )
+        if self.compiled:
+            self._peers[name] = _PeerIndex()
         if self.conflict_thresholds is not None:
             self._conflict[name] = ObjectConflictTracker(
                 object_name=name,
@@ -487,6 +575,8 @@ class TableDrivenScheduler:
         # certification above must see every maintained state *without*
         # the entry it is certifying.
         self._shadow.note_execute(object_name, shared, applied)
+        if self.compiled:
+            self._note_peer_entry(object_name, registered, txn, applied)
         self.stats.operations_executed += 1
         self._conflict[object_name].note_grant()
         self._sequence += 1
@@ -569,9 +659,12 @@ class TableDrivenScheduler:
             transaction.commit_sequence = self._commit_counter
             self._wait_for.pop(txn, None)
             # Committed transactions are never certified against again;
-            # their shadow states would only cost maintenance.
+            # their shadow states would only cost maintenance, and their
+            # peer-index entries would only cost a skipped iteration.
             for name in self._objects:
                 self._shadow.forget(name, txn)
+                if self.compiled:
+                    self._peers[name].by_txn.pop(txn, None)
             if self.tracer:
                 self.tracer.emit(
                     TxnCommitted(
@@ -657,8 +750,14 @@ class TableDrivenScheduler:
                 t for t in invalidated if self.transaction(t).is_active
             }
         # The rollback rewrote every object's log; every maintained
-        # shadow state is stale.  Epoch-invalidate and rebuild lazily.
+        # shadow state — and every peer-index entry, whose log objects
+        # were replaced by the replay — is stale.  Epoch-invalidate and
+        # rebuild lazily.
         self._shadow.invalidate()
+        if self.compiled:
+            for index in self._peers.values():
+                index.stale = True
+                index.by_txn = {}
         return cascade, list(collateral)
 
     # ------------------------------------------------------------------
@@ -772,10 +871,13 @@ class TableDrivenScheduler:
         """
         self.execution_cache.clear()
         self._shadow = ShadowStateIndex(
-            cache=self.execution_cache, stats=self.stats
+            cache=self.execution_cache, stats=self.stats, compiled=self.compiled
         )
         for name, registered in self._objects.items():
             registered.flat = FlatTable.compile(registered.table)
+            if self.compiled:
+                registered.matrix = ConflictMatrix.compile(registered.table)
+                self._peers[name] = _PeerIndex()
             self._shadow.register(name)
 
     # ------------------------------------------------------------------
@@ -806,6 +908,67 @@ class TableDrivenScheduler:
             for other, entries in by_txn.items()
             if self.transaction(other).is_active
         }
+
+    def _note_peer_entry(
+        self,
+        name: str,
+        registered: _RegisteredObject,
+        txn: TxnId,
+        applied: AppliedOperation,
+    ) -> None:
+        """Append one granted operation to the object's peer index.
+
+        Called *after* :meth:`_record_dependencies`, mirroring the shadow
+        index: certification must never see the entry it is certifying,
+        so a live index naturally lacks it.  A stale index skips the
+        append — the next :meth:`_compiled_peers` rebuild picks the entry
+        up from the authoritative log.
+        """
+        index = self._peers[name]
+        if index.stale:
+            return
+        op_id = registered.matrix.op_id[applied.invocation.operation]
+        peer = index.by_txn.get(txn)
+        if peer is None:
+            peer = index.by_txn[txn] = _TxnEntries()
+        peer.entries.append(applied)
+        peer.ids.append(op_id)
+        peer.mask |= 1 << op_id
+
+    def _compiled_peers(
+        self, registered: _RegisteredObject, skip: AppliedOperation | None
+    ) -> dict[TxnId, _TxnEntries]:
+        """The object's peer index, rebuilt from the log if stale.
+
+        Same grouping as :meth:`_active_entries_by_txn` (log order within
+        each transaction, inactive transactions dropped) except that the
+        requester's own entries are *included* — callers exclude the
+        requesting transaction's key at iteration time, which lets the
+        index be maintained incrementally instead of refiltered per
+        request.  ``skip`` names the entry under certification, exactly
+        as in a shadow rebuild.
+        """
+        index = self._peers[registered.shared.name]
+        if index.stale:
+            op_id = registered.matrix.op_id
+            txns = self._txns
+            by_txn: dict[TxnId, _TxnEntries] = {}
+            for entry in registered.shared.log():
+                if entry is skip:
+                    continue
+                t = entry.txn
+                peer = by_txn.get(t)
+                if peer is None:
+                    if not txns[t].is_active:
+                        continue
+                    peer = by_txn[t] = _TxnEntries()
+                oid = op_id[entry.invocation.operation]
+                peer.entries.append(entry)
+                peer.ids.append(oid)
+                peer.mask |= 1 << oid
+            index.by_txn = by_txn
+            index.stale = False
+        return index.by_txn
 
     def _pair_dependency(
         self,
@@ -889,6 +1052,81 @@ class TableDrivenScheduler:
             return Dependency.AD, _SHADOW_EVIDENCE
         return verdict, evidence
 
+    def _pair_dependency_compiled(
+        self,
+        shared: SharedObject,
+        matrix: ConflictMatrix,
+        inv_id: int,
+        invocation: Invocation,
+        returned: ReturnValue,
+        trace: LocalityTrace,
+        pre_graph: _PreGraph,
+        peer: _TxnEntries,
+        other_txn: TxnId,
+        skip: AppliedOperation | None,
+    ) -> tuple[Dependency, _DepEvidence]:
+        """:meth:`_pair_dependency` over the integer conflict matrix.
+
+        Same three evidence sources, same verdicts, same counters — the
+        parity suite holds the two paths bit-identical.  What changes is
+        the cost model: the whole peer transaction is first tested
+        against the requested operation's unconditional-ND row in one
+        bitmask operation (settling the common no-conflict case with
+        zero per-entry work), and the slow path indexes cells by integer
+        id instead of hashing operation-name pairs.
+        """
+        stats = self.stats
+        entries = peer.entries
+        verdict = Dependency.ND
+        evidence = _NO_EVIDENCE
+        if matrix.all_nd(inv_id, peer.mask):
+            # Every logged operation of the peer sits in an
+            # unconditional-ND cell; account each entry's fast-path hit
+            # exactly as the per-entry loop would.
+            stats.nd_fast_path_hits += len(entries)
+        else:
+            codes = matrix.codes
+            table_entries = matrix.entries
+            row = inv_id * matrix.size
+            nd_row = matrix.nd_rows[inv_id]
+            conditional = ConflictMatrix.CONDITIONAL
+            ids = peer.ids
+            for position, earlier in enumerate(entries):
+                oid = ids[position]
+                if nd_row >> oid & 1:
+                    stats.nd_fast_path_hits += 1
+                    continue
+                cell = row + oid
+                entry = table_entries[cell]
+                context = ConditionContext(
+                    first_invocation=earlier.invocation,
+                    second_invocation=invocation,
+                    pre_graph=pre_graph.get(),
+                    first_return=earlier.returned,
+                    second_return=returned,
+                )
+                if codes[cell] == conditional:
+                    stats.condition_evaluations += len(entry.pairs)
+                resolved, held = entry.resolve_with_condition(context)
+                from_locality = locality_dependency(earlier.trace, trace)
+                pair_verdict = max(resolved, from_locality)
+                if pair_verdict > verdict:
+                    verdict = pair_verdict
+                    evidence = _DepEvidence(
+                        executing=earlier.invocation.operation,
+                        entry=entry,
+                        condition=held,
+                        source="locality" if from_locality > resolved else "table",
+                    )
+                if verdict is Dependency.AD:
+                    return Dependency.AD, evidence
+        shadow = self._shadow.shadow_return(
+            shared.name, shared, invocation, other_txn, skip
+        )
+        if shadow != returned:
+            return Dependency.AD, _SHADOW_EVIDENCE
+        return verdict, evidence
+
     def _record_dependencies(
         self,
         txn: TxnId,
@@ -911,14 +1149,22 @@ class TableDrivenScheduler:
         shared, flat = registered.shared, registered.flat
         conflict = self._conflict[shared.name]
         nd_fast_before = self.stats.nd_fast_path_hits
-        by_txn = self._active_entries_by_txn(txn, shared, skip=applied)
+        compiled = self.compiled
+        if compiled:
+            by_txn = self._compiled_peers(registered, skip=applied)
+            matrix = registered.matrix
+            inv_id = matrix.op_id[applied.invocation.operation]
+            others = sorted(t for t in by_txn if t != txn)
+        else:
+            by_txn = self._active_entries_by_txn(txn, shared, skip=applied)
+            others = sorted(by_txn)
         pre_graph = (
             preview.pre_graph
             if preview is not None
             else _PreGraph(shared.adt, pre_state, self.stats)
         )
         recorded: list[tuple[TxnId, Dependency]] = []
-        for other_txn in sorted(by_txn):
+        for other_txn in others:
             reused = preview.verdicts.get(other_txn) if preview else None
             if reused is not None:
                 dependency, evidence, condition_evaluations = reused
@@ -926,6 +1172,19 @@ class TableDrivenScheduler:
                 # Keep the seed counter exact: the seed re-evaluated the
                 # conditions here; account the work the reuse displaced.
                 self.stats.condition_evaluations += condition_evaluations
+            elif compiled:
+                dependency, evidence = self._pair_dependency_compiled(
+                    shared,
+                    matrix,
+                    inv_id,
+                    applied.invocation,
+                    applied.returned,
+                    applied.trace,
+                    pre_graph,
+                    by_txn[other_txn],
+                    other_txn,
+                    skip=applied,
+                )
             else:
                 dependency, evidence = self._pair_dependency(
                     shared,
@@ -985,23 +1244,45 @@ class TableDrivenScheduler:
         nd_fast_before = self.stats.nd_fast_path_hits
         preview_returned, preview_trace = shared.preview_with_trace(invocation)
         pre_state = shared.state()
-        by_txn = self._active_entries_by_txn(txn, shared, skip=None)
+        compiled = self.compiled
+        if compiled:
+            by_txn = self._compiled_peers(registered, skip=None)
+            matrix = registered.matrix
+            inv_id = matrix.op_id[invocation.operation]
+            others = sorted(t for t in by_txn if t != txn)
+        else:
+            by_txn = self._active_entries_by_txn(txn, shared, skip=None)
+            others = sorted(by_txn)
         pre_graph = _PreGraph(shared.adt, pre_state, self.stats)
         blockers: set[TxnId] = set()
         verdicts: dict[TxnId, tuple[Dependency, _DepEvidence, int]] = {}
-        for other_txn in sorted(by_txn):
+        for other_txn in others:
             evaluations_before = self.stats.condition_evaluations
-            dependency, evidence = self._pair_dependency(
-                shared,
-                flat,
-                invocation,
-                preview_returned,
-                preview_trace,
-                pre_graph,
-                by_txn[other_txn],
-                other_txn,
-                skip=None,
-            )
+            if compiled:
+                dependency, evidence = self._pair_dependency_compiled(
+                    shared,
+                    matrix,
+                    inv_id,
+                    invocation,
+                    preview_returned,
+                    preview_trace,
+                    pre_graph,
+                    by_txn[other_txn],
+                    other_txn,
+                    skip=None,
+                )
+            else:
+                dependency, evidence = self._pair_dependency(
+                    shared,
+                    flat,
+                    invocation,
+                    preview_returned,
+                    preview_trace,
+                    pre_graph,
+                    by_txn[other_txn],
+                    other_txn,
+                    skip=None,
+                )
             verdicts[other_txn] = (
                 dependency,
                 evidence,

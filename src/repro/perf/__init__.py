@@ -19,6 +19,13 @@ Three layers, each usable on its own:
 * :mod:`repro.perf.flat_table` — :class:`FlatTable`, a compatibility
   table precompiled at object-registration time into a dict-indexed
   lookup with an unconditional-ND bitset fast path.
+* :mod:`repro.perf.codegen` — registration-time compilation of the
+  scheduler hot path: :class:`ConflictMatrix` (the table as flat integer
+  arrays over dense operation ids) and :class:`CompiledADT`
+  (``exec``-generated per-operation executor closures), with
+  :func:`compiled_execute` as the execution cache's compiled miss
+  handler.  The pure-Python paths above remain the reference
+  (``compiled=False``).
 
 See ``docs/PERFORMANCE.md`` for the architecture and the knobs.
 """
@@ -30,6 +37,12 @@ from repro.perf.cache import (
     ensure_execution_cache,
     execution_cache,
 )
+from repro.perf.codegen import (
+    CompiledADT,
+    ConflictMatrix,
+    compile_adt,
+    compiled_execute,
+)
 from repro.perf.evidence import EvidenceBase
 from repro.perf.flat_table import FlatTable
 from repro.perf.parallel import resolve_jobs, worker_pool
@@ -38,11 +51,15 @@ from repro.perf.shadow import ShadowStateIndex, ShadowStats
 __all__ = [
     "DEFAULT_CACHE_MAXSIZE",
     "CacheStats",
+    "CompiledADT",
+    "ConflictMatrix",
     "ExecutionCache",
     "EvidenceBase",
     "FlatTable",
     "ShadowStateIndex",
     "ShadowStats",
+    "compile_adt",
+    "compiled_execute",
     "ensure_execution_cache",
     "execution_cache",
     "resolve_jobs",

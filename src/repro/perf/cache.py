@@ -82,12 +82,24 @@ class ExecutionCache:
     Thread-safe: lookups and insertions run under a lock, so a cache
     installed process-wide behaves under the threaded examples exactly as
     it does single-threaded.
+
+    ``executor`` replaces the miss handler: the compiled scheduler passes
+    :func:`~repro.perf.codegen.compiled_execute` so misses run the
+    ``exec``-generated per-ADT executors instead of the generic
+    :func:`~repro.spec.adt.execute_uncached` path.  Both are
+    bit-identical by construction, so swapping the handler never changes
+    a cached value — only what a miss costs.
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CACHE_MAXSIZE) -> None:
+    def __init__(
+        self, maxsize: int = DEFAULT_CACHE_MAXSIZE, executor=None
+    ) -> None:
         if maxsize < 1:
             raise ValueError("cache maxsize must be at least 1")
         self.maxsize = maxsize
+        #: ``(adt, state, invocation, attribution) -> Execution`` run on
+        #: a miss (default: the uncached reference path).
+        self._executor = executor if executor is not None else execute_uncached
         self._entries: OrderedDict[tuple, Execution] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -111,13 +123,53 @@ class ExecutionCache:
                 self._entries.move_to_end(key)
                 return cached
             self._misses += 1
-        execution = execute_uncached(adt, state, invocation, attribution)
+        execution = self._executor(adt, state, invocation, attribution)
         with self._lock:
             if key not in self._entries and len(self._entries) >= self.maxsize:
                 self._entries.popitem(last=False)
                 self._evictions += 1
             self._entries[key] = execution
         return execution
+
+    def get_or_execute_batch(
+        self, adt, invocation, attribution, states, compute
+    ) -> list[Execution]:
+        """Batched :meth:`get_or_execute` of one invocation over many states.
+
+        The vectorized :class:`~repro.perf.evidence.EvidenceBase` build
+        path: hits are collected under a single lock acquisition (instead
+        of one per state), misses are computed outside the lock by
+        ``compute(state)`` — typically a compiled per-operation executor
+        — and inserted under a second single acquisition.  Counters and
+        eviction behave exactly as per-state lookups would; the returned
+        list is positionally aligned with ``states`` and canonical (cached
+        records win over freshly computed ones).
+        """
+        results: list[Execution | None] = [None] * len(states)
+        missing: list[int] = []
+        entries = self._entries
+        with self._lock:
+            for position, state in enumerate(states):
+                key = (adt, state, invocation, attribution)
+                cached = entries.get(key)
+                if cached is not None:
+                    self._hits += 1
+                    entries.move_to_end(key)
+                    results[position] = cached
+                else:
+                    self._misses += 1
+                    missing.append(position)
+        for position in missing:
+            results[position] = compute(states[position])
+        if missing:
+            with self._lock:
+                for position in missing:
+                    key = (adt, states[position], invocation, attribution)
+                    if key not in entries and len(entries) >= self.maxsize:
+                        entries.popitem(last=False)
+                        self._evictions += 1
+                    entries[key] = results[position]
+        return results
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""

@@ -28,6 +28,21 @@ State transitions go through the scheduler's
 attribution, the same key the derivation evidence uses), so repeated
 (state, invocation) steps are memoized and the ``execution_cache_*``
 metrics reflect runtime traffic too.
+
+With ``compiled=True`` (the compiled scheduler's setting) the index
+additionally keeps a per-object **transition memo** in front of the
+cache: ``invocation -> state -> Execution`` plain dicts, filled from the
+cache on first use.  Executions are deterministic, so the memo is a pure
+function and never needs epoch invalidation; what it saves is the
+per-step lock acquisition and the repeated hashing of the same
+:class:`~repro.spec.operation.Invocation` (one hash per
+:meth:`note_execute` batch instead of one per maintained state).  Memo
+hits are counted in ``compiled_memo_hits``; misses still flow through
+the cache, so the ``execution_cache_*`` metrics stay live.  The
+quarantine rung (``rebuild_fast_paths``) replaces the whole index, memo
+included, exactly as it discards the cache.  Fault campaigns that poison
+the cache also drop the memo (:meth:`ShadowStateIndex.chaos_drop_memo`),
+so the injected corruption stays reachable under compiled dispatch.
 """
 
 from __future__ import annotations
@@ -52,6 +67,9 @@ class ShadowStats:
     #: Shadow states (re)built by a full log replay — first query for a
     #: transaction, or the first query after an epoch invalidation.
     shadow_full_replays: int = 0
+    #: State transitions served by the compiled front memo, skipping the
+    #: execution cache's lock and key hashing (``compiled=True`` only).
+    compiled_memo_hits: int = 0
 
 
 @dataclass
@@ -90,12 +108,17 @@ class ShadowStateIndex:
     export unchanged.
     """
 
-    def __init__(self, cache=None, stats=None) -> None:
+    def __init__(self, cache=None, stats=None, compiled: bool = False) -> None:
         #: Optional :class:`~repro.perf.cache.ExecutionCache` consulted
         #: for every state transition.
         self.cache = cache
         self.stats = stats if stats is not None else ShadowStats()
+        #: Keep a per-object transition memo in front of the cache (the
+        #: compiled scheduler's setting; see the module docstring).
+        self.compiled = compiled
         self._objects: dict[str, _ObjectIndex] = {}
+        #: object name -> invocation -> state -> Execution (compiled only).
+        self._memo: dict[str, dict[Invocation, dict[AbstractState, object]]] = {}
 
     # ------------------------------------------------------------------
     # Maintenance (driven by the scheduler)
@@ -104,6 +127,7 @@ class ShadowStateIndex:
     def register(self, name: str) -> None:
         """Start tracking a shared object."""
         self._objects[name] = _ObjectIndex()
+        self._memo[name] = {}
 
     def note_execute(self, name: str, shared, applied) -> None:
         """Advance every maintained state past one granted operation.
@@ -114,9 +138,30 @@ class ShadowStateIndex:
         """
         index = self._objects[name]
         invocation = applied.invocation
-        for txn, state in index.excluding.items():
+        excluding = index.excluding
+        if self.compiled:
+            # One invocation hash for the whole batch; per-state steps
+            # are plain dict probes on the transition memo.
+            memo = self._memo[name]
+            per_invocation = memo.get(invocation)
+            if per_invocation is None:
+                per_invocation = memo[invocation] = {}
+            stats = self.stats
+            skip_txn = applied.txn
+            for txn, state in excluding.items():
+                if txn == skip_txn:
+                    continue
+                execution = per_invocation.get(state)
+                if execution is None:
+                    execution = self._execute(shared, state, invocation)
+                    per_invocation[state] = execution
+                else:
+                    stats.compiled_memo_hits += 1
+                excluding[txn] = execution.post_state
+            return
+        for txn, state in excluding.items():
             if txn != applied.txn:
-                index.excluding[txn] = self._execute(
+                excluding[txn] = self._execute(
                     shared, state, invocation
                 ).post_state
 
@@ -142,6 +187,20 @@ class ShadowStateIndex:
         index = self._objects.get(name)
         if index is not None:
             index.excluding.pop(txn, None)
+
+    def chaos_drop_memo(self) -> None:
+        """Fault-injection hook: discard the compiled transition memo.
+
+        Cache-poison faults model corruption of the memoized execution
+        records; the transition memo holds the same class of record in
+        front of the cache and would otherwise shield a poisoned entry
+        from every future read.  Dropping it forces subsequent
+        transitions back through the (possibly poisoned) cache, so the
+        fault surface the robustness ladder defends is identical in both
+        dispatch modes.  No-op when the memo is empty (``compiled=False``).
+        """
+        for per_object in self._memo.values():
+            per_object.clear()
 
     def epoch(self, name: str) -> int:
         """The object's current invalidation epoch (for tests/debugging)."""
@@ -191,6 +250,8 @@ class ShadowStateIndex:
     ) -> ReturnValue:
         """What ``invocation`` would return had ``exclude_txn`` never run."""
         state = self.shadow_state(name, shared, exclude_txn, skip)
+        if self.compiled:
+            return self._memo_execute(name, shared, state, invocation).returned
         return self._execute(shared, state, invocation).returned
 
     # ------------------------------------------------------------------
@@ -203,6 +264,22 @@ class ShadowStateIndex:
                 shared.adt, state, invocation, EdgeAttribution.BOTH
             )
         return execute_invocation(shared.adt, state, invocation)
+
+    def _memo_execute(
+        self, name: str, shared, state: AbstractState, invocation: Invocation
+    ):
+        """The transition-memo front of :meth:`_execute` (compiled only)."""
+        memo = self._memo[name]
+        per_invocation = memo.get(invocation)
+        if per_invocation is None:
+            per_invocation = memo[invocation] = {}
+        execution = per_invocation.get(state)
+        if execution is None:
+            execution = self._execute(shared, state, invocation)
+            per_invocation[state] = execution
+        else:
+            self.stats.compiled_memo_hits += 1
+        return execution
 
     def _replay_without(self, shared, exclude_txn: int, skip) -> AbstractState:
         state = shared.initial_state

@@ -77,6 +77,11 @@ class Decision:
     returned: str = ""
     reason: str = ""
     adt: str = ""
+    #: Sorted blocker set of a ``blocked`` request or ``waiting`` commit.
+    #: Verified on replay: a matching outcome alone cannot certify the
+    #: wait graph, and a divergent graph picks divergent deadlock
+    #: victims — silently, since victim aborts happen inside the call.
+    blocked_on: tuple = ()
     #: JSON payload of a ``2pc-`` protocol record (gtxn mapping, shipped
     #: dependency sets, logged decisions); empty for scheduler records.
     extra: str = ""
@@ -92,6 +97,8 @@ class Decision:
                 payload[name] = value
         if self.args:
             payload["args"] = repr(self.args)
+        if self.blocked_on:
+            payload["blocked_on"] = list(self.blocked_on)
         return payload
 
     @classmethod
@@ -107,6 +114,7 @@ class Decision:
             returned=payload.get("returned", ""),
             reason=payload.get("reason", ""),
             adt=payload.get("adt", ""),
+            blocked_on=tuple(payload.get("blocked_on", ())),
             extra=payload.get("extra", ""),
         )
 
@@ -311,12 +319,14 @@ class LoggingScheduler:
 
     def request(self, txn, object_name, invocation):
         decision = self.inner.request(txn, object_name, invocation)
+        blocked_on = ()
         if decision.executed:
             outcome, returned = "executed", repr(decision.returned)
         elif decision.aborted:
             outcome, returned = "aborted", ""
         else:
             outcome, returned = "blocked", ""
+            blocked_on = tuple(sorted(decision.blocked_on))
         self.log.append(
             Decision(
                 kind="request",
@@ -326,19 +336,26 @@ class LoggingScheduler:
                 args=tuple(invocation.args),
                 outcome=outcome,
                 returned=returned,
+                blocked_on=blocked_on,
             )
         )
         return decision
 
     def try_commit(self, txn):
         decision = self.inner.try_commit(txn)
+        blocked_on = ()
         if decision.committed:
             outcome = "committed"
         elif decision.must_abort:
             outcome = "must-abort"
         else:
             outcome = "waiting"
-        self.log.append(Decision(kind="commit", txn=txn, outcome=outcome))
+            blocked_on = tuple(sorted(decision.waiting_on))
+        self.log.append(
+            Decision(
+                kind="commit", txn=txn, outcome=outcome, blocked_on=blocked_on
+            )
+        )
         return decision
 
     def abort(self, txn, reason="requested"):
@@ -357,7 +374,10 @@ class LoggingScheduler:
         decisions.
         """
         recovered = recover(
-            self.log, policy=self.inner.policy, scheduler_factory=scheduler_factory
+            self.log,
+            policy=self.inner.policy,
+            scheduler_factory=scheduler_factory,
+            compiled=getattr(self.inner, "compiled", True),
         )
         recovered.tracer = self.inner.tracer
         recovered.now = self.inner.now
@@ -427,6 +447,17 @@ def replay_into(scheduler, log: DecisionLog, verify: bool = True):
                     f"txn {record.txn} produced {outcome}/{returned!r}, log "
                     f"recorded {record.outcome}/{record.returned!r}"
                 )
+            if verify and record.blocked_on and outcome == "blocked":
+                blocked_on = tuple(sorted(decision.blocked_on))
+                if blocked_on != tuple(record.blocked_on):
+                    # Same outcome, different wait graph: the histories
+                    # have already diverged (deadlock victims are chosen
+                    # from this graph, inside the call and unlogged).
+                    raise RecoveryError(
+                        f"replay record {index}: request {record.operation}"
+                        f" by txn {record.txn} blocked on {blocked_on}, log"
+                        f" recorded {tuple(record.blocked_on)}"
+                    )
         elif record.kind == "commit":
             decision = scheduler.try_commit(record.txn)
             if decision.committed:
@@ -440,6 +471,14 @@ def replay_into(scheduler, log: DecisionLog, verify: bool = True):
                     f"replay record {index}: commit of txn {record.txn} "
                     f"produced {outcome}, log recorded {record.outcome}"
                 )
+            if verify and record.blocked_on and outcome == "waiting":
+                waiting_on = tuple(sorted(decision.waiting_on))
+                if waiting_on != tuple(record.blocked_on):
+                    raise RecoveryError(
+                        f"replay record {index}: commit of txn {record.txn} "
+                        f"waited on {waiting_on}, log recorded "
+                        f"{tuple(record.blocked_on)}"
+                    )
         elif record.kind == "abort":
             scheduler.abort(record.txn, reason=record.reason)
         elif record.kind.startswith("2pc-"):
@@ -460,6 +499,7 @@ def recover(
     policy: str | None = None,
     scheduler_factory=None,
     verify: bool = True,
+    compiled: bool = True,
 ):
     """Reconstruct a scheduler from ``log`` by verified replay.
 
@@ -467,8 +507,11 @@ def recover(
     :class:`~repro.cc.scheduler.TableDrivenScheduler` under the log's
     recorded policy is built; the factory hook lets the degradation path
     recover into a :class:`~repro.cc.reference.ReferenceScheduler`
-    instead.  The replay runs untraced; attach a tracer to the returned
-    scheduler afterwards if the run is being traced.
+    instead.  ``compiled`` must carry the crashed scheduler's dispatch
+    mode so that recovery does not silently flip a reference run onto
+    the compiled hot path (or vice versa).  The replay runs untraced;
+    attach a tracer to the returned scheduler afterwards if the run is
+    being traced.
     """
     if scheduler_factory is not None:
         scheduler = scheduler_factory()
@@ -476,5 +519,5 @@ def recover(
         from repro.cc.scheduler import TableDrivenScheduler
 
         chosen = policy or log.policy or "optimistic"
-        scheduler = TableDrivenScheduler(policy=chosen)
+        scheduler = TableDrivenScheduler(policy=chosen, compiled=compiled)
     return replay_into(scheduler, log, verify=verify)

@@ -1,0 +1,152 @@
+"""Parity: the compiled scheduler is bit-identical to the reference path.
+
+PR 3 pinned the optimized :class:`~repro.cc.scheduler.TableDrivenScheduler`
+to the frozen seed behaviour; this suite pins the **compiled** hot path
+(integer conflict matrices, incremental peer index, codegen executors,
+shadow transition memo — :mod:`repro.perf.codegen`) to the pure-Python
+structures it replaces.  Identical seeded workloads are driven through
+``compiled=True`` and ``compiled=False`` schedulers and the transcripts
+must be equal: every ``OpDecision`` and ``CommitDecision`` in issue
+order, the recorded dependency edges, final per-transaction statuses,
+the final object state, and the seed-comparable ``SchedulerStats``
+counters (including ``condition_evaluations`` — the compiled path must
+account exactly the work the bitmask fast path displaces).
+
+Coverage mirrors the PR 3 suite: every builtin ADT x both policies x 20
+seeded workloads (voluntary aborts and varying concurrency included, so
+cascades, peer-index invalidation, blocking previews and deadlock
+victims all appear in the stream).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adts.registry import builtin_names, make_adt
+from repro.cc.harness import drive
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.cc.workload import WorkloadConfig, generate
+from repro.core.methodology import derive
+
+SEEDS = range(20)
+
+_TABLES = {}
+
+
+def _table(adt):
+    if adt.name not in _TABLES:
+        _TABLES[adt.name] = derive(adt).final_table
+    return _TABLES[adt.name]
+
+
+def _workload(adt, seed: int):
+    # Same shape spread as the PR 3 parity suite: small/large transaction
+    # counts, clean and abort-heavy mixes, full and limited concurrency.
+    config = WorkloadConfig(
+        transactions=4 + (seed % 3) * 2,
+        operations_per_transaction=3 + seed % 3,
+        abort_probability=(0.0, 0.2, 0.35)[seed % 3],
+        seed=seed,
+    )
+    return generate(adt, "obj", config), (None, 3)[seed % 2]
+
+
+@pytest.mark.parametrize("adt_name", builtin_names())
+@pytest.mark.parametrize("policy", ["optimistic", "blocking"])
+def test_compiled_transcripts_identical(adt_name, policy):
+    adt = make_adt(adt_name)
+    table = _table(adt)
+    for seed in SEEDS:
+        workload, concurrency = _workload(adt, seed)
+        compiled = drive(
+            TableDrivenScheduler(policy=policy, compiled=True),
+            make_adt(adt_name),
+            table,
+            workload,
+            concurrency=concurrency,
+        )
+        reference = drive(
+            TableDrivenScheduler(policy=policy, compiled=False),
+            make_adt(adt_name),
+            table,
+            workload,
+            concurrency=concurrency,
+        )
+        assert compiled == reference, (
+            f"compiled transcript diverged: {adt_name}/{policy}/seed={seed}"
+        )
+
+
+def test_compiled_paths_actually_engage():
+    """The parity above must not be vacuous: on a contended commutative
+    workload the compiled scheduler settles peers through the bitmask
+    fast path and serves shadow transitions from the codegen memo."""
+    adt = make_adt("Account")
+    table = _table(adt)
+    workload = generate(
+        adt,
+        "obj",
+        WorkloadConfig(
+            transactions=8,
+            operations_per_transaction=6,
+            operation_mix={"Deposit": 1.0},
+            seed=5,
+        ),
+    )
+    scheduler = TableDrivenScheduler(policy="optimistic", compiled=True)
+    drive(scheduler, adt, table, workload)
+    assert scheduler.compiled
+    assert scheduler.stats.nd_fast_path_hits > 0
+    assert scheduler.stats.compiled_memo_hits > 0
+    assert scheduler.stats.shadow_replays_avoided > 0
+
+
+def test_compiled_memo_stays_dark_on_the_reference_path():
+    """``compiled_memo_hits`` is a compiled-only counter: the reference
+    structures must never touch the transition memo."""
+    adt = make_adt("Account")
+    table = _table(adt)
+    workload = generate(
+        adt,
+        "obj",
+        WorkloadConfig(
+            transactions=6,
+            operations_per_transaction=5,
+            operation_mix={"Deposit": 1.0},
+            seed=7,
+        ),
+    )
+    scheduler = TableDrivenScheduler(policy="optimistic", compiled=False)
+    drive(scheduler, adt, table, workload)
+    assert scheduler.stats.compiled_memo_hits == 0
+
+
+def test_rebuild_fast_paths_preserves_compiled_parity():
+    """The quarantine rung recompiles matrices and resets the peer index;
+    decisions after a rebuild must match an untouched reference run."""
+    adt_name = "QStack"
+    adt = make_adt(adt_name)
+    table = _table(adt)
+    workload, concurrency = _workload(adt, 4)
+
+    def checkpoint(index, scheduler):
+        if index == 7 and hasattr(scheduler, "rebuild_fast_paths"):
+            scheduler.rebuild_fast_paths()
+        return None
+
+    rebuilt = drive(
+        TableDrivenScheduler(policy="optimistic", compiled=True),
+        make_adt(adt_name),
+        table,
+        workload,
+        concurrency=concurrency,
+        checkpoint=checkpoint,
+    )
+    reference = drive(
+        TableDrivenScheduler(policy="optimistic", compiled=False),
+        make_adt(adt_name),
+        table,
+        workload,
+        concurrency=concurrency,
+    )
+    assert rebuilt == reference

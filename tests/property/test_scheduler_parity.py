@@ -100,7 +100,14 @@ def test_optimizations_actually_engage():
         scheduler.stats.shadow_full_replays
         + scheduler.stats.shadow_replays_avoided
     )
-    cache = scheduler.execution_cache.stats()
+    # Compiled (the default): the shadow transition memo fronts the
+    # execution cache, so repeated transitions show up there instead.
+    assert scheduler.stats.compiled_memo_hits > 0
+    # The pure-Python reference path must still route its repeated
+    # transitions through the execution cache.
+    reference = TableDrivenScheduler(policy="optimistic", compiled=False)
+    drive(reference, make_adt("Account"), table, workload)
+    cache = reference.execution_cache.stats()
     assert cache.hits > 0, "scheduler traffic must flow through the cache"
 
 

@@ -110,6 +110,48 @@ class TestRecovery:
         with pytest.raises(RecoveryError):
             recover(log)
 
+    @pytest.mark.parametrize("compiled", [True, False])
+    def test_recovery_preserves_dispatch_mode(
+        self, adt, table, workload, compiled
+    ):
+        # A reference run must recover onto the reference path (and a
+        # compiled run onto the compiled one): recovery rebuilding the
+        # scheduler with constructor defaults would silently flip the
+        # dispatch mode at the first crash.
+        scheduler = LoggingScheduler(
+            TableDrivenScheduler(policy="blocking", compiled=compiled)
+        )
+        drive(scheduler, adt, table, workload)
+        reborn = scheduler.reincarnate()
+        assert reborn.inner.compiled is compiled
+
+    def test_divergent_blocked_set_raises_recovery_error(
+        self, adt, table, workload
+    ):
+        # A "blocked" outcome alone cannot certify the wait graph — and
+        # deadlock victims are chosen from that graph inside the call,
+        # unlogged.  A blocker-set mismatch is taint, not a recovery.
+        scheduler, _ = logged_run(adt, table, workload, policy="blocking")
+        log = scheduler.log
+        target = next(
+            (
+                index
+                for index, record in enumerate(log.records)
+                if record.kind == "request" and record.outcome == "blocked"
+            ),
+            None,
+        )
+        if target is None:
+            pytest.skip("workload produced no blocked request")
+        import dataclasses
+
+        record = log.records[target]
+        log.records[target] = dataclasses.replace(
+            record, blocked_on=tuple(record.blocked_on) + (999,)
+        )
+        with pytest.raises(RecoveryError, match="blocked on"):
+            recover(log)
+
 
 class TestDurability:
     def test_jsonl_round_trip(self, adt, table, workload, tmp_path):
