@@ -28,6 +28,13 @@ Configurations (all seeded, byte-stable):
   static policy.
 * ``dist_1shard`` / ``dist_4shard`` — the same loop over the cluster's
   2PC front-end; each run is globally audited.
+* ``qstack_overload_nominal`` / ``qstack_overload_faults`` — the fully
+  hardened loop (deadline budgets, circuit breakers, degradation
+  ladder, capped-exponential retry) at nominal load, and at 2x load
+  under a seeded fault storm.  Gate: committed work under overload +
+  faults >= ``--min-degraded-goodput`` (default 0.5) of nominal, the
+  served history stays serializable, and no shed or expired request
+  appears committed (``no_resurrection``).
 * ``harness_parity`` — the poll-mode serving loop must reproduce
   :func:`repro.cc.harness.drive`'s transcript bit for bit.
 """
@@ -52,13 +59,18 @@ from repro.cc.workload import generate as cc_generate  # noqa: E402
 from repro.core.methodology import derive as derive_table  # noqa: E402
 from repro.dist.audit import audit_global  # noqa: E402
 from repro.dist.cluster import Cluster, ClusterFrontend  # noqa: E402
+from repro.robust import FaultPlan, FaultSpec  # noqa: E402
 from repro.serve import (  # noqa: E402
     AdaptiveController,
+    BreakerConfig,
     BurstEnvelope,
     ClusterBackend,
+    DeadlinePolicy,
+    RetryPolicy,
     SchedulerBackend,
     ServeConfig,
     ServingLoop,
+    ShedConfig,
     from_cc_workload,
     generate,
 )
@@ -121,6 +133,8 @@ CONFIG_NAMES = (
     "qstack_adaptive",
     "dist_1shard",
     "dist_4shard",
+    "qstack_overload_nominal",
+    "qstack_overload_faults",
     "harness_parity",
 )
 
@@ -145,6 +159,11 @@ def _entry(result, *, kind: str, adt: str, policy: str, mode: str,
         "requests": result.requests,
         "committed": result.committed,
         "aborted": result.aborted,
+        "shed": result.shed,
+        "deadline_exceeded": result.deadline_exceeded,
+        "retries_exhausted": result.retries_exhausted,
+        "breaker_transitions": len(result.breaker_transitions),
+        "degradation_steps": len(result.degradation_steps),
         "retries": result.retries,
         "goodput_ops": result.goodput_ops,
         "ops_issued": result.ops_issued,
@@ -181,6 +200,9 @@ def _scheduler_run(adt_name: str, config: ServeConfig, policy: str,
         workload,
         max_inflight=max_inflight,
         retry_aborts=retry_aborts,
+        # The jitter stream is keyed to the workload seed, like every
+        # other random draw in the benchmark.
+        retry_policy=RetryPolicy(seed=config.seed),
         controller=controller,
     ).run()
     serializable = is_serializable(scheduler)
@@ -205,6 +227,62 @@ def _cluster_run(adt_name: str, shards: int):
     result = ServingLoop(backend, workload, max_inflight=16).run()
     audit = audit_global(cluster)
     return result, audit.passed
+
+
+#: The overload-hardening configuration: a skewed QStack workload under
+#: a blocking scheduler, served by the fully hardened loop.  ``load``
+#: scales the offered arrival rate; the ``faults`` variant adds a
+#: seeded scheduler-level storm.
+def _overload_config(load: float) -> ServeConfig:
+    return ServeConfig(
+        sessions=6,
+        requests_per_session=5,
+        operations_per_request=2,
+        mode="open",
+        mean_interarrival=2.0 / load,
+        objects=2,
+        zipf_s=0.9,
+        seed=1991,
+    )
+
+
+def _overload_run(load: float, with_faults: bool):
+    adt = make_adt("QStack")
+    table = derive_table(adt).final_table
+    scheduler = TableDrivenScheduler(policy="blocking")
+    backend = SchedulerBackend(scheduler)
+    workload = generate(adt, _overload_config(load))
+    for name in workload.object_names:
+        backend.register_object(name, adt, table)
+    plan = None
+    if with_faults:
+        plan = FaultPlan(1991, FaultSpec(
+            spurious_abort_rate=0.05,
+            op_failure_rate=0.05,
+            commit_delay_rate=0.05,
+        ))
+    loop = ServingLoop(
+        backend,
+        workload,
+        max_inflight=8,
+        retry_aborts=True,
+        max_retries=4,
+        deadline=DeadlinePolicy(budget=96.0),
+        retry_policy=RetryPolicy(seed=1991),
+        breakers=BreakerConfig(),
+        shedding=ShedConfig(queue_limit=24),
+        fault_plan=plan,
+    )
+    result = loop.run()
+    # No resurrection: a transaction begun for a request the loop shed,
+    # expired or retired must never be committed.
+    no_resurrection = True
+    for rid, outcome in loop.outcomes.items():
+        if outcome in ("shed", "deadline_exceeded", "retries_exhausted"):
+            for txn in loop.request_txns.get(rid, ()):
+                if scheduler.transaction(txn).status.name == "COMMITTED":
+                    no_resurrection = False
+    return result, is_serializable(scheduler), no_resurrection
 
 
 def _parity_run() -> dict:
@@ -338,6 +416,22 @@ def measure_serving(config_names=CONFIG_NAMES) -> dict:
                 mode="closed", max_inflight=16, retry_aborts=False,
                 extra={"shards": shards, "audit_passed": audit_passed},
             )
+        elif name in ("qstack_overload_nominal", "qstack_overload_faults"):
+            with_faults = name == "qstack_overload_faults"
+            load = 2.0 if with_faults else 1.0
+            result, serializable, no_resurrection = _overload_run(
+                load, with_faults
+            )
+            results[name] = _entry(
+                result, kind="scheduler", adt="QStack", policy="blocking",
+                mode="open", max_inflight=8, retry_aborts=True,
+                extra={
+                    "serializable": serializable,
+                    "no_resurrection": no_resurrection,
+                    "load": load,
+                    "faulty": with_faults,
+                },
+            )
         elif name == "harness_parity":
             results[name] = _parity_run()
         else:
@@ -354,7 +448,11 @@ def measure_serving(config_names=CONFIG_NAMES) -> dict:
     }
 
 
-def check_thresholds(payload: dict, min_batch_speedup: float = 3.0) -> list[str]:
+def check_thresholds(
+    payload: dict,
+    min_batch_speedup: float = 3.0,
+    min_degraded_goodput: float = 0.5,
+) -> list[str]:
     """Threshold violations in a measured payload (empty = all good)."""
     failures: list[str] = []
     results = payload["results"]
@@ -373,6 +471,10 @@ def check_thresholds(payload: dict, min_batch_speedup: float = 3.0) -> list[str]
             failures.append(f"{name}: served history is not serializable")
         if entry.get("audit_passed") is False:
             failures.append(f"{name}: global audit failed")
+        if entry.get("no_resurrection") is False:
+            failures.append(
+                f"{name}: a shed or expired request appears committed"
+            )
         if entry.get("parity") is False:
             failures.append(
                 f"{name}: poll-mode serving transcript differs from drive()"
@@ -403,6 +505,21 @@ def check_thresholds(payload: dict, min_batch_speedup: float = 3.0) -> list[str]
                 f"qstack_adaptive: goodput {adaptive['sim_throughput']} "
                 f"below best static {best}"
             )
+    nominal = results.get("qstack_overload_nominal")
+    stressed = results.get("qstack_overload_faults")
+    if nominal and stressed:
+        # Graceful degradation is measured in committed work, not
+        # work-per-sim-time: fault stalls legitimately stretch the
+        # clock, and the gate is about how much offered work still
+        # lands under 2x load plus faults.
+        floor = min_degraded_goodput * nominal["goodput_ops"]
+        if stressed["goodput_ops"] < floor:
+            failures.append(
+                f"qstack_overload_faults: goodput {stressed['goodput_ops']} "
+                f"ops under 2x overload + faults is below "
+                f"{min_degraded_goodput:.0%} of nominal "
+                f"({nominal['goodput_ops']} ops)"
+            )
     return failures
 
 
@@ -428,6 +545,11 @@ def main(argv: list[str] | None = None) -> int:
         help="required batched-vs-serial sim-throughput ratio (default 3.0, "
              "the PR's acceptance bar)",
     )
+    parser.add_argument(
+        "--min-degraded-goodput", type=float, default=0.5,
+        help="required committed-work fraction of nominal under 2x "
+             "overload plus faults (default 0.5)",
+    )
     args = parser.parse_args(argv)
 
     payload = measure_serving(args.configs)
@@ -447,7 +569,9 @@ def main(argv: list[str] | None = None) -> int:
         print(line)
     print(f"wrote {path}")
 
-    failures = check_thresholds(payload, args.min_batch_speedup)
+    failures = check_thresholds(
+        payload, args.min_batch_speedup, args.min_degraded_goodput
+    )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

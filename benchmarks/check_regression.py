@@ -90,7 +90,8 @@ def _serving_metrics(payload: dict) -> dict:
     results = payload["results"]
     metrics: dict[str, float | bool] = {}
     for config, entry in results.items():
-        for flag in ("parity", "serializable", "audit_passed"):
+        for flag in ("parity", "serializable", "audit_passed",
+                     "no_resurrection"):
             if flag in entry:
                 metrics[f"{config}.{flag}"] = entry[flag]
         # Serving throughput is *sim-time* goodput — deterministic from
@@ -110,6 +111,13 @@ def _serving_metrics(payload: dict) -> dict:
     ]
     if adaptive and statics:
         metrics["adaptive_over_best_static"] = adaptive / max(statics)
+    # The overload-hardening gate: committed work under 2x load plus
+    # faults relative to nominal (graceful degradation, not per-time
+    # throughput — fault stalls legitimately stretch the sim clock).
+    nominal = results.get("qstack_overload_nominal", {}).get("goodput_ops")
+    stressed = results.get("qstack_overload_faults", {}).get("goodput_ops")
+    if nominal and stressed:
+        metrics["degraded_goodput_ratio"] = stressed / nominal
     return metrics
 
 

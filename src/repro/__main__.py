@@ -335,6 +335,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         crash_sweep_enabled=not args.no_crash_sweep,
         distributed=args.dist,
         shard_counts=tuple(args.shards),
+        serving=args.serve,
     )
     rendered = render_report(report)
     if args.report:
@@ -360,6 +361,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         )
         summary += (
             f" dist_cells={len(dist['cells'])} dist_crash_points={dist_swept}"
+        )
+    if args.serve:
+        serving = report["serving"]
+        worst = min(
+            (group["goodput_ratio"] for group in serving["groups"]),
+            default=0.0,
+        )
+        summary += (
+            f" serving_groups={len(serving['groups'])} "
+            f"worst_goodput_ratio={worst:.3f} "
+            f"serving_passed={serving['passed']}"
         )
     print(summary)
     return 0 if report["passed"] else 1
@@ -587,6 +599,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--shards", nargs="+", type=int, default=[1, 2], metavar="N",
         help="shard counts of the distributed campaign (default: 1 2)",
+    )
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="also run the serving campaign: overload plus faults "
+             "against the hardened serving loop, gated on graceful "
+             "degradation and no-resurrection certification",
     )
     chaos.set_defaults(func=_cmd_chaos)
 

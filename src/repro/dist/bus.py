@@ -71,6 +71,11 @@ class Message:
     #: Causal-tracing context ``(trace_id, span_id)`` of the sender's
     #: span; observability only — protocol logic never reads it.
     span: tuple = _NO_CONTEXT
+    #: Absolute sim-time deadline of the serving request this message
+    #: works for; ``0.0`` = none.  A deadline-carrying message that
+    #: would deliver past its deadline is dropped (``expired``) — the
+    #: receiver's work could no longer help the request anyway.
+    deadline: float = 0.0
 
 
 class SimBus:
@@ -142,6 +147,7 @@ class SimBus:
         payload: dict | None = None,
         request_id: str = "",
         span: tuple = _NO_CONTEXT,
+        deadline: float = 0.0,
     ) -> None:
         """Enqueue one message, consulting the message fault points."""
         detail = f"{src}->{dst}:{kind}"
@@ -195,6 +201,7 @@ class SimBus:
             deliver_at=deliver_at,
             seq=next(self._seq),
             span=span,
+            deadline=deadline,
         )
         heapq.heappush(self._queue, (message.deliver_at, message.seq, message))
         self.stats.messages_sent += 1
@@ -217,6 +224,7 @@ class SimBus:
                 deliver_at=deliver_at,
                 seq=next(self._seq),
                 span=span,
+                deadline=deadline,
             )
             heapq.heappush(self._queue, (twin.deliver_at, twin.seq, twin))
 
@@ -245,6 +253,7 @@ class SimBus:
         timeout: float | None = None,
         retries: int | None = None,
         span: tuple = _NO_CONTEXT,
+        deadline: float | None = None,
     ) -> Message | None:
         """Synchronous request/reply with timeout and capped backoff.
 
@@ -254,12 +263,22 @@ class SimBus:
         the final attempt timed out.  ``span`` (a causal-tracing context)
         rides in every attempt's envelope; retried attempts additionally
         record an ``rpc-retry`` child span.
+
+        ``deadline`` (absolute sim-time) bounds the whole exchange: no
+        attempt starts at or past it, every attempt's wait is clipped to
+        it, and it rides in the envelope so stale work is dropped at
+        delivery.  An exchange abandoned that way counts ``rpc_expired``
+        rather than ``rpc_timeouts``.
         """
         timeout = self.timeout if timeout is None else timeout
         retries = self.retries if retries is None else retries
         request_id = f"{caller}#{next(self._requests)}"
         started = self.now
+        expired = False
         for attempt in range(retries + 1):
+            if deadline is not None and self.now >= deadline:
+                expired = True
+                break
             retry_span = None
             if attempt:
                 self.stats.rpc_retries += 1
@@ -269,8 +288,11 @@ class SimBus:
             self.send(
                 caller, dst, kind, gtxn, payload,
                 request_id=request_id, span=span,
+                deadline=deadline if deadline is not None else 0.0,
             )
             wait = min(timeout * (2 ** attempt), self.backoff_cap)
+            if deadline is not None:
+                wait = min(wait, max(deadline - self.now, 0.0))
             reply = self._pump(caller, request_id, self.now + wait)
             if retry_span is not None:
                 retry_span.finish("ok" if reply is not None else "timeout")
@@ -278,7 +300,10 @@ class SimBus:
                 if self.latency is not None:
                     self.latency(kind, self.now - started)
                 return reply
-        self.stats.rpc_timeouts += 1
+        if expired:
+            self.stats.rpc_expired += 1
+        else:
+            self.stats.rpc_timeouts += 1
         if self.latency is not None:
             self.latency(f"{kind}-timeout", self.now - started)
         return None
@@ -294,6 +319,13 @@ class SimBus:
             while self._queue and self._queue[0][0] <= deadline:
                 deliver_at, _seq, message = heapq.heappop(self._queue)
                 self.now = max(self.now, deliver_at)
+                if message.deadline and self.now > message.deadline:
+                    self.stats.messages_expired += 1
+                    self._drop(
+                        message.src, message.dst, message.kind, message.gtxn,
+                        "expired",
+                    )
+                    continue
                 if message.dst in self._down:
                     self.stats.messages_dropped += 1
                     self._drop(

@@ -778,23 +778,38 @@ class ClusterFrontend:
       exactly as it certifies a driven one;
     * root spans and the cluster's e2e latency histogram per gtxn.
 
-    Fault plans and crash schedules are the drive loop's domain: the
-    frontend refuses a cluster configured with either, which is what
-    makes every RPC outcome reliably reachable here.
+    By default fault plans and crash schedules remain the drive loop's
+    domain: the frontend refuses a cluster configured with either, which
+    is what makes every RPC outcome reliably reachable here.  With
+    ``allow_faults=True`` the frontend instead *serves over* the faulty
+    cluster: an unreachable/crashed outcome becomes a transient decision
+    (not executed, not aborted — the caller retries), an incomplete
+    abort is parked in ``_unsettled`` and re-driven at tick boundaries,
+    and :meth:`tick_boundary` / :meth:`finalize` run the same
+    revive/flush/terminate machinery ``Cluster.run`` runs at its turn
+    boundaries, so at-least-once serving converges to the exact same
+    audited end state.
     """
 
-    def __init__(self, cluster: Cluster) -> None:
-        if cluster.plan is not None or cluster.crash_schedule is not None:
+    def __init__(self, cluster: Cluster, allow_faults: bool = False) -> None:
+        faulty = (
+            cluster.plan is not None or cluster.crash_schedule is not None
+        )
+        if faulty and not allow_faults:
             raise SchedulerError(
                 "ClusterFrontend serves fault-free clusters only; "
-                "fault plans belong to Cluster.run"
+                "fault plans belong to Cluster.run "
+                "(or pass allow_faults=True)"
             )
         self.cluster = cluster
+        self.allow_faults = allow_faults
         self._txn: dict[int, _FrontTxn] = {}
         self._status: dict[int, str] = {}
         self._listeners: list = []
         self._stamps = itertools.count()
         self._sequence = itertools.count()
+        #: gtxn -> abort reason, for aborts a fault left incomplete.
+        self._unsettled: dict[int, str] = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -816,21 +831,35 @@ class ClusterFrontend:
         """``listener(gtxn, "committed" | "aborted")`` on every settlement."""
         self._listeners.append(listener)
 
-    def request(self, gtxn: int, object_name: str, invocation) -> OpDecision:
+    def request(
+        self,
+        gtxn: int,
+        object_name: str,
+        invocation,
+        deadline: float | None = None,
+    ) -> OpDecision:
         cluster = self.cluster
         state = self._txn[gtxn]
         node_name = cluster.owner[object_name]
-        outcome = cluster.coordinator.do_operation(
-            gtxn,
-            node_name,
-            {
-                "op_seq": state.op_counts.get(node_name, 0),
-                "object_name": object_name,
-                "invocation": invocation,
-            },
-            span=cluster._root_ctx.get(gtxn, _NO_CONTEXT),
-        )
+        try:
+            outcome = cluster.coordinator.do_operation(
+                gtxn,
+                node_name,
+                {
+                    "op_seq": state.op_counts.get(node_name, 0),
+                    "object_name": object_name,
+                    "invocation": invocation,
+                },
+                span=cluster._root_ctx.get(gtxn, _NO_CONTEXT),
+                deadline=deadline,
+            )
+        except SimCrash:
+            cluster._coordinator_crashed()
+            return self._transient_op()
         if outcome.status == "unreachable":
+            if self.allow_faults:
+                # No decision was observed; the caller retries.
+                return self._transient_op()
             raise SchedulerError(
                 f"unreachable node {node_name} on a fault-free bus"
             )
@@ -862,7 +891,9 @@ class ClusterFrontend:
             self._break_deadlock()
         return decision
 
-    def try_commit(self, gtxn: int) -> CommitDecision:
+    def try_commit(
+        self, gtxn: int, deadline: float | None = None
+    ) -> CommitDecision:
         cluster = self.cluster
         state = self._txn[gtxn]
         if not state.participants:
@@ -870,12 +901,19 @@ class ClusterFrontend:
             cluster.gstamps[gtxn] = next(self._stamps)
             self._settle(gtxn, "COMMITTED")
             return CommitDecision(committed=True)
-        outcome = cluster.coordinator.do_commit(
-            gtxn,
-            sorted(state.participants),
-            span=cluster._root_ctx.get(gtxn, _NO_CONTEXT),
-        )
+        try:
+            outcome = cluster.coordinator.do_commit(
+                gtxn,
+                sorted(state.participants),
+                span=cluster._root_ctx.get(gtxn, _NO_CONTEXT),
+                deadline=deadline,
+            )
+        except SimCrash:
+            cluster._coordinator_crashed()
+            return self._transient_commit()
         if outcome.status == "unreachable":
+            if self.allow_faults:
+                return self._transient_commit()
             raise SchedulerError("unreachable participant on a fault-free bus")
         self._mark_aborted(outcome.others_aborted)
         if outcome.status == "committed":
@@ -898,6 +936,14 @@ class ClusterFrontend:
 
     # -- settlement ----------------------------------------------------
 
+    def _transient_op(self) -> OpDecision:
+        """A no-decision operation outcome: not executed, retry later."""
+        return OpDecision(executed=False, blocked_on=frozenset())
+
+    def _transient_commit(self) -> CommitDecision:
+        """A no-decision commit outcome: still waiting, retry later."""
+        return CommitDecision(committed=False, waiting_on=frozenset())
+
     def _finish_abort(self, gtxn: int, reason: str) -> tuple:
         """Take down every leg of ``gtxn`` and settle it; returns cascades."""
         state = self._txn[gtxn]
@@ -909,9 +955,15 @@ class ClusterFrontend:
                 span=self.cluster._root_ctx.get(gtxn, _NO_CONTEXT),
             )
             if others is None:
-                raise SchedulerError(
-                    "incomplete abort on a fault-free bus"
-                )
+                if not self.allow_faults:
+                    raise SchedulerError(
+                        "incomplete abort on a fault-free bus"
+                    )
+                # A leg was unreachable.  The abort is decided (the
+                # caller sees ABORTED now); delivery to the remaining
+                # legs is re-driven at tick boundaries until complete.
+                self._unsettled[gtxn] = reason
+                others = ()
         else:
             others = ()
         self._settle(gtxn, "ABORTED")
@@ -958,3 +1010,62 @@ class ClusterFrontend:
         self.cluster.stats.global_deadlocks += 1
         others = self._finish_abort(victim, "global-deadlock")
         self._mark_aborted(others)
+
+    # -- fault-mode boundaries -----------------------------------------
+
+    def _retry_unsettled(self) -> None:
+        """Re-drive aborts whose delivery a fault left incomplete."""
+        for gtxn in sorted(self._unsettled):
+            reason = self._unsettled[gtxn]
+            state = self._txn[gtxn]
+            others = self.cluster.coordinator.do_abort(
+                gtxn,
+                sorted(state.participants),
+                reason=reason,
+                span=self.cluster._root_ctx.get(gtxn, _NO_CONTEXT),
+            )
+            if others is not None:
+                del self._unsettled[gtxn]
+                self._mark_aborted(others)
+
+    def tick_boundary(self) -> None:
+        """The served analogue of ``Cluster.run``'s turn boundary.
+
+        Revives crashed endpoints (nodes recover from their logs and run
+        the termination protocol), flushes unacknowledged decisions,
+        re-drives incomplete aborts, and consults the fault plan's crash
+        point.  A no-op on a fault-free cluster: nothing is down,
+        nothing is unacked, the plan draws nothing.
+        """
+        cluster = self.cluster
+        cluster._revive_down(self._mark_aborted)
+        try:
+            cluster.coordinator.flush_unacked()
+        except SimCrash:
+            cluster._coordinator_crashed()
+        self._retry_unsettled()
+        plan = cluster.plan
+        if plan and plan.crash():
+            if cluster.tracer:
+                cluster.tracer.emit(
+                    FaultInjected(time=cluster.bus.now, kind="crash")
+                )
+            cluster._induce_crash(next(cluster._victims))
+
+    def finalize(self) -> None:
+        """Settle the tail after serving ends (crash-free boundaries)."""
+        # Suspend the crash plan: the run is over, the tail must drain.
+        plan, self.cluster.plan = self.cluster.plan, None
+        schedule, self.cluster.crash_schedule = (
+            self.cluster.crash_schedule, None,
+        )
+        try:
+            for _ in range(2 * (len(self.cluster.nodes) + 2)):
+                self.tick_boundary()
+                if not self._unsettled and not self.cluster.bus.down():
+                    if not self.cluster.coordinator.volatile.unacked:
+                        break
+            self.cluster._finalize(self._mark_aborted)
+        finally:
+            self.cluster.plan = plan
+            self.cluster.crash_schedule = schedule

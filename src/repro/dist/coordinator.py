@@ -137,12 +137,18 @@ class Coordinator:
     # ------------------------------------------------------------------
 
     def do_operation(
-        self, gtxn: int, node: str, payload: dict, span: tuple = _NO_CONTEXT
+        self,
+        gtxn: int,
+        node: str,
+        payload: dict,
+        span: tuple = _NO_CONTEXT,
+        deadline: float | None = None,
     ) -> OpOutcome:
         """Forward one operation to its shard's owner node."""
         op_span = self._spans.child(span, "op", gtxn, detail=node)
         reply = self.bus.rpc(
-            self.name, node, "op", gtxn, payload, span=op_span.context
+            self.name, node, "op", gtxn, payload, span=op_span.context,
+            deadline=deadline,
         )
         if reply is None:
             op_span.finish("unreachable")
@@ -165,14 +171,18 @@ class Coordinator:
     # ------------------------------------------------------------------
 
     def do_commit(
-        self, gtxn: int, participants: list[str], span: tuple = _NO_CONTEXT
+        self,
+        gtxn: int,
+        participants: list[str],
+        span: tuple = _NO_CONTEXT,
+        deadline: float | None = None,
     ) -> CommitOutcome:
         """One commit attempt; ``waiting``/``unreachable`` retry next turn."""
         commit_span = self._spans.child(span, "commit", gtxn)
         status = "crashed"
         try:
             outcome = self._commit_attempt(
-                gtxn, participants, commit_span.context
+                gtxn, participants, commit_span.context, deadline=deadline
             )
             status = outcome.status
             return outcome
@@ -182,17 +192,22 @@ class Coordinator:
             commit_span.finish(status)
 
     def _commit_attempt(
-        self, gtxn: int, participants: list[str], ctx: tuple
+        self,
+        gtxn: int,
+        participants: list[str],
+        ctx: tuple,
+        deadline: float | None = None,
     ) -> CommitOutcome:
         participants = sorted(participants)
         if gtxn in self.committed:
             # A crash-recovered (or partially notified) logged decision:
             # skip straight to notification, idempotently.
             return self._notify_commit(
-                gtxn, participants, one_phase=False, ctx=ctx
+                gtxn, participants, one_phase=False, ctx=ctx,
+                deadline=deadline,
             )
         if len(participants) == 1:
-            return self._one_phase(gtxn, participants[0], ctx)
+            return self._one_phase(gtxn, participants[0], ctx, deadline)
         waiting: set[int] = set()
         voted_no = False
         unreachable = False
@@ -205,7 +220,7 @@ class Coordinator:
                 self._crash_point("prepare:pre-send")
                 reply = self.bus.rpc(
                     self.name, node, "prepare", gtxn, {},
-                    span=prepare_span.context,
+                    span=prepare_span.context, deadline=deadline,
                 )
                 self._crash_point("prepare:post-send")
                 vote = reply.payload["vote"] if reply is not None else "timeout"
@@ -246,7 +261,8 @@ class Coordinator:
                     )
                 )
             return self._notify_commit(
-                gtxn, participants, one_phase=False, ctx=ctx
+                gtxn, participants, one_phase=False, ctx=ctx,
+                deadline=deadline,
             )
         if waiting and not (voted_no or unreachable):
             return CommitOutcome(status="waiting", waiting_on=tuple(sorted(waiting)))
@@ -268,11 +284,16 @@ class Coordinator:
         )
 
     def _one_phase(
-        self, gtxn: int, node: str, ctx: tuple = _NO_CONTEXT
+        self,
+        gtxn: int,
+        node: str,
+        ctx: tuple = _NO_CONTEXT,
+        deadline: float | None = None,
     ) -> CommitOutcome:
         span = self._spans.child(ctx, "commit-one", gtxn, detail=node)
         reply = self.bus.rpc(
-            self.name, node, "commit-one", gtxn, {}, span=span.context
+            self.name, node, "commit-one", gtxn, {}, span=span.context,
+            deadline=deadline,
         )
         span.finish(
             reply.payload["outcome"] if reply is not None else "timeout"
@@ -313,7 +334,12 @@ class Coordinator:
         participants: list[str],
         one_phase: bool,
         ctx: tuple = _NO_CONTEXT,
+        deadline: float | None = None,
     ) -> CommitOutcome:
+        # The decision is durably logged before we get here, so losing a
+        # notification to the deadline is safe: the participant stays
+        # prepared and ``flush_unacked`` (deadline-free) re-delivers at
+        # the next turn boundary.
         others: set[int] = set()
         pending = set(self.volatile.unacked.get(gtxn, ("", set()))[1])
         targets = sorted(pending) if pending else participants
@@ -325,7 +351,7 @@ class Coordinator:
                 self._crash_point("decide:pre-send")
                 reply = self.bus.rpc(
                     self.name, node, "decide", gtxn, {"decision": "commit"},
-                    span=decide_span.context,
+                    span=decide_span.context, deadline=deadline,
                 )
                 self._crash_point("decide:post-send")
                 status = "ack" if reply is not None else "timeout"

@@ -44,6 +44,16 @@ class DistStats:
     node_recoveries: int = 0
     coordinator_recoveries: int = 0
     orphans_aborted: int = 0
+    # -- deadlines (serving) ------------------------------------------
+    #: RPCs abandoned because the caller's deadline budget ran out.
+    rpc_expired: int = 0
+    #: Deadline-carrying messages dropped past their deadline.
+    messages_expired: int = 0
+    # -- serving-layer sheds over this cluster -------------------------
+    serve_shed_overload: int = 0
+    serve_shed_breaker: int = 0
+    serve_shed_deadline: int = 0
+    serve_shed_retries: int = 0
 
     def publish(self, registry) -> None:
         """Export every counter into a metrics registry as ``dist_<name>``."""

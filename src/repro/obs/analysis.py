@@ -503,11 +503,15 @@ def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
     byte-identical sections.
     """
     from repro.obs.events import (
+        BreakerStateChanged,
         CascadeAborted,
         CommitWaited,
+        DeadlineExceeded,
+        DegradationStep,
         PolicySwitched,
         RequestAdmitted,
         RequestArrived,
+        RequestShed,
         SpanRecorded,
         TxnAborted,
         TxnCommitted,
@@ -519,6 +523,11 @@ def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
     request_of: dict[int, int] = {}
     first_wait: dict[int, float] = {}
     switches: list[PolicySwitched] = []
+    shed_reasons: dict[str, int] = {}
+    shed_requests: set[int] = set()
+    expired = 0
+    breaker_moves: list[BreakerStateChanged] = []
+    ladder_moves: list[DegradationStep] = []
     local_resolutions: dict[int, tuple[float, str]] = {}
     span_resolutions: dict[int, tuple[float, str]] = {}
     for event in events:
@@ -534,6 +543,16 @@ def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
             first_wait.setdefault(event.txn, event.time)
         elif isinstance(event, PolicySwitched):
             switches.append(event)
+        elif isinstance(event, RequestShed):
+            shed_reasons[event.reason] = shed_reasons.get(event.reason, 0) + 1
+            shed_requests.add(event.request_id)
+        elif isinstance(event, DeadlineExceeded):
+            expired += 1
+            shed_requests.add(event.request_id)
+        elif isinstance(event, BreakerStateChanged):
+            breaker_moves.append(event)
+        elif isinstance(event, DegradationStep):
+            ladder_moves.append(event)
         elif isinstance(event, (TxnCommitted, TxnAborted, CascadeAborted)):
             outcome = "committed" if isinstance(event, TxnCommitted) else "aborted"
             local_resolutions.setdefault(event.txn, (event.time, outcome))
@@ -589,6 +608,16 @@ def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
         f"  requests: arrived={len(arrivals)} admitted={len(admissions)} "
         f"committed={committed} aborted={aborted}"
     )
+    if shed_reasons or expired:
+        reasons = " ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(shed_reasons.items())
+        )
+        lines.append(
+            f"  shed: total={len(shed_requests)} "
+            f"deadline_exceeded={expired}"
+            + (f" ({reasons})" if reasons else "")
+        )
     if duration > 0:
         lines.append(
             f"  sustained throughput: {committed_ops / duration:.2f} "
@@ -615,6 +644,21 @@ def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
             )
     else:
         lines.append("  policy switches: (none)")
+    if breaker_moves:
+        lines.append("  breaker transitions:")
+        for event in breaker_moves:
+            lines.append(
+                f"    t={event.time:8.2f} {event.object_name:<16} "
+                f"{event.old:>9} -> {event.new:<9} "
+                f"(failure_rate={event.failure_rate:.2f})"
+            )
+    if ladder_moves:
+        lines.append("  degradation timeline:")
+        for event in ladder_moves:
+            lines.append(
+                f"    t={event.time:8.2f} level {event.previous} -> "
+                f"{event.level} (backlog={event.backlog} {event.reason})"
+            )
     return lines
 
 

@@ -59,6 +59,10 @@ __all__ = [
     "RequestArrived",
     "RequestAdmitted",
     "PolicySwitched",
+    "RequestShed",
+    "DeadlineExceeded",
+    "BreakerStateChanged",
+    "DegradationStep",
     "event_from_dict",
     "event_type_names",
 ]
@@ -547,6 +551,75 @@ class PolicySwitched(TraceEvent):
     conflict_rate: float = 0.0
     abort_rate: float = 0.0
     reason: str = "recommendation"
+
+
+@_register
+@dataclass(frozen=True)
+class RequestShed(TraceEvent):
+    """The serving layer refused or dropped a request without running it.
+
+    ``reason`` names the shed site: ``overload`` (bounded-queue
+    oldest-first drop or the degradation ladder's reject rung),
+    ``breaker`` (the request's object had a tripped circuit breaker) or
+    ``retries_exhausted`` (an at-least-once request used up its retry
+    budget).  A shed request never commits — the chaos campaign and the
+    property suite certify that.
+    """
+
+    type: ClassVar[str] = "request_shed"
+    request_id: int = -1
+    reason: str = ""
+    object_name: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class DeadlineExceeded(TraceEvent):
+    """A request ran out of its deadline budget and was shed.
+
+    ``txn`` is the aborted in-flight transaction (``-1`` when the
+    deadline expired before admission or in the retry queue).  A
+    deadline-exceeded request is *never* silently retried.
+    """
+
+    type: ClassVar[str] = "deadline_exceeded"
+    request_id: int = -1
+    txn: int = -1
+    deadline: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class BreakerStateChanged(TraceEvent):
+    """A per-object circuit breaker moved between states.
+
+    The deterministic state machine is closed -> open -> half-open ->
+    (closed | open); ``failure_rate`` is the windowed failure fraction
+    that drove the transition (0.0 on cooldown-driven moves).
+    """
+
+    type: ClassVar[str] = "breaker_state_changed"
+    object_name: str = ""
+    old: str = ""
+    new: str = ""
+    failure_rate: float = 0.0
+
+
+@_register
+@dataclass(frozen=True)
+class DegradationStep(TraceEvent):
+    """The serving degradation ladder moved to a new level.
+
+    Levels: 0 full service, 1 shed over-deadline work, 2 force queued
+    discipline on hot objects, 3 reject at admission.  ``backlog`` is
+    the due-but-unadmitted queue depth that drove the step.
+    """
+
+    type: ClassVar[str] = "degradation_step"
+    level: int = 0
+    previous: int = 0
+    backlog: int = 0
+    reason: str = ""
 
 
 def event_type_names() -> list[str]:

@@ -74,6 +74,7 @@ def run_chaos(
     crash_sweep_enabled: bool = True,
     distributed: bool = False,
     shard_counts: tuple[int, ...] = (1, 2),
+    serving: bool = False,
 ) -> dict:
     """Run the full chaos matrix and return the JSON-ready report.
 
@@ -87,6 +88,13 @@ def run_chaos(
     message storms over the simulated bus plus the distributed
     crash-point sweep — and embeds its report under ``"distributed"``,
     folding its verdict into ``"passed"``.
+
+    ``serving=True`` additionally runs the serving campaign
+    (:func:`repro.serve.chaos.run_serving_chaos`) — overload plus
+    faults against the hardened serving loop, with the graceful-
+    degradation goodput gate and the no-resurrection certification —
+    and embeds its report under ``"serving"``, folding its verdict
+    into ``"passed"``.
     """
     spec = spec if spec is not None else FaultSpec.storm()
     cells = []
@@ -130,6 +138,18 @@ def run_chaos(
             crash_sweep_enabled=crash_sweep_enabled,
         )
         passed = passed and dist_report["passed"]
+    serving_report = None
+    if serving:
+        # Imported lazily: repro.serve builds on this module's siblings.
+        from repro.serve.chaos import run_serving_chaos
+
+        serving_report = run_serving_chaos(
+            adts,
+            shard_counts=tuple(n for n in shard_counts if n > 0) or (1,),
+            seeds=seeds,
+            intensity=spec.spurious_abort_rate or 0.05,
+        )
+        passed = passed and serving_report["passed"]
     report = {
         "matrix": {
             "adts": sorted(adts),
@@ -153,6 +173,8 @@ def run_chaos(
     if dist_report is not None:
         report["distributed"] = dist_report
         report["matrix"]["shard_counts"] = list(shard_counts)
+    if serving_report is not None:
+        report["serving"] = serving_report
     return report
 
 

@@ -13,11 +13,34 @@ the sharded cluster (PR 5):
   busy-retry, per-phase latency recording.
 * :mod:`repro.serve.adaptive` — per-object policy switching driven by
   PR 6 conflict telemetry, applied at safe epoch boundaries.
+* :mod:`repro.serve.deadline` — per-request deadline budgets and the
+  capped-exponential retry policy with seeded jitter.
+* :mod:`repro.serve.breaker` — deterministic per-object circuit
+  breakers (closed → open → half-open).
+* :mod:`repro.serve.shed` — the bounded arrival queue and the serving
+  degradation ladder.
+* :mod:`repro.serve.chaos` — the byte-stable serving chaos campaign:
+  overload plus message faults and crashes, certified by the global
+  audit.
 """
 
 from repro.serve.adaptive import AdaptiveController, PolicySwitch
 from repro.serve.backend import ClusterBackend, SchedulerBackend
+from repro.serve.breaker import (
+    BreakerBoard,
+    BreakerConfig,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from repro.serve.chaos import SERVING_MIXES, run_serving_chaos
+from repro.serve.deadline import DeadlinePolicy, RetryPolicy
 from repro.serve.loop import ServeResult, ServingLoop, serve
+from repro.serve.shed import (
+    LEVEL_NAMES,
+    DegradationLadder,
+    LadderStep,
+    ShedConfig,
+)
 from repro.serve.workload import (
     BurstEnvelope,
     Request,
@@ -33,6 +56,18 @@ __all__ = [
     "PolicySwitch",
     "ClusterBackend",
     "SchedulerBackend",
+    "BreakerBoard",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "DeadlinePolicy",
+    "RetryPolicy",
+    "DegradationLadder",
+    "LadderStep",
+    "LEVEL_NAMES",
+    "ShedConfig",
+    "SERVING_MIXES",
+    "run_serving_chaos",
     "ServeResult",
     "ServingLoop",
     "serve",

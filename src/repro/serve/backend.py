@@ -53,14 +53,32 @@ class SchedulerBackend:
     def status(self, txn: int) -> str:
         return self.scheduler.transaction(txn).status.name
 
-    def request(self, txn: int, object_name: str, invocation):
+    def request(self, txn: int, object_name: str, invocation, deadline=None):
+        # A bare scheduler call is instantaneous in sim-time; deadlines
+        # only matter where messages travel, so the budget is ignored.
         return self.scheduler.request(txn, object_name, invocation)
 
-    def try_commit(self, txn: int):
+    def try_commit(self, txn: int, deadline=None):
         return self.scheduler.try_commit(txn)
 
     def abort(self, txn: int, reason: str = "voluntary"):
         return self.scheduler.abort(txn, reason=reason)
+
+    # -- overload / fault hardening -----------------------------------
+
+    has_faults = False
+
+    def note_shed(self, kind: str) -> None:
+        """Count one shed request (``overload``/``breaker``/``deadline``/``retries``)."""
+        stats = self.scheduler.stats
+        field = f"serve_shed_{kind}"
+        setattr(stats, field, getattr(stats, field) + 1)
+
+    def tick_boundary(self) -> None:
+        """Nothing to revive or flush on a bare scheduler."""
+
+    def finalize(self) -> None:
+        """Nothing to settle on a bare scheduler."""
 
     # -- adaptive policy / ready callbacks ----------------------------
 
@@ -138,14 +156,38 @@ class ClusterBackend:
     def status(self, gtxn: int) -> str:
         return self.frontend.status(gtxn)
 
-    def request(self, gtxn: int, object_name: str, invocation):
-        return self.frontend.request(gtxn, object_name, invocation)
+    def request(self, gtxn: int, object_name: str, invocation, deadline=None):
+        return self.frontend.request(
+            gtxn, object_name, invocation, deadline=deadline
+        )
 
-    def try_commit(self, gtxn: int):
-        return self.frontend.try_commit(gtxn)
+    def try_commit(self, gtxn: int, deadline=None):
+        return self.frontend.try_commit(gtxn, deadline=deadline)
 
     def abort(self, gtxn: int, reason: str = "voluntary"):
         return self.frontend.abort(gtxn, reason=reason)
+
+    # -- overload / fault hardening -----------------------------------
+
+    @property
+    def has_faults(self) -> bool:
+        return (
+            self.cluster.plan is not None
+            or self.cluster.crash_schedule is not None
+        )
+
+    def note_shed(self, kind: str) -> None:
+        """Count one shed request in the cluster's ``dist_*`` stats."""
+        stats = self.cluster.stats
+        field = f"serve_shed_{kind}"
+        setattr(stats, field, getattr(stats, field) + 1)
+
+    def tick_boundary(self) -> None:
+        self.frontend.tick_boundary()
+
+    def finalize(self) -> None:
+        if self.has_faults:
+            self.frontend.finalize()
 
     # -- adaptive policy / ready callbacks ----------------------------
 

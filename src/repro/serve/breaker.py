@@ -1,0 +1,199 @@
+"""Per-object circuit breakers: a deterministic closed/open/half-open machine.
+
+The breaker protects a hot object from an abort storm the way the
+adaptive controller protects it from a bad policy — but faster and
+blunter: instead of re-tuning the discipline it stops admitting
+requests to the object at all, for a bounded cooldown, then probes.
+
+State machine (all transitions deterministic in sim-time and in the
+windowed outcome sequence — no clocks, no randomness):
+
+* **closed** — outcomes (success / failure) of finished requests whose
+  primary object this is land in a rolling window of the last
+  ``window`` outcomes.  Once at least ``min_requests`` outcomes are in
+  the window and the failure count reaches ``failure_threshold``, the
+  breaker **trips**: state moves to open and the window clears.
+* **open** — every request touching the object is shed (``breaker``
+  reason) until ``cooldown`` sim-time has passed since the trip.
+* **half-open** — after the cooldown, up to ``probe_quota`` probe
+  requests are admitted.  Any probe failure re-opens the breaker (a
+  fresh cooldown); ``probe_quota`` probe successes close it.
+
+Failures are *scheduler* aborts (certification, cascade, deadlock
+victim) — the conflict/abort signal the PR 6 telemetry windows measure.
+Voluntary aborts and deadline sheds are not breaker failures.
+
+The :class:`BreakerBoard` owns one breaker per object (created lazily)
+and records every transition; the serving loop drains those records
+into :class:`~repro.obs.events.BreakerStateChanged` trace events and the
+``ServeResult.breaker_transitions`` tuple.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+__all__ = ["BreakerConfig", "BreakerTransition", "CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Thresholds of one breaker (shared by every object on a board)."""
+
+    #: Rolling outcome window length.
+    window: int = 16
+    #: Windowed failures that trip a closed breaker.
+    failure_threshold: int = 5
+    #: Minimum windowed outcomes before the breaker may trip.
+    min_requests: int = 8
+    #: Sim-time an open breaker sheds before probing.
+    cooldown: float = 8.0
+    #: Probes admitted half-open; that many successes close the breaker.
+    probe_quota: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.failure_threshold < 1:
+            raise SchedulerError("breaker window/threshold must be >= 1")
+        if self.failure_threshold > self.window:
+            raise SchedulerError("failure_threshold cannot exceed window")
+        if self.cooldown <= 0 or self.probe_quota < 1:
+            raise SchedulerError("cooldown must be > 0 and probe_quota >= 1")
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change of one object's breaker."""
+
+    time: float
+    object_name: str
+    old: str
+    new: str
+    #: Windowed failure fraction at the transition (0.0 when the move
+    #: was cooldown-driven rather than outcome-driven).
+    failure_rate: float
+
+
+class CircuitBreaker:
+    """One object's breaker; driven by the board, never consulted raw."""
+
+    __slots__ = ("config", "state", "window", "opened_at", "probes_issued",
+                 "probe_successes")
+
+    def __init__(self, config: BreakerConfig) -> None:
+        self.config = config
+        self.state = CLOSED
+        self.window: deque[bool] = deque(maxlen=config.window)
+        self.opened_at = 0.0
+        self.probes_issued = 0
+        self.probe_successes = 0
+
+    def failure_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        return sum(1 for ok in self.window if not ok) / len(self.window)
+
+    def _to(self, state: str, now: float) -> None:
+        self.state = state
+        if state == OPEN:
+            self.opened_at = now
+            self.window.clear()
+        if state == HALF_OPEN:
+            self.probes_issued = 0
+            self.probe_successes = 0
+
+
+class BreakerBoard:
+    """Per-object breakers plus the transition log the loop drains."""
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.transitions: list[BreakerTransition] = []
+        self._fresh: list[BreakerTransition] = []
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = self._breakers[name] = CircuitBreaker(self.config)
+        return breaker
+
+    def _move(self, name: str, breaker: CircuitBreaker, state: str,
+              now: float, rate: float) -> None:
+        transition = BreakerTransition(
+            time=now, object_name=name, old=breaker.state, new=state,
+            failure_rate=rate,
+        )
+        breaker._to(state, now)
+        self.transitions.append(transition)
+        self._fresh.append(transition)
+
+    def drain_transitions(self) -> list[BreakerTransition]:
+        """Transitions recorded since the last drain (for event emission)."""
+        fresh, self._fresh = self._fresh, []
+        return fresh
+
+    # -- the two consult points the loop drives ------------------------
+
+    def allow(self, object_names, now: float) -> bool:
+        """May a request touching ``object_names`` be admitted now?
+
+        Open breakers past their cooldown move to half-open first (a
+        time-driven transition that happens whether or not this request
+        is then admitted).  The request is shed if *any* touched object
+        refuses; probe slots are only consumed when every object admits.
+        """
+        probing: list[CircuitBreaker] = []
+        for name in object_names:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                continue
+            if breaker.state == OPEN:
+                if now < breaker.opened_at + self.config.cooldown:
+                    return False
+                self._move(name, breaker, HALF_OPEN, now, 0.0)
+            if breaker.state == HALF_OPEN:
+                if breaker.probes_issued >= self.config.probe_quota:
+                    return False
+                probing.append(breaker)
+        for breaker in probing:
+            breaker.probes_issued += 1
+        return True
+
+    def on_outcome(self, name: str, success: bool, now: float) -> None:
+        """Record one finished request's outcome against its object."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            if success:
+                return  # never create a breaker for a healthy object
+            breaker = self.breaker(name)
+        if breaker.state == OPEN:
+            return  # a straggler from before the trip; ignore
+        if breaker.state == HALF_OPEN:
+            if not success:
+                self._move(name, breaker, OPEN, now, 1.0)
+            else:
+                breaker.probe_successes += 1
+                if breaker.probe_successes >= self.config.probe_quota:
+                    self._move(name, breaker, CLOSED, now, 0.0)
+            return
+        breaker.window.append(success)
+        failures = sum(1 for ok in breaker.window if not ok)
+        if (
+            len(breaker.window) >= self.config.min_requests
+            and failures >= self.config.failure_threshold
+        ):
+            self._move(name, breaker, OPEN, now, breaker.failure_rate())
+
+    def states(self) -> dict[str, str]:
+        """Current state per tracked object (sorted, for reports)."""
+        return {
+            name: self._breakers[name].state
+            for name in sorted(self._breakers)
+        }

@@ -1,0 +1,85 @@
+"""Deadline budgets and the capped, jittered retry policy.
+
+Two small deterministic policies the serving loop composes:
+
+* :class:`DeadlinePolicy` — a per-request sim-time budget measured from
+  the request's arrival.  The loop enforces it at three points: at
+  admission (an already-expired request is shed without a transaction),
+  per tick over the in-flight set (an expired runner's transaction is
+  aborted and the request finishes ``deadline_exceeded``) and in the
+  retry path (a retry that would land past the deadline is shed instead
+  of re-queued — a deadline-exceeded request is *never* silently
+  retried).  With ``propagate=True`` the absolute deadline also rides in
+  every 2PC leg's bus envelope, so the cluster stops spending RPC
+  attempts on work the front-end has already given up on.
+
+* :class:`RetryPolicy` — capped exponential backoff with deterministic
+  seeded jitter, replacing the unbounded linear ``attempt × tick``
+  discipline.  The delay of attempt *n* is
+  ``min(base · 2^(n-1), max_backoff) + U(0, jitter·base)`` where the
+  uniform draw comes from a dedicated ``serve:retry:<seed>`` RNG stream
+  — the same capped-exponential shape as the simulator's
+  ``max_restart_backoff`` restart policy, and the same stream-isolation
+  contract as the fault plan: the stream is drawn only when a retry is
+  actually scheduled, so a run that never retries is bit-identical with
+  any jitter setting.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+__all__ = ["DeadlinePolicy", "RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class DeadlinePolicy:
+    """A per-request sim-time budget, measured from arrival."""
+
+    #: Sim-time a request may spend between arrival and resolution.
+    budget: float
+    #: Thread the absolute deadline through 2PC legs' bus envelopes.
+    propagate: bool = True
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise SchedulerError("deadline budget must be positive")
+
+    def deadline_of(self, arrival: float) -> float:
+        """The absolute sim-time deadline of a request arriving then."""
+        return arrival + self.budget
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic seeded jitter."""
+
+    #: Base delay unit; ``None`` = the serving loop's tick.
+    base: float | None = None
+    #: Hard cap on the exponential term (``max_restart_backoff`` shape).
+    max_backoff: float = 16.0
+    #: Jitter span as a fraction of ``base``; 0 disables the draw.
+    jitter: float = 0.5
+    #: Seeds the dedicated ``serve:retry:<seed>`` stream.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_backoff <= 0:
+            raise SchedulerError("max_backoff must be positive")
+        if self.jitter < 0:
+            raise SchedulerError("jitter must be non-negative")
+
+    def stream(self) -> random.Random:
+        """A fresh dedicated RNG stream (one per run, drawn in order)."""
+        return random.Random(f"serve:retry:{self.seed}")
+
+    def backoff(self, attempt: int, rng: random.Random, tick: float) -> float:
+        """Delay before re-admission attempt ``attempt`` (1-based)."""
+        base = self.base if self.base is not None else tick
+        delay = min(base * (2 ** (attempt - 1)), self.max_backoff)
+        if self.jitter:
+            delay += rng.random() * self.jitter * base
+        return delay

@@ -34,6 +34,32 @@ Throughput is reported in **sim-time** (committed operations per tick
 unit): deterministic, machine-independent, and exactly what batching
 improves — one tick serves up to ``max_inflight`` operations instead of
 one.
+
+Overload and fault hardening (all opt-in, ready mode only):
+
+* ``deadline`` (:class:`~repro.serve.deadline.DeadlinePolicy`) gives
+  every request an absolute sim-time budget, enforced at admission, on
+  every in-flight transaction once per tick, on every retry, and —
+  propagated through the backend into the bus envelopes and 2PC legs —
+  at every message delivery.  Expiry is its own terminal outcome
+  (``deadline_exceeded``), shed and never silently retried.
+* ``breakers`` (:class:`~repro.serve.breaker.BreakerBoard`) sheds
+  requests touching an object whose windowed abort rate tripped its
+  circuit breaker, with a deterministic open → half-open → closed probe
+  cycle.
+* ``shedding`` (:class:`~repro.serve.shed.ShedConfig`) bounds the
+  arrival queue (oldest-first drop) and runs the serving degradation
+  ladder: full → shed over-deadline work → force ``queued`` on hot
+  objects → reject at admission.
+* ``fault_plan`` injects scheduler-level faults (spurious aborts,
+  transient op failures, commit delays) into the serving path; cluster
+  backends additionally serve over message faults and crash/recovery
+  via :meth:`~repro.dist.cluster.ClusterFrontend.tick_boundary`, which
+  the loop drives once per tick.
+
+Every admitted request reaches exactly one terminal outcome —
+``committed``, ``aborted``, ``shed``, ``deadline_exceeded`` or
+``retries_exhausted`` — recorded in ``ServeResult.outcomes``.
 """
 
 from __future__ import annotations
@@ -44,9 +70,21 @@ from dataclasses import dataclass, field
 
 from repro.cc.harness import Transcript
 from repro.errors import SchedulerError
-from repro.obs.events import PolicySwitched, RequestAdmitted, RequestArrived
+from repro.obs.events import (
+    BreakerStateChanged,
+    DeadlineExceeded,
+    DegradationStep,
+    FaultInjected,
+    PolicySwitched,
+    RequestAdmitted,
+    RequestArrived,
+    RequestShed,
+)
 from repro.obs.latency import LatencyRecorder
 from repro.serve.adaptive import PolicySwitch
+from repro.serve.breaker import BreakerBoard, BreakerConfig
+from repro.serve.deadline import DeadlinePolicy, RetryPolicy
+from repro.serve.shed import DegradationLadder, ShedConfig
 from repro.serve.workload import Request, ServeWorkload
 
 __all__ = ["ServeResult", "ServingLoop", "serve"]
@@ -75,6 +113,21 @@ class ServeResult:
     retries: int
     policy_switches: tuple[PolicySwitch, ...]
     latency: LatencyRecorder
+    #: Requests shed at admission (overload drops, ladder rejections,
+    #: open circuit breakers).
+    shed: int = 0
+    #: Requests whose deadline budget expired (at admission, in flight,
+    #: or on a retry that could not start inside the budget).
+    deadline_exceeded: int = 0
+    #: Requests dropped after ``max_retries`` failed re-admissions.
+    retries_exhausted: int = 0
+    #: Every circuit-breaker state change, in occurrence order.
+    breaker_transitions: tuple = ()
+    #: Every degradation-ladder move, in occurrence order.
+    degradation_steps: tuple = ()
+    #: ``(request_id, terminal outcome)`` sorted by request id (ready
+    #: mode; empty in poll mode).
+    outcomes: tuple = ()
     #: drive()-shaped transcript (poll mode over one object), else None.
     transcript: Transcript | None = None
 
@@ -141,11 +194,28 @@ class ServingLoop:
         controller=None,
         recorder: LatencyRecorder | None = None,
         max_ticks: int | None = None,
+        deadline: DeadlinePolicy | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breakers: BreakerBoard | BreakerConfig | None = None,
+        shedding: ShedConfig | None = None,
+        fault_plan=None,
     ) -> None:
         if retry not in ("ready", "poll"):
             raise SchedulerError(f"unknown retry discipline {retry!r}")
         if retry_aborts and retry == "poll":
             raise SchedulerError("retry_aborts needs the ready loop")
+        if retry == "poll" and (
+            deadline is not None
+            or breakers is not None
+            or shedding is not None
+            or fault_plan is not None
+        ):
+            # The poll loop is the frozen drive() replica; hardening
+            # would perturb its bit-identical transcript.
+            raise SchedulerError(
+                "deadlines, breakers, shedding and fault plans need the "
+                "ready loop"
+            )
         if max_inflight < 1:
             raise SchedulerError("max_inflight must be at least 1")
         self.backend = backend
@@ -156,12 +226,17 @@ class ServingLoop:
         self.retry = retry
         #: At-least-once serving: a request aborted by the scheduler
         #: (certification, cascade, deadlock victim) re-enters the
-        #: admission queue as a fresh transaction, with a deterministic
-        #: linear backoff (attempt × tick) that staggers lockstep retry
-        #: collisions.  After ``max_retries`` failed re-admissions the
-        #: request is shed (counted aborted) — the bound that keeps an
-        #: optimistic retry storm from livelocking the loop.  Voluntary
-        #: aborts are intentional and never retried.
+        #: admission queue as a fresh transaction, staggered by the
+        #: retry policy's capped exponential backoff with seeded jitter
+        #: (mirroring the restart supervisor's ``max_restart_backoff``
+        #: discipline) so lockstep retry collisions spread out instead
+        #: of re-colliding.  After ``max_retries`` failed re-admissions
+        #: the request reaches the ``retries_exhausted`` terminal
+        #: outcome — the bound that keeps an optimistic retry storm
+        #: from livelocking the loop.  Voluntary aborts are intentional
+        #: and never retried; a retry that could not start before the
+        #: request's deadline is ``deadline_exceeded``, never silently
+        #: requeued.
         self.retry_aborts = retry_aborts
         self.max_retries = max_retries
         self.controller = controller
@@ -171,8 +246,23 @@ class ServingLoop:
             if max_ticks is not None
             else 1000 * max(1, workload.total_operations())
         )
+        self.deadline = deadline
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        if isinstance(breakers, BreakerConfig):
+            breakers = BreakerBoard(breakers)
+        self.breakers = breakers
+        self.shedding = shedding
+        self.fault_plan = fault_plan
         self.switches: list[PolicySwitch] = []
         self._pending_switch: dict[str, _PendingSwitch] = {}
+        #: request_id -> every transaction begun for it (ready mode);
+        #: the chaos campaign certifies shed/expired requests against
+        #: committed history through this map.
+        self.request_txns: dict[int, list[int]] = {}
+        #: request_id -> terminal outcome (ready mode).
+        self.outcomes: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Entry point
@@ -198,6 +288,12 @@ class ServingLoop:
             retries=result.get("retries", 0),
             policy_switches=tuple(self.switches),
             latency=self.recorder,
+            shed=result.get("shed", 0),
+            deadline_exceeded=result.get("deadline_exceeded", 0),
+            retries_exhausted=result.get("retries_exhausted", 0),
+            breaker_transitions=tuple(result.get("breaker_transitions", ())),
+            degradation_steps=tuple(result.get("degradation_steps", ())),
+            outcomes=tuple(sorted(self.outcomes.items())),
             transcript=result.get("transcript"),
         )
 
@@ -362,6 +458,30 @@ class ServingLoop:
     def _run_ready(self) -> dict:
         backend = self.backend
         closed = self.workload.mode == "closed"
+        policy = self.deadline
+        board = self.breakers
+        ladder = (
+            DegradationLadder(self.shedding)
+            if self.shedding is not None
+            else None
+        )
+        plan = self.fault_plan
+        #: Jitter stream of the retry backoff; drawn from only when a
+        #: retry is actually scheduled, so retry-free runs stay
+        #: bit-identical whatever the seed.
+        retry_rng = self.retry_policy.stream()
+        #: request_id -> absolute deadline (anchored at first arrival;
+        #: retries never extend the budget).
+        deadlines: dict[int, float] = {}
+        outcomes = self.outcomes
+        outcomes.clear()
+        request_txns = self.request_txns
+        request_txns.clear()
+
+        def note_deadline(request: Request, available: float) -> None:
+            if policy is not None:
+                deadlines[request.request_id] = policy.deadline_of(available)
+
         #: (available_time, request_id, request) — the admission queue.
         pending: list[tuple[float, int, Request]] = []
         #: Closed loop: each session's remaining requests, in order.
@@ -373,12 +493,14 @@ class ServingLoop:
                 first = queue.pop(0)
                 heapq.heappush(pending, (0.0, first.request_id, first))
                 self._note_arrival(first, 0.0)
+                note_deadline(first, 0.0)
         else:
             for request in self.workload.requests:
                 heapq.heappush(
                     pending, (request.arrival, request.request_id, request)
                 )
                 self._note_arrival(request, request.arrival)
+                note_deadline(request, request.arrival)
 
         inflight: dict[int, _Runner] = {}
         runnable: list[_Runner] = []
@@ -389,6 +511,7 @@ class ServingLoop:
         forced_wakes = 0
         resolved_events = 0
         committed = aborted = goodput = issued = retries = 0
+        shed = deadline_exceeded = retries_exhausted = 0
         attempts: dict[int, int] = {}
         last_finish = 0.0
 
@@ -426,46 +549,123 @@ class ServingLoop:
                 # was empty): retry on the next tick.
                 wake(runner)
 
-        def finish(runner: _Runner, outcome: str) -> None:
-            nonlocal committed, aborted, goodput, last_finish, retries
-            runner.done = True
-            runner.waiting.clear()
-            inflight.pop(runner.txn, None)
-            self._finish_latency(runner, outcome, now)
-            if outcome == "committed":
-                committed += 1
-                goodput += len(runner.request.steps)
-            elif (
-                self.retry_aborts
-                and not runner.request.voluntary_abort
-                and attempts.get(runner.request.request_id, 0)
-                < self.max_retries
-            ):
-                # At-least-once: back into the admission queue as a
-                # fresh transaction (its think-time was already spent),
-                # staggered by a linear per-attempt backoff.
-                attempt = attempts.get(runner.request.request_id, 0) + 1
-                attempts[runner.request.request_id] = attempt
-                retries += 1
-                heapq.heappush(
-                    pending,
-                    (
-                        now + attempt * self.tick,
-                        runner.request.request_id,
-                        runner.request,
-                    ),
-                )
-                return
-            else:
-                aborted += 1
+        def settle_terminal(rid: int, request: Request, outcome: str) -> None:
+            nonlocal last_finish
+            outcomes[rid] = outcome
             last_finish = now
             if closed:
-                queue = session_next.get(runner.request.session)
+                queue = session_next.get(request.session)
                 if queue:
                     nxt = queue.pop(0)
                     available = now + nxt.think_time
                     heapq.heappush(pending, (available, nxt.request_id, nxt))
                     self._note_arrival(nxt, available)
+                    note_deadline(nxt, available)
+
+        def shed_request(entry, reason: str) -> None:
+            """Shed an unadmitted request terminally (never admitted)."""
+            nonlocal shed, deadline_exceeded
+            available, rid, request = entry
+            if reason == "deadline":
+                deadline_exceeded += 1
+                backend.note_shed("deadline")
+                backend.emit(
+                    DeadlineExceeded(
+                        time=now, request_id=rid, txn=-1,
+                        deadline=deadlines.get(rid, 0.0),
+                    )
+                )
+                outcome = "deadline_exceeded"
+            else:
+                shed += 1
+                backend.note_shed(
+                    "breaker" if reason == "breaker" else "overload"
+                )
+                backend.emit(
+                    RequestShed(
+                        time=now, request_id=rid, reason=reason,
+                        object_name=request.primary_object(),
+                    )
+                )
+                outcome = "shed"
+            self.recorder.observe("serve.e2e", outcome, now - available)
+            settle_terminal(rid, request, outcome)
+
+        def finish(runner: _Runner, outcome: str) -> None:
+            nonlocal committed, aborted, goodput, retries
+            nonlocal deadline_exceeded, retries_exhausted
+            runner.done = True
+            runner.waiting.clear()
+            inflight.pop(runner.txn, None)
+            request = runner.request
+            rid = request.request_id
+            if board is not None and outcome in ("committed", "aborted"):
+                # Breaker signal: commits and *scheduler* aborts only —
+                # voluntary aborts and deadline expiry are not conflict
+                # evidence.
+                if outcome == "committed" or not request.voluntary_abort:
+                    board.on_outcome(
+                        request.primary_object(), outcome == "committed", now
+                    )
+            self._finish_latency(runner, outcome, now)
+            if outcome == "committed":
+                committed += 1
+                goodput += len(request.steps)
+            elif outcome == "deadline_exceeded":
+                deadline_exceeded += 1
+                backend.note_shed("deadline")
+                backend.emit(
+                    DeadlineExceeded(
+                        time=now, request_id=rid, txn=runner.txn,
+                        deadline=deadlines.get(rid, 0.0),
+                    )
+                )
+            elif self.retry_aborts and not request.voluntary_abort:
+                attempt = attempts.get(rid, 0) + 1
+                if attempt > self.max_retries:
+                    retries_exhausted += 1
+                    backend.note_shed("retries")
+                    backend.emit(
+                        RequestShed(
+                            time=now, request_id=rid,
+                            reason="retries_exhausted",
+                            object_name=request.primary_object(),
+                        )
+                    )
+                    settle_terminal(rid, request, "retries_exhausted")
+                    return
+                # At-least-once: back into the admission queue as a
+                # fresh transaction (its think-time was already spent),
+                # staggered by capped exponential backoff with seeded
+                # jitter.
+                retry_at = now + self.retry_policy.backoff(
+                    attempt, retry_rng, self.tick
+                )
+                dl = deadlines.get(rid)
+                if dl is not None and retry_at >= dl:
+                    # The retry could not start inside the budget: shed
+                    # as expired, never silently requeued.
+                    deadline_exceeded += 1
+                    backend.note_shed("deadline")
+                    backend.emit(
+                        DeadlineExceeded(
+                            time=now, request_id=rid, txn=-1, deadline=dl,
+                        )
+                    )
+                    settle_terminal(rid, request, "deadline_exceeded")
+                    return
+                attempts[rid] = attempt
+                retries += 1
+                heapq.heappush(pending, (retry_at, rid, request))
+                return
+            else:
+                aborted += 1
+            settle_terminal(rid, request, outcome)
+
+        def budget_of(runner: _Runner) -> float | None:
+            if policy is None or not policy.propagate:
+                return None
+            return deadlines.get(runner.request.request_id)
 
         def act(runner: _Runner) -> None:
             nonlocal issued
@@ -475,8 +675,25 @@ class ServingLoop:
                 return
             request = runner.request
             if runner.step < len(request.steps):
+                if plan and plan.spurious_abort(txn):
+                    backend.emit(
+                        FaultInjected(time=now, kind="spurious_abort", txn=txn)
+                    )
+                    backend.abort(txn, reason="fault-injected")
+                    finish(runner, "aborted")
+                    return
+                if plan and plan.op_failure(txn):
+                    # Transient: the op is lost this tick, retried next.
+                    backend.emit(
+                        FaultInjected(time=now, kind="op_failure", txn=txn)
+                    )
+                    wake(runner)
+                    return
                 step = request.steps[runner.step]
-                decision = backend.request(txn, step.object_name, step.invocation)
+                decision = backend.request(
+                    txn, step.object_name, step.invocation,
+                    deadline=budget_of(runner),
+                )
                 issued += 1
                 if decision.executed:
                     runner.step += 1
@@ -490,7 +707,13 @@ class ServingLoop:
                 backend.abort(txn, reason="voluntary")
                 finish(runner, "aborted")
                 return
-            decision = backend.try_commit(txn)
+            if plan and plan.commit_delay(txn) is not None:
+                backend.emit(
+                    FaultInjected(time=now, kind="commit_delay", txn=txn)
+                )
+                wake(runner)
+                return
+            decision = backend.try_commit(txn, deadline=budget_of(runner))
             if decision.committed:
                 finish(runner, "committed")
             elif decision.must_abort:
@@ -507,14 +730,57 @@ class ServingLoop:
             )
 
         def admit_due() -> bool:
+            # Pop everything due: the backlog drives the degradation
+            # ladder, and sheds must apply even when in-flight capacity
+            # is full.  Entries that survive but don't fit this tick go
+            # straight back into the queue.
+            due: list[tuple[float, int, Request]] = []
+            while pending and pending[0][0] <= now:
+                due.append(heapq.heappop(pending))
+            level = 0
+            overflow = 0
+            if ladder is not None:
+                level = ladder.update(len(due), now)
+                overflow = len(due) - self.shedding.queue_limit
+            changed = False
             admitted_now = 0
-            while (
-                pending
-                and pending[0][0] <= now
-                and len(inflight) < self.max_inflight
-                and admitted_now < self.batch_size
-            ):
-                available, rid, request = heapq.heappop(pending)
+            hold: list[tuple[float, int, Request]] = []
+            for entry in due:  # heap pops: oldest (earliest due) first
+                available, rid, request = entry
+                if overflow > 0:
+                    # The bounded arrival queue drops oldest-first: the
+                    # head of `due` has waited longest and is the least
+                    # likely to meet any deadline.
+                    shed_request(entry, "overload")
+                    overflow -= 1
+                    changed = True
+                    continue
+                if level >= 3:
+                    shed_request(entry, "overload")
+                    changed = True
+                    continue
+                dl = deadlines.get(rid)
+                if dl is not None and now >= dl:
+                    shed_request(entry, "deadline")
+                    changed = True
+                    continue
+                if (
+                    level >= 1
+                    and dl is not None
+                    and now + len(request.steps) * self.tick > dl
+                ):
+                    # Level 1: work that cannot finish inside its budget
+                    # is shed at admission instead of admitted to die in
+                    # flight.
+                    shed_request(entry, "deadline")
+                    changed = True
+                    continue
+                if (
+                    len(inflight) >= self.max_inflight
+                    or admitted_now >= self.batch_size
+                ):
+                    hold.append(entry)
+                    continue
                 if self._pending_switch and parked_objects(request):
                     # A policy switch is draining one of this request's
                     # objects: hold it back until the switch applies.
@@ -525,13 +791,47 @@ class ServingLoop:
                             )
                             break
                     continue
+                if board is not None and not board.allow(
+                    sorted({step.object_name for step in request.steps}), now
+                ):
+                    shed_request(entry, "breaker")
+                    changed = True
+                    continue
                 txn = backend.begin()
                 self._note_admission(request, txn, now)
+                request_txns.setdefault(rid, []).append(txn)
                 runner = _Runner(request, txn, available, now)
                 inflight[txn] = runner
                 wake(runner)
                 admitted_now += 1
-            return admitted_now > 0
+                changed = True
+            for entry in hold:
+                heapq.heappush(pending, entry)
+            return changed
+
+        def force_hot_queued() -> None:
+            """Ladder level 2: pin hot objects to ``queued`` discipline.
+
+            Routed through the pending-switch machinery, so the flip
+            happens at the same safe epoch boundary an adaptive switch
+            would use, with arrivals parked while it drains.
+            """
+            profiles = backend.conflict_profiles()
+            for name in sorted(profiles):
+                if name in self._pending_switch:
+                    continue
+                profile = profiles[name]
+                if profile.abort_rate < self.shedding.hot_abort_rate:
+                    continue
+                if backend.object_policy(name) == "queued":
+                    continue
+                self._pending_switch[name] = _PendingSwitch(
+                    object_name=name,
+                    new_policy="queued",
+                    conflict_rate=profile.conflict_rate,
+                    abort_rate=profile.abort_rate,
+                    reason="degradation",
+                )
 
         def apply_ready_switches() -> None:
             for name in list(self._pending_switch):
@@ -571,7 +871,22 @@ class ServingLoop:
         last_forced_resolutions = -1
         while inflight or pending or self._pending_switch:
             backend.set_now(now)
-            progressed = admit_due()
+            backend.tick_boundary()
+            progressed = False
+            if policy is not None and inflight:
+                # Kill over-budget in-flight work before spending a tick
+                # on it (deterministic txn order).
+                for txn in sorted(inflight):
+                    runner = inflight[txn]
+                    if runner.done:
+                        continue
+                    dl = deadlines.get(runner.request.request_id)
+                    if dl is not None and now > dl:
+                        if backend.status(txn) == "ACTIVE":
+                            backend.abort(txn, reason="deadline")
+                        finish(runner, "deadline_exceeded")
+                        progressed = True
+            progressed = admit_due() or progressed
             batch = [runner for runner in runnable if not runner.done]
             runnable.clear()
             for runner in batch:
@@ -591,8 +906,32 @@ class ServingLoop:
                         abort_rate=proposal.abort_rate,
                         reason=proposal.reason,
                     )
+            if ladder is not None and ladder.level >= 2:
+                force_hot_queued()
             if self._pending_switch:
                 apply_ready_switches()
+            if board is not None:
+                for transition in board.drain_transitions():
+                    backend.emit(
+                        BreakerStateChanged(
+                            time=transition.time,
+                            object_name=transition.object_name,
+                            old=transition.old,
+                            new=transition.new,
+                            failure_rate=transition.failure_rate,
+                        )
+                    )
+            if ladder is not None:
+                for step in ladder.drain_steps():
+                    backend.emit(
+                        DegradationStep(
+                            time=step.time,
+                            level=step.level,
+                            previous=step.previous,
+                            backlog=step.backlog,
+                            reason=step.reason,
+                        )
+                    )
             ticks += 1
             if ticks > self.max_ticks:
                 raise SchedulerError(
@@ -624,8 +963,14 @@ class ServingLoop:
                 now += self.tick
             else:
                 now += self.tick
+        # Settle the distributed tail (crash revival, unacked decisions,
+        # incomplete aborts); a no-op on fault-free backends.
+        backend.finalize()
         return {
-            "requests": committed + aborted,
+            "requests": (
+                committed + aborted + shed + deadline_exceeded
+                + retries_exhausted
+            ),
             "committed": committed,
             "aborted": aborted,
             "goodput_ops": goodput,
@@ -634,6 +979,15 @@ class ServingLoop:
             "ticks": ticks,
             "forced_wakes": forced_wakes,
             "retries": retries,
+            "shed": shed,
+            "deadline_exceeded": deadline_exceeded,
+            "retries_exhausted": retries_exhausted,
+            "breaker_transitions": (
+                tuple(board.transitions) if board is not None else ()
+            ),
+            "degradation_steps": (
+                tuple(ladder.steps) if ladder is not None else ()
+            ),
         }
 
 

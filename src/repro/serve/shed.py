@@ -1,0 +1,136 @@
+"""Admission control: the bounded arrival queue and the degradation ladder.
+
+PR 4's :class:`~repro.robust.monitor.MonitoredScheduler` degrades a
+*scheduler* in rungs (quarantine → rebuild → bit-parity reference);
+this module carries the same philosophy up to the *serving* layer, where
+the threat is offered load exceeding capacity rather than corrupted
+state.  The ladder's rungs, driven by the due-but-unadmitted backlog:
+
+::
+
+    level 0  FULL           everything admitted (the queue bound still
+                            applies: backlog beyond ``queue_limit``
+                            drops oldest-first)
+    level 1  SHED_EXPIRED   requests that cannot finish before their
+                            deadline are shed at admission instead of
+                            admitted to die in flight
+    level 2  FORCE_QUEUED   hot objects (windowed abort rate at or above
+                            ``hot_abort_rate``) are forced onto the
+                            ``queued`` discipline through the loop's
+                            safe-boundary switch machinery — no churn,
+                            no optimism, no retry storms while shedding
+    level 3  REJECT         new arrivals are rejected at admission
+                            (shed ``overload``) until the backlog drains
+
+Escalation is immediate (the target level is a pure function of the
+backlog); de-escalation steps down one rung per tick and only after the
+backlog has fallen ``hysteresis × queue_limit`` below the rung's engage
+threshold, so the ladder cannot flap.  Every move is recorded (and
+emitted as a :class:`~repro.obs.events.DegradationStep` trace event by
+the loop); everything is deterministic in the backlog sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+
+__all__ = ["ShedConfig", "LadderStep", "DegradationLadder", "LEVEL_NAMES"]
+
+#: Human names of the ladder levels, index == level.
+LEVEL_NAMES = ("full", "shed_expired", "force_queued", "reject")
+
+
+@dataclass(frozen=True)
+class ShedConfig:
+    """Thresholds of the bounded queue and the degradation ladder."""
+
+    #: Bound of the due-but-unadmitted queue; beyond it the *oldest*
+    #: due request is dropped first (it has waited longest and is the
+    #: least likely to meet any deadline).
+    queue_limit: int = 64
+    #: Backlog fraction of ``queue_limit`` that engages level 1.
+    shed_level: float = 0.5
+    #: Backlog fraction of ``queue_limit`` that engages level 2.
+    force_queued_level: float = 0.75
+    #: De-escalation margin as a fraction of ``queue_limit``.
+    hysteresis: float = 0.25
+    #: Windowed abort rate at which level 2 forces ``queued`` on an object.
+    hot_abort_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise SchedulerError("queue_limit must be at least 1")
+        if not 0.0 < self.shed_level <= self.force_queued_level <= 1.0:
+            raise SchedulerError(
+                "need 0 < shed_level <= force_queued_level <= 1"
+            )
+        if self.hysteresis < 0:
+            raise SchedulerError("hysteresis must be non-negative")
+
+    def engage_threshold(self, level: int) -> float:
+        """Backlog at which ``level`` engages."""
+        if level == 1:
+            return self.shed_level * self.queue_limit
+        if level == 2:
+            return self.force_queued_level * self.queue_limit
+        return float(self.queue_limit)
+
+
+@dataclass(frozen=True)
+class LadderStep:
+    """One recorded ladder move."""
+
+    time: float
+    previous: int
+    level: int
+    backlog: int
+    reason: str  #: ``backlog`` (escalation) or ``drained`` (de-escalation)
+
+
+class DegradationLadder:
+    """The serving-level degradation state machine."""
+
+    def __init__(self, config: ShedConfig) -> None:
+        self.config = config
+        self.level = 0
+        self.steps: list[LadderStep] = []
+        self._fresh: list[LadderStep] = []
+
+    def _target(self, backlog: int) -> int:
+        config = self.config
+        if backlog > config.queue_limit:
+            return 3
+        if backlog >= config.engage_threshold(2):
+            return 2
+        if backlog >= config.engage_threshold(1):
+            return 1
+        return 0
+
+    def update(self, backlog: int, now: float) -> int:
+        """Advance the ladder for this tick's backlog; returns the level."""
+        target = self._target(backlog)
+        if target > self.level:
+            self._step(target, backlog, now, "backlog")
+        elif target < self.level:
+            margin = self.config.hysteresis * self.config.queue_limit
+            floor = self.config.engage_threshold(self.level) - margin
+            if backlog <= floor:
+                # One rung per tick: recovery is gradual by design.
+                self._step(self.level - 1, backlog, now, "drained")
+        return self.level
+
+    def _step(self, level: int, backlog: int, now: float, reason: str) -> None:
+        step = LadderStep(
+            time=now, previous=self.level, level=level,
+            backlog=backlog, reason=reason,
+        )
+        self.level = level
+        self.steps.append(step)
+        self._fresh.append(step)
+
+    def drain_steps(self) -> list[LadderStep]:
+        """Steps recorded since the last drain (for event emission)."""
+        fresh, self._fresh = self._fresh, []
+        return fresh

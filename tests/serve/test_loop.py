@@ -125,7 +125,16 @@ class TestRetryAborts:
         assert plain.retries == 0
         assert retried.retries > 0
         assert retried.committed >= plain.committed
-        assert retried.committed + retried.aborted == retried.requests
+        # Every admitted request reaches exactly one terminal outcome.
+        assert (
+            retried.committed
+            + retried.aborted
+            + retried.shed
+            + retried.deadline_exceeded
+            + retried.retries_exhausted
+            == retried.requests
+        )
+        assert len(retried.outcomes) == retried.requests
 
     def test_voluntary_aborts_are_never_retried(self, account):
         adt, _ = account

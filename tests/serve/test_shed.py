@@ -1,0 +1,114 @@
+"""The degradation ladder and the bounded-queue admission contract."""
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.cc.scheduler import TableDrivenScheduler
+from repro.core.methodology import derive
+from repro.errors import SchedulerError
+from repro.serve import (
+    DegradationLadder,
+    LEVEL_NAMES,
+    SchedulerBackend,
+    ServeConfig,
+    ServingLoop,
+    ShedConfig,
+    generate,
+)
+
+
+class TestLadder:
+    def config(self):
+        return ShedConfig(
+            queue_limit=8, shed_level=0.5, force_queued_level=0.75,
+            hysteresis=0.25,
+        )
+
+    def test_escalation_is_immediate(self):
+        ladder = DegradationLadder(self.config())
+        assert ladder.update(0, 1.0) == 0
+        assert ladder.update(9, 2.0) == 3  # straight past the rungs
+        assert [(s.previous, s.level) for s in ladder.steps] == [(0, 3)]
+
+    def test_deescalation_is_one_rung_per_tick_with_hysteresis(self):
+        ladder = DegradationLadder(self.config())
+        ladder.update(9, 1.0)
+        assert ladder.level == 3
+        # Backlog back under the engage threshold but inside the
+        # hysteresis margin: no move (engage=8, margin=2, floor=6).
+        assert ladder.update(7, 2.0) == 3
+        assert ladder.update(5, 3.0) == 2  # one rung
+        assert ladder.update(0, 4.0) == 1  # one rung per tick, not a jump
+        assert ladder.update(0, 5.0) == 0
+        reasons = [step.reason for step in ladder.steps]
+        assert reasons == ["backlog", "drained", "drained", "drained"]
+
+    def test_levels_have_names(self):
+        assert LEVEL_NAMES == ("full", "shed_expired", "force_queued", "reject")
+
+    def test_drain_steps_returns_only_fresh_moves(self):
+        ladder = DegradationLadder(self.config())
+        ladder.update(9, 1.0)
+        assert [step.level for step in ladder.drain_steps()] == [3]
+        assert ladder.drain_steps() == []
+
+    def test_validation(self):
+        with pytest.raises(SchedulerError):
+            ShedConfig(queue_limit=0)
+        with pytest.raises(SchedulerError):
+            ShedConfig(shed_level=0.9, force_queued_level=0.5)
+        with pytest.raises(SchedulerError):
+            ShedConfig(hysteresis=-0.1)
+
+
+BURSTY = ServeConfig(
+    sessions=8,
+    requests_per_session=4,
+    operations_per_request=2,
+    mode="open",
+    mean_interarrival=0.02,
+    objects=1,
+    operation_mix={"Deposit": 1.0},
+    seed=1991,
+)
+
+
+def loop_with_queue(queue_limit: int, max_inflight: int = 1):
+    adt = make_adt("Account")
+    table = derive(adt).final_table
+    backend = SchedulerBackend(TableDrivenScheduler(policy="blocking"))
+    workload = generate(adt, BURSTY)
+    for name in workload.object_names:
+        backend.register_object(name, adt, table)
+    return ServingLoop(
+        backend,
+        workload,
+        max_inflight=max_inflight,
+        shedding=ShedConfig(queue_limit=queue_limit),
+    )
+
+
+class TestLoopShedding:
+    def test_bounded_queue_sheds_overload(self):
+        result = loop_with_queue(queue_limit=4).run()
+        assert result.shed > 0
+        assert result.degradation_steps  # the ladder moved
+        assert (
+            result.committed
+            + result.aborted
+            + result.shed
+            + result.deadline_exceeded
+            + result.retries_exhausted
+            == result.requests
+        )
+
+    def test_generous_queue_admits_everything(self):
+        result = loop_with_queue(queue_limit=512, max_inflight=16).run()
+        assert result.shed == 0
+        assert result.committed == result.requests
+
+    def test_shedding_is_deterministic(self):
+        one = loop_with_queue(queue_limit=4).run()
+        two = loop_with_queue(queue_limit=4).run()
+        assert one.outcomes == two.outcomes
+        assert one.degradation_steps == two.degradation_steps
