@@ -318,6 +318,24 @@ def _simulate_distributed(args: argparse.Namespace, adt, table) -> int:
     return 0 if audit.passed else 1
 
 
+def _chaos_passed(report: dict) -> bool:
+    """The chaos exit-code gate: the top-level verdict AND every
+    embedded sub-campaign verdict.
+
+    ``run_chaos`` already folds the distributed/serving/replication
+    verdicts into ``report["passed"]``, but the exit code is the CI
+    contract — re-AND the embedded verdicts here so a regression in
+    that folding (or a hand-assembled report) can never turn a failing
+    sub-campaign into a zero exit.
+    """
+    passed = bool(report.get("passed"))
+    for section in ("distributed", "serving", "replication"):
+        embedded = report.get(section)
+        if embedded is not None:
+            passed = passed and bool(embedded.get("passed"))
+    return passed
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.robust import FaultSpec, render_report, run_chaos
 
@@ -336,6 +354,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         distributed=args.dist,
         shard_counts=tuple(args.shards),
         serving=args.serve,
+        replication=args.replication,
     )
     rendered = render_report(report)
     if args.report:
@@ -373,8 +392,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             f"worst_goodput_ratio={worst:.3f} "
             f"serving_passed={serving['passed']}"
         )
+    if args.replication:
+        replication = report["replication"]
+        scenarios = [
+            scenario
+            for cell in replication["cells"]
+            for scenario in cell["scenarios"].values()
+        ]
+        fenced = sum(s["fenced_messages"] for s in scenarios)
+        views = sum(s["view_changes"] for s in scenarios)
+        summary += (
+            f" replication_cells={len(replication['cells'])} "
+            f"view_changes={views} fenced={fenced} "
+            f"replication_passed={replication['passed']}"
+        )
     print(summary)
-    return 0 if report["passed"] else 1
+    return 0 if _chaos_passed(report) else 1
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -605,6 +638,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the serving campaign: overload plus faults "
              "against the hardened serving loop, gated on graceful "
              "degradation and no-resurrection certification",
+    )
+    chaos.add_argument(
+        "--replication", action="store_true",
+        help="also run the replicated-failover campaign: primary kills "
+             "mid-2PC, partition-then-heal, dueling-primary fencing and "
+             "backup-crash storms over replica groups, gated on zero "
+             "committed-transaction loss and the global audit",
     )
     chaos.set_defaults(func=_cmd_chaos)
 

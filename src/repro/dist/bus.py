@@ -101,6 +101,13 @@ class SimBus:
         self.now: float = 0.0
         #: Optional always-on RPC round-trip hook: ``latency(kind, dt)``.
         self.latency = None
+        #: Optional epoch-stamping hook installed by the replication
+        #: manager: ``epoch_stamp(dst) -> int | None``.  A non-``None``
+        #: result is stamped into the payload as ``"_epoch"`` so group
+        #: members can fence messages sent under a deposed view.
+        #: Re-evaluated per send, so each RPC retry carries the epoch
+        #: current at that attempt.
+        self.epoch_stamp = None
         self._spans = SpanEmitter("bus", tracer, clock=lambda: self.now)
         self._queue: list[tuple[float, int, Message]] = []
         self._handlers: dict[str, object] = {}
@@ -148,12 +155,25 @@ class SimBus:
         request_id: str = "",
         span: tuple = _NO_CONTEXT,
         deadline: float = 0.0,
+        reliable: bool = False,
     ) -> None:
-        """Enqueue one message, consulting the message fault points."""
+        """Enqueue one message, consulting the message fault points.
+
+        ``reliable=True`` skips the whole fault consult (drops, delays,
+        duplicates *and* partitions): replication traffic — log
+        shipping, acks, state transfer — models a disk-backed channel
+        inside the replica group, and exempting it keeps the
+        message-fault streams byte-identical to unreplicated runs.
+        """
         detail = f"{src}->{dst}:{kind}"
-        plan = self.plan
+        plan = None if reliable else self.plan
         extra_latency = 0.0
         duplicate = False
+        if self.epoch_stamp is not None:
+            epoch = self.epoch_stamp(dst)
+            if epoch is not None:
+                payload = dict(payload) if payload else {}
+                payload["_epoch"] = epoch
         if plan:
             opened = plan.partition(len(self.partition_links))
             if opened is not None:
@@ -168,14 +188,15 @@ class SimBus:
                             time=self.now, a=a, b=b, heals_at=self.now + duration
                         )
                     )
-        link = frozenset((src, dst))
-        heals_at = self._partitions.get(link)
-        if heals_at is not None:
-            if self.now < heals_at:
-                self.stats.partition_drops += 1
-                self._drop(src, dst, kind, gtxn, "partition")
-                return
-            del self._partitions[link]
+        if not reliable:
+            link = frozenset((src, dst))
+            heals_at = self._partitions.get(link)
+            if heals_at is not None:
+                if self.now < heals_at:
+                    self.stats.partition_drops += 1
+                    self._drop(src, dst, kind, gtxn, "partition")
+                    return
+                del self._partitions[link]
         if plan:
             if plan.msg_drop(detail):
                 self.stats.messages_dropped += 1

@@ -24,10 +24,14 @@ from repro.cc.workload import WorkloadConfig, generate
 from repro.robust.faults import FaultPlan, FaultSpec, RobustStats
 
 from repro.dist.audit import audit_global
-from repro.dist.cluster import Cluster
+from repro.dist.cluster import Cluster, ClusterFrontend, shard_workload
 from repro.dist.crash import dist_crash_sweep
 
-__all__ = ["DEFAULT_MIXES", "run_dist_chaos"]
+__all__ = [
+    "DEFAULT_MIXES",
+    "run_dist_chaos",
+    "run_replication_chaos",
+]
 
 
 def DEFAULT_MIXES() -> dict[str, FaultSpec | None]:
@@ -182,3 +186,344 @@ def run_dist_chaos(
     if crash_sweep_enabled:
         report["crash_sweeps"] = sweeps
     return report
+
+
+class _KillPrimariesOnce:
+    """A crash schedule that kills each listed primary exactly once.
+
+    Fires at the first 2PC-adjacent protocol point (an operation apply,
+    a PREPARE log, or a decision apply) each primary reaches, so every
+    shard loses its primary mid-protocol — the worst moment — exactly
+    once per campaign run.  Deterministic: the fire set depends only on
+    the run's own protocol point order.
+    """
+
+    POINT_KINDS = ("op", "prepare", "decide")
+
+    def __init__(self, names) -> None:
+        self.remaining = set(names)
+        self.fired: list[tuple[str, str]] = []
+
+    def fire(self, actor: str, label: str) -> bool:
+        if (
+            actor in self.remaining
+            and label.split(":")[0] in self.POINT_KINDS
+        ):
+            self.remaining.discard(actor)
+            self.fired.append((actor, label))
+            return True
+        return False
+
+
+def _drive_frontend(
+    cluster: Cluster,
+    workload,
+    seed: int,
+    partition: tuple[int, str, float] | None = None,
+    max_attempts: int = 64,
+) -> None:
+    """Serve ``workload`` txn-by-txn through a :class:`ClusterFrontend`.
+
+    The open-loop driver the partition scenario needs: unlike
+    :meth:`Cluster.run` it exposes a mid-run hook — ``partition=(txn
+    index, node name, duration)`` opens a coordinator↔node partition
+    just before that transaction begins, which the heartbeat detector
+    sees as a dead primary (false suspicion) and fails over while the
+    old primary is still alive.  Outcomes settle through the frontend's
+    at-least-once retry machinery; ``finalize()`` drains the tail.
+    """
+    frontend = ClusterFrontend(cluster, allow_faults=True)
+    assignments = shard_workload(workload, cluster.shard_names, seed)
+    for index, program in enumerate(workload.programs):
+        if partition is not None and index == partition[0]:
+            link = frozenset((cluster.coordinator.name, partition[1]))
+            cluster.bus._partitions[link] = cluster.bus.now + partition[2]
+            cluster.stats.partitions_opened += 1
+        gtxn = frontend.begin()
+        for step_index, step in enumerate(program.steps):
+            shard = assignments[index][step_index]
+            for _ in range(max_attempts):
+                decision = frontend.request(gtxn, shard, step.invocation)
+                if decision.executed or decision.aborted:
+                    break
+                frontend.tick_boundary()
+            if frontend.status(gtxn) != "ACTIVE" or decision.aborted:
+                break
+        if frontend.status(gtxn) != "ACTIVE":
+            continue
+        if program.voluntary_abort:
+            frontend.abort(gtxn, "voluntary")
+            continue
+        for _ in range(max_attempts):
+            commit = frontend.try_commit(gtxn)
+            if commit.committed or commit.must_abort:
+                break
+            frontend.tick_boundary()
+        else:
+            frontend.abort(gtxn, "livelock-guard")
+    frontend.finalize()
+
+
+def _replication_cell_report(cluster: Cluster, gates: dict) -> dict:
+    """Common per-scenario evidence: audit, loss, fencing, stats."""
+    audit = audit_global(cluster)
+    committed = sorted(
+        gtxn
+        for gtxn, status in cluster.gstatus.items()
+        if status == "COMMITTED"
+    )
+    # Zero committed-transaction loss: every decision the coordinator
+    # durably logged as commit must have survived as COMMITTED.
+    lost = sorted(
+        gtxn
+        for gtxn in cluster.coordinator.committed
+        if cluster.gstatus.get(gtxn) != "COMMITTED"
+    )
+    fencing = (
+        cluster.replication.fencing_violations()
+        if cluster.replication is not None
+        else []
+    )
+    gates = dict(gates)
+    gates["audit"] = audit.passed
+    gates["no_committed_loss"] = not lost
+    gates["single_primary_per_epoch"] = not fencing
+    stats = cluster.stats
+    return {
+        "gates": gates,
+        "passed": all(gates.values()),
+        "committed": committed,
+        "lost_commits": lost,
+        "fencing_violations": fencing,
+        "audit_violations": list(audit.violations),
+        "view_changes": stats.view_changes,
+        "fenced_messages": stats.fenced_messages,
+        "replication": (
+            cluster.replication.lag_report()
+            if cluster.replication is not None
+            else {}
+        ),
+    }
+
+
+def run_replication_chaos(
+    adts: dict[str, tuple],
+    shard_counts: tuple[int, ...] = (2,),
+    seeds: tuple[int, ...] = (1991,),
+    policy: str = "blocking",
+    transactions: int = 10,
+    operations: int = 3,
+    replicas: int = 2,
+    goodput_floor: float = 0.5,
+    storm_intensity: float = 0.05,
+) -> dict:
+    """The replicated-failover chaos campaign; returns a JSON-ready report.
+
+    Five scenarios per (ADT, shard count, seed) over ``replicas``-wide
+    replica groups, each gated:
+
+    ``nominal``
+        Fault-free replicated run: the goodput reference; must audit
+        clean, be transcript-identical across two runs (byte stability),
+        and finish with every backup's watermark at the primary's log.
+    ``primary_kill``
+        Every primary killed exactly once mid-protocol
+        (:class:`_KillPrimariesOnce`).  Gates: a view change per shard,
+        committed work at least ``goodput_floor`` of nominal, zero
+        committed-transaction loss, clean audit, and the
+        single-primary-per-epoch fencing certificate.
+    ``partition_heal``
+        A long coordinator↔primary partition opened mid-serve: the
+        heartbeat detector falsely suspects the (alive) primary and
+        fails over; the partition then heals and serving converges.
+    ``duel_fence``
+        After the partition failover, a message stamped with the deposed
+        epoch is injected and pumped: it must be *fenced* (rejected),
+        not applied, and settled statuses must be unaffected.
+    ``replica_storm``
+        :meth:`~repro.robust.faults.FaultSpec.replication_storm` —
+        message faults, primary crashes *and* backup crashes — twice,
+        with byte-identical reports and a clean audit both times.
+
+    Every scenario's stitched history must pass
+    :func:`~repro.dist.audit.audit_global`; the report's ``"passed"``
+    is the CI gate.
+    """
+    from repro.robust.faults import FaultPlan, FaultSpec
+
+    cells = []
+    passed = True
+    for adt_name in sorted(adts):
+        adt, table = adts[adt_name]
+        for shards in shard_counts:
+            for seed in seeds:
+                workload = generate(
+                    adt,
+                    "obj",
+                    WorkloadConfig(
+                        transactions=transactions,
+                        operations_per_transaction=operations,
+                        seed=seed,
+                    ),
+                )
+
+                def replicated(crash_schedule=None, plan=None) -> Cluster:
+                    return Cluster(
+                        adt, table, shards=shards, policy=policy,
+                        fault_plan=plan, crash_schedule=crash_schedule,
+                        replicas=replicas,
+                    )
+
+                scenarios = {}
+
+                # -- nominal: the goodput reference --------------------
+                nominal_cluster = replicated()
+                nominal = nominal_cluster.run(workload, seed=seed)
+                rerun = replicated().run(workload, seed=seed)
+                nominal_committed = sum(
+                    1 for _, status in nominal.statuses
+                    if status == "COMMITTED"
+                )
+                caught_up = all(
+                    backup["lag"] == 0
+                    for shard in
+                    nominal_cluster.replication.lag_report().values()
+                    for backup in shard["backups"].values()
+                )
+                scenarios["nominal"] = _replication_cell_report(
+                    nominal_cluster,
+                    {
+                        "deterministic": nominal == rerun,
+                        "backups_caught_up": caught_up,
+                    },
+                )
+                scenarios["nominal"]["digest"] = _digest(nominal)
+
+                # -- primary_kill: every primary dies mid-protocol -----
+                schedule = _KillPrimariesOnce(
+                    node.name for node in nominal_cluster.nodes
+                )
+                kill_cluster = replicated(crash_schedule=schedule)
+                kill = kill_cluster.run(workload, seed=seed)
+                kill_committed = sum(
+                    1 for _, status in kill.statuses
+                    if status == "COMMITTED"
+                )
+                floor = int(goodput_floor * nominal_committed)
+                scenarios["primary_kill"] = _replication_cell_report(
+                    kill_cluster,
+                    {
+                        "all_primaries_killed": not schedule.remaining,
+                        "failover_per_shard":
+                            kill_cluster.stats.view_changes >= shards,
+                        "goodput":
+                            kill_committed >= floor,
+                    },
+                )
+                scenarios["primary_kill"]["killed"] = [
+                    list(pair) for pair in schedule.fired
+                ]
+                scenarios["primary_kill"]["committed_vs_nominal"] = [
+                    kill_committed, nominal_committed,
+                ]
+
+                # -- partition_heal: false suspicion, then healing -----
+                part_cluster = replicated()
+                _drive_frontend(
+                    part_cluster, workload, seed,
+                    partition=(
+                        transactions // 2,
+                        part_cluster.nodes[0].name,
+                        200.0,
+                    ),
+                )
+                scenarios["partition_heal"] = _replication_cell_report(
+                    part_cluster,
+                    {
+                        "failed_over":
+                            part_cluster.stats.view_changes >= 1,
+                        "all_settled": all(
+                            status in ("COMMITTED", "ABORTED")
+                            for status in part_cluster.gstatus.values()
+                        ),
+                    },
+                )
+
+                # -- duel_fence: the deposed view's message bounces ----
+                bus = part_cluster.bus
+                before = dict(part_cluster.gstatus)
+                fenced_before = part_cluster.stats.fenced_messages
+                stamp, bus.epoch_stamp = bus.epoch_stamp, None
+                try:
+                    bus.send(
+                        part_cluster.coordinator.name,
+                        part_cluster.nodes[0].name,
+                        "decide",
+                        payload={"decision": "abort", "_epoch": 0},
+                    )
+                    bus._pump("~duel", "", bus.now)
+                finally:
+                    bus.epoch_stamp = stamp
+                scenarios["duel_fence"] = _replication_cell_report(
+                    part_cluster,
+                    {
+                        "stale_message_fenced":
+                            part_cluster.stats.fenced_messages
+                            > fenced_before,
+                        "statuses_unaffected":
+                            dict(part_cluster.gstatus) == before,
+                    },
+                )
+
+                # -- replica_storm: full fault mix, twice, byte-stable -
+                spec = FaultSpec.replication_storm(storm_intensity)
+                storm_digests = []
+                storm_reports = []
+                for _ in range(2):
+                    storm_cluster = replicated(
+                        plan=FaultPlan(seed, spec)
+                    )
+                    storm = storm_cluster.run(workload, seed=seed)
+                    storm_digests.append(_digest(storm))
+                    storm_reports.append(
+                        _replication_cell_report(storm_cluster, {})
+                    )
+                storm_report = storm_reports[0]
+                storm_report["gates"]["deterministic"] = (
+                    storm_digests[0] == storm_digests[1]
+                    and storm_reports[0] == storm_reports[1]
+                )
+                storm_report["passed"] = all(
+                    storm_report["gates"].values()
+                )
+                storm_report["digest"] = storm_digests[0]
+                scenarios["replica_storm"] = storm_report
+
+                cell_passed = all(
+                    s["passed"] for s in scenarios.values()
+                )
+                passed = passed and cell_passed
+                cells.append(
+                    {
+                        "adt": adt_name,
+                        "shards": shards,
+                        "seed": seed,
+                        "scenarios": scenarios,
+                        "passed": cell_passed,
+                    }
+                )
+    return {
+        "matrix": {
+            "adts": sorted(adts),
+            "shard_counts": list(shard_counts),
+            "seeds": list(seeds),
+            "policy": policy,
+            "transactions": transactions,
+            "operations": operations,
+            "replicas": replicas,
+            "goodput_floor": goodput_floor,
+            "storm_intensity": storm_intensity,
+        },
+        "cells": cells,
+        "passed": passed,
+    }

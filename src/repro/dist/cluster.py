@@ -50,6 +50,7 @@ from repro.dist.audit import stitch_edges
 from repro.dist.bus import SimBus, SimCrash
 from repro.dist.coordinator import Coordinator
 from repro.dist.node import ParticipantNode
+from repro.dist.replication import ReplicationManager
 from repro.dist.stats import DistStats
 
 __all__ = [
@@ -172,6 +173,7 @@ class Cluster:
         tracer=NULL_TRACER,
         crash_schedule=None,
         initial_state=None,
+        replicas: int = 1,
     ) -> None:
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
@@ -219,6 +221,15 @@ class Cluster:
         ]
         self._victims = itertools.cycle(
             [self.coordinator.name] + [node.name for node in self.nodes]
+        )
+        #: Crashed primaries a brewing failover holds down — the
+        #: ordinary revive-from-own-log path must not race a promotion.
+        self._held: set[str] = set()
+        #: ``replicas > 1`` turns each shard into a replica group; with
+        #: one replica the manager (and every replication code path) is
+        #: absent, keeping such clusters bit-identical to earlier runs.
+        self.replication = (
+            ReplicationManager(self, replicas) if replicas > 1 else None
         )
         # Post-run state the global audit stitches over.
         self.gstatus: dict[int, str] = {}
@@ -296,6 +307,13 @@ class Cluster:
 
     def _revive_down(self, mark_aborted) -> None:
         for actor in sorted(self.bus.down()):
+            if actor in self._held:
+                continue  # a failover is brewing; hands off
+            if (
+                actor != self.coordinator.name
+                and actor not in self._node_by_name
+            ):
+                continue  # backup replicas are revived by the manager
             self.bus.revive(actor)
             if actor == self.coordinator.name:
                 self.coordinator.recover()
@@ -459,6 +477,8 @@ class Cluster:
             victim.externally_aborted = True
 
         def turn_boundary() -> None:
+            if self.replication is not None:
+                self.replication.boundary(mark_aborted)
             self._revive_down(mark_aborted)
             coordinator.flush_unacked()
 
@@ -585,6 +605,22 @@ class Cluster:
     def _shard_object(self, shard: str):
         return self._node_by_name[self.owner[shard]].sched.object(shard)
 
+    def observer_read(self, shard: str, invocation):
+        """A snapshot observer read, served off the primary's critical path.
+
+        With replication, a live backup previews the invocation against
+        its replica state at its applied watermark (traced as
+        :class:`~repro.obs.events.ReplicaReadServed`); without — or when
+        every backup is down — the primary's object previews it
+        directly.  Pure either way: no transaction, no log record, no
+        scheduler decision.
+        """
+        if self.replication is not None:
+            result = self.replication.observer_read(shard, invocation)
+            if result is not None:
+                return result
+        return self._shard_object(shard).preview(invocation)
+
     def _op_turn(
         self, runner, ops, sequence, finish, attempt_abort,
         mark_aborted, break_deadlock,
@@ -680,6 +716,8 @@ class Cluster:
     def _finalize(self, mark_aborted) -> None:
         """Settle the tail: unacked decisions, in-doubt and orphan legs."""
         for _ in range(2 * (len(self.nodes) + 2)):
+            if self.replication is not None:
+                self.replication.boundary(mark_aborted)
             self._revive_down(mark_aborted)
             self.coordinator.flush_unacked()
             dirty = False
@@ -708,7 +746,13 @@ class Cluster:
                         mark_aborted(
                             reply.payload.get("others_aborted", ())
                         )
-            if not dirty and not self.bus.down():
+            down = {
+                actor
+                for actor in self.bus.down()
+                if actor == self.coordinator.name
+                or actor in self._node_by_name
+            }
+            if not dirty and not down:
                 if not self.coordinator.volatile.unacked:
                     return
 
@@ -726,6 +770,7 @@ def run_distributed(
     initial_state=None,
     concurrency: int | None = None,
     max_turns: int | None = None,
+    replicas: int = 1,
 ) -> DistTranscript:
     """Build a cluster, run ``workload``, return the transcript."""
     cluster = Cluster(
@@ -737,6 +782,7 @@ def run_distributed(
         tracer=tracer,
         crash_schedule=crash_schedule,
         initial_state=initial_state,
+        replicas=replicas,
     )
     return cluster.run(
         workload, seed=seed, concurrency=concurrency, max_turns=max_turns
@@ -1038,6 +1084,8 @@ class ClusterFrontend:
         nothing is unacked, the plan draws nothing.
         """
         cluster = self.cluster
+        if cluster.replication is not None:
+            cluster.replication.boundary(self._mark_aborted)
         cluster._revive_down(self._mark_aborted)
         try:
             cluster.coordinator.flush_unacked()
@@ -1062,7 +1110,13 @@ class ClusterFrontend:
         try:
             for _ in range(2 * (len(self.cluster.nodes) + 2)):
                 self.tick_boundary()
-                if not self._unsettled and not self.cluster.bus.down():
+                down = {
+                    actor
+                    for actor in self.cluster.bus.down()
+                    if actor == self.cluster.coordinator.name
+                    or actor in self.cluster._node_by_name
+                }
+                if not self._unsettled and not down:
                     if not self.cluster.coordinator.volatile.unacked:
                         break
             self.cluster._finalize(self._mark_aborted)

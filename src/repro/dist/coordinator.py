@@ -154,7 +154,9 @@ class Coordinator:
             op_span.finish("unreachable")
             return OpOutcome(status="unreachable")
         data = reply.payload
-        if data["outcome"] == "unexpected":
+        if data["outcome"] in ("unexpected", "fenced"):
+            # ``fenced``: a stale-epoch delivery rejected by the shard's
+            # current primary — retry next turn with a fresh stamp.
             op_span.finish("unreachable")
             return OpOutcome(status="unreachable")
         op_span.finish(data["outcome"])
@@ -227,6 +229,12 @@ class Coordinator:
             finally:
                 prepare_span.finish(vote)
             if reply is None:
+                unreachable = True
+                break
+            if vote == "fenced":
+                # The participant's view changed under this attempt;
+                # treat like an unreachable node, not a no vote — the
+                # retry re-stamps with the current epoch.
                 unreachable = True
                 break
             if vote == "yes":
@@ -302,6 +310,8 @@ class Coordinator:
             return CommitOutcome(status="unreachable")
         data = reply.payload
         outcome = data["outcome"]
+        if outcome == "fenced":
+            return CommitOutcome(status="unreachable")
         if outcome == "committed":
             self.stats.one_phase_commits += 1
             if self.tracer:
@@ -357,7 +367,7 @@ class Coordinator:
                 status = "ack" if reply is not None else "timeout"
             finally:
                 decide_span.finish(status)
-            if reply is None:
+            if reply is None or reply.payload.get("outcome") == "fenced":
                 unacked.add(node)
             else:
                 others.update(reply.payload.get("others_aborted", ()))
@@ -384,7 +394,7 @@ class Coordinator:
                 span=decide_span.context,
             )
             decide_span.finish("ack" if reply is not None else "timeout")
-            if reply is None:
+            if reply is None or reply.payload.get("outcome") == "fenced":
                 unacked.add(node)
             else:
                 others.update(reply.payload.get("others_aborted", ()))
@@ -408,7 +418,7 @@ class Coordinator:
                 self.name, node, "abort", gtxn, {"reason": reason},
                 span=abort_span.context,
             )
-            if reply is None:
+            if reply is None or reply.payload.get("outcome") == "fenced":
                 complete = False
             else:
                 others.update(reply.payload.get("others_aborted", ()))
@@ -426,7 +436,7 @@ class Coordinator:
                 reply = self.bus.rpc(
                     self.name, node, "decide", gtxn, {"decision": decision}
                 )
-                if reply is None:
+                if reply is None or reply.payload.get("outcome") == "fenced":
                     remaining.add(node)
             if remaining:
                 self.volatile.unacked[gtxn] = (decision, remaining)

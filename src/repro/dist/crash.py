@@ -93,16 +93,21 @@ def dist_crash_sweep(
     policy: str = "optimistic",
     seed: int = 0,
     max_points: int | None = None,
+    replicas: int = 1,
 ) -> DistCrashSweepResult:
     """Crash every reached protocol point in its own cluster run.
 
     ``max_points`` caps the sweep (evenly prefix-truncated) for smoke
-    use; the full sweep is the default.
+    use; the full sweep is the default.  ``replicas > 1`` sweeps over
+    replica groups instead of bare nodes: every crashed point then also
+    exercises the hold-down/promotion path wherever a live backup
+    exists.
     """
 
     def fresh(schedule: CrashSchedule | None) -> Cluster:
         return Cluster(
-            adt, table, shards=shards, policy=policy, crash_schedule=schedule
+            adt, table, shards=shards, policy=policy,
+            crash_schedule=schedule, replicas=replicas,
         )
 
     census = CrashSchedule(target=None)

@@ -38,7 +38,7 @@ import json
 from repro.cc.scheduler import TableDrivenScheduler
 from repro.cc.transaction import TransactionStatus
 from repro.errors import SchedulerError
-from repro.obs.events import TwoPCVoted
+from repro.obs.events import PrimaryFenced, TwoPCVoted
 from repro.obs.spans import _NO_CONTEXT, SpanEmitter
 from repro.obs.tracers import NULL_TRACER
 from repro.robust.decision_log import Decision, DecisionLog, LoggingScheduler
@@ -73,6 +73,12 @@ class ParticipantNode:
         self.gtxn_of: dict[int, int] = {}
         #: gtxn -> {"ad": [...], "cd": [...], "decided": ""|"commit"|"abort"}
         self.prepared: dict[int, dict] = {}
+        #: The node's :class:`~repro.dist.replication.ReplicaGroup` when
+        #: the cluster runs with ``replicas > 1``; ``None`` otherwise.
+        self.group = None
+        #: Distinguishes successive holders of the same bus name across
+        #: view changes (the single-primary-per-epoch certificate).
+        self.incarnation = 0
 
     def _now(self) -> float:
         return self.bus.now if self.bus is not None else 0.0
@@ -128,6 +134,21 @@ class ParticipantNode:
         # scheduler never branches on `now` (it only stamps events), so
         # this cannot perturb decisions.
         self.sched.now = self.bus.now
+        if message.kind == "ping":
+            self.bus.send(
+                self.name, message.src, "ping-reply", message.gtxn,
+                {"pong": True}, request_id=message.request_id,
+            )
+            return
+        if message.kind == "replicate-ack":
+            # Watermark advance from a backup; fire-and-forget.
+            if self.group is not None:
+                self.group.note_ack(
+                    message.payload["backup"], message.payload["acked"]
+                )
+            return
+        if self.group is not None and self._fence(message):
+            return
         handlers = {
             "op": self._handle_op,
             "commit-one": self._handle_commit_one,
@@ -141,6 +162,13 @@ class ParticipantNode:
                 f"node {self.name}: unknown message kind {message.kind!r}"
             )
         reply = handler(message)
+        if self.group is not None:
+            # Ship before reply: the replicate messages take lower bus
+            # sequence numbers than the reply, so every backup applies
+            # this handler's log records before the outcome is
+            # externalized — a promoted backup can never miss a record
+            # whose effect the coordinator already observed.
+            self.group.ship()
         self.bus.send(
             self.name,
             message.src,
@@ -149,6 +177,36 @@ class ParticipantNode:
             reply,
             request_id=message.request_id,
         )
+
+    def _fence(self, message) -> bool:
+        """Reject a message stamped by a deposed view.  True if fenced."""
+        epoch = message.payload.get("_epoch") if message.payload else None
+        if epoch is None or epoch >= self.group.epoch:
+            self.group.note_serve(self.incarnation)
+            return False
+        self.stats.fenced_messages += 1
+        if self.tracer:
+            self.tracer.emit(
+                PrimaryFenced(
+                    time=self.bus.now,
+                    node=self.name,
+                    src=message.src,
+                    kind=message.kind,
+                    gtxn=message.gtxn,
+                    message_epoch=epoch,
+                    current_epoch=self.group.epoch,
+                )
+            )
+        key = "vote" if message.kind == "prepare" else "outcome"
+        self.bus.send(
+            self.name,
+            message.src,
+            f"{message.kind}-reply",
+            message.gtxn,
+            {key: "fenced", "others_aborted": ()},
+            request_id=message.request_id,
+        )
+        return True
 
     def _handle_op(self, message) -> dict:
         gtxn = message.gtxn
@@ -441,6 +499,17 @@ class ParticipantNode:
         self.sched = self.sched.reincarnate()
         if self.bus is not None:
             self.sched.now = self.bus.now
+        self.rebuild_protocol_state()
+        return replayed
+
+    def rebuild_protocol_state(self) -> None:
+        """Re-read the protocol records against the current scheduler.
+
+        Shared by crash recovery and backup promotion: the scheduler
+        already holds the replayed (or replicated) state; this pass
+        rebuilds the gtxn mapping and the prepared/in-doubt cache from
+        the ``2pc-`` records and aborts orphaned local transactions.
+        """
         self.ltxn_of = {}
         self.gtxn_of = {}
         self.prepared = {}
@@ -468,4 +537,3 @@ class ParticipantNode:
             if ltxn not in self.gtxn_of:
                 self.sched.abort(ltxn, reason="orphaned-by-crash")
                 self.stats.orphans_aborted += 1
-        return replayed

@@ -54,6 +54,17 @@ class DistStats:
     serve_shed_breaker: int = 0
     serve_shed_deadline: int = 0
     serve_shed_retries: int = 0
+    # -- replication ---------------------------------------------------
+    repl_records_shipped: int = 0
+    repl_records_applied: int = 0
+    repl_acks: int = 0
+    repl_retransmits: int = 0
+    heartbeats_sent: int = 0
+    heartbeats_missed: int = 0
+    view_changes: int = 0
+    fenced_messages: int = 0
+    replica_reads: int = 0
+    replica_crashes: int = 0
 
     def publish(self, registry) -> None:
         """Export every counter into a metrics registry as ``dist_<name>``."""

@@ -662,6 +662,84 @@ def _serving_section(events: Sequence[TraceEvent]) -> list[str]:
     return lines
 
 
+def _replication_section(events: Sequence[TraceEvent]) -> list[str]:
+    """The replica-group rows: view changes, shipping lag, fencing.
+
+    Rendered only when the trace carries replication events
+    (:mod:`repro.dist.replication`).  The view-change timeline is the
+    failover story of the run; per-primary lag histograms come from the
+    ``lag`` each :class:`LogShipped` batch observed (how far the backup
+    trailed when the batch was cut); fenced counts show the deposed
+    primaries' stale messages being rejected.  Formatting is fixed, so
+    identical traces render byte-identical sections.
+    """
+    from repro.obs.events import (
+        LogShipped,
+        PrimaryFenced,
+        ReplicaReadServed,
+        ViewChanged,
+    )
+    from repro.obs.latency import Histogram
+
+    ships: dict[str, Histogram] = {}
+    shipped_records: dict[str, int] = {}
+    views: list[ViewChanged] = []
+    fenced: dict[tuple[str, str], int] = {}
+    reads: dict[str, int] = {}
+    read_watermarks = Histogram()
+    for event in events:
+        if isinstance(event, LogShipped):
+            ships.setdefault(event.primary, Histogram()).observe(event.lag)
+            shipped_records[event.primary] = (
+                shipped_records.get(event.primary, 0) + event.count
+            )
+        elif isinstance(event, ViewChanged):
+            views.append(event)
+        elif isinstance(event, PrimaryFenced):
+            key = (event.node, event.kind)
+            fenced[key] = fenced.get(key, 0) + 1
+        elif isinstance(event, ReplicaReadServed):
+            reads[event.backup] = reads.get(event.backup, 0) + 1
+            read_watermarks.observe(float(event.watermark))
+    if not ships and not views and not fenced and not reads:
+        return []
+
+    lines = ["== replication =="]
+    if views:
+        lines.append("  view-change timeline:")
+        for event in views:
+            in_doubt = (
+                f" in_doubt={sorted(event.in_doubt)}" if event.in_doubt else ""
+            )
+            lines.append(
+                f"    t={event.time:8.2f} {event.shard:<16} "
+                f"{event.primary} -> {event.promoted} "
+                f"(epoch {event.epoch}, log={event.log_records}{in_doubt})"
+            )
+    else:
+        lines.append("  view changes: (none)")
+    if ships:
+        lines.append(f"  {'primary':<16} {'shipped':>8} lag")
+        for primary in sorted(ships):
+            lines.append(
+                f"  {primary:<16} {shipped_records[primary]:>8} "
+                f"{ships[primary].summary()}"
+            )
+    if fenced:
+        lines.append("  fenced messages:")
+        for (node, kind), count in sorted(fenced.items()):
+            lines.append(f"    {node:<16} {kind:<12} {count:>4}x")
+    if reads:
+        served = " ".join(
+            f"{backup}={count}" for backup, count in sorted(reads.items())
+        )
+        lines.append(
+            f"  replica reads: {served} "
+            f"(watermark {read_watermarks.summary()})"
+        )
+    return lines
+
+
 def render_dashboard(
     events: Sequence[TraceEvent], top: int = 10, window: int = 32
 ) -> str:
@@ -671,7 +749,9 @@ def render_dashboard(
     (span-based when the trace has spans, event-based otherwise),
     per-object latency, per-node span latency, the serving layer
     (throughput, per-phase latency, policy-switch timeline — only when
-    the trace carries serving events), and the per-object conflict
+    the trace carries serving events), the replication layer
+    (view-change timeline, shipping lag, fenced messages — only when
+    the trace carries replication events), and the per-object conflict
     profile with a contention heatmap.  Formatting is fixed
     (``%.2f``, sorted keys), so identical traces render byte-identical
     dashboards.
@@ -736,6 +816,11 @@ def render_dashboard(
     if serving:
         lines.append("")
         lines.extend(serving)
+
+    replication = _replication_section(events)
+    if replication:
+        lines.append("")
+        lines.extend(replication)
 
     lines.append("")
     lines.append(f"== conflict profile (window={window}) ==")

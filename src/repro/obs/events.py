@@ -55,6 +55,10 @@ __all__ = [
     "TwoPCDecided",
     "NodeCrashed",
     "NodeRecovered",
+    "LogShipped",
+    "ViewChanged",
+    "PrimaryFenced",
+    "ReplicaReadServed",
     "SpanRecorded",
     "RequestArrived",
     "RequestAdmitted",
@@ -477,6 +481,78 @@ class NodeRecovered(TraceEvent):
     node: str = ""
     replayed: int = 0
     in_doubt: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class LogShipped(TraceEvent):
+    """A primary shipped a batch of DecisionLog records to a backup.
+
+    ``lag`` is the backup's replication lag *before* this batch: the
+    number of durable primary records the backup had not yet
+    acknowledged (the replication-lag watermark distance).
+    """
+
+    type: ClassVar[str] = "log_shipped"
+    primary: str = ""
+    backup: str = ""
+    #: Index of the first record in the batch; the batch spans
+    #: ``[from_index, from_index + count)`` of the primary's log.
+    from_index: int = 0
+    count: int = 0
+    lag: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ViewChanged(TraceEvent):
+    """A replica group entered a new epoch, promoting a backup.
+
+    ``promoted`` is the backup instance that assumed the primary role
+    (and the primary's bus name); ``log_records`` the length of the log
+    it was promoted with — the most-caught-up-backup certificate.
+    """
+
+    type: ClassVar[str] = "view_changed"
+    shard: str = ""
+    primary: str = ""
+    promoted: str = ""
+    epoch: int = 0
+    log_records: int = 0
+    #: Prepared-but-undecided gtxns the promoted primary must resolve.
+    in_doubt: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class PrimaryFenced(TraceEvent):
+    """A stale-epoch message was rejected instead of applied.
+
+    Emitted by the receiving group member when a message stamped with an
+    older epoch arrives — a deposed primary's in-flight traffic (2PC
+    PREPARE/decide legs included) bouncing off the fence.
+    """
+
+    type: ClassVar[str] = "primary_fenced"
+    node: str = ""
+    src: str = ""
+    kind: str = ""
+    gtxn: int = -1
+    message_epoch: int = 0
+    current_epoch: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ReplicaReadServed(TraceEvent):
+    """A backup answered a snapshot observer read at its watermark."""
+
+    type: ClassVar[str] = "replica_read_served"
+    backup: str = ""
+    shard: str = ""
+    operation: str = ""
+    #: The backup's applied-record watermark the read was served at.
+    watermark: int = 0
 
 
 @_register

@@ -75,6 +75,7 @@ def run_chaos(
     distributed: bool = False,
     shard_counts: tuple[int, ...] = (1, 2),
     serving: bool = False,
+    replication: bool = False,
 ) -> dict:
     """Run the full chaos matrix and return the JSON-ready report.
 
@@ -95,6 +96,13 @@ def run_chaos(
     degradation goodput gate and the no-resurrection certification —
     and embeds its report under ``"serving"``, folding its verdict
     into ``"passed"``.
+
+    ``replication=True`` additionally runs the replicated-failover
+    campaign (:func:`repro.dist.chaos.run_replication_chaos`) — primary
+    kills mid-2PC, partition-then-heal false suspicion, dueling-primary
+    fencing, and backup-crash storms over replica groups — and embeds
+    its report under ``"replication"``, folding its verdict into
+    ``"passed"``.
     """
     spec = spec if spec is not None else FaultSpec.storm()
     cells = []
@@ -150,6 +158,17 @@ def run_chaos(
             intensity=spec.spurious_abort_rate or 0.05,
         )
         passed = passed and serving_report["passed"]
+    replication_report = None
+    if replication:
+        # Imported lazily: repro.dist builds on this module's siblings.
+        from repro.dist.chaos import run_replication_chaos
+
+        replication_report = run_replication_chaos(
+            adts,
+            shard_counts=tuple(n for n in shard_counts if n > 1) or (2,),
+            seeds=seeds,
+        )
+        passed = passed and replication_report["passed"]
     report = {
         "matrix": {
             "adts": sorted(adts),
@@ -175,6 +194,8 @@ def run_chaos(
         report["matrix"]["shard_counts"] = list(shard_counts)
     if serving_report is not None:
         report["serving"] = serving_report
+    if replication_report is not None:
+        report["replication"] = replication_report
     return report
 
 

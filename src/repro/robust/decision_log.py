@@ -47,6 +47,7 @@ __all__ = [
     "Decision",
     "DecisionLog",
     "LoggingScheduler",
+    "apply_record",
     "recover",
     "replay_into",
 ]
@@ -57,8 +58,11 @@ class Decision:
     """One appended record: a completed scheduler call and its outcome.
 
     ``kind`` is one of ``register``, ``begin``, ``request``, ``commit``,
-    ``abort`` — or a ``2pc-``-prefixed protocol kind appended by the
-    distributed layer (:mod:`repro.dist`), which scheduler replay skips.
+    ``abort``, ``policy`` (a per-object discipline switch — replayed so
+    recovered schedulers and backup replicas re-decide subsequent
+    requests under the same discipline the original run used) — or a
+    ``2pc-``-prefixed protocol kind appended by the distributed layer
+    (:mod:`repro.dist`), which scheduler replay skips.
     Only the fields meaningful for the kind are populated; everything is
     a JSON-friendly primitive so a record serialises to one JSONL line
     via :meth:`to_dict`.
@@ -184,6 +188,20 @@ class DecisionLog:
                 f"decision log has no replay source for object {name!r}; "
                 "load it with a resolver"
             ) from None
+
+    def fork(self) -> "DecisionLog":
+        """An independent in-memory copy: a backup's seed log.
+
+        The copy shares the (immutable) :class:`Decision` records and
+        replay sources but has its own record list and no stream, so a
+        replica group can seed backups from the primary's log and let
+        each side append independently afterwards.
+        """
+        forked = DecisionLog()
+        forked.records = list(self.records)
+        forked.policy = self.policy
+        forked._sources = dict(self._sources)
+        return forked
 
     # ------------------------------------------------------------------
     # Durability
@@ -363,6 +381,18 @@ class LoggingScheduler:
         self.log.append(Decision(kind="abort", txn=txn, reason=reason))
         return extra
 
+    def set_object_policy(self, name, policy):
+        # A per-object discipline switch changes every subsequent
+        # scheduling decision on the object; left unlogged it would
+        # make verified replay diverge (recovery and backup replicas
+        # would replay under the base policy).  Log it like any other
+        # decision.  The inner call validates the safe boundary first,
+        # so a rejected switch appends nothing.
+        self.inner.set_object_policy(name, policy)
+        self.log.append(
+            Decision(kind="policy", object_name=name, outcome=policy)
+        )
+
     # -- crash/recovery -------------------------------------------------
 
     def reincarnate(self, scheduler_factory=None) -> "LoggingScheduler":
@@ -411,87 +441,109 @@ def replay_into(scheduler, log: DecisionLog, verify: bool = True):
     scheduler for chaining.
     """
     for index, record in enumerate(log.records):
-        if record.kind == "register":
-            source = log.source_of(record.object_name)
-            scheduler.register_object(
-                record.object_name,
-                source.adt,
-                source.table,
-                source.initial_state,
+        apply_record(scheduler, log, record, index, verify=verify)
+    return scheduler
+
+
+def apply_record(
+    scheduler, log: DecisionLog, record: Decision, index: int,
+    verify: bool = True,
+) -> None:
+    """Apply one decision record to ``scheduler``, verifying its outcome.
+
+    The single-record body of :func:`replay_into`, exposed so a backup
+    replica can apply shipped records incrementally as they arrive
+    (:mod:`repro.dist.replication`) with the same verification the
+    crash-recovery path runs.  ``log`` supplies the replay sources for
+    ``register`` records; ``index`` only labels errors.
+    """
+    if record.kind == "register":
+        source = log.source_of(record.object_name)
+        scheduler.register_object(
+            record.object_name,
+            source.adt,
+            source.table,
+            source.initial_state,
+        )
+    elif record.kind == "begin":
+        txn = scheduler.begin()
+        if verify and txn != record.txn:
+            raise RecoveryError(
+                f"replay record {index}: begin produced transaction "
+                f"{txn}, log recorded {record.txn}"
             )
-        elif record.kind == "begin":
-            txn = scheduler.begin()
-            if verify and txn != record.txn:
-                raise RecoveryError(
-                    f"replay record {index}: begin produced transaction "
-                    f"{txn}, log recorded {record.txn}"
-                )
-        elif record.kind == "request":
-            decision = scheduler.request(
-                record.txn,
-                record.object_name,
-                Invocation(operation=record.operation, args=record.args),
+    elif record.kind == "request":
+        decision = scheduler.request(
+            record.txn,
+            record.object_name,
+            Invocation(operation=record.operation, args=record.args),
+        )
+        if decision.executed:
+            outcome, returned = "executed", repr(decision.returned)
+        elif decision.aborted:
+            outcome, returned = "aborted", ""
+        else:
+            outcome, returned = "blocked", ""
+        if verify and (
+            outcome != record.outcome
+            or (outcome == "executed" and returned != record.returned)
+        ):
+            raise RecoveryError(
+                f"replay record {index}: request {record.operation} by "
+                f"txn {record.txn} produced {outcome}/{returned!r}, log "
+                f"recorded {record.outcome}/{record.returned!r}"
             )
-            if decision.executed:
-                outcome, returned = "executed", repr(decision.returned)
-            elif decision.aborted:
-                outcome, returned = "aborted", ""
-            else:
-                outcome, returned = "blocked", ""
-            if verify and (
-                outcome != record.outcome
-                or (outcome == "executed" and returned != record.returned)
-            ):
+        if verify and record.blocked_on and outcome == "blocked":
+            blocked_on = tuple(sorted(decision.blocked_on))
+            if blocked_on != tuple(record.blocked_on):
+                # Same outcome, different wait graph: the histories
+                # have already diverged (deadlock victims are chosen
+                # from this graph, inside the call and unlogged).
                 raise RecoveryError(
-                    f"replay record {index}: request {record.operation} by "
-                    f"txn {record.txn} produced {outcome}/{returned!r}, log "
-                    f"recorded {record.outcome}/{record.returned!r}"
+                    f"replay record {index}: request {record.operation}"
+                    f" by txn {record.txn} blocked on {blocked_on}, log"
+                    f" recorded {tuple(record.blocked_on)}"
                 )
-            if verify and record.blocked_on and outcome == "blocked":
-                blocked_on = tuple(sorted(decision.blocked_on))
-                if blocked_on != tuple(record.blocked_on):
-                    # Same outcome, different wait graph: the histories
-                    # have already diverged (deadlock victims are chosen
-                    # from this graph, inside the call and unlogged).
-                    raise RecoveryError(
-                        f"replay record {index}: request {record.operation}"
-                        f" by txn {record.txn} blocked on {blocked_on}, log"
-                        f" recorded {tuple(record.blocked_on)}"
-                    )
-        elif record.kind == "commit":
-            decision = scheduler.try_commit(record.txn)
-            if decision.committed:
-                outcome = "committed"
-            elif decision.must_abort:
-                outcome = "must-abort"
-            else:
-                outcome = "waiting"
-            if verify and outcome != record.outcome:
+    elif record.kind == "commit":
+        decision = scheduler.try_commit(record.txn)
+        if decision.committed:
+            outcome = "committed"
+        elif decision.must_abort:
+            outcome = "must-abort"
+        else:
+            outcome = "waiting"
+        if verify and outcome != record.outcome:
+            raise RecoveryError(
+                f"replay record {index}: commit of txn {record.txn} "
+                f"produced {outcome}, log recorded {record.outcome}"
+            )
+        if verify and record.blocked_on and outcome == "waiting":
+            waiting_on = tuple(sorted(decision.waiting_on))
+            if waiting_on != tuple(record.blocked_on):
                 raise RecoveryError(
                     f"replay record {index}: commit of txn {record.txn} "
-                    f"produced {outcome}, log recorded {record.outcome}"
+                    f"waited on {waiting_on}, log recorded "
+                    f"{tuple(record.blocked_on)}"
                 )
-            if verify and record.blocked_on and outcome == "waiting":
-                waiting_on = tuple(sorted(decision.waiting_on))
-                if waiting_on != tuple(record.blocked_on):
-                    raise RecoveryError(
-                        f"replay record {index}: commit of txn {record.txn} "
-                        f"waited on {waiting_on}, log recorded "
-                        f"{tuple(record.blocked_on)}"
-                    )
-        elif record.kind == "abort":
-            scheduler.abort(record.txn, reason=record.reason)
-        elif record.kind.startswith("2pc-"):
-            # Commit-protocol records of the distributed layer: they carry
-            # no scheduler call, so scheduler replay skips them.  The
-            # distributed recovery path re-reads them itself to rebuild
-            # gtxn mappings and in-doubt state (see repro.dist.node).
-            continue
-        else:
-            raise RecoveryError(
-                f"replay record {index}: unknown decision kind {record.kind!r}"
-            )
-    return scheduler
+    elif record.kind == "abort":
+        scheduler.abort(record.txn, reason=record.reason)
+    elif record.kind == "policy":
+        switch = getattr(scheduler, "set_object_policy", None)
+        if switch is not None:
+            switch(record.object_name, record.outcome)
+        # A target without per-object disciplines (the degradation
+        # path's ReferenceScheduler) runs everything under its single
+        # conservative policy; the switch is meaningless there.
+    elif record.kind.startswith("2pc-"):
+        # Commit-protocol records of the distributed layer: they carry
+        # no scheduler call, so scheduler replay skips them.  The
+        # distributed recovery path re-reads them itself to rebuild
+        # gtxn mappings and in-doubt state (see repro.dist.node).
+        pass
+    else:
+        raise RecoveryError(
+            f"replay record {index}: unknown decision kind {record.kind!r}"
+        )
 
 
 def recover(

@@ -59,6 +59,7 @@ from dataclasses import asdict, dataclass, field
 __all__ = [
     "FAULT_KINDS",
     "MESSAGE_FAULT_KINDS",
+    "REPLICA_FAULT_KINDS",
     "FaultRecord",
     "FaultSpec",
     "FaultPlan",
@@ -82,6 +83,12 @@ MESSAGE_FAULT_KINDS = (
     "msg_reorder",
     "partition",
 )
+
+#: The named replication-level fault points consulted by the replication
+#: manager at cluster boundaries.  A separate tuple (and therefore a
+#: separate set of private RNG streams) so enabling replica faults
+#: leaves every pre-existing plan's schedule byte-identical.
+REPLICA_FAULT_KINDS = ("replica_crash",)
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,9 @@ class FaultSpec:
     max_faults: int = 1_000
     max_crashes: int = 2
     max_partitions: int = 4
+    #: Replication-level rate, consulted once per backup per boundary.
+    replica_crash_rate: float = 0.0
+    max_replica_crashes: int = 2
 
     def __post_init__(self) -> None:
         for name in (
@@ -129,6 +139,7 @@ class FaultSpec:
             "msg_delay_rate",
             "msg_reorder_rate",
             "partition_rate",
+            "replica_crash_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -143,6 +154,7 @@ class FaultSpec:
             or self.commit_delay_rate
             or self.cache_poison_rate
             or self.crash_rate
+            or self.replica_crash_rate
             or self.has_message_faults
         )
 
@@ -191,6 +203,19 @@ class FaultSpec:
             crash_rate=intensity / 2,
         )
 
+    @classmethod
+    def replication_storm(cls, intensity: float = 0.05) -> "FaultSpec":
+        """The dist storm plus seeded backup crashes: the replication mix."""
+        return cls(
+            msg_drop_rate=intensity,
+            msg_duplicate_rate=intensity,
+            msg_delay_rate=intensity,
+            msg_reorder_rate=intensity,
+            partition_rate=intensity / 4,
+            crash_rate=intensity / 2,
+            replica_crash_rate=intensity,
+        )
+
 
 @dataclass(frozen=True)
 class FaultRecord:
@@ -237,7 +262,7 @@ class RobustStats:
         registry.counter(
             "robust_faults_injected", "Faults injected by the fault plan."
         ).inc(self.faults_injected)
-        for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS:
+        for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS + REPLICA_FAULT_KINDS:
             registry.counter(
                 "robust_faults",
                 "Faults injected, by fault-point kind.",
@@ -300,10 +325,11 @@ class FaultPlan:
         self.records: list[FaultRecord] = []
         self._streams = {
             kind: random.Random(f"{seed}:{kind}")
-            for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS
+            for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS + REPLICA_FAULT_KINDS
         }
         self._crashes = 0
         self._partitions = 0
+        self._replica_crashes = 0
 
     def __bool__(self) -> bool:
         return not self.spec.is_empty
@@ -407,6 +433,30 @@ class FaultPlan:
         duration = self.spec.partition_duration
         self._record("partition", detail=f"link={pick} duration={duration}")
         return pick, duration
+
+    # ------------------------------------------------------------------
+    # Replication-level fault points (consulted at cluster boundaries)
+    # ------------------------------------------------------------------
+
+    def replica_crash(self, choices: int) -> int | None:
+        """Crash a backup replica now?  Seeded victim index or ``None``.
+
+        ``choices`` is the number of live backups; the pick is a second
+        draw from the point's own stream (the :meth:`partition`
+        pattern).  Capped by ``max_replica_crashes``.  The point owns a
+        private stream, so plans without ``replica_crash_rate`` never
+        draw from it and stay bit-identical to pre-replication runs.
+        """
+        if choices <= 0 or self._replica_crashes >= self.spec.max_replica_crashes:
+            return None
+        if not self._may_fire("replica_crash", self.spec.replica_crash_rate):
+            return None
+        pick = min(
+            int(self._streams["replica_crash"].random() * choices), choices - 1
+        )
+        self._replica_crashes += 1
+        self._record("replica_crash", detail=f"backup={pick}")
+        return pick
 
     # ------------------------------------------------------------------
     # Reporting

@@ -209,7 +209,7 @@ def _scheduler_cell(adts, adt_name, mix, seed, intensity) -> tuple[dict, bool]:
 
 
 def _cluster_cell(
-    adts, adt_name, shards, mix, seed, intensity
+    adts, adt_name, shards, mix, seed, intensity, replicas=1
 ) -> tuple[dict, bool]:
     from repro.dist.audit import audit_global
     from repro.dist.cluster import Cluster, ClusterFrontend
@@ -218,7 +218,8 @@ def _cluster_cell(
     spec = mix["cluster"]
     plan = None if spec is None else FaultPlan(seed, spec)
     cluster = Cluster(
-        adt, table, shards=shards, policy="blocking", fault_plan=plan
+        adt, table, shards=shards, policy="blocking", fault_plan=plan,
+        replicas=replicas,
     )
     backend = ClusterBackend(
         ClusterFrontend(cluster, allow_faults=plan is not None)
@@ -254,6 +255,7 @@ def run_serving_chaos(
     seeds: tuple[int, ...] = (1991,),
     intensity: float = 0.05,
     goodput_floor: float = 0.5,
+    replicas: int = 1,
 ) -> dict:
     """Run the serving chaos matrix; returns the JSON-ready report.
 
@@ -264,6 +266,14 @@ def run_serving_chaos(
     from every committed history, and every ``overload_faults`` cell's
     committed work at or above ``goodput_floor`` of its ``nominal``
     sibling.
+
+    ``replicas > 1`` backs each cluster shard with a replica group
+    (:mod:`repro.dist.replication`): the serving loop then rides
+    through crash-driven primary failover on the existing at-least-once
+    retry and breaker machinery, with no serving-layer changes — the
+    promoted backup takes over the deposed primary's address.  The
+    degradation ladder's per-object policy switches are decision-logged
+    (``kind="policy"``), so backups replay them and stay convergent.
     """
     mixes = SERVING_MIXES(intensity)
     backends = ["scheduler"] + [f"cluster{n}" for n in shard_counts]
@@ -283,7 +293,8 @@ def run_serving_chaos(
                     else:
                         shards = int(backend_name[len("cluster"):])
                         cell, ok = _cluster_cell(
-                            adts, adt_name, shards, mix, seed, intensity
+                            adts, adt_name, shards, mix, seed, intensity,
+                            replicas=replicas,
                         )
                     cells[mix_name] = cell
                     group_ok = group_ok and ok
@@ -324,6 +335,7 @@ def run_serving_chaos(
             "seeds": list(seeds),
             "intensity": intensity,
             "goodput_floor": goodput_floor,
+            "replicas": replicas,
         },
         "groups": groups,
         "passed": passed,

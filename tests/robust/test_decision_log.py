@@ -62,6 +62,70 @@ class TestLoggingTransparency:
         assert scheduler.log.policy == "blocking"
 
 
+class TestPolicySwitchRecords:
+    """Per-object discipline switches are decisions too: un-logged, a
+    recovered scheduler (or a backup replica applying the shipped log)
+    would replay every subsequent request under the base policy and
+    diverge."""
+
+    def switched_run(self, adt, table, workload):
+        from repro.spec.operation import Invocation
+
+        scheduler, _ = logged_run(adt, table, workload)
+        scheduler.set_object_policy("obj", "queued")
+        # Post-switch activity that recovery must replay under the
+        # switched discipline, not the base one.
+        txn = scheduler.begin()
+        scheduler.request(txn, "obj", Invocation("Deposit", (5,)))
+        scheduler.try_commit(txn)
+        return scheduler
+
+    def test_switch_is_logged(self, adt, table, workload):
+        scheduler = self.switched_run(adt, table, workload)
+        switches = [
+            record
+            for record in scheduler.log.records
+            if record.kind == "policy"
+        ]
+        assert [
+            (record.object_name, record.outcome) for record in switches
+        ] == [("obj", "queued")]
+
+    def test_recovery_replays_the_switch(self, adt, table, workload):
+        scheduler = self.switched_run(adt, table, workload)
+        recovered = recover(scheduler.log)
+        assert recovered.object_policy("obj") == "queued"
+
+    def test_rejected_switch_logs_nothing(self, adt, table):
+        from repro.errors import SchedulerError
+        from repro.spec.operation import Invocation
+
+        scheduler = LoggingScheduler(
+            TableDrivenScheduler(policy="optimistic")
+        )
+        scheduler.register_object("obj", adt, table)
+        txn = scheduler.begin()
+        scheduler.request(txn, "obj", Invocation("Deposit", (5,)))
+        records_before = len(scheduler.log.records)
+        with pytest.raises(SchedulerError):
+            scheduler.set_object_policy("obj", "queued")
+        assert len(scheduler.log.records) == records_before
+
+    def test_policy_record_round_trips_through_jsonl(
+        self, adt, table, workload, tmp_path
+    ):
+        scheduler = self.switched_run(adt, table, workload)
+        path = str(tmp_path / "switched.jsonl")
+        scheduler.log.dump_jsonl(path)
+
+        def resolve(_name, _adt_name, _state_repr):
+            return adt, table, adt.initial_state()
+
+        loaded = DecisionLog.load(path, resolve)
+        recovered = recover(loaded)
+        assert recovered.object_policy("obj") == "queued"
+
+
 class TestRecovery:
     @pytest.mark.parametrize("policy", ["optimistic", "blocking"])
     def test_replay_rebuilds_identical_state(

@@ -165,6 +165,53 @@ class TestStreamIndependence:
         assert fired_kinds <= set(MESSAGE_FAULT_KINDS)
         assert plan.stats.faults_injected > 0
 
+    def test_replica_crash_point_leaves_existing_streams_byte_identical(self):
+        """The same contract extended to replication: adding (and
+        consulting) the ``replica_crash`` point must not perturb any
+        scheduler- or message-level stream — pre-replication plans stay
+        bit-identical."""
+        import dataclasses
+
+        from repro.robust import MESSAGE_FAULT_KINDS
+
+        base = FaultSpec.dist_storm(0.1)
+        extended = dataclasses.replace(
+            base, replica_crash_rate=0.3, max_replica_crashes=10
+        )
+        plain = FaultPlan(42, base)
+        noisy = FaultPlan(42, extended)
+
+        plain_fired = []
+        noisy_fired = []
+        for txn in range(100):
+            for plan, fired in ((plain, plain_fired), (noisy, noisy_fired)):
+                fired.append(
+                    (
+                        plan.spurious_abort(txn),
+                        plan.crash(),
+                        plan.msg_drop("a->b:op"),
+                        plan.msg_delay("a->b:op"),
+                        plan.partition(2),
+                    )
+                )
+            noisy.replica_crash(2)
+        assert plain_fired == noisy_fired
+        for kind in FAULT_KINDS + MESSAGE_FAULT_KINDS:
+            assert (
+                plain._streams[kind].getstate()
+                == noisy._streams[kind].getstate()
+            ), f"stream {kind!r} perturbed by replica_crash consults"
+        assert any(
+            record.kind == "replica_crash" for record in noisy.records
+        )
+
+    def test_zero_rate_replica_crash_never_draws(self):
+        plan = FaultPlan(7, FaultSpec.dist_storm(0.1))
+        before = plan._streams["replica_crash"].getstate()
+        for _ in range(50):
+            assert plan.replica_crash(3) is None
+        assert plan._streams["replica_crash"].getstate() == before
+
 
 class TestRobustStats:
     def test_counters_by_kind_track_records(self):

@@ -67,6 +67,65 @@ class TestCommands:
         assert main(["experiments", "nope"]) == 2
 
 
+class TestChaosExitCode:
+    """The chaos exit code is the CI contract: a failing embedded
+    sub-campaign must fail the command even if the top-level ``passed``
+    flag claims otherwise (regression guard on the verdict folding)."""
+
+    def fake_report(self, **sections):
+        report = {"cells": [], "passed": True}
+        report.update(sections)
+        return report
+
+    def run_chaos_cli(self, monkeypatch, report):
+        import repro.robust
+
+        monkeypatch.setattr(
+            repro.robust, "run_chaos", lambda *args, **kwargs: report
+        )
+        return main(["chaos", "Account", "--no-crash-sweep"])
+
+    def test_passing_report_exits_zero(self, monkeypatch, capsys):
+        assert self.run_chaos_cli(monkeypatch, self.fake_report()) == 0
+        capsys.readouterr()
+
+    def test_top_level_failure_exits_nonzero(self, monkeypatch, capsys):
+        report = self.fake_report()
+        report["passed"] = False
+        assert self.run_chaos_cli(monkeypatch, report) == 1
+        capsys.readouterr()
+
+    @pytest.mark.parametrize(
+        "section", ["distributed", "serving", "replication"]
+    )
+    def test_failing_subreport_exits_nonzero(
+        self, monkeypatch, capsys, section
+    ):
+        # Top-level passed=True with a failing embedded verdict: the
+        # folding bug this guards against.
+        report = self.fake_report(**{section: {"passed": False}})
+        assert self.run_chaos_cli(monkeypatch, report) == 1
+        capsys.readouterr()
+
+    def test_chaos_passed_folds_all_sections(self):
+        from repro.__main__ import _chaos_passed
+
+        assert _chaos_passed({"passed": True})
+        assert not _chaos_passed({"passed": False})
+        assert _chaos_passed(
+            {
+                "passed": True,
+                "distributed": {"passed": True},
+                "serving": {"passed": True},
+                "replication": {"passed": True},
+            }
+        )
+        for section in ("distributed", "serving", "replication"):
+            assert not _chaos_passed(
+                {"passed": True, section: {"passed": False}}
+            )
+
+
 class TestTablesCommand:
     def test_tables_generates_docs(self, tmp_path, capsys):
         assert main(["tables", "--out", str(tmp_path)]) == 0
